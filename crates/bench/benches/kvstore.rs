@@ -1,0 +1,49 @@
+//! Criterion bench backing Figure 22: single-threaded seek latency of the
+//! KV store under the different index-block formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leco_datasets::zipf::Zipf;
+use leco_kvstore::{IndexBlockFormat, Store, StoreOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RECORDS: usize = 50_000;
+
+fn bench_seek(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_seek");
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..RECORDS)
+        .map(|i| (format!("user{:016}", i as u64 * 7919).into_bytes(), vec![b'v'; 400]))
+        .collect();
+    let zipf = Zipf::ycsb_skewed(RECORDS);
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<Vec<u8>> = zipf
+        .sample_many(10_000, &mut rng)
+        .into_iter()
+        .map(|r| records[r].0.clone())
+        .collect();
+    for format in [
+        IndexBlockFormat::RestartInterval(1),
+        IndexBlockFormat::RestartInterval(128),
+        IndexBlockFormat::Leco,
+    ] {
+        let mut path = std::env::temp_dir();
+        path.push(format!("leco-bench-kv-{}-{}.sst", format.name(), std::process::id()));
+        let store = Store::load(&path, &records, StoreOptions {
+            index_format: format,
+            block_cache_bytes: 4 << 20,
+        })
+        .expect("load store");
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("seek", format.name()), |b| {
+            b.iter(|| {
+                cursor = (cursor + 1) % queries.len();
+                std::hint::black_box(store.seek(&queries[cursor]).unwrap())
+            })
+        });
+        std::fs::remove_file(path).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seek);
+criterion_main!(benches);

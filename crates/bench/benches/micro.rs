@@ -1,0 +1,65 @@
+//! Criterion microbenchmark backing Figures 2 and 10: random access latency
+//! and full-decompression throughput per scheme on representative data sets.
+//!
+//! The `repro_fig10_micro` binary prints the full 12-data-set table; this
+//! bench keeps the wall-clock time manageable by measuring two contrasting
+//! data sets (a locally-easy one and a globally-hard one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use leco_bench::scheme::{encode, Scheme};
+use leco_datasets::{generate, IntDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 200_000;
+const DATASETS: [IntDataset; 2] = [IntDataset::Booksale, IntDataset::Movieid];
+
+fn bench_random_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_random_access");
+    for dataset in DATASETS {
+        let values = generate(dataset, N, 42);
+        for scheme in [Scheme::For, Scheme::EliasFano, Scheme::DeltaFix, Scheme::LecoFix, Scheme::LecoVar] {
+            let Some(encoded) = encode(scheme, &values) else { continue };
+            let mut rng = StdRng::seed_from_u64(1);
+            group.bench_function(BenchmarkId::new(scheme.name(), dataset.name()), |b| {
+                b.iter(|| {
+                    let i = rng.gen_range(0..values.len());
+                    std::hint::black_box(encoded.get(i))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_full_decode");
+    group.sample_size(10);
+    for dataset in DATASETS {
+        let values = generate(dataset, N, 42);
+        group.throughput(Throughput::Bytes((values.len() * 8) as u64));
+        for scheme in [Scheme::For, Scheme::DeltaFix, Scheme::LecoFix] {
+            let Some(encoded) = encode(scheme, &values) else { continue };
+            group.bench_function(BenchmarkId::new(scheme.name(), dataset.name()), |b| {
+                b.iter(|| std::hint::black_box(encoded.decode_all().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab01_compression");
+    group.sample_size(10);
+    let values = generate(IntDataset::Booksale, N, 42);
+    group.throughput(Throughput::Bytes((values.len() * 8) as u64));
+    for scheme in [Scheme::For, Scheme::DeltaFix, Scheme::LecoFix] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| std::hint::black_box(encode(scheme, &values).unwrap().size_bytes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_access, bench_decode, bench_compress);
+criterion_main!(benches);

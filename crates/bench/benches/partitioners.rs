@@ -1,0 +1,51 @@
+//! Criterion bench backing Figures 5, 16 and 17: compression cost of the
+//! different partitioning strategies, plus an ablation of the ℓ∞ (minimax)
+//! versus ℓ2 (least-squares) linear fit called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leco_core::regressor::linear;
+use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
+use leco_datasets::{generate, IntDataset};
+
+const N: usize = 100_000;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_partitioners");
+    group.sample_size(10);
+    let values = generate(IntDataset::Movieid, N, 42);
+    let configs: [(&str, PartitionerKind); 4] = [
+        ("fixed_auto", PartitionerKind::FixedAuto),
+        ("split_merge", PartitionerKind::SplitMerge { tau: 0.1 }),
+        ("pla", PartitionerKind::Pla { epsilon: 64 }),
+        ("la_vector", PartitionerKind::LaVector),
+    ];
+    for (name, partitioner) in configs {
+        group.bench_function(BenchmarkId::new("compress", name), |b| {
+            b.iter(|| {
+                let col = LecoCompressor::new(LecoConfig {
+                    regressor: RegressorKind::Linear,
+                    partitioner: partitioner.clone(),
+                })
+                .compress(&values);
+                std::hint::black_box(col.size_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_linear_fit");
+    let ys: Vec<f64> = generate(IntDataset::Booksale, 4_096, 42)
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    group.bench_function("minimax_linf", |b| b.iter(|| std::hint::black_box(linear::fit_linear(&ys))));
+    group.bench_function("least_squares_l2", |b| {
+        b.iter(|| std::hint::black_box(linear::fit_least_squares(&ys)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_fit_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench backing Figure 15: random access into compressed string
+//! columns (FSST-style vs LeCo's string extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leco_codecs::FsstLike;
+use leco_core::string::{CompressedStrings, StringConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 30_000;
+
+fn bench_string_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_string_random_access");
+    let mut rng = StdRng::seed_from_u64(42);
+    let strings = leco_datasets::strings::email(N, &mut rng);
+    let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+
+    let fsst_plain = FsstLike::encode(&strings, 0);
+    let fsst_blocked = FsstLike::encode(&strings, 100);
+    let leco = CompressedStrings::encode(&refs, StringConfig::default());
+
+    let mut access_rng = StdRng::seed_from_u64(7);
+    group.bench_function(BenchmarkId::new("fsst", "offset_block_0"), |b| {
+        b.iter(|| std::hint::black_box(fsst_plain.get(access_rng.gen_range(0..N)).len()))
+    });
+    group.bench_function(BenchmarkId::new("fsst", "offset_block_100"), |b| {
+        b.iter(|| std::hint::black_box(fsst_blocked.get(access_rng.gen_range(0..N)).len()))
+    });
+    group.bench_function(BenchmarkId::new("leco", "reduced_charset"), |b| {
+        b.iter(|| std::hint::black_box(leco.get(access_rng.gen_range(0..N)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_string_access);
+criterion_main!(benches);

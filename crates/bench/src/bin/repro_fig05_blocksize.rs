@@ -1,0 +1,40 @@
+//! Figure 5: compression ratio as a function of the fixed partition size on
+//! `booksale` and `normal` — the "U-shape" that motivates the automatic
+//! block-size search of §3.2.1.
+
+use leco_bench::report::{pct, TextTable};
+use leco_core::{LecoCompressor, LecoConfig};
+use leco_datasets::{generate, IntDataset};
+
+fn main() {
+    let n = leco_bench::bench_size();
+    println!("# Figure 5 — compression ratio vs fixed partition size ({n} values)\n");
+    let sizes = [100usize, 1_000, 10_000, 100_000, 1_000_000];
+    let mut table = TextTable::new(vec!["block size", "booksale", "normal"]);
+    let booksale = generate(IntDataset::Booksale, n, 42);
+    let normal = generate(IntDataset::Normal, n, 42);
+    for &size in &sizes {
+        let ratio = |values: &Vec<u64>, width: usize| {
+            let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(size.min(values.len())))
+                .compress(values);
+            col.size_bytes() as f64 / (values.len() * width) as f64
+        };
+        table.row(vec![
+            format!("{size}"),
+            pct(ratio(&booksale, IntDataset::Booksale.value_width())),
+            pct(ratio(&normal, IntDataset::Normal.value_width())),
+        ]);
+        eprintln!("  finished block size {size}");
+    }
+    // The automatically searched size for reference.
+    let auto = LecoCompressor::new(LecoConfig::leco_fix()).compress(&booksale);
+    println!();
+    table.print();
+    println!(
+        "\nAuto-searched partition size on booksale gives ratio {} with {} partitions.",
+        pct(auto.size_bytes() as f64 / (booksale.len() * 4) as f64),
+        auto.num_partitions()
+    );
+    println!("\nPaper reference (Fig. 5): the ratio is U-shaped in the block size; the sampling-based");
+    println!("search should land near the bottom of the U.");
+}

@@ -1,0 +1,30 @@
+//! Figure 9b: local vs global hardness of each integer data set, the scores
+//! that drive the partition-strategy advice of §3.2.3.
+
+use leco_bench::report::{f2, TextTable};
+use leco_core::advisor::hardness;
+use leco_datasets::{generate, IntDataset};
+
+fn main() {
+    let n = leco_bench::small_bench_size();
+    println!("# Figure 9b — data set hardness ({n} values per data set)\n");
+    let mut table = TextTable::new(vec!["dataset", "local hardness", "global hardness", "advice"]);
+    for dataset in IntDataset::MICROBENCH {
+        let values = generate(dataset, n, 42);
+        let h = hardness::hardness(&values);
+        let advice = match hardness::advise(h) {
+            hardness::PartitionAdvice::VariableLength => "variable-length",
+            hardness::PartitionAdvice::Fixed => "fixed-length",
+        };
+        table.row(vec![
+            dataset.name().to_string(),
+            f2(h.local),
+            f2(h.global),
+            advice.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nPaper reference (Fig. 9b): linear/normal/libio/wiki/booksale/planet/ml/house_price are");
+    println!("locally easy; facebook/osm/(poisson) are locally hard; movieid/house_price are globally hard,");
+    println!("which is where variable-length partitioning pays off most (§4.3.1).");
+}

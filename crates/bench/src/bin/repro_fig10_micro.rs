@@ -1,0 +1,60 @@
+//! Figure 10 + Figure 2 inputs: the integer microbenchmark.
+//!
+//! For every data set of §4.1 and every scheme of §4.2, reports the
+//! compression ratio (with the model-size share), the average random-access
+//! latency and the full-decompression throughput.  Figure 2 of the paper is
+//! the length-weighted average of these per-data-set numbers; run
+//! `repro_fig02_pareto` for that summary view.
+
+use leco_bench::measure::measure_scheme;
+use leco_bench::report::{f2, pct, TextTable};
+use leco_bench::scheme::Scheme;
+use leco_datasets::{generate, IntDataset};
+
+fn main() {
+    let n = leco_bench::bench_size();
+    println!("# Figure 10 — integer microbenchmark ({n} values per data set)\n");
+    let mut ratio = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var", "LeCo model%"]);
+    let mut access = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var"]);
+    let mut decode = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var"]);
+
+    for dataset in IntDataset::MICROBENCH {
+        let values = generate(dataset, n, 42);
+        let width = dataset.value_width();
+        let mut ratios = vec![dataset.name().to_string()];
+        let mut accesses = vec![dataset.name().to_string()];
+        let mut decodes = vec![dataset.name().to_string()];
+        let mut leco_model_share = String::from("-");
+        for scheme in Scheme::MICROBENCH {
+            match measure_scheme(scheme, &values, width) {
+                Some(m) => {
+                    ratios.push(pct(m.compression_ratio));
+                    accesses.push(format!("{:.0}ns", m.random_access_ns));
+                    decodes.push(format!("{} GB/s", f2(m.decode_gbps)));
+                    if scheme == Scheme::LecoFix {
+                        leco_model_share = pct(m.model_ratio);
+                    }
+                }
+                None => {
+                    ratios.push("n/a".into());
+                    accesses.push("n/a".into());
+                    decodes.push("n/a".into());
+                }
+            }
+        }
+        ratios.push(leco_model_share);
+        ratio.row(ratios);
+        access.row(accesses);
+        decode.row(decodes);
+        eprintln!("  finished {}", dataset.name());
+    }
+
+    println!("## Compression ratio (compressed / uncompressed)\n");
+    ratio.print();
+    println!("\n## Random access latency\n");
+    access.print();
+    println!("\n## Full decompression throughput\n");
+    decode.print();
+    println!("\nPaper reference (Fig. 10): LeCo variants strictly beat FOR on ratio, match FOR on access;");
+    println!("Delta variants are ~an order of magnitude slower on random access; rANS compresses worst.");
+}

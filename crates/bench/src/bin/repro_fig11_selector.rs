@@ -1,0 +1,63 @@
+//! Figure 11: the Regressor Selector — compression ratio obtained with FOR,
+//! LeCo (linear only), the selector's per-partition recommendation and the
+//! exhaustive optimum on the eight non-linear data sets of §4.4.
+
+use leco_bench::report::{pct, TextTable};
+use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
+use leco_datasets::{generate, IntDataset};
+
+const PARTITION: usize = 2_000;
+
+fn ratio(values: &[u64], width: usize, regressor: RegressorKind) -> f64 {
+    let col = LecoCompressor::new(LecoConfig {
+        regressor,
+        partitioner: PartitionerKind::Fixed { len: PARTITION },
+    })
+    .compress(values);
+    col.size_bytes() as f64 / (values.len() * width) as f64
+}
+
+/// The exhaustive optimum: per partition, pick the candidate family with the
+/// smallest compressed size.
+fn optimal_ratio(values: &[u64], width: usize) -> f64 {
+    let mut total = 0usize;
+    for chunk in values.chunks(PARTITION) {
+        let mut best_bytes = usize::MAX;
+        for kind in leco_core::advisor::selector::CANDIDATES {
+            let col = LecoCompressor::new(LecoConfig {
+                regressor: kind,
+                partitioner: PartitionerKind::Fixed { len: PARTITION },
+            })
+            .compress(chunk);
+            best_bytes = best_bytes.min(col.size_bytes());
+        }
+        total += best_bytes;
+    }
+    total as f64 / (values.len() * width) as f64
+}
+
+fn main() {
+    let n = leco_bench::small_bench_size().min(500_000);
+    println!("# Figure 11 — Regressor Selector vs FOR / linear LeCo / optimal ({n} values)\n");
+    let mut table = TextTable::new(vec!["dataset", "FOR", "LeCo (linear)", "recommend", "optimal"]);
+    for dataset in IntDataset::NONLINEAR {
+        let values = generate(dataset, n, 42);
+        let width = dataset.value_width();
+        let for_ = ratio(&values, width, RegressorKind::Constant);
+        let linear = ratio(&values, width, RegressorKind::Linear);
+        let recommend = ratio(&values, width, RegressorKind::Auto);
+        let optimal = optimal_ratio(&values, width);
+        table.row(vec![
+            dataset.name().to_string(),
+            pct(for_),
+            pct(linear),
+            pct(recommend),
+            pct(optimal),
+        ]);
+        eprintln!("  finished {}", dataset.name());
+    }
+    table.print();
+    println!("\nPaper reference (Fig. 11): the recommended regressor tracks the optimal closely and");
+    println!("improves substantially over linear-only LeCo on higher-order data sets (poly, exp, polylog);");
+    println!("on mostly-linear data (movieid) the gain is limited.");
+}

@@ -1,0 +1,72 @@
+//! Figure 13: multi-column tabular data sets — per-table compression ratio of
+//! FOR, Delta-fix, Delta-var, LeCo-fix and LeCo-var over (a) all numeric
+//! columns and (b) high-cardinality columns only, together with the table's
+//! sortedness.
+
+use leco_bench::report::{f2, pct, TextTable};
+use leco_bench::scheme::{encode, Scheme};
+use leco_datasets::tables::{all_tables, Table};
+
+const SCHEMES: [Scheme; 5] = [
+    Scheme::For,
+    Scheme::DeltaFix,
+    Scheme::DeltaVar,
+    Scheme::LecoFix,
+    Scheme::LecoVar,
+];
+
+fn table_ratio(table: &Table, scheme: Scheme, high_cardinality_only: bool) -> f64 {
+    let columns: Vec<&Vec<u64>> = if high_cardinality_only {
+        table.high_cardinality_columns(0.10).into_iter().map(|(_, c)| c).collect()
+    } else {
+        table.columns.iter().map(|(_, c)| c).collect()
+    };
+    if columns.is_empty() {
+        return f64::NAN;
+    }
+    let mut compressed = 0usize;
+    let mut raw = 0usize;
+    for col in columns {
+        raw += col.len() * 8;
+        compressed += encode(scheme, col).map(|e| e.size_bytes()).unwrap_or(col.len() * 8);
+    }
+    compressed as f64 / raw as f64
+}
+
+fn main() {
+    let rows = (leco_bench::small_bench_size() / 4).max(50_000);
+    println!("# Figure 13 — multi-column benchmark ({rows} rows per table)\n");
+    let tables = all_tables(rows, 42);
+
+    for (label, hc_only) in [("all numeric columns", false), ("high-cardinality columns (NDV >= 10% rows)", true)] {
+        println!("## Compression ratio, {label}\n");
+        let mut out = TextTable::new(vec!["table", "sortedness", "FOR", "Delta-fix", "Delta-var", "LeCo-fix", "LeCo-var", "LeCo-fix vs FOR"]);
+        for t in &tables {
+            let mut cells = vec![t.name.to_string(), f2(t.sortedness())];
+            let mut for_ratio = f64::NAN;
+            let mut leco_ratio = f64::NAN;
+            for scheme in SCHEMES {
+                let r = table_ratio(t, scheme, hc_only);
+                if scheme == Scheme::For {
+                    for_ratio = r;
+                }
+                if scheme == Scheme::LecoFix {
+                    leco_ratio = r;
+                }
+                cells.push(if r.is_nan() { "n/a".into() } else { pct(r) });
+            }
+            let improvement = if for_ratio.is_finite() && leco_ratio.is_finite() && for_ratio > 0.0 {
+                format!("-{:.1}%", (1.0 - leco_ratio / for_ratio) * 100.0)
+            } else {
+                "n/a".into()
+            };
+            cells.push(improvement);
+            out.row(cells);
+            eprintln!("  finished {} ({})", t.name, label);
+        }
+        out.print();
+        println!();
+    }
+    println!("Paper reference (Fig. 13): LeCo beats FOR on every table; the advantage grows with the");
+    println!("table's sortedness (inventory, date_dim, stock) and on high-cardinality columns.");
+}

@@ -1,0 +1,157 @@
+//! Figure 14: dictionary-compressed hash-probe throughput under a memory
+//! budget (§4.5).
+//!
+//! The probe side (`medicare`-like column) is encoded with an order-preserving
+//! dictionary; 1% of the rows pass a filter and probe an in-memory hash table
+//! containing 50% of the distinct values.  The dictionary's value array is
+//! stored Raw, FOR-compressed or LeCo-compressed, and lives in a byte-budgeted
+//! buffer pool backed by a file: when the budget (minus the hash table) cannot
+//! hold the dictionary, each code→value translation may fault a 4 KB page in
+//! from disk.  Throughput is reported as raw probe-side bytes per second.
+
+use leco_bench::report::TextTable;
+use leco_codecs::{ForCodec, IntColumn, OpDict};
+use leco_core::{LecoCompressor, LecoConfig};
+use leco_datasets::{generate, IntDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::time::Instant;
+
+const PAGE: usize = 4096;
+
+/// A dictionary value array materialised behind a paged buffer pool.
+struct PagedDictionary {
+    /// The compressed (or raw) representation used to answer lookups.
+    lookup: Box<dyn Fn(usize) -> u64>,
+    /// Total footprint in bytes of the representation.
+    bytes: usize,
+    /// File simulating the spill location of pages that do not fit in memory.
+    file: std::fs::File,
+}
+
+impl PagedDictionary {
+    fn new(lookup: Box<dyn Fn(usize) -> u64>, bytes: usize) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("leco-fig14-{}-{bytes}.bin", std::process::id()));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("create spill file");
+        file.write_all(&vec![0u8; bytes.max(PAGE)]).expect("fill spill file");
+        std::fs::remove_file(&path).ok(); // unlinked but kept open
+        Self { lookup, bytes, file }
+    }
+
+    /// Translate a dictionary code to its value under the given buffer-pool
+    /// budget: codes mapping to pages beyond the resident prefix pay a 4 KB
+    /// read from the spill file.
+    fn translate(&mut self, code: usize, resident_bytes: usize) -> u64 {
+        let byte_pos = (code * 8) % self.bytes.max(1);
+        if byte_pos >= resident_bytes {
+            let page = (byte_pos / PAGE) * PAGE;
+            let mut buf = [0u8; PAGE];
+            let off = page.min(self.bytes.saturating_sub(PAGE)) as u64;
+            self.file.seek(SeekFrom::Start(off)).expect("seek spill");
+            let _ = self.file.read(&mut buf).expect("read spill");
+            std::hint::black_box(buf[0]);
+        }
+        (self.lookup)(code)
+    }
+}
+
+fn main() {
+    let n = leco_bench::small_bench_size();
+    println!("# Figure 14 — hash probe with a dictionary-compressed probe side ({n} rows)\n");
+    let probe = generate(IntDataset::Medicare, n, 42);
+    let dict = OpDict::encode(&probe);
+    let distinct = dict.dictionary().to_vec();
+    println!(
+        "probe column: {} rows, {} distinct values, dictionary {} KB raw\n",
+        n,
+        distinct.len(),
+        distinct.len() * 8 / 1024
+    );
+
+    // Hash table with 50% of the distinct values (the join build side).
+    let mut rng = StdRng::seed_from_u64(7);
+    let build: HashSet<u64> = distinct.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+    let hash_table_bytes = build.len() * 16;
+
+    // Dictionary value-array representations.
+    let raw_bytes = distinct.len() * 8;
+    let for_col = ForCodec::encode(&distinct, 128);
+    let leco_col = LecoCompressor::new(LecoConfig::leco_fix_with_len(1024)).compress(&distinct);
+    println!(
+        "dictionary footprints: Raw {} KB, FOR {} KB (ratio {:.1}%), LeCo {} KB (ratio {:.2}%)\n",
+        raw_bytes / 1024,
+        for_col.size_bytes() / 1024,
+        for_col.size_bytes() as f64 / raw_bytes as f64 * 100.0,
+        leco_col.size_bytes() / 1024,
+        leco_col.size_bytes() as f64 / raw_bytes as f64 * 100.0
+    );
+
+    // Probe workload: 1% filter selectivity.
+    let selected: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.01)).collect();
+    let raw_probe_bytes = (n * 8) as f64;
+
+    // Memory budgets as fractions of (hash table + raw dictionary), mirroring
+    // the paper's 3 GB → 500 MB sweep on a laptop-sized problem.
+    let full = hash_table_bytes + raw_bytes;
+    let budgets: Vec<(String, usize)> = [1.2, 0.8, 0.5, 0.4, 0.35, 0.3, 0.25]
+        .iter()
+        .map(|f| (format!("{:.0}%", f * 100.0), (full as f64 * f) as usize))
+        .collect();
+
+    let mut table = TextTable::new(vec!["memory budget (of raw working set)", "Raw GB/s", "FOR GB/s", "LeCo GB/s", "LeCo vs FOR"]);
+    let distinct_for_lookup = distinct.clone();
+    let mut variants: Vec<(&str, PagedDictionary)> = vec![
+        (
+            "Raw",
+            PagedDictionary::new(Box::new(move |c| distinct_for_lookup[c]), raw_bytes),
+        ),
+        (
+            "FOR",
+            PagedDictionary::new(Box::new(move |c| for_col.get(c)), ForCodec::encode(&distinct, 128).size_bytes()),
+        ),
+        (
+            "LeCo",
+            PagedDictionary::new(Box::new(move |c| leco_col.get(c)), LecoCompressor::new(LecoConfig::leco_fix_with_len(1024)).compress(&distinct).size_bytes()),
+        ),
+    ];
+
+    for (label, budget) in budgets {
+        let mut tputs = Vec::new();
+        for (_, dictionary) in variants.iter_mut() {
+            let resident = budget.saturating_sub(hash_table_bytes).min(dictionary.bytes);
+            let start = Instant::now();
+            let mut matches = 0u64;
+            for &row in &selected {
+                let code = dict.code(row) as usize;
+                let value = dictionary.translate(code, resident);
+                if build.contains(&value) {
+                    matches += 1;
+                }
+            }
+            std::hint::black_box(matches);
+            tputs.push(raw_probe_bytes / start.elapsed().as_secs_f64() / 1.0e9);
+        }
+        let speedup = if tputs[1] > 0.0 { format!("{:.1}x", tputs[2] / tputs[1]) } else { "n/a".into() };
+        table.row(vec![
+            label,
+            format!("{:.2}", tputs[0]),
+            format!("{:.2}", tputs[1]),
+            format!("{:.2}", tputs[2]),
+            speedup,
+        ]);
+        eprintln!("  finished budget {budget} bytes");
+    }
+    table.print();
+    println!("\nPaper reference (Fig. 14): once the budget can no longer hold the FOR/raw dictionary,");
+    println!("their throughput collapses (buffer-pool misses) while the LeCo dictionary still fits,");
+    println!("yielding up to ~two orders of magnitude higher probe throughput.");
+}

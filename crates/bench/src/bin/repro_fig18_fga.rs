@@ -1,0 +1,69 @@
+//! Figure 18: the end-to-end filter → group-by → aggregation query of §5.1.1
+//! on the sensor table, under the `random` and `correlated` distributions,
+//! sweeping the filter selectivity and reporting the CPU/IO time breakdown
+//! per encoding (Default, Delta, FOR, LeCo).
+
+use leco_bench::report::TextTable;
+use leco_columnar::{exec, Encoding, QueryStats, TableFile, TableFileOptions};
+use leco_datasets::tables::{sensor_table, SensorDistribution};
+
+const ENCODINGS: [Encoding; 4] = [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco];
+const SELECTIVITIES: [f64; 5] = [0.00001, 0.0001, 0.001, 0.01, 0.1];
+
+fn main() -> std::io::Result<()> {
+    let rows = leco_bench::small_bench_size();
+    println!("# Figure 18 — filter-groupby-aggregation ({rows} rows)\n");
+    for dist in [SensorDistribution::Random, SensorDistribution::Correlated] {
+        let t = sensor_table(rows, dist, 42);
+        println!("## distribution: {dist:?}\n");
+        let mut table = TextTable::new(vec![
+            "selectivity", "encoding", "file size (MB)", "IO (ms)", "filter+groupby CPU (ms)", "total (ms)", "groups",
+        ]);
+        // Write one file per encoding.
+        let mut files = Vec::new();
+        for enc in ENCODINGS {
+            let mut path = std::env::temp_dir();
+            path.push(format!("leco-fig18-{:?}-{:?}-{}.tbl", dist, enc, std::process::id()));
+            let file = TableFile::write(
+                &path,
+                &["ts", "id", "val"],
+                &[t.ts.clone(), t.id.clone(), t.val.clone()],
+                TableFileOptions { encoding: enc, row_group_size: 100_000, ..Default::default() },
+            )?;
+            files.push((enc, file, path));
+        }
+        let ts_min = *t.ts.first().expect("rows > 0");
+        let ts_max = *t.ts.last().expect("rows > 0");
+        for selectivity in SELECTIVITIES {
+            // Time range sized to the requested selectivity (ts is nearly
+            // uniform over its range for this generator).
+            let span = ((ts_max - ts_min) as f64 * selectivity) as u64;
+            let lo = ts_min + (ts_max - ts_min) / 3;
+            let hi = lo + span.max(1);
+            for (enc, file, _) in &files {
+                let mut stats = QueryStats::default();
+                let bitmap = exec::filter_range(file, 0, lo, hi, true, &mut stats)?;
+                let groups = exec::group_by_avg(file, 1, 2, &bitmap, &mut stats)?;
+                table.row(vec![
+                    format!("{:.3}%", selectivity * 100.0),
+                    enc.name().to_string(),
+                    format!("{:.1}", file.file_size_bytes() as f64 / 1.0e6),
+                    format!("{:.2}", stats.io_seconds * 1_000.0),
+                    format!("{:.2}", stats.cpu_seconds * 1_000.0),
+                    format!("{:.2}", stats.total_seconds() * 1_000.0),
+                    format!("{}", groups.len()),
+                ]);
+            }
+            eprintln!("  finished selectivity {selectivity}");
+        }
+        table.print();
+        println!();
+        for (_, _, path) in files {
+            std::fs::remove_file(path).ok();
+        }
+    }
+    println!("Paper reference (Fig. 18): every lightweight encoding beats Default thanks to I/O savings;");
+    println!("LeCo beats Delta on CPU (random access during group-by) and beats FOR on I/O, with the");
+    println!("advantage growing on the correlated distribution (up to 5.2x vs Default).");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Figure 20: file sizes when a general-purpose block codec (`lzb`, standing
+//! in for zstd) is layered on top of the lightweight encodings (§5.1.3), on
+//! `normal`, `booksale`, `poisson` and `ml`.
+
+use leco_bench::report::{human_bytes, TextTable};
+use leco_columnar::{BlockCompression, Encoding, TableFile, TableFileOptions};
+use leco_datasets::{generate, IntDataset};
+
+fn main() -> std::io::Result<()> {
+    let rows = leco_bench::small_bench_size();
+    println!("# Figure 20 — Parquet-style file sizes with block compression ({rows} rows)\n");
+    let datasets = [IntDataset::Normal, IntDataset::Booksale, IntDataset::Poisson, IntDataset::Ml];
+    let encodings = [Encoding::Default, Encoding::For, Encoding::Leco];
+    let mut table = TextTable::new(vec![
+        "dataset", "encoding", "size", "size + lzb", "lzb improvement",
+    ]);
+    for dataset in datasets {
+        let values = generate(dataset, rows, 42);
+        for enc in encodings {
+            let mut sizes = Vec::new();
+            for compression in [BlockCompression::None, BlockCompression::Lzb] {
+                let mut path = std::env::temp_dir();
+                path.push(format!(
+                    "leco-fig20-{}-{:?}-{:?}-{}.tbl",
+                    dataset.name(),
+                    enc,
+                    compression,
+                    std::process::id()
+                ));
+                let file = TableFile::write(&path, &["v"], &[values.clone()], TableFileOptions {
+                    encoding: enc,
+                    row_group_size: 200_000,
+                    block_compression: compression,
+                })?;
+                sizes.push(file.file_size_bytes());
+                std::fs::remove_file(&path).ok();
+            }
+            table.row(vec![
+                dataset.name().to_string(),
+                enc.name().to_string(),
+                human_bytes(sizes[0]),
+                human_bytes(sizes[1]),
+                format!("{:.1}x", sizes[0] as f64 / sizes[1] as f64),
+            ]);
+            eprintln!("  finished {} / {}", dataset.name(), enc.name());
+        }
+    }
+    table.print();
+    println!("\nPaper reference (Fig. 20): block compression still helps on top of the lightweight");
+    println!("encodings, and the relative improvement over LeCo-encoded files is at least as large as");
+    println!("over FOR — LeCo's serial-redundancy removal is complementary to general-purpose codecs.");
+    Ok(())
+}

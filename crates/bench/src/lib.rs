@@ -1,0 +1,38 @@
+//! Shared harness code for the paper-reproduction binaries and Criterion
+//! benchmarks.
+//!
+//! * [`Scheme`] — the seven compression schemes of the microbenchmark
+//!   (Figure 10), encoded behind one object-safe interface so every
+//!   experiment measures them identically.
+//! * [`measure`] — compression-ratio / throughput / random-access-latency
+//!   measurement loops.
+//! * [`report`] — small fixed-width table printer so the binaries produce
+//!   the same rows and series the paper reports.
+//!
+//! Data-set sizes default to ~1M values and scale with the `LECO_SCALE`
+//! environment variable (see `leco-datasets`); individual binaries also
+//! honour `LECO_N` for an absolute override.
+
+pub mod measure;
+pub mod report;
+pub mod scheme;
+
+pub use measure::{measure_scheme, Measurement};
+pub use scheme::{encode, EncodedInts, Scheme};
+
+/// Number of values to use for a microbenchmark data set, honouring
+/// `LECO_N` (absolute) and `LECO_SCALE` (multiplier) environment variables.
+pub fn bench_size() -> usize {
+    if let Ok(n) = std::env::var("LECO_N") {
+        if let Ok(n) = n.parse::<usize>() {
+            return n.max(1_000);
+        }
+    }
+    leco_datasets::default_size()
+}
+
+/// A smaller size for the expensive variable-length schemes and system
+/// experiments (quarter of [`bench_size`], at least 100k).
+pub fn small_bench_size() -> usize {
+    (bench_size() / 4).max(100_000)
+}

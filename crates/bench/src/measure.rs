@@ -1,0 +1,129 @@
+//! Measurement loops shared by the reproduction binaries (§4.2 methodology):
+//! compress the whole data set, report the compression ratio and compression
+//! throughput, perform uniformly random point accesses, then decode the whole
+//! data set.
+
+use crate::scheme::{encode, EncodedInts, Scheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Results of measuring one scheme on one data set.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Compressed size / uncompressed size (using the data set's value width).
+    pub compression_ratio: f64,
+    /// Fraction of the compressed size spent on models/headers.
+    pub model_ratio: f64,
+    /// Compression throughput in GB/s of raw input.
+    pub compress_gbps: f64,
+    /// Average random-access latency in nanoseconds.
+    pub random_access_ns: f64,
+    /// Full-decompression throughput in GB/s of raw output.
+    pub decode_gbps: f64,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+}
+
+/// Number of random accesses performed per measurement (the paper uses one
+/// per element; we cap it so the harness stays fast on large inputs).
+fn num_accesses(n: usize) -> usize {
+    n.min(200_000)
+}
+
+/// Measure `scheme` on `values`, treating the uncompressed width as
+/// `value_width` bytes.  Returns `None` when the scheme does not apply.
+pub fn measure_scheme(scheme: Scheme, values: &[u64], value_width: usize) -> Option<Measurement> {
+    let raw_bytes = values.len() * value_width;
+    let start = Instant::now();
+    let encoded = encode(scheme, values)?;
+    let compress_secs = start.elapsed().as_secs_f64();
+    Some(finish_measurement(&encoded, values, raw_bytes, compress_secs))
+}
+
+/// Measure an already-encoded column (used when the caller wants to reuse an
+/// expensive encoding across measurements).
+pub fn finish_measurement(
+    encoded: &EncodedInts,
+    values: &[u64],
+    raw_bytes: usize,
+    compress_secs: f64,
+) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(0xACCE55);
+    let accesses = num_accesses(values.len());
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..accesses {
+        let i = rng.gen_range(0..values.len());
+        checksum = checksum.wrapping_add(encoded.get(i));
+    }
+    let ra_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+
+    let start = Instant::now();
+    let decoded = encoded.decode_all();
+    let decode_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(decoded.len());
+
+    Measurement {
+        compression_ratio: encoded.size_bytes() as f64 / raw_bytes as f64,
+        model_ratio: if encoded.size_bytes() == 0 {
+            0.0
+        } else {
+            encoded.model_size_bytes() as f64 / encoded.size_bytes() as f64
+        },
+        compress_gbps: raw_bytes as f64 / compress_secs / 1.0e9,
+        random_access_ns: ra_secs * 1.0e9 / accesses as f64,
+        decode_gbps: raw_bytes as f64 / decode_secs / 1.0e9,
+        compressed_bytes: encoded.size_bytes(),
+    }
+}
+
+/// Weighted average of per-data-set values, weighted by data-set length
+/// (the aggregation used for Figure 2 and Table 1).
+pub fn weighted_average(values: &[(f64, usize)]) -> f64 {
+    let total: usize = values.iter().map(|(_, w)| w).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    values.iter().map(|(v, w)| v * *w as f64).sum::<f64>() / total as f64
+}
+
+/// Weighted standard deviation matching [`weighted_average`].
+pub fn weighted_std(values: &[(f64, usize)]) -> f64 {
+    let mean = weighted_average(values);
+    let total: usize = values.iter().map(|(_, w)| w).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|(v, w)| (v - mean) * (v - mean) * *w as f64)
+        .sum::<f64>()
+        / total as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_fields_are_sane() {
+        let values: Vec<u64> = (0..50_000u64).map(|i| 100 + 3 * i).collect();
+        let m = measure_scheme(Scheme::LecoFix, &values, 8).unwrap();
+        assert!(m.compression_ratio > 0.0 && m.compression_ratio < 0.2);
+        assert!(m.random_access_ns > 0.0);
+        assert!(m.decode_gbps > 0.0);
+        assert!(m.compress_gbps > 0.0);
+        assert!(m.model_ratio >= 0.0 && m.model_ratio <= 1.0);
+    }
+
+    #[test]
+    fn weighted_stats() {
+        let data = [(1.0, 1usize), (3.0, 3usize)];
+        assert!((weighted_average(&data) - 2.5).abs() < 1e-9);
+        assert!(weighted_std(&data) > 0.0);
+        assert_eq!(weighted_average(&[]), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal fixed-width table printing for the reproduction binaries.
+
+/// A simple text table with a header row and fixed-width columns.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must have the same arity as the header).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the table as a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a ratio as a percentage with one decimal, e.g. `12.3%`.
+pub fn pct(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format bytes in a human-readable unit.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1}{}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["dataset", "ratio"]);
+        t.row(vec!["linear", "1.2%"]);
+        t.row(vec!["house_price", "33.0%"]);
+        let s = t.render();
+        assert!(s.contains("dataset"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        // The ratio column starts at the same offset on every data row.
+        let off1 = lines[2].find("1.2%").unwrap();
+        let off2 = lines[3].find("33.0%").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(human_bytes(512), "512.0B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

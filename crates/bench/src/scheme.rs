@@ -1,0 +1,177 @@
+//! The compression schemes compared in the microbenchmark, behind a single
+//! interface.
+
+use leco_codecs::{DeltaCodec, EliasFano, ForCodec, IntColumn, RansCodec};
+use leco_core::delta_var::DeltaVarColumn;
+use leco_core::{CompressedColumn, LecoCompressor, LecoConfig};
+
+/// Fixed frame/partition length used by FOR and Delta-fix when a data set
+/// specific search is not performed (the §4.2 setup searches per data set;
+/// 1024 is a representative result and keeps the harness fast).
+pub const DEFAULT_FRAME: usize = 1024;
+
+/// The schemes of Figure 10 plus the polynomial LeCo variants of §4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Byte-oriented rANS entropy coder.
+    Rans,
+    /// Frame-of-Reference.
+    For,
+    /// Elias-Fano (monotone sequences only).
+    EliasFano,
+    /// Delta encoding with fixed frames.
+    DeltaFix,
+    /// Delta encoding with LeCo's variable-length partitioner.
+    DeltaVar,
+    /// LeCo, linear regressor, fixed-length partitions.
+    LecoFix,
+    /// LeCo, linear regressor, variable-length partitions.
+    LecoVar,
+    /// LeCo, polynomial regressor, fixed-length partitions.
+    LecoPolyFix,
+    /// LeCo, polynomial regressor, variable-length partitions.
+    LecoPolyVar,
+}
+
+impl Scheme {
+    /// The seven schemes of the Figure 10 microbenchmark.
+    pub const MICROBENCH: [Scheme; 7] = [
+        Scheme::Rans,
+        Scheme::For,
+        Scheme::EliasFano,
+        Scheme::DeltaFix,
+        Scheme::DeltaVar,
+        Scheme::LecoFix,
+        Scheme::LecoVar,
+    ];
+
+    /// Label used in output tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Rans => "rANS",
+            Scheme::For => "FOR",
+            Scheme::EliasFano => "Elias-Fano",
+            Scheme::DeltaFix => "Delta",
+            Scheme::DeltaVar => "Delta-var",
+            Scheme::LecoFix => "LeCo",
+            Scheme::LecoVar => "LeCo-var",
+            Scheme::LecoPolyFix => "LeCo-Poly-fix",
+            Scheme::LecoPolyVar => "LeCo-Poly-var",
+        }
+    }
+}
+
+/// A column encoded by one of the schemes.
+pub enum EncodedInts {
+    /// Any of the `leco-codecs` baselines.
+    Codec(Box<dyn IntColumn + Send + Sync>),
+    /// Delta with variable-length partitions.
+    DeltaVar(DeltaVarColumn),
+    /// A LeCo column.
+    Leco(CompressedColumn),
+}
+
+impl EncodedInts {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedInts::Codec(c) => c.len(),
+            EncodedInts::DeltaVar(c) => c.len(),
+            EncodedInts::Leco(c) => c.len(),
+        }
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compressed size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            EncodedInts::Codec(c) => c.size_bytes(),
+            EncodedInts::DeltaVar(c) => c.size_bytes(),
+            EncodedInts::Leco(c) => c.size_bytes(),
+        }
+    }
+
+    /// Bytes spent on models / headers rather than packed deltas (the model
+    /// size breakdown of Figure 10); zero for schemes where the distinction
+    /// does not apply.
+    pub fn model_size_bytes(&self) -> usize {
+        match self {
+            EncodedInts::Leco(c) => c.model_size_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Random access.
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            EncodedInts::Codec(c) => c.get(i),
+            EncodedInts::DeltaVar(c) => c.get(i),
+            EncodedInts::Leco(c) => c.get(i),
+        }
+    }
+
+    /// Full decompression.
+    pub fn decode_all(&self) -> Vec<u64> {
+        match self {
+            EncodedInts::Codec(c) => c.decode_all(),
+            EncodedInts::DeltaVar(c) => c.decode_all(),
+            EncodedInts::Leco(c) => c.decode_all(),
+        }
+    }
+}
+
+/// Encode `values` with `scheme`.  Returns `None` when the scheme does not
+/// apply (Elias-Fano on non-monotone data, mirroring the gaps in Figure 10).
+pub fn encode(scheme: Scheme, values: &[u64]) -> Option<EncodedInts> {
+    Some(match scheme {
+        Scheme::Rans => EncodedInts::Codec(Box::new(RansCodec::encode(values))),
+        Scheme::For => EncodedInts::Codec(Box::new(ForCodec::encode(values, DEFAULT_FRAME))),
+        Scheme::EliasFano => match EliasFano::encode(values) {
+            Ok(ef) => EncodedInts::Codec(Box::new(ef)),
+            Err(_) => return None,
+        },
+        Scheme::DeltaFix => EncodedInts::Codec(Box::new(DeltaCodec::encode(values, DEFAULT_FRAME))),
+        Scheme::DeltaVar => EncodedInts::DeltaVar(DeltaVarColumn::encode(values)),
+        Scheme::LecoFix => {
+            EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_fix_with_len(DEFAULT_FRAME)).compress(values))
+        }
+        Scheme::LecoVar => EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_var()).compress(values)),
+        Scheme::LecoPolyFix => EncodedInts::Leco(
+            LecoCompressor::new(LecoConfig {
+                regressor: leco_core::RegressorKind::Poly3,
+                partitioner: leco_core::PartitionerKind::Fixed { len: DEFAULT_FRAME },
+            })
+            .compress(values),
+        ),
+        Scheme::LecoPolyVar => {
+            EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_poly_var()).compress(values))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_round_trip_on_sorted_data() {
+        let values: Vec<u64> = (0..20_000u64).map(|i| i * 5 + (i % 3)).collect();
+        for scheme in Scheme::MICROBENCH {
+            let enc = encode(scheme, &values).expect("sorted data supports every scheme");
+            assert_eq!(enc.decode_all(), values, "{scheme:?}");
+            assert_eq!(enc.get(12_345), values[12_345], "{scheme:?}");
+            assert!(enc.size_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn elias_fano_is_skipped_on_unsorted_data() {
+        let values = vec![5u64, 3, 7];
+        assert!(encode(Scheme::EliasFano, &values).is_none());
+        assert!(encode(Scheme::LecoFix, &values).is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! Plain bit vector with rank/select support.
+//!
+//! The Elias-Fano codec stores the "upper bits" of a monotone sequence as a
+//! unary-coded bit vector and answers random access through `select1`.  This
+//! module provides a straightforward rank/select index: 512-bit basic blocks
+//! with cumulative popcounts plus a sampled select directory.  It favours
+//! simplicity and predictable performance over the last few percent of space.
+
+/// Growable bit vector with an optional rank/select index.
+#[derive(Debug, Clone, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+    /// Cumulative number of ones before each 512-bit superblock (8 words).
+    superblock_ranks: Vec<u64>,
+    /// Bit position of every `SELECT_SAMPLE`-th one (0-based ordinal).
+    select_samples: Vec<u64>,
+    ones: u64,
+    indexed: bool,
+}
+
+const WORDS_PER_SUPERBLOCK: usize = 8;
+const SELECT_SAMPLE: u64 = 512;
+
+impl BitVec {
+    /// Create an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; crate::div_ceil(len, 64)],
+            len,
+            ..Default::default()
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits (only meaningful after [`Self::build_index`] or
+    /// computed on the fly otherwise).
+    pub fn count_ones(&self) -> u64 {
+        if self.indexed {
+            self.ones
+        } else {
+            self.words.iter().map(|w| w.count_ones() as u64).sum()
+        }
+    }
+
+    /// Approximate heap size in bytes, including the rank/select directory.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8 + self.superblock_ranks.len() * 8 + self.select_samples.len() * 8
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+        self.indexed = false;
+    }
+
+    /// Set bit `i` to one.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of bounds");
+        self.words[i / 64] |= 1u64 << (i % 64);
+        self.indexed = false;
+    }
+
+    /// Get bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Build the rank/select directory.  Must be called before
+    /// [`Self::rank1`] / [`Self::select1`] after the last mutation.
+    pub fn build_index(&mut self) {
+        self.superblock_ranks.clear();
+        self.select_samples.clear();
+        let mut ones = 0u64;
+        for (w_idx, &w) in self.words.iter().enumerate() {
+            if w_idx % WORDS_PER_SUPERBLOCK == 0 {
+                self.superblock_ranks.push(ones);
+            }
+            let mut bits = w;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as u64;
+                let pos = w_idx as u64 * 64 + tz;
+                if pos < self.len as u64 {
+                    if ones % SELECT_SAMPLE == 0 {
+                        self.select_samples.push(pos);
+                    }
+                    ones += 1;
+                }
+                bits &= bits - 1;
+            }
+        }
+        self.ones = ones;
+        self.indexed = true;
+    }
+
+    /// Number of ones in positions `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if the index has not been built or `i > len`.
+    pub fn rank1(&self, i: usize) -> u64 {
+        assert!(self.indexed, "call build_index() first");
+        assert!(i <= self.len);
+        let word = i / 64;
+        let sb = word / WORDS_PER_SUPERBLOCK;
+        let mut rank = self.superblock_ranks[sb];
+        for w in (sb * WORDS_PER_SUPERBLOCK)..word {
+            rank += self.words[w].count_ones() as u64;
+        }
+        let rem = i % 64;
+        if rem > 0 {
+            rank += (self.words[word] & ((1u64 << rem) - 1)).count_ones() as u64;
+        }
+        rank
+    }
+
+    /// Position of the `k`-th one (0-based): `select1(0)` is the position of
+    /// the first set bit.  Returns `None` if there are fewer than `k+1` ones.
+    pub fn select1(&self, k: u64) -> Option<usize> {
+        assert!(self.indexed, "call build_index() first");
+        if k >= self.ones {
+            return None;
+        }
+        // Start from the nearest select sample, then scan superblocks/words.
+        let sample_idx = (k / SELECT_SAMPLE) as usize;
+        let start_pos = self.select_samples[sample_idx] as usize;
+        let mut word = start_pos / 64;
+        // ones before `word * 64`
+        let sb = word / WORDS_PER_SUPERBLOCK;
+        let mut count = self.superblock_ranks[sb];
+        for w in (sb * WORDS_PER_SUPERBLOCK)..word {
+            count += self.words[w].count_ones() as u64;
+        }
+        loop {
+            let w = self.words[word];
+            let in_word = w.count_ones() as u64;
+            if count + in_word > k {
+                // The k-th one is inside this word.
+                let nth = (k - count) as u32;
+                let pos_in_word = nth_set_bit(w, nth);
+                return Some(word * 64 + pos_in_word as usize);
+            }
+            count += in_word;
+            word += 1;
+        }
+    }
+}
+
+/// Position (0..64) of the `n`-th (0-based) set bit of `word`.
+/// `word` must have more than `n` set bits.
+#[inline]
+fn nth_set_bit(mut word: u64, n: u32) -> u32 {
+    for _ in 0..n {
+        word &= word - 1;
+    }
+    word.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_rank(bits: &[bool], i: usize) -> u64 {
+        bits[..i].iter().filter(|&&b| b).count() as u64
+    }
+
+    fn naive_select(bits: &[bool], k: u64) -> Option<usize> {
+        let mut count = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                if count == k {
+                    return Some(i);
+                }
+                count += 1;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn push_get_round_trip() {
+        let bits = [true, false, false, true, true, false, true];
+        let mut bv = BitVec::new();
+        for &b in &bits {
+            bv.push(b);
+        }
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(bv.get(i), b);
+        }
+        assert_eq!(bv.len(), bits.len());
+    }
+
+    #[test]
+    fn rank_select_small() {
+        let mut bv = BitVec::new();
+        let bits: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        for &b in &bits {
+            bv.push(b);
+        }
+        bv.build_index();
+        for i in 0..=bits.len() {
+            assert_eq!(bv.rank1(i), naive_rank(&bits, i), "rank at {i}");
+        }
+        for k in 0..bv.count_ones() {
+            assert_eq!(bv.select1(k), naive_select(&bits, k), "select {k}");
+        }
+        assert_eq!(bv.select1(bv.count_ones()), None);
+    }
+
+    #[test]
+    fn zeros_and_set() {
+        let mut bv = BitVec::zeros(1000);
+        bv.set(0);
+        bv.set(999);
+        bv.set(512);
+        bv.build_index();
+        assert_eq!(bv.count_ones(), 3);
+        assert_eq!(bv.select1(0), Some(0));
+        assert_eq!(bv.select1(1), Some(512));
+        assert_eq!(bv.select1(2), Some(999));
+        assert_eq!(bv.rank1(1000), 3);
+        assert_eq!(bv.rank1(513), 2);
+    }
+
+    #[test]
+    fn nth_set_bit_works() {
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+        assert_eq!(nth_set_bit(u64::MAX, 63), 63);
+    }
+
+    #[test]
+    fn all_ones_large() {
+        let n = 5000;
+        let mut bv = BitVec::new();
+        for _ in 0..n {
+            bv.push(true);
+        }
+        bv.build_index();
+        assert_eq!(bv.count_ones(), n as u64);
+        for k in [0usize, 1, 511, 512, 513, 4999] {
+            assert_eq!(bv.select1(k as u64), Some(k));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_select_match_naive(bits in proptest::collection::vec(any::<bool>(), 0..2000)) {
+            let mut bv = BitVec::new();
+            for &b in &bits { bv.push(b); }
+            bv.build_index();
+            prop_assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count() as u64);
+            // spot-check ranks
+            for i in (0..=bits.len()).step_by(37) {
+                prop_assert_eq!(bv.rank1(i), naive_rank(&bits, i));
+            }
+            for k in (0..bv.count_ones()).step_by(13) {
+                prop_assert_eq!(bv.select1(k), naive_select(&bits, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Bit-level packing primitives shared by every compression codec in the
+//! workspace.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`BitWriter`] / [`BitReader`] — an LSB-first bit stream over `u64` words,
+//!   used when a codec needs to emit values of heterogeneous widths
+//!   sequentially (e.g. unary codes, rANS state flushes).
+//! * [`PackedArray`] — a fixed-width array of unsigned integers with O(1)
+//!   random access.  This is the physical representation of every LeCo delta
+//!   array and of Frame-of-Reference frames.
+//! * [`BitVec`] — an uncompressed bit vector with constant-time `rank1` and
+//!   near-constant-time `select1`, used by the Elias-Fano codec to find the
+//!   upper-bit bucket of the *i*-th element.
+//! * [`zigzag`] / [`unary`] — small helper encodings.
+//!
+//! All structures are self-contained (no external dependencies) and carry
+//! enough metadata to report their exact serialized size in bytes, which the
+//! benchmark harness relies on when computing compression ratios.
+
+pub mod bitvec;
+pub mod packed;
+pub mod stream;
+pub mod unary;
+pub mod zigzag;
+
+pub use bitvec::BitVec;
+pub use packed::PackedArray;
+pub use stream::{BitReader, BitWriter};
+pub use zigzag::{zigzag_decode, zigzag_encode};
+
+/// Number of bits needed to represent `v` (0 needs 0 bits).
+#[inline]
+pub fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Number of bits needed to represent every value in an unsigned range
+/// `[0, max]` (i.e. `bits_for(max)`), returning at least 0 and at most 64.
+#[inline]
+pub fn width_for_max(max: u64) -> u8 {
+    bits_for(max)
+}
+
+/// Ceiling division for byte/word sizing computations.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_edge_cases() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+        assert_eq!(bits_for(u64::MAX >> 1), 63);
+    }
+
+    #[test]
+    fn div_ceil_basic() {
+        assert_eq!(div_ceil(0, 8), 0);
+        assert_eq!(div_ceil(1, 8), 1);
+        assert_eq!(div_ceil(8, 8), 1);
+        assert_eq!(div_ceil(9, 8), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-width packed integer arrays with O(1) random access.
+//!
+//! This is the physical layout used for LeCo delta arrays, FOR frames and
+//! dictionary code arrays: `n` unsigned integers each occupying exactly
+//! `width` bits, packed back-to-back LSB-first into `u64` words.
+
+use crate::stream::read_bits;
+
+/// An immutable array of `len` unsigned integers, each stored in `width` bits.
+///
+/// `width == 0` is allowed and represents an array of zeros that occupies no
+/// payload space (the common case for perfectly-predicted LeCo partitions and
+/// RLE runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedArray {
+    words: Vec<u64>,
+    len: usize,
+    width: u8,
+}
+
+impl PackedArray {
+    /// Pack `values` using `width` bits per value.
+    ///
+    /// # Panics
+    /// Panics if any value does not fit in `width` bits.
+    pub fn from_values(values: &[u64], width: u8) -> Self {
+        assert!(width <= 64);
+        if width == 0 {
+            debug_assert!(values.iter().all(|&v| v == 0));
+            return Self {
+                words: Vec::new(),
+                len: values.len(),
+                width,
+            };
+        }
+        let total_bits = values.len() * width as usize;
+        let mut words = vec![0u64; crate::div_ceil(total_bits, 64)];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(
+                width == 64 || v < (1u64 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            let bit_pos = i * width as usize;
+            let word_idx = bit_pos / 64;
+            let offset = bit_pos % 64;
+            words[word_idx] |= v << offset;
+            let avail = 64 - offset;
+            if (width as usize) > avail {
+                words[word_idx + 1] |= v >> avail;
+            }
+        }
+        Self {
+            words,
+            len: values.len(),
+            width,
+        }
+    }
+
+    /// Pack `values` with the minimal width that fits the maximum value.
+    pub fn from_values_auto(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        Self::from_values(values, crate::bits_for(max))
+    }
+
+    /// Construct from raw parts (used when deserializing a storage format).
+    pub fn from_raw_parts(words: Vec<u64>, len: usize, width: u8) -> Self {
+        assert!(width <= 64);
+        assert!(words.len() * 64 >= len * width as usize);
+        Self { words, len, width }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per element.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Payload size in bytes (word granularity).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Exact payload size in bits.
+    #[inline]
+    pub fn size_bits(&self) -> usize {
+        self.len * self.width as usize
+    }
+
+    /// Backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Random access to element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (in debug builds; release builds may read garbage
+    /// only when `debug_assertions` are disabled *and* the index is within the
+    /// padded word range, so callers should still treat this as a logic error).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        read_bits(&self.words, i * self.width as usize, self.width)
+    }
+
+    /// Decode the whole array into a vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decode the whole array, appending to `out`.
+    ///
+    /// This is the hot sequential-decode path; it walks the words directly
+    /// instead of performing a positioned read per element.
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len);
+        if self.width == 0 {
+            out.extend(std::iter::repeat(0).take(self.len));
+            return;
+        }
+        let width = self.width as usize;
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut bit_pos = 0usize;
+        for _ in 0..self.len {
+            let word_idx = bit_pos / 64;
+            let offset = bit_pos % 64;
+            let first = self.words[word_idx] >> offset;
+            let avail = 64 - offset;
+            let v = if width <= avail {
+                first & mask
+            } else {
+                (first | (self.words[word_idx + 1] << avail)) & mask
+            };
+            out.push(v);
+            bit_pos += width;
+        }
+    }
+
+    /// Iterate over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_small() {
+        let values = vec![0u64, 1, 2, 3, 7, 6, 5, 4];
+        let arr = PackedArray::from_values(&values, 3);
+        assert_eq!(arr.len(), 8);
+        assert_eq!(arr.to_vec(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(arr.get(i), v);
+        }
+    }
+
+    #[test]
+    fn zero_width() {
+        let values = vec![0u64; 1000];
+        let arr = PackedArray::from_values(&values, 0);
+        assert_eq!(arr.size_bytes(), 0);
+        assert_eq!(arr.get(999), 0);
+        assert_eq!(arr.to_vec(), values);
+    }
+
+    #[test]
+    fn full_width() {
+        let values = vec![u64::MAX, 0, 1, u64::MAX - 1];
+        let arr = PackedArray::from_values(&values, 64);
+        assert_eq!(arr.to_vec(), values);
+    }
+
+    #[test]
+    fn auto_width_picks_minimum() {
+        let arr = PackedArray::from_values_auto(&[0, 5, 7]);
+        assert_eq!(arr.width(), 3);
+        let arr = PackedArray::from_values_auto(&[0, 0, 0]);
+        assert_eq!(arr.width(), 0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let arr = PackedArray::from_values(&vec![1u64; 100], 7);
+        assert_eq!(arr.size_bits(), 700);
+        assert_eq!(arr.size_bytes(), crate::div_ceil(700, 64) * 8);
+    }
+
+    #[test]
+    fn empty_array() {
+        let arr = PackedArray::from_values(&[], 13);
+        assert!(arr.is_empty());
+        assert_eq!(arr.to_vec(), Vec::<u64>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(0u64..u64::MAX, 0..300), extra_width in 0u8..4) {
+            let max = values.iter().copied().max().unwrap_or(0);
+            let width = (crate::bits_for(max) + extra_width).min(64);
+            let arr = PackedArray::from_values(&values, width);
+            prop_assert_eq!(arr.to_vec(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(arr.get(i), v);
+            }
+        }
+
+        #[test]
+        fn prop_raw_parts_round_trip(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let arr = PackedArray::from_values_auto(&values);
+            let rebuilt = PackedArray::from_raw_parts(arr.words().to_vec(), arr.len(), arr.width());
+            prop_assert_eq!(rebuilt.to_vec(), values);
+        }
+    }
+}

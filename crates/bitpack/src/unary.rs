@@ -1,0 +1,72 @@
+//! Unary coding helpers.
+//!
+//! A value `v` is written as `v` zero bits followed by a one bit.  Elias-Fano
+//! uses unary codes for the per-bucket counts of its upper bits, and the
+//! RocksDB-style index block uses them for small gap counters in tests.
+
+use crate::stream::{BitReader, BitWriter};
+
+/// Write `v` in unary to the bit stream (`v` zeros then a one).
+pub fn write_unary(w: &mut BitWriter, v: u64) {
+    // Write zeros in chunks of up to 64 bits to avoid per-bit loop cost for
+    // the occasional large gap.
+    let mut remaining = v;
+    while remaining >= 64 {
+        w.write(0, 64);
+        remaining -= 64;
+    }
+    if remaining > 0 {
+        w.write(0, remaining as u8);
+    }
+    w.write(1, 1);
+}
+
+/// Read a unary-coded value from the bit stream.
+pub fn read_unary(r: &mut BitReader<'_>) -> u64 {
+    let mut count = 0u64;
+    while !r.read_bit() {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_small() {
+        let values = [0u64, 1, 2, 5, 63, 64, 65, 130, 1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            write_unary(&mut w, v);
+        }
+        let (words, len) = w.finish();
+        let mut r = BitReader::new(&words, len);
+        for &v in &values {
+            assert_eq!(read_unary(&mut r), v);
+        }
+    }
+
+    #[test]
+    fn zero_is_single_bit() {
+        let mut w = BitWriter::new();
+        write_unary(&mut w, 0);
+        assert_eq!(w.len_bits(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(0u64..5000, 0..100)) {
+            let mut w = BitWriter::new();
+            for &v in &values { write_unary(&mut w, v); }
+            let (words, len) = w.finish();
+            let mut r = BitReader::new(&words, len);
+            for &v in &values {
+                prop_assert_eq!(read_unary(&mut r), v);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

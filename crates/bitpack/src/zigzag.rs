@@ -1,0 +1,72 @@
+//! ZigZag mapping between signed and unsigned integers.
+//!
+//! Small-magnitude signed values (positive or negative) map to small unsigned
+//! values, which keeps bit-packed widths minimal: 0 → 0, -1 → 1, 1 → 2,
+//! -2 → 3, …  Used by the Delta codec and by LeCo's serialized model
+//! parameters.
+
+/// Map a signed value to an unsigned value with the same magnitude ordering.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// ZigZag for 128-bit values; used where deltas may exceed the i64 range
+/// (difference of two arbitrary u64 values).
+#[inline]
+pub fn zigzag_encode_i128(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+/// Inverse of [`zigzag_encode_i128`].
+#[inline]
+pub fn zigzag_decode_i128(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn small_magnitudes_stay_small() {
+        for v in -100i64..=100 {
+            assert!(zigzag_encode(v) <= 200);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_i64(v in any::<i64>()) {
+            prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+
+        #[test]
+        fn prop_round_trip_i128(v in any::<i128>()) {
+            prop_assert_eq!(zigzag_decode_i128(zigzag_encode_i128(v)), v);
+        }
+
+        #[test]
+        fn prop_unsigned_round_trip(v in any::<u64>()) {
+            prop_assert_eq!(zigzag_encode(zigzag_decode(v)), v);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Order-preserving dictionary encoding.
+//!
+//! The column is rewritten as bit-packed codes into a sorted dictionary of the
+//! distinct values, so `code(a) < code(b) ⇔ a < b`.  Dictionary encoding is
+//! the `Default` scheme of most columnar systems (§5.1) and the substrate of
+//! the hash-probe experiment (§4.5), where the dictionary *values* array is
+//! additionally compressed with FOR or LeCo.
+
+use crate::IntColumn;
+use leco_bitpack::PackedArray;
+
+/// Order-preserving dictionary-encoded column.
+#[derive(Debug, Clone)]
+pub struct OpDict {
+    /// Sorted distinct values.
+    dict: Vec<u64>,
+    /// Per-row code (index into `dict`), bit-packed.
+    codes: PackedArray,
+}
+
+impl OpDict {
+    /// Encode `values`.
+    pub fn encode(values: &[u64]) -> Self {
+        let mut dict: Vec<u64> = values.to_vec();
+        dict.sort_unstable();
+        dict.dedup();
+        let codes: Vec<u64> = values
+            .iter()
+            .map(|v| dict.binary_search(v).expect("value present in dict") as u64)
+            .collect();
+        Self {
+            dict,
+            codes: PackedArray::from_values_auto(&codes),
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The sorted dictionary.
+    pub fn dictionary(&self) -> &[u64] {
+        &self.dict
+    }
+
+    /// Code of row `i` (without dictionary lookup).
+    pub fn code(&self, i: usize) -> u64 {
+        self.codes.get(i)
+    }
+
+    /// Order-preserving code of `value`, if present.
+    pub fn code_of(&self, value: u64) -> Option<u64> {
+        self.dict.binary_search(&value).ok().map(|c| c as u64)
+    }
+
+    /// Size of the code array alone (the dictionary may be stored/compressed
+    /// separately, as in the §4.5 experiment).
+    pub fn codes_size_bytes(&self) -> usize {
+        self.codes.size_bytes()
+    }
+
+    /// Size of the plain (uncompressed) dictionary.
+    pub fn dict_size_bytes(&self) -> usize {
+        self.dict.len() * 8
+    }
+
+    /// Append the on-disk byte image (width byte, packed codes, dictionary);
+    /// length equals [`IntColumn::size_bytes`].
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(self.codes.width());
+        for w in self.codes.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for v in &self.dict {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+impl IntColumn for OpDict {
+    fn name(&self) -> &'static str {
+        "Dict"
+    }
+
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        // width byte + code payload + dictionary values
+        1 + self.codes.size_bytes() + self.dict_size_bytes()
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        self.dict[self.codes.get(i) as usize]
+    }
+
+    fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.codes.len());
+        for i in 0..self.codes.len() {
+            out.push(self.dict[self.codes.get(i) as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_and_order_preservation() {
+        let values = vec![50u64, 10, 10, 99, 50, 3];
+        let d = OpDict::encode(&values);
+        assert_eq!(d.cardinality(), 4);
+        assert_eq!(d.decode_all(), values);
+        // order preserving: codes sorted like values
+        assert!(d.code_of(3).unwrap() < d.code_of(10).unwrap());
+        assert!(d.code_of(10).unwrap() < d.code_of(50).unwrap());
+        assert!(d.code_of(50).unwrap() < d.code_of(99).unwrap());
+        assert_eq!(d.code_of(7), None);
+    }
+
+    #[test]
+    fn low_cardinality_compresses() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000_000 + (i % 8)).collect();
+        let d = OpDict::encode(&values);
+        // 3 bits per code + 64 bytes dictionary.
+        assert!(d.size_bytes() < 100_000);
+    }
+
+    #[test]
+    fn high_cardinality_does_not_compress() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 1_000_003).collect();
+        let d = OpDict::encode(&values);
+        // Dictionary is as large as the data: no benefit (paper §2).
+        assert!(d.size_bytes() >= values.len() * 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(0u64..1000, 0..400)) {
+            let d = OpDict::encode(&values);
+            prop_assert_eq!(d.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(d.get(i), v);
+                prop_assert_eq!(d.dictionary()[d.code(i) as usize], v);
+            }
+        }
+
+        #[test]
+        fn prop_codes_order_preserving(values in proptest::collection::vec(any::<u64>(), 2..200)) {
+            let d = OpDict::encode(&values);
+            for i in 0..values.len() {
+                for j in (i + 1)..values.len() {
+                    let (a, b) = (values[i], values[j]);
+                    let (ca, cb) = (d.code_of(a).unwrap(), d.code_of(b).unwrap());
+                    prop_assert_eq!(a.cmp(&b), ca.cmp(&cb));
+                }
+            }
+        }
+    }
+}

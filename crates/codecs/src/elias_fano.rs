@@ -1,0 +1,200 @@
+//! Quasi-succinct Elias-Fano encoding of monotone (non-decreasing) sequences.
+//!
+//! Values are split into `l = max(0, floor(log2(u/n)))` explicit lower bits
+//! (bit-packed) and upper bits stored as a unary-coded bit vector: element `i`
+//! with high part `h_i` sets bit `h_i + i`.  Random access to element `i` is
+//! `((select1(i) - i) << l) | low(i)`.  The representation takes roughly
+//! `2 + log2(u/n)` bits per element (§4.1).
+
+use crate::IntColumn;
+use leco_bitpack::{BitVec, PackedArray};
+
+/// Elias-Fano encoded monotone sequence.
+#[derive(Debug, Clone)]
+pub struct EliasFano {
+    low: PackedArray,
+    high: BitVec,
+    low_bits: u8,
+    /// Minimum value, subtracted before encoding so unsorted-by-offset data
+    /// starting far from zero still encodes compactly.
+    base: u64,
+    len: usize,
+}
+
+/// Error returned when the input sequence is not monotone non-decreasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotMonotone {
+    /// Index of the first out-of-order element.
+    pub at: usize,
+}
+
+impl std::fmt::Display for NotMonotone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sequence is not monotone non-decreasing at index {}", self.at)
+    }
+}
+
+impl std::error::Error for NotMonotone {}
+
+impl EliasFano {
+    /// Encode a monotone non-decreasing sequence.
+    pub fn encode(values: &[u64]) -> Result<Self, NotMonotone> {
+        for (i, w) in values.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(NotMonotone { at: i + 1 });
+            }
+        }
+        let n = values.len();
+        if n == 0 {
+            return Ok(Self {
+                low: PackedArray::from_values(&[], 0),
+                high: BitVec::new(),
+                low_bits: 0,
+                base: 0,
+                len: 0,
+            });
+        }
+        let base = values[0];
+        let universe = values[n - 1] - base;
+        // l = floor(log2(u / n)), clamped to [0, 63].
+        let low_bits = if universe == 0 {
+            0u8
+        } else {
+            let ratio = (universe / n as u64).max(1);
+            (63 - ratio.leading_zeros()) as u8
+        };
+        let low_mask = if low_bits == 0 { 0 } else { (1u64 << low_bits) - 1 };
+        let lows: Vec<u64> = values.iter().map(|&v| (v - base) & low_mask).collect();
+        let low = PackedArray::from_values(&lows, low_bits);
+
+        let max_high = (universe >> low_bits) as usize;
+        let mut high = BitVec::zeros(max_high + n + 1);
+        for (i, &v) in values.iter().enumerate() {
+            let h = ((v - base) >> low_bits) as usize;
+            high.set(h + i);
+        }
+        high.build_index();
+        Ok(Self {
+            low,
+            high,
+            low_bits,
+            base,
+            len: n,
+        })
+    }
+}
+
+impl IntColumn for EliasFano {
+    fn name(&self) -> &'static str {
+        "Elias-Fano"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Fixed header: base (8), low_bits (1), len (8).
+        17 + self.low.size_bytes() + self.high.size_bytes()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds");
+        let pos = self
+            .high
+            .select1(i as u64)
+            .expect("select within bounds") as u64;
+        let h = pos - i as u64;
+        self.base + ((h << self.low_bits) | self.low.get(i))
+    }
+
+    fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len);
+        // Sequential decode: walk the high bit vector once.
+        let mut i = 0usize;
+        let mut pos = 0usize;
+        while i < self.len {
+            while !self.high.get(pos) {
+                pos += 1;
+            }
+            let h = (pos - i) as u64;
+            out.push(self.base + ((h << self.low_bits) | self.low.get(i)));
+            pos += 1;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_round_trip() {
+        // The binary sequence from §4.1 of the paper.
+        let values = vec![0b00000u64, 0b00011, 0b01101, 0b10000, 0b10010, 0b10011, 0b11010, 0b11101];
+        let c = EliasFano::encode(&values).unwrap();
+        assert_eq!(c.decode_all(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+        }
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        let err = EliasFano::encode(&[3, 2, 5]).unwrap_err();
+        assert_eq!(err.at, 1);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let values = vec![5u64, 5, 5, 5, 9, 9, 10];
+        let c = EliasFano::encode(&values).unwrap();
+        assert_eq!(c.decode_all(), values);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let c = EliasFano::encode(&[]).unwrap();
+        assert_eq!(c.len(), 0);
+        let c = EliasFano::encode(&[42]).unwrap();
+        assert_eq!(c.get(0), 42);
+        assert_eq!(c.decode_all(), vec![42]);
+    }
+
+    #[test]
+    fn large_base_small_gaps() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| u64::MAX / 2 + i * 3).collect();
+        let c = EliasFano::encode(&values).unwrap();
+        assert_eq!(c.decode_all(), values);
+        // Quasi-succinct: ~2 + log2(u/n) ≈ 2 + log2(3) bits/elem → well under 8 bits.
+        assert!(c.size_bytes() * 8 < values.len() * 8);
+    }
+
+    #[test]
+    fn bits_per_element_close_to_bound() {
+        let n = 100_000u64;
+        let values: Vec<u64> = (0..n).map(|i| i * 40).collect();
+        let c = EliasFano::encode(&values).unwrap();
+        let bits_per_elem = c.size_bytes() as f64 * 8.0 / n as f64;
+        let bound = 2.0 + ((values[values.len() - 1] / n) as f64).log2().ceil();
+        assert!(
+            bits_per_elem < bound + 2.0,
+            "bits/elem {bits_per_elem} should be near the quasi-succinct bound {bound}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(mut values in proptest::collection::vec(0u64..1_000_000_000, 0..500)) {
+            values.sort_unstable();
+            let c = EliasFano::encode(&values).unwrap();
+            prop_assert_eq!(c.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(c.get(i), v);
+            }
+        }
+    }
+}

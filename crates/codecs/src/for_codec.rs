@@ -1,0 +1,203 @@
+//! Frame-of-Reference (FOR) encoding.
+//!
+//! The sequence is split into fixed-length frames.  Each frame stores its
+//! minimum value and the frame values bit-packed as offsets from that minimum.
+//! From the LeCo point of view this is a constant (horizontal-line) regressor
+//! with fixed-length partitioning (§2 of the paper).
+
+use crate::IntColumn;
+use leco_bitpack::{bits_for, PackedArray};
+
+/// Metadata of a single FOR frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Minimum value of the frame (the "reference").
+    min: u64,
+    /// Bits per packed offset.
+    width: u8,
+    /// Starting bit offset of this frame's payload in the shared bit buffer.
+    bit_offset: u64,
+}
+
+/// A FOR-compressed integer column.
+#[derive(Debug, Clone)]
+pub struct ForCodec {
+    frames: Vec<Frame>,
+    /// Concatenated bit-packed offsets of all frames.
+    payload: Vec<u64>,
+    payload_bits: usize,
+    frame_len: usize,
+    len: usize,
+}
+
+impl ForCodec {
+    /// Encode `values` using frames of `frame_len` values.
+    pub fn encode(values: &[u64], frame_len: usize) -> Self {
+        assert!(frame_len > 0, "frame_len must be positive");
+        let mut frames = Vec::with_capacity(values.len() / frame_len + 1);
+        let mut writer = leco_bitpack::BitWriter::with_capacity(values.len() * 16);
+        for chunk in values.chunks(frame_len) {
+            let min = chunk.iter().copied().min().unwrap_or(0);
+            let max = chunk.iter().copied().max().unwrap_or(0);
+            let width = bits_for(max - min);
+            frames.push(Frame {
+                min,
+                width,
+                bit_offset: writer.len_bits() as u64,
+            });
+            for &v in chunk {
+                writer.write(v - min, width);
+            }
+        }
+        let (payload, payload_bits) = writer.finish();
+        Self {
+            frames,
+            payload,
+            payload_bits,
+            frame_len,
+            len: values.len(),
+        }
+    }
+
+    /// Frame length used at encode time.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Append the on-disk byte image of this column (frame headers followed
+    /// by the bit-packed payload).  Its length equals [`IntColumn::size_bytes`];
+    /// the columnar engine stores this image in its data files.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        for f in &self.frames {
+            out.extend_from_slice(&f.min.to_le_bytes());
+            out.push(f.width);
+        }
+        let payload_bytes = leco_bitpack::div_ceil(self.payload_bits, 8);
+        for (i, w) in self.payload.iter().enumerate() {
+            let bytes = w.to_le_bytes();
+            let take = (payload_bytes - i * 8).min(8);
+            out.extend_from_slice(&bytes[..take]);
+        }
+    }
+}
+
+impl IntColumn for ForCodec {
+    fn name(&self) -> &'static str {
+        "FOR"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Per frame: 8-byte reference + 1-byte width.  Bit offsets are
+        // derivable from widths and the frame length, so they are not charged.
+        self.frames.len() * 9 + leco_bitpack::div_ceil(self.payload_bits, 8)
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds");
+        let f = &self.frames[i / self.frame_len];
+        let in_frame = i % self.frame_len;
+        if f.width == 0 {
+            return f.min;
+        }
+        let bit_pos = f.bit_offset as usize + in_frame * f.width as usize;
+        f.min + leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width)
+    }
+
+    fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len);
+        let mut remaining = self.len;
+        for f in &self.frames {
+            let n = remaining.min(self.frame_len);
+            if f.width == 0 {
+                out.extend(std::iter::repeat(f.min).take(n));
+            } else {
+                let mut bit_pos = f.bit_offset as usize;
+                for _ in 0..n {
+                    out.push(f.min + leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width));
+                    bit_pos += f.width as usize;
+                }
+            }
+            remaining -= n;
+        }
+    }
+}
+
+/// Convenience helper: a FOR column where the whole sequence is one frame.
+/// Used by tests and by the dictionary-compression experiment.
+pub fn encode_single_frame(values: &[u64]) -> ForCodec {
+    ForCodec::encode(values, values.len().max(1))
+}
+
+/// Re-export of `PackedArray` kept for backwards-compatible callers that want
+/// to bit-pack a frame themselves.
+pub type ForPayload = PackedArray;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_sorted() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 3 + 7).collect();
+        let c = ForCodec::encode(&values, 128);
+        assert_eq!(c.decode_all(), values);
+        for i in [0usize, 1, 127, 128, 129, 9999] {
+            assert_eq!(c.get(i), values[i]);
+        }
+    }
+
+    #[test]
+    fn constant_frame_uses_zero_width() {
+        let values = vec![42u64; 1000];
+        let c = ForCodec::encode(&values, 100);
+        assert_eq!(c.decode_all(), values);
+        // 10 frames * 9 bytes header, no payload.
+        assert_eq!(c.size_bytes(), 90);
+    }
+
+    #[test]
+    fn partial_last_frame() {
+        let values: Vec<u64> = (0..130u64).collect();
+        let c = ForCodec::encode(&values, 64);
+        assert_eq!(c.num_frames(), 3);
+        assert_eq!(c.decode_all(), values);
+        assert_eq!(c.get(129), 129);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = ForCodec::encode(&[], 128);
+        assert_eq!(c.len(), 0);
+        assert!(c.decode_all().is_empty());
+    }
+
+    #[test]
+    fn compresses_small_range_data() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000_000 + (i % 16)).collect();
+        let c = ForCodec::encode(&values, 1024);
+        assert!(c.size_bytes() < values.len(), "expected < 1 byte per value");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(any::<u64>(), 0..500),
+                           frame_len in 1usize..200) {
+            let c = ForCodec::encode(&values, frame_len);
+            prop_assert_eq!(c.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(c.get(i), v);
+            }
+        }
+    }
+}

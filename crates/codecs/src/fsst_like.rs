@@ -1,0 +1,371 @@
+//! FSST-style static-symbol-table string compression.
+//!
+//! This is a simplified reimplementation of the idea behind FSST (Boncz,
+//! Neumann, Leis, VLDB 2020), the dictionary-based string baseline of the
+//! paper's string benchmark (§4.7): a table of up to 254 multi-byte symbols is
+//! learned from a sample of the corpus; encoding greedily replaces the longest
+//! matching symbol with a 1-byte code, and bytes with no matching symbol are
+//! emitted as a 2-byte escape sequence.
+//!
+//! Random access needs a per-string offset.  Like the optimisation discussed
+//! in the paper, the offset array can be delta-encoded in blocks of `B`
+//! strings: larger `B` saves space but forces a partial scan per access,
+//! which is exactly the trade-off swept in Figure 15.
+
+use leco_bitpack::{bits_for, PackedArray};
+use std::collections::HashMap;
+
+/// Escape code: the next byte in the stream is a literal.
+const ESCAPE: u8 = 255;
+/// Maximum number of learned symbols.
+const MAX_SYMBOLS: usize = 254;
+/// Maximum symbol length in bytes.
+const MAX_SYMBOL_LEN: usize = 8;
+/// Number of learning iterations.
+const LEARN_ITERATIONS: usize = 3;
+
+/// A learned symbol table mapping codes 0..n to byte strings.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    symbols: Vec<Vec<u8>>,
+    /// Longest-match lookup: first byte -> candidate symbol ids sorted by
+    /// decreasing length.
+    by_first_byte: Vec<Vec<u16>>,
+}
+
+impl SymbolTable {
+    /// Learn a symbol table from sample strings.
+    pub fn learn(samples: &[&[u8]]) -> Self {
+        let mut table = Self {
+            symbols: Vec::new(),
+            by_first_byte: vec![Vec::new(); 256],
+        };
+        for _ in 0..LEARN_ITERATIONS {
+            table = table.refine(samples);
+        }
+        table
+    }
+
+    /// One learning round: encode the sample with the current table, count
+    /// which concatenations of adjacent output units occur most often, and
+    /// build a new table from the highest-gain candidates.
+    fn refine(&self, samples: &[&[u8]]) -> Self {
+        let mut gains: HashMap<Vec<u8>, u64> = HashMap::new();
+        for s in samples {
+            // Current segmentation of the string.
+            let mut units: Vec<&[u8]> = Vec::new();
+            let mut pos = 0;
+            while pos < s.len() {
+                let (len, _) = self.longest_match(&s[pos..]);
+                units.push(&s[pos..pos + len]);
+                pos += len;
+            }
+            // Candidate symbols: single units and concatenations of two
+            // adjacent units (capped at MAX_SYMBOL_LEN).
+            for w in units.windows(2) {
+                let cat_len = w[0].len() + w[1].len();
+                if cat_len <= MAX_SYMBOL_LEN {
+                    let mut cat = w[0].to_vec();
+                    cat.extend_from_slice(w[1]);
+                    *gains.entry(cat).or_insert(0) += cat_len as u64;
+                }
+            }
+            for u in units {
+                if u.len() >= 2 {
+                    *gains.entry(u.to_vec()).or_insert(0) += u.len() as u64;
+                }
+            }
+        }
+        let mut candidates: Vec<(Vec<u8>, u64)> = gains.into_iter().collect();
+        // gain ≈ bytes covered minus the 1-byte code we will emit.
+        candidates.sort_by(|a, b| {
+            let ga = a.1 * (a.0.len() as u64 - 1) / a.0.len() as u64;
+            let gb = b.1 * (b.0.len() as u64 - 1) / b.0.len() as u64;
+            gb.cmp(&ga).then_with(|| a.0.cmp(&b.0))
+        });
+        let mut symbols: Vec<Vec<u8>> = candidates
+            .into_iter()
+            .take(MAX_SYMBOLS)
+            .map(|(s, _)| s)
+            .collect();
+        symbols.sort();
+        symbols.dedup();
+        let mut by_first_byte: Vec<Vec<u16>> = vec![Vec::new(); 256];
+        for (id, sym) in symbols.iter().enumerate() {
+            by_first_byte[sym[0] as usize].push(id as u16);
+        }
+        for list in &mut by_first_byte {
+            list.sort_by_key(|&id| std::cmp::Reverse(symbols[id as usize].len()));
+        }
+        Self {
+            symbols,
+            by_first_byte,
+        }
+    }
+
+    /// Longest symbol matching a prefix of `s`.  Returns (consumed, code):
+    /// `code == None` means "no symbol, emit an escaped literal byte".
+    #[inline]
+    fn longest_match(&self, s: &[u8]) -> (usize, Option<u16>) {
+        if s.is_empty() {
+            return (0, None);
+        }
+        for &id in &self.by_first_byte[s[0] as usize] {
+            let sym = &self.symbols[id as usize];
+            if s.len() >= sym.len() && &s[..sym.len()] == sym.as_slice() {
+                return (sym.len(), Some(id));
+            }
+        }
+        (1, None)
+    }
+
+    /// Number of learned symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if no symbols were learned.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Serialized size: per symbol one length byte plus the symbol bytes.
+    pub fn size_bytes(&self) -> usize {
+        2 + self.symbols.iter().map(|s| 1 + s.len()).sum::<usize>()
+    }
+
+    /// Encode one string.
+    pub fn encode_into(&self, s: &[u8], out: &mut Vec<u8>) {
+        let mut pos = 0;
+        while pos < s.len() {
+            let (len, code) = self.longest_match(&s[pos..]);
+            match code {
+                Some(c) => out.push(c as u8),
+                None => {
+                    out.push(ESCAPE);
+                    out.push(s[pos]);
+                }
+            }
+            pos += len;
+        }
+    }
+
+    /// Decode an encoded byte run into `out`.
+    pub fn decode_into(&self, enc: &[u8], out: &mut Vec<u8>) {
+        let mut pos = 0;
+        while pos < enc.len() {
+            let c = enc[pos];
+            if c == ESCAPE {
+                out.push(enc[pos + 1]);
+                pos += 2;
+            } else {
+                out.extend_from_slice(&self.symbols[c as usize]);
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// FSST-style compressed string column.
+#[derive(Debug, Clone)]
+pub struct FsstLike {
+    table: SymbolTable,
+    /// Concatenated encoded strings.
+    payload: Vec<u8>,
+    /// End offset of each string in `payload` when `offset_block == 0`
+    /// (plain offsets); otherwise the per-block anchors + packed deltas.
+    offsets: Offsets,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Offsets {
+    /// One absolute end-offset per string.
+    Plain(Vec<u32>),
+    /// Delta-encoded offsets in blocks of `block` strings: per block an
+    /// absolute anchor (start offset), then the bit-packed encoded lengths of
+    /// each string in the block.
+    DeltaBlocks {
+        block: usize,
+        anchors: Vec<u32>,
+        lengths: PackedArray,
+    },
+}
+
+impl FsstLike {
+    /// Compress `strings`.  `offset_block == 0` keeps a plain offset array
+    /// (fastest random access); `offset_block = B > 0` delta-encodes offsets
+    /// in blocks of `B` (smaller, slower random access) — Figure 15's sweep.
+    pub fn encode(strings: &[Vec<u8>], offset_block: usize) -> Self {
+        let sample_refs: Vec<&[u8]> = strings
+            .iter()
+            .step_by((strings.len() / 4096).max(1))
+            .map(|s| s.as_slice())
+            .collect();
+        let table = SymbolTable::learn(&sample_refs);
+        let mut payload = Vec::new();
+        let mut ends: Vec<u32> = Vec::with_capacity(strings.len());
+        let mut lengths: Vec<u64> = Vec::with_capacity(strings.len());
+        for s in strings {
+            let before = payload.len();
+            table.encode_into(s, &mut payload);
+            ends.push(payload.len() as u32);
+            lengths.push((payload.len() - before) as u64);
+        }
+        let offsets = if offset_block == 0 {
+            Offsets::Plain(ends)
+        } else {
+            let mut anchors = Vec::with_capacity(strings.len() / offset_block + 1);
+            for (i, &end) in ends.iter().enumerate() {
+                if i % offset_block == 0 {
+                    // anchor = start offset of the block
+                    let start = if i == 0 { 0 } else { ends[i - 1] };
+                    anchors.push(start);
+                }
+                let _ = end;
+            }
+            let max_len = lengths.iter().copied().max().unwrap_or(0);
+            Offsets::DeltaBlocks {
+                block: offset_block,
+                anchors,
+                lengths: PackedArray::from_values(&lengths, bits_for(max_len)),
+            }
+        };
+        Self {
+            table,
+            payload,
+            offsets,
+            len: strings.len(),
+        }
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes (payload + offsets + symbol table).
+    pub fn size_bytes(&self) -> usize {
+        let offsets = match &self.offsets {
+            Offsets::Plain(ends) => ends.len() * 4,
+            Offsets::DeltaBlocks { anchors, lengths, .. } => anchors.len() * 4 + lengths.size_bytes(),
+        };
+        self.table.size_bytes() + self.payload.len() + offsets
+    }
+
+    /// Byte range of string `i` in the payload.
+    fn range(&self, i: usize) -> (usize, usize) {
+        match &self.offsets {
+            Offsets::Plain(ends) => {
+                let start = if i == 0 { 0 } else { ends[i - 1] as usize };
+                (start, ends[i] as usize)
+            }
+            Offsets::DeltaBlocks { block, anchors, lengths } => {
+                let b = i / block;
+                let mut start = anchors[b] as usize;
+                // Partial scan of the block: the random-access cost that grows
+                // with the delta block size.
+                for j in (b * block)..i {
+                    start += lengths.get(j) as usize;
+                }
+                (start, start + lengths.get(i) as usize)
+            }
+        }
+    }
+
+    /// Random access: decode string `i`.
+    pub fn get(&self, i: usize) -> Vec<u8> {
+        assert!(i < self.len, "index {i} out of bounds");
+        let (start, end) = self.range(i);
+        let mut out = Vec::new();
+        self.table.decode_into(&self.payload[start..end], &mut out);
+        out
+    }
+
+    /// Decode every string.
+    pub fn decode_all(&self) -> Vec<Vec<u8>> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Compression ratio against the raw concatenated string bytes
+    /// (+ 4-byte offsets, matching how the paper accounts for FSST).
+    pub fn compression_ratio(&self, strings: &[Vec<u8>]) -> f64 {
+        let raw: usize = strings.iter().map(|s| s.len()).sum::<usize>() + strings.len() * 4;
+        self.size_bytes() as f64 / raw as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn emails(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("com.gmail@user{:05}.mailbox", i * 37 % 100_000).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_plain_offsets() {
+        let strings = emails(500);
+        let c = FsstLike::encode(&strings, 0);
+        assert_eq!(c.decode_all(), strings);
+    }
+
+    #[test]
+    fn round_trip_delta_blocks() {
+        let strings = emails(500);
+        for block in [20, 40, 60, 80, 100] {
+            let c = FsstLike::encode(&strings, block);
+            assert_eq!(c.decode_all(), strings, "block {block}");
+            assert_eq!(c.get(499), strings[499]);
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_text() {
+        let strings = emails(2000);
+        let c = FsstLike::encode(&strings, 0);
+        assert!(
+            c.compression_ratio(&strings) < 0.8,
+            "ratio {} should show compression on repetitive strings",
+            c.compression_ratio(&strings)
+        );
+    }
+
+    #[test]
+    fn delta_blocks_smaller_than_plain() {
+        let strings = emails(2000);
+        let plain = FsstLike::encode(&strings, 0);
+        let blocked = FsstLike::encode(&strings, 100);
+        assert!(blocked.size_bytes() < plain.size_bytes());
+    }
+
+    #[test]
+    fn handles_binary_and_empty_strings() {
+        let strings: Vec<Vec<u8>> = vec![vec![], vec![255, 0, 255], b"abc".to_vec(), vec![255; 20]];
+        let c = FsstLike::encode(&strings, 0);
+        assert_eq!(c.decode_all(), strings);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_round_trip(strings in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..60),
+            block in 0usize..30)
+        {
+            let c = FsstLike::encode(&strings, block);
+            prop_assert_eq!(c.decode_all(), strings.clone());
+            for (i, s) in strings.iter().enumerate() {
+                prop_assert_eq!(&c.get(i), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Baseline lightweight compression codecs used by the LeCo evaluation.
+//!
+//! Every integer codec in this crate encodes a `&[u64]` column into an
+//! immutable, self-contained compressed representation that supports:
+//!
+//! * `len()` / `size_bytes()` — logical length and compressed footprint,
+//! * `get(i)` — random access to a single value,
+//! * `decode_all()` / `decode_into()` — full sequential decompression.
+//!
+//! The codecs implemented here are the comparison points of the paper's
+//! microbenchmark (§4.1): Frame-of-Reference ([`for_codec::ForCodec`]),
+//! Delta encoding ([`delta::DeltaCodec`]), Run-Length Encoding
+//! ([`rle::RleCodec`]), Elias-Fano ([`elias_fano::EliasFano`]) and rANS
+//! ([`rans::RansCodec`]), plus an order-preserving dictionary
+//! ([`dict::OpDict`]), an FSST-style string codec ([`fsst_like::FsstLike`])
+//! and an LZ77-style block codec ([`lzb`]) standing in for zstd in the
+//! system experiments.
+
+pub mod delta;
+pub mod dict;
+pub mod elias_fano;
+pub mod for_codec;
+pub mod fsst_like;
+pub mod lzb;
+pub mod rans;
+pub mod rle;
+
+pub use delta::DeltaCodec;
+pub use dict::OpDict;
+pub use elias_fano::EliasFano;
+pub use for_codec::ForCodec;
+pub use fsst_like::FsstLike;
+pub use rans::RansCodec;
+pub use rle::RleCodec;
+
+/// Common behaviour of a compressed integer column.
+///
+/// The trait is object-safe so that the benchmark harness can treat every
+/// scheme (including LeCo itself, via an adapter) uniformly.
+pub trait IntColumn {
+    /// Human-readable codec label, e.g. `"FOR"`.
+    fn name(&self) -> &'static str;
+    /// Number of logical values stored.
+    fn len(&self) -> usize;
+    /// True if the column stores no values.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Compressed size in bytes, including all metadata needed for decoding.
+    fn size_bytes(&self) -> usize;
+    /// Random access to the value at position `i`.
+    fn get(&self, i: usize) -> u64;
+    /// Append every value, in order, to `out`.
+    fn decode_into(&self, out: &mut Vec<u64>);
+    /// Decode the whole column.
+    fn decode_all(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.decode_into(&mut out);
+        out
+    }
+}
+
+/// Compression ratio = compressed bytes / uncompressed bytes, where the
+/// uncompressed representation is `len * value_width_bytes`.
+pub fn compression_ratio(column: &dyn IntColumn, value_width_bytes: usize) -> f64 {
+    if column.len() == 0 {
+        return 0.0;
+    }
+    column.size_bytes() as f64 / (column.len() * value_width_bytes) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_ratio_empty_is_zero() {
+        let c = ForCodec::encode(&[], 128);
+        assert_eq!(compression_ratio(&c, 8), 0.0);
+    }
+
+    #[test]
+    fn compression_ratio_reports_fraction() {
+        let values: Vec<u64> = (0..1000).collect();
+        let c = ForCodec::encode(&values, 128);
+        let r = compression_ratio(&c, 8);
+        assert!(r > 0.0 && r < 1.0, "ratio {r} should compress");
+    }
+}

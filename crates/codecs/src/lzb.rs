@@ -1,0 +1,192 @@
+//! `lzb` — a simple LZ77-style general-purpose block codec.
+//!
+//! The system experiments (§5.1.3) layer zstd on top of the lightweight
+//! column encodings to study how block compression interacts with them.  We
+//! stand in a small byte-oriented LZ codec with a greedy hash-chain matcher:
+//! it captures the relevant behaviour (extra compression on redundant pages,
+//! non-trivial CPU cost on the decompression path) without pulling in an
+//! external dependency.
+//!
+//! Format: a sequence of tokens.  Each token is
+//! `literal_len (varint) | literal bytes | match_len (varint) | distance (varint)`.
+//! A `match_len` of zero terminates the block (final literals only).
+
+const MIN_MATCH: usize = 4;
+const MAX_DISTANCE: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> usize {
+    let mut v = 0usize;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7F) as usize) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    v
+}
+
+/// Compress a byte block.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_varint(&mut out, input.len());
+    if input.is_empty() {
+        return out;
+    }
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut pos = 0usize;
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = head[h];
+        head[h] = pos;
+        let mut match_len = 0usize;
+        if candidate != usize::MAX
+            && pos - candidate <= MAX_DISTANCE
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match as far as possible.
+            match_len = MIN_MATCH;
+            while pos + match_len < input.len()
+                && input[candidate + match_len] == input[pos + match_len]
+            {
+                match_len += 1;
+            }
+        }
+        if match_len >= MIN_MATCH {
+            // Emit literals then the match.
+            write_varint(&mut out, pos - literal_start);
+            out.extend_from_slice(&input[literal_start..pos]);
+            write_varint(&mut out, match_len);
+            write_varint(&mut out, pos - candidate);
+            // Insert a few hash entries inside the match so later data can
+            // reference it (cheap approximation of full insertion).
+            let step = (match_len / 8).max(1);
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= input.len() && p < pos + match_len {
+                head[hash4(&input[p..])] = p;
+                p += step;
+            }
+            pos += match_len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    // Trailing literals, match_len = 0 terminator.
+    write_varint(&mut out, input.len() - literal_start);
+    out.extend_from_slice(&input[literal_start..]);
+    write_varint(&mut out, 0);
+    write_varint(&mut out, 0);
+    out
+}
+
+/// Decompress a block produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Vec<u8> {
+    let mut pos = 0usize;
+    let total = read_varint(data, &mut pos);
+    let mut out = Vec::with_capacity(total);
+    if total == 0 {
+        return out;
+    }
+    loop {
+        let literal_len = read_varint(data, &mut pos);
+        out.extend_from_slice(&data[pos..pos + literal_len]);
+        pos += literal_len;
+        let match_len = read_varint(data, &mut pos);
+        let distance = read_varint(data, &mut pos);
+        if match_len == 0 {
+            break;
+        }
+        let start = out.len() - distance;
+        // Byte-by-byte copy: matches may overlap their own output.
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_text() {
+        let input = b"the quick brown fox jumps over the lazy dog, the quick brown fox again and again and again".to_vec();
+        let c = compress(&input);
+        assert_eq!(decompress(&c), input);
+        assert!(c.len() < input.len());
+    }
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for input in [vec![], vec![1u8], vec![1, 2, 3]] {
+            assert_eq!(decompress(&compress(&input)), input);
+        }
+    }
+
+    #[test]
+    fn highly_redundant_compresses_well() {
+        let input: Vec<u8> = (0..100_000).map(|i| ((i / 100) % 7) as u8).collect();
+        let c = compress(&input);
+        assert!(c.len() < input.len() / 10, "compressed {} of {}", c.len(), input.len());
+        assert_eq!(decompress(&c), input);
+    }
+
+    #[test]
+    fn incompressible_random_does_not_explode() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let input: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let c = compress(&input);
+        assert!(c.len() <= input.len() + input.len() / 100 + 64);
+        assert_eq!(decompress(&c), input);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        let input = vec![7u8; 10_000];
+        let c = compress(&input);
+        assert!(c.len() < 200);
+        assert_eq!(decompress(&c), input);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_round_trip(input in proptest::collection::vec(any::<u8>(), 0..5000)) {
+            prop_assert_eq!(decompress(&compress(&input)), input);
+        }
+
+        #[test]
+        fn prop_round_trip_low_entropy(input in proptest::collection::vec(0u8..4, 0..5000)) {
+            prop_assert_eq!(decompress(&compress(&input)), input);
+        }
+    }
+}

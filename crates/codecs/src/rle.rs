@@ -1,0 +1,150 @@
+//! Run-Length Encoding.
+//!
+//! RLE is the degenerate case of Frame-of-Reference where every frame contains
+//! identical values (§2).  We store the run values and the run start positions
+//! as two bit-packed arrays; random access binary-searches the start
+//! positions.
+
+use crate::IntColumn;
+use leco_bitpack::PackedArray;
+
+/// Run-length encoded integer column.
+#[derive(Debug, Clone)]
+pub struct RleCodec {
+    /// Value of each run.
+    values: PackedArray,
+    /// Starting logical position of each run (strictly increasing, first = 0).
+    starts: PackedArray,
+    len: usize,
+}
+
+impl RleCodec {
+    /// Encode `values`.
+    pub fn encode(values: &[u64]) -> Self {
+        let mut run_values = Vec::new();
+        let mut run_starts = Vec::new();
+        let mut i = 0usize;
+        while i < values.len() {
+            let v = values[i];
+            run_values.push(v);
+            run_starts.push(i as u64);
+            let mut j = i + 1;
+            while j < values.len() && values[j] == v {
+                j += 1;
+            }
+            i = j;
+        }
+        Self {
+            values: PackedArray::from_values_auto(&run_values),
+            starts: PackedArray::from_values_auto(&run_starts),
+            len: values.len(),
+        }
+    }
+
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Index of the run containing logical position `i`.
+    fn run_of(&self, i: usize) -> usize {
+        // Binary search for the last start <= i.
+        let mut lo = 0usize;
+        let mut hi = self.starts.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.starts.get(mid) as usize <= i {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl IntColumn for RleCodec {
+    fn name(&self) -> &'static str {
+        "RLE"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Two widths + two lengths as fixed metadata, then the packed payloads.
+        4 + self.values.size_bytes() + self.starts.size_bytes()
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds");
+        self.values.get(self.run_of(i))
+    }
+
+    fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len);
+        for r in 0..self.values.len() {
+            let start = self.starts.get(r) as usize;
+            let end = if r + 1 < self.starts.len() {
+                self.starts.get(r + 1) as usize
+            } else {
+                self.len
+            };
+            out.extend(std::iter::repeat(self.values.get(r)).take(end - start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_runs() {
+        let values = vec![5u64, 5, 5, 7, 7, 1, 1, 1, 1, 9];
+        let c = RleCodec::encode(&values);
+        assert_eq!(c.num_runs(), 4);
+        assert_eq!(c.decode_all(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+        }
+    }
+
+    #[test]
+    fn all_distinct_degrades_gracefully() {
+        let values: Vec<u64> = (0..100).collect();
+        let c = RleCodec::encode(&values);
+        assert_eq!(c.num_runs(), 100);
+        assert_eq!(c.decode_all(), values);
+    }
+
+    #[test]
+    fn single_long_run_is_tiny() {
+        let values = vec![123u64; 1_000_000];
+        let c = RleCodec::encode(&values);
+        assert_eq!(c.num_runs(), 1);
+        assert!(c.size_bytes() < 64);
+        assert_eq!(c.get(999_999), 123);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = RleCodec::encode(&[]);
+        assert_eq!(c.len(), 0);
+        assert!(c.decode_all().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(0u64..16, 0..500)) {
+            // Small alphabet ⇒ plenty of runs.
+            let c = RleCodec::encode(&values);
+            prop_assert_eq!(c.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(c.get(i), v);
+            }
+        }
+    }
+}

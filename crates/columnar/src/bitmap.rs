@@ -1,0 +1,183 @@
+//! Selection bitmaps used for late materialisation.
+//!
+//! Filters produce a [`Bitmap`] over row positions; downstream operators
+//! (group-by, aggregation) consult the bitmap and only decode qualifying
+//! positions, which is what makes random-access-friendly encodings such as
+//! FOR and LeCo shine on selective queries (§5.1).
+
+/// A fixed-length bitmap over row positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0u64; leco_bitpack::div_ceil(len, 64)], len }
+    }
+
+    /// All-ones bitmap of `len` bits.
+    pub fn all_set(len: usize) -> Self {
+        let mut b = Self::new(len);
+        for i in 0..len {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set position `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Get position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set every position in `[from, to)`.
+    pub fn set_range(&mut self, from: usize, to: usize) {
+        for i in from..to.min(self.len) {
+            self.set(i);
+        }
+    }
+
+    /// Number of set positions.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Selectivity = set positions / total positions.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// True if no position in `[from, to)` is set — used for row-group
+    /// skipping.
+    pub fn all_zero_in(&self, from: usize, to: usize) -> bool {
+        // Check whole words where possible.
+        let to = to.min(self.len);
+        let mut i = from;
+        while i < to {
+            if i % 64 == 0 && i + 64 <= to {
+                if self.words[i / 64] != 0 {
+                    return false;
+                }
+                i += 64;
+            } else {
+                if self.get(i) {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        true
+    }
+
+    /// Intersect with another bitmap of the same length.
+    pub fn and(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterate over set positions in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(w_idx, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w_idx * 64 + tz)
+            })
+        })
+        .filter(move |&i| i < self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(200);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert_eq!(b.count_ones(), 4);
+        assert!(b.get(63) && b.get(64));
+        assert!(!b.get(65));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 199]);
+    }
+
+    #[test]
+    fn range_and_skip_detection() {
+        let mut b = Bitmap::new(1_000);
+        b.set_range(300, 400);
+        assert!(b.all_zero_in(0, 300));
+        assert!(!b.all_zero_in(250, 350));
+        assert!(b.all_zero_in(400, 1_000));
+        assert_eq!(b.count_ones(), 100);
+        assert!((b.selectivity() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let mut a = Bitmap::new(128);
+        a.set_range(0, 100);
+        let mut b = Bitmap::new(128);
+        b.set_range(50, 128);
+        a.and(&b);
+        assert_eq!(a.iter_ones().count(), 50);
+        assert!(a.get(50) && a.get(99) && !a.get(100) && !a.get(49));
+    }
+
+    #[test]
+    fn all_set_and_empty() {
+        let b = Bitmap::all_set(77);
+        assert_eq!(b.count_ones(), 77);
+        let e = Bitmap::new(0);
+        assert!(e.is_empty());
+        assert_eq!(e.selectivity(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_iter_matches_get(positions in proptest::collection::btree_set(0usize..500, 0..60)) {
+            let mut b = Bitmap::new(500);
+            for &p in &positions {
+                b.set(p);
+            }
+            let from_iter: Vec<usize> = b.iter_ones().collect();
+            let expected: Vec<usize> = positions.into_iter().collect();
+            prop_assert_eq!(from_iter, expected);
+        }
+    }
+}

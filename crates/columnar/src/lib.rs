@@ -1,0 +1,27 @@
+//! A miniature columnar execution engine used for the end-to-end system
+//! evaluation (§5.1) — a stand-in for the Apache Arrow + Parquet stack.
+//!
+//! The engine keeps the pieces of that stack that the LeCo experiments
+//! exercise and nothing more:
+//!
+//! * columns encoded with pluggable lightweight encodings
+//!   ([`encoding::Encoding`]: plain, dictionary, Delta, FOR, LeCo),
+//! * a row-group based [`file::TableFile`] whose byte images are written to
+//!   and read back from real files (optionally block-compressed with the
+//!   `lzb` codec standing in for zstd),
+//! * selection [`bitmap::Bitmap`]s and late materialisation: filters produce
+//!   bitmaps, downstream operators only decode the qualifying positions,
+//! * the compute kernels of the paper's queries ([`exec`]): range-filter
+//!   pushdown, group-by average aggregation and bitmap sum aggregation,
+//! * per-query [`exec::QueryStats`] splitting time into an I/O and a CPU
+//!   component, which is exactly the breakdown plotted in Figures 18–21.
+
+pub mod bitmap;
+pub mod encoding;
+pub mod exec;
+pub mod file;
+
+pub use bitmap::Bitmap;
+pub use encoding::{EncodedColumn, Encoding};
+pub use exec::{group_by_avg, sum_selected, QueryStats};
+pub use file::{BlockCompression, TableFile, TableFileOptions};

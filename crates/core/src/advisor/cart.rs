@@ -1,0 +1,252 @@
+//! A small CART (Classification And Regression Tree) implementation.
+//!
+//! The Regressor Selector of the paper trains a CART classifier offline on
+//! features extracted from synthetic training sequences, then uses it at
+//! runtime to pick a regressor family per partition.  This module provides a
+//! dependency-free trainer (Gini impurity, axis-aligned splits, depth and
+//! leaf-size limits) and a predictor; the labels are opaque `usize` class
+//! ids, mapped to [`crate::model::RegressorKind`] by the selector.
+
+use serde::{Deserialize, Serialize};
+
+/// A trained decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CartTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the subtree taken when `x[feature] <= threshold`.
+        left: usize,
+        /// Index of the subtree taken otherwise.
+        right: usize,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CartParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        Self { max_depth: 6, min_samples_split: 8 }
+    }
+}
+
+/// Gini impurity of a label multiset.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn majority_class(labels: &[usize], num_classes: usize) -> usize {
+    let mut counts = vec![0usize; num_classes];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl CartTree {
+    /// Train a tree on `samples` (feature vectors) with the given `labels`.
+    ///
+    /// # Panics
+    /// Panics if `samples` and `labels` differ in length or are empty.
+    pub fn train(samples: &[Vec<f64>], labels: &[usize], params: CartParams) -> Self {
+        assert_eq!(samples.len(), labels.len());
+        assert!(!samples.is_empty(), "training set must not be empty");
+        let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut tree = Self { nodes: Vec::new(), num_classes };
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        tree.build(samples, labels, &indices, 0, params);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        samples: &[Vec<f64>],
+        labels: &[usize],
+        indices: &[usize],
+        depth: usize,
+        params: CartParams,
+    ) -> usize {
+        let node_labels: Vec<usize> = indices.iter().map(|&i| labels[i]).collect();
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &node_labels {
+            counts[l] += 1;
+        }
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= params.max_depth || indices.len() < params.min_samples_split {
+            let idx = self.nodes.len();
+            self.nodes.push(Node::Leaf { class: majority_class(&node_labels, self.num_classes) });
+            return idx;
+        }
+        // Find the best axis-aligned split by Gini gain.
+        let num_features = samples[indices[0]].len();
+        let parent_gini = gini(&counts, indices.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for feature in 0..num_features {
+            let mut values: Vec<f64> = indices.iter().map(|&i| samples[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            // Candidate thresholds: midpoints between consecutive distinct values,
+            // subsampled to at most 32 candidates to bound training time.
+            let step = (values.len() / 32).max(1);
+            for w in values.windows(2).step_by(step) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let mut left_counts = vec![0usize; self.num_classes];
+                let mut right_counts = vec![0usize; self.num_classes];
+                let mut left_n = 0usize;
+                for &i in indices {
+                    if samples[i][feature] <= threshold {
+                        left_counts[labels[i]] += 1;
+                        left_n += 1;
+                    } else {
+                        right_counts[labels[i]] += 1;
+                    }
+                }
+                let right_n = indices.len() - left_n;
+                if left_n == 0 || right_n == 0 {
+                    continue;
+                }
+                let weighted = (left_n as f64 * gini(&left_counts, left_n)
+                    + right_n as f64 * gini(&right_counts, right_n))
+                    / indices.len() as f64;
+                let gain = parent_gini - weighted;
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        let (feature, threshold, _gain) = match best {
+            Some(b) if b.2 > 1e-9 => b,
+            _ => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { class: majority_class(&node_labels, self.num_classes) });
+                return idx;
+            }
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| samples[i][feature] <= threshold);
+        // Reserve this node's slot before building children so the root stays
+        // at index 0.
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: 0 }); // placeholder
+        let left = self.build(samples, labels, &left_idx, depth + 1, params);
+        let right = self.build(samples, labels, &right_idx, depth + 1, params);
+        self.nodes[idx] = Node::Split { feature, threshold, left, right };
+        idx
+    }
+
+    /// Predict the class of a feature vector.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (useful to sanity-check model complexity).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of classes seen at training time.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_simple_threshold() {
+        // class = (x0 > 5)
+        let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0, 0.0]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i as f64 / 10.0 > 5.0)).collect();
+        let tree = CartTree::train(&samples, &labels, CartParams::default());
+        assert_eq!(tree.predict(&[2.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[8.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn learns_a_two_feature_rule() {
+        // class 0: x0 <= 0.5; class 1: x0 > 0.5 && x1 <= 0.5; class 2: rest.
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                let x0 = a as f64 / 10.0;
+                let x1 = b as f64 / 10.0;
+                samples.push(vec![x0, x1]);
+                labels.push(if x0 <= 0.5 { 0 } else if x1 <= 0.5 { 1 } else { 2 });
+            }
+        }
+        let tree = CartTree::train(&samples, &labels, CartParams::default());
+        let accuracy = samples
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &l)| tree.predict(s) == l)
+            .count() as f64
+            / samples.len() as f64;
+        assert!(accuracy > 0.95, "accuracy {accuracy}");
+        assert_eq!(tree.num_classes(), 3);
+    }
+
+    #[test]
+    fn pure_training_set_is_a_single_leaf() {
+        let samples = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1, 1, 1];
+        let tree = CartTree::train(&samples, &labels, CartParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        // Alternating labels on one feature can't be separated at depth 1,
+        // but training must still terminate and produce a small tree.
+        let samples: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let tree = CartTree::train(&samples, &labels, CartParams { max_depth: 2, min_samples_split: 2 });
+        assert!(tree.num_nodes() <= 7);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-9);
+    }
+}

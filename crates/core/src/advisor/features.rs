@@ -1,0 +1,213 @@
+//! Feature extraction for the Regressor Selector (§3.1).
+//!
+//! All features are computable in a single pass (plus one pass per difference
+//! order) over the partition:
+//!
+//! * **log-scale data range** — an upper bound on the delta-array width; a
+//!   small range favours cheap models whose parameters would otherwise
+//!   dominate the output.
+//! * **deviation of the k-th order deltas** (k = 1, 2, 3) — the normalised
+//!   deviation `Σ|d_i − avg| / (n·(max − min))`; a k-th degree polynomial has
+//!   (near-)constant k-th order deltas, so a small deviation at order k hints
+//!   at degree-k structure.
+//! * **subrange trend and divergence** — the average and spread of the ratio
+//!   between the value ranges of adjacent fixed-size sub-blocks; exponential
+//!   growth shows up as a trend ≫ 1, irregular data as a large divergence.
+
+/// Number of features produced by [`extract_features`].
+pub const NUM_FEATURES: usize = 7;
+
+/// Sub-block size used for the subrange trend/divergence features.
+const SUBBLOCK: usize = 64;
+
+/// Extracted feature vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Features {
+    /// `log2(max − min + 1)`.
+    pub log_range: f64,
+    /// Normalised deviation of the 1st-order deltas.
+    pub dev_delta1: f64,
+    /// Normalised deviation of the 2nd-order deltas.
+    pub dev_delta2: f64,
+    /// Normalised deviation of the 3rd-order deltas.
+    pub dev_delta3: f64,
+    /// Average subrange ratio between adjacent sub-blocks (trend `T`).
+    pub subrange_trend: f64,
+    /// Max − min subrange ratio (divergence `D`).
+    pub subrange_divergence: f64,
+    /// Fraction of values equal to their predecessor (run-friendliness; helps
+    /// separate constant from linear families).
+    pub repeat_fraction: f64,
+}
+
+impl Features {
+    /// Flatten to an array for the CART classifier.
+    pub fn to_array(&self) -> [f64; NUM_FEATURES] {
+        [
+            self.log_range,
+            self.dev_delta1,
+            self.dev_delta2,
+            self.dev_delta3,
+            self.subrange_trend,
+            self.subrange_divergence,
+            self.repeat_fraction,
+        ]
+    }
+}
+
+/// Normalised deviation of a difference sequence:
+/// `Σ|d_i − avg| / (n · (max − min))`, or 0 when the sequence is constant.
+fn normalised_deviation(diffs: &[f64]) -> f64 {
+    if diffs.is_empty() {
+        return 0.0;
+    }
+    let n = diffs.len() as f64;
+    let avg = diffs.iter().sum::<f64>() / n;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &d in diffs {
+        min = min.min(d);
+        max = max.max(d);
+    }
+    let spread = max - min;
+    if spread <= f64::EPSILON {
+        return 0.0;
+    }
+    diffs.iter().map(|&d| (d - avg).abs()).sum::<f64>() / (n * spread)
+}
+
+/// Extract the feature vector from a value sequence.
+pub fn extract_features(values: &[u64]) -> Features {
+    if values.is_empty() {
+        return Features {
+            log_range: 0.0,
+            dev_delta1: 0.0,
+            dev_delta2: 0.0,
+            dev_delta3: 0.0,
+            subrange_trend: 1.0,
+            subrange_divergence: 0.0,
+            repeat_fraction: 0.0,
+        };
+    }
+    let min = *values.iter().min().expect("non-empty");
+    let max = *values.iter().max().expect("non-empty");
+    let log_range = ((max - min) as f64 + 1.0).log2();
+
+    // Difference pyramid up to order 3 (as f64 offsets; precision is ample
+    // for a classification feature).
+    let mut level: Vec<f64> = values.iter().map(|&v| (v.wrapping_sub(min)) as f64).collect();
+    let mut devs = [0.0f64; 3];
+    let mut repeats = 0usize;
+    for w in values.windows(2) {
+        if w[0] == w[1] {
+            repeats += 1;
+        }
+    }
+    for (d, dev) in devs.iter_mut().enumerate() {
+        if level.len() < 2 {
+            break;
+        }
+        let diffs: Vec<f64> = level.windows(2).map(|w| w[1] - w[0]).collect();
+        *dev = normalised_deviation(&diffs);
+        level = diffs;
+        let _ = d;
+    }
+
+    // Subrange trend / divergence.
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut prev_range: Option<f64> = None;
+    for chunk in values.chunks(SUBBLOCK) {
+        let lo = *chunk.iter().min().expect("non-empty chunk") as f64;
+        let hi = *chunk.iter().max().expect("non-empty chunk") as f64;
+        let range = (hi - lo).max(1.0);
+        if let Some(prev) = prev_range {
+            ratios.push(range / prev);
+        }
+        prev_range = Some(range);
+    }
+    let (trend, divergence) = if ratios.is_empty() {
+        (1.0, 0.0)
+    } else {
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &r in &ratios {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        (avg, hi - lo)
+    };
+
+    Features {
+        log_range,
+        dev_delta1: devs[0],
+        dev_delta2: devs[1],
+        dev_delta3: devs[2],
+        subrange_trend: trend,
+        subrange_divergence: divergence,
+        repeat_fraction: if values.len() > 1 {
+            repeats as f64 / (values.len() - 1) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_data_has_tiny_first_order_deviation() {
+        let values: Vec<u64> = (0..2_000u64).map(|i| 17 + 3 * i).collect();
+        let f = extract_features(&values);
+        assert!(f.dev_delta1 < 1e-9, "dev1 {}", f.dev_delta1);
+    }
+
+    #[test]
+    fn quadratic_data_has_small_second_order_deviation() {
+        let values: Vec<u64> = (0..2_000u64).map(|i| i * i).collect();
+        let f = extract_features(&values);
+        assert!(f.dev_delta2 < 1e-9, "dev2 {}", f.dev_delta2);
+        assert!(f.dev_delta1 > 0.01, "dev1 {}", f.dev_delta1);
+    }
+
+    #[test]
+    fn constant_data_features() {
+        let values = vec![5u64; 1_000];
+        let f = extract_features(&values);
+        assert_eq!(f.log_range, 0.0);
+        assert_eq!(f.repeat_fraction, 1.0);
+    }
+
+    #[test]
+    fn exponential_data_shows_growing_subranges() {
+        let values: Vec<u64> = (0..1_000u64).map(|i| (1.01f64.powi(i as i32) * 1_000.0) as u64).collect();
+        let f = extract_features(&values);
+        assert!(f.subrange_trend > 1.2, "trend {}", f.subrange_trend);
+    }
+
+    #[test]
+    fn random_data_has_large_deviation_everywhere() {
+        let values: Vec<u64> = (0..2_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let f = extract_features(&values);
+        assert!(f.dev_delta1 > 0.05);
+        assert!(f.dev_delta2 > 0.05);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let f = extract_features(&[]);
+        assert_eq!(f.log_range, 0.0);
+        let f = extract_features(&[7]);
+        assert_eq!(f.to_array().len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn feature_array_matches_struct_order() {
+        let values: Vec<u64> = (0..100u64).collect();
+        let f = extract_features(&values);
+        let arr = f.to_array();
+        assert_eq!(arr[0], f.log_range);
+        assert_eq!(arr[6], f.repeat_fraction);
+    }
+}

@@ -1,0 +1,162 @@
+//! Data-set hardness scores and partition-strategy advice (§3.2.3).
+//!
+//! * **Local hardness `H_l`** — run piecewise linear approximation with a
+//!   small error bound (ε = 7) and normalise the number of produced segments
+//!   by the data size.  High `H_l` means no regressor fits well regardless of
+//!   partitioning.
+//! * **Global hardness `H_g`** — run PLA with a large error bound (ε = 4096)
+//!   and combine (i) the normalised average value gap between adjacent
+//!   segments and (ii) the normalised variance of segment lengths.  High
+//!   `H_g` with low `H_l` is exactly the regime where variable-length
+//!   partitioning pays off, because it can track the "sharp turns" of the
+//!   global trend.
+
+use crate::partition::pla;
+
+/// Error bound used for the local-hardness PLA run.
+pub const LOCAL_EPSILON: f64 = 7.0;
+/// Error bound used for the global-hardness PLA run.
+pub const GLOBAL_EPSILON: f64 = 4096.0;
+
+/// Hardness scores of a data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hardness {
+    /// Local hardness `H_l` ∈ [0, 1].
+    pub local: f64,
+    /// Global hardness `H_g` ∈ [0, 1] (sum of two normalised components,
+    /// clamped).
+    pub global: f64,
+}
+
+/// Which partitioning strategy the advisor recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionAdvice {
+    /// Fixed-length partitions: variable-length is unlikely to pay off.
+    Fixed,
+    /// Variable-length partitions: the data is locally easy but globally
+    /// hard, so adaptive boundaries should improve compression noticeably.
+    VariableLength,
+}
+
+/// Compute the hardness scores of a value sequence.
+pub fn hardness(values: &[u64]) -> Hardness {
+    let n = values.len();
+    if n < 4 {
+        return Hardness { local: 0.0, global: 0.0 };
+    }
+    // Local hardness: segment density under a tight error bound.
+    let local_segments = pla::pla_partitions(values, LOCAL_EPSILON).len();
+    let local = (local_segments as f64 / n as f64 * 50.0).min(1.0);
+
+    // Global hardness: PLA under a loose bound; combine the average gap
+    // between adjacent segments and the variance of the segment lengths.
+    let result = pla::pla_with_stats(values, GLOBAL_EPSILON);
+    let m = result.partitions.len();
+    if m <= 1 {
+        return Hardness { local, global: 0.0 };
+    }
+    let value_range = {
+        let min = *values.iter().min().expect("non-empty") as f64;
+        let max = *values.iter().max().expect("non-empty") as f64;
+        (max - min).max(1.0)
+    };
+    let avg_gap = result.gaps.iter().sum::<f64>() / result.gaps.len() as f64;
+    let gap_component = (avg_gap / (value_range / m as f64)).min(1.0);
+
+    let lens: Vec<f64> = result.partitions.iter().map(|p| p.len as f64).collect();
+    let mean_len = lens.iter().sum::<f64>() / m as f64;
+    let var = lens.iter().map(|l| (l - mean_len) * (l - mean_len)).sum::<f64>() / m as f64;
+    // Coefficient of variation, squashed into [0, 1].
+    let var_component = ((var.sqrt() / mean_len) / 2.0).min(1.0);
+
+    Hardness { local, global: ((gap_component + var_component) / 2.0).min(1.0) }
+}
+
+/// Advise a partitioning strategy from the hardness scores: variable-length
+/// is recommended when the data is locally easy but globally hard.
+pub fn advise(h: Hardness) -> PartitionAdvice {
+    if h.local < 0.5 && h.global > 0.45 {
+        PartitionAdvice::VariableLength
+    } else {
+        PartitionAdvice::Fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_random(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1_000_000).collect()
+    }
+
+    fn clean_line(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| 1_000 + 3 * i).collect()
+    }
+
+    fn piecewise_irregular(n: usize) -> Vec<u64> {
+        // Locally smooth, but segment lengths and jumps vary wildly.
+        let mut out = Vec::with_capacity(n);
+        let mut v = 0u64;
+        let mut i = 0usize;
+        let mut seg = 0u64;
+        while i < n {
+            let len = 50 + ((seg * 7919) % 2_000) as usize;
+            let slope = seg % 5 + 1;
+            for _ in 0..len.min(n - i) {
+                out.push(v);
+                v += slope;
+            }
+            i += len;
+            v += 1_000_000 + seg * 500_000; // irregular jumps
+            seg += 1;
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn clean_line_is_easy_everywhere() {
+        let h = hardness(&clean_line(50_000));
+        assert!(h.local < 0.05, "local {}", h.local);
+        assert!(h.global < 0.2, "global {}", h.global);
+        assert_eq!(advise(h), PartitionAdvice::Fixed);
+    }
+
+    #[test]
+    fn random_data_is_locally_hard() {
+        let h = hardness(&noisy_random(50_000));
+        assert!(h.local > 0.5, "local {}", h.local);
+        assert_eq!(advise(h), PartitionAdvice::Fixed);
+    }
+
+    #[test]
+    fn piecewise_irregular_is_locally_easy_globally_hard() {
+        let h = hardness(&piecewise_irregular(50_000));
+        assert!(h.local < 0.5, "local {}", h.local);
+        assert!(h.global > 0.45, "global {}", h.global);
+        assert_eq!(advise(h), PartitionAdvice::VariableLength);
+    }
+
+    #[test]
+    fn variable_length_advice_correlates_with_actual_benefit() {
+        // The data set that the advisor flags as variable-friendly should in
+        // fact compress better with split–merge than with fixed partitions.
+        use crate::{LecoCompressor, LecoConfig};
+        let values = piecewise_irregular(20_000);
+        let fix = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
+        let var = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        assert!(
+            (var.size_bytes() as f64) < fix.size_bytes() as f64 * 0.95,
+            "var {} should beat fix {}",
+            var.size_bytes(),
+            fix.size_bytes()
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_are_neutral() {
+        let h = hardness(&[1, 2, 3]);
+        assert_eq!(h, Hardness { local: 0.0, global: 0.0 });
+    }
+}

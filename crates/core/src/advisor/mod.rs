@@ -1,0 +1,22 @@
+//! The Hyper-parameter Advisor (§3.1, §3.2.3).
+//!
+//! Two responsibilities:
+//!
+//! * the **Regressor Selector** — extract cheap single-pass features from a
+//!   partition and feed them to an offline-trained CART classifier that picks
+//!   the regressor family (constant / linear / polynomial / exponential /
+//!   logarithmic);
+//! * the **partition-strategy advisor** — the local-hardness and
+//!   global-hardness scores (`H_l`, `H_g`) that estimate whether
+//!   variable-length partitioning is worth its extra compression and access
+//!   cost.
+
+pub mod cart;
+pub mod features;
+pub mod hardness;
+pub mod selector;
+
+pub use cart::CartTree;
+pub use features::{extract_features, Features, NUM_FEATURES};
+pub use hardness::{hardness, Hardness, PartitionAdvice};
+pub use selector::RegressorSelector;

@@ -1,0 +1,233 @@
+//! The Regressor Selector: an offline-trained CART classifier that recommends
+//! a regressor family for a partition from its extracted features (§3.1,
+//! evaluated in §4.4 / Figure 11).
+
+use super::cart::{CartParams, CartTree};
+use super::features::extract_features;
+use crate::model::RegressorKind;
+use crate::regressor::{self, FitContext};
+
+/// Candidate regressor families the selector chooses among, in class-id
+/// order.  This mirrors the six types of the paper's experiment: constant
+/// (FOR), linear, polynomial up to degree three, exponential and logarithm.
+pub const CANDIDATES: [RegressorKind; 6] = [
+    RegressorKind::Constant,
+    RegressorKind::Linear,
+    RegressorKind::Poly2,
+    RegressorKind::Poly3,
+    RegressorKind::Exponential,
+    RegressorKind::Logarithm,
+];
+
+/// A trained Regressor Selector.
+#[derive(Debug, Clone)]
+pub struct RegressorSelector {
+    tree: CartTree,
+}
+
+/// Minimal xorshift generator so training data is reproducible without
+/// pulling `rand` into the library's public dependency set.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Generate one synthetic training sequence of the given class.
+fn synth_sequence(class: usize, rng: &mut XorShift, n: usize) -> Vec<u64> {
+    let noise_scale = rng.range(0.0, 8.0);
+    let noise = |rng: &mut XorShift| rng.range(-noise_scale, noise_scale);
+    let base = rng.range(1_000.0, 1.0e9);
+    let mut out = Vec::with_capacity(n);
+    match CANDIDATES[class] {
+        RegressorKind::Constant => {
+            for _ in 0..n {
+                out.push((base + noise(rng)).max(0.0) as u64);
+            }
+        }
+        RegressorKind::Linear => {
+            let slope = rng.range(0.5, 5_000.0);
+            for i in 0..n {
+                out.push((base + slope * i as f64 + noise(rng)).max(0.0) as u64);
+            }
+        }
+        RegressorKind::Poly2 => {
+            let a = rng.range(0.01, 10.0);
+            let b = rng.range(-50.0, 50.0);
+            for i in 0..n {
+                let x = i as f64;
+                out.push((base + a * x * x + b * x + noise(rng)).max(0.0) as u64);
+            }
+        }
+        RegressorKind::Poly3 => {
+            let a = rng.range(0.0005, 0.05);
+            let b = rng.range(-5.0, 5.0);
+            for i in 0..n {
+                let x = i as f64;
+                out.push((base + a * x * x * x + b * x * x + noise(rng)).max(0.0) as u64);
+            }
+        }
+        RegressorKind::Exponential => {
+            let rate = rng.range(0.005, 0.02);
+            for i in 0..n {
+                out.push((base * (rate * i as f64).exp() + noise(rng)).max(0.0) as u64);
+            }
+        }
+        RegressorKind::Logarithm => {
+            let scale = rng.range(1_000.0, 100_000.0);
+            for i in 0..n {
+                out.push((base + scale * ((i + 1) as f64).ln() + noise(rng)).max(0.0) as u64);
+            }
+        }
+        _ => unreachable!("CANDIDATES only contains concrete families"),
+    }
+    out
+}
+
+impl RegressorSelector {
+    /// Train the selector on internally generated synthetic sequences (the
+    /// "offline" training step of the paper).  Deterministic for a given
+    /// seed, so results are reproducible.
+    pub fn train_default() -> Self {
+        Self::train_with(64, 512, 42)
+    }
+
+    /// Train with explicit sizes: `per_class` sequences of `seq_len` values
+    /// for each candidate family.
+    pub fn train_with(per_class: usize, seq_len: usize, seed: u64) -> Self {
+        let mut rng = XorShift::new(seed);
+        let mut samples: Vec<Vec<f64>> = Vec::with_capacity(per_class * CANDIDATES.len());
+        let mut labels: Vec<usize> = Vec::with_capacity(per_class * CANDIDATES.len());
+        for class in 0..CANDIDATES.len() {
+            for _ in 0..per_class {
+                let seq = synth_sequence(class, &mut rng, seq_len);
+                samples.push(extract_features(&seq).to_array().to_vec());
+                labels.push(class);
+            }
+        }
+        let tree = CartTree::train(&samples, &labels, CartParams::default());
+        Self { tree }
+    }
+
+    /// Recommend a regressor family for the given partition.
+    pub fn recommend(&self, values: &[u64]) -> RegressorKind {
+        if values.len() < 8 {
+            return RegressorKind::Linear;
+        }
+        let features = extract_features(values).to_array();
+        CANDIDATES[self.tree.predict(&features).min(CANDIDATES.len() - 1)]
+    }
+
+    /// Exhaustively pick the candidate with the smallest compressed size for
+    /// the partition (the "optimal" line of Figure 11); much more expensive
+    /// than [`Self::recommend`] because it fits every family.
+    pub fn optimal(values: &[u64]) -> RegressorKind {
+        let mut best = (RegressorKind::Linear, usize::MAX);
+        for &kind in &CANDIDATES {
+            let (model, stats) = regressor::fit_checked(kind, values, &FitContext::default());
+            let cost = regressor::partition_cost_bits(&model, values.len(), stats.width);
+            if cost < best.1 {
+                best = (kind, cost);
+            }
+        }
+        best.0
+    }
+
+    /// Access to the underlying decision tree (e.g. to report its size).
+    pub fn tree(&self) -> &CartTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::partition_cost_bits;
+
+    /// Helper: compressed cost of `values` under `kind`.
+    fn cost(values: &[u64], kind: RegressorKind) -> usize {
+        let (model, stats) = regressor::fit_checked(kind, values, &FitContext::default());
+        partition_cost_bits(&model, values.len(), stats.width)
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = RegressorSelector::train_with(16, 128, 7);
+        let b = RegressorSelector::train_with(16, 128, 7);
+        let values: Vec<u64> = (0..500u64).map(|i| i * i).collect();
+        assert_eq!(a.recommend(&values), b.recommend(&values));
+    }
+
+    #[test]
+    fn recommendation_is_near_optimal_on_held_out_sequences() {
+        // Figure 11's claim, in miniature: the recommended regressor's cost
+        // should be close to the exhaustive optimum on unseen data.
+        let selector = RegressorSelector::train_with(48, 512, 9);
+        let mut rng = XorShift::new(12345);
+        let mut within = 0usize;
+        let total = 30usize;
+        for t in 0..total {
+            let class = t % CANDIDATES.len();
+            let seq = synth_sequence(class, &mut rng, 512);
+            let rec = selector.recommend(&seq);
+            let opt = RegressorSelector::optimal(&seq);
+            let rec_cost = cost(&seq, rec) as f64;
+            let opt_cost = cost(&seq, opt) as f64;
+            if rec_cost <= opt_cost * 1.25 {
+                within += 1;
+            }
+        }
+        assert!(
+            within as f64 / total as f64 >= 0.7,
+            "only {within}/{total} recommendations were within 25% of optimal"
+        );
+    }
+
+    #[test]
+    fn optimal_picks_poly_for_quadratic_data() {
+        let values: Vec<u64> = (0..1_000u64).map(|i| 1_000 + i * i).collect();
+        let opt = RegressorSelector::optimal(&values);
+        assert!(
+            matches!(opt, RegressorKind::Poly2 | RegressorKind::Poly3),
+            "got {opt:?}"
+        );
+    }
+
+    #[test]
+    fn optimal_picks_cheap_model_for_constant_data() {
+        let values = vec![9_999u64; 1_000];
+        // Constant data is fit perfectly by every family; the cheapest model
+        // (constant or linear) should win on parameter size.
+        let opt = RegressorSelector::optimal(&values);
+        assert!(
+            matches!(opt, RegressorKind::Constant | RegressorKind::Linear),
+            "got {opt:?}"
+        );
+    }
+
+    #[test]
+    fn short_partitions_default_to_linear() {
+        let selector = RegressorSelector::train_with(8, 64, 3);
+        assert_eq!(selector.recommend(&[1, 2, 3]), RegressorKind::Linear);
+    }
+}

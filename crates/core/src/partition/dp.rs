@@ -1,0 +1,136 @@
+//! Exact dynamic-programming partitioner.
+//!
+//! Computes the optimal partition assignment under the encoder's exact cost
+//! model by evaluating every `(start, end)` segment — `O(n²)` states with an
+//! `O(len)` fit each.  The paper notes this exhaustive search is forbiddingly
+//! expensive on real data (§3.2); we keep it for two purposes:
+//!
+//! * bounding the gap of the greedy split–merge algorithm in tests and in the
+//!   partitioner-efficiency experiment (the paper claims < 3%), and
+//! * tiny columns where optimality is cheap.
+
+use super::{exact_cost_bits, Partition};
+use crate::model::RegressorKind;
+
+/// Maximum input length the DP partitioner accepts before falling back to the
+/// greedy algorithm (the DP is cubic in practice once fits are included).
+pub const MAX_DP_LEN: usize = 4_096;
+
+/// Compute the optimal partitioning of `values` under `regressor`.
+///
+/// Inputs longer than [`MAX_DP_LEN`] are delegated to the split–merge
+/// partitioner so callers cannot accidentally trigger hours of work.
+pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Partition> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n > MAX_DP_LEN {
+        return super::split_merge::split_merge(values, regressor, 0.1);
+    }
+    // best[j] = minimal cost of covering [0, j); cut[j] = start of last segment.
+    let mut best = vec![usize::MAX; n + 1];
+    let mut cut = vec![0usize; n + 1];
+    best[0] = 0;
+    for j in 1..=n {
+        for i in 0..j {
+            if best[i] == usize::MAX {
+                continue;
+            }
+            let cost = best[i] + exact_cost_bits(&values[i..j], regressor);
+            if cost < best[j] {
+                best[j] = cost;
+                cut[j] = i;
+            }
+        }
+    }
+    let mut parts = Vec::new();
+    let mut j = n;
+    while j > 0 {
+        let i = cut[j];
+        parts.push(Partition::new(i, j - i));
+        j = i;
+    }
+    parts.reverse();
+    parts
+}
+
+/// Total cost in bits of a partitioning (helper shared with tests and the
+/// partitioner-efficiency benchmark).
+pub fn total_cost_bits(values: &[u64], parts: &[Partition], regressor: RegressorKind) -> usize {
+    parts
+        .iter()
+        .map(|p| exact_cost_bits(&values[p.start..p.end()], regressor))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_cover;
+
+    #[test]
+    fn optimal_on_two_clean_segments() {
+        let values: Vec<u64> = (0..120u64)
+            .map(|i| if i < 60 { 5 * i } else { 1_000_000 + 2 * i })
+            .collect();
+        let parts = optimal_partitions(&values, RegressorKind::Linear);
+        assert!(is_valid_cover(&parts, values.len()));
+        assert!(parts.len() <= 3, "expected ~2 partitions, got {:?}", parts.len());
+    }
+
+    #[test]
+    fn dp_never_worse_than_single_partition_or_greedy() {
+        let values: Vec<u64> = (0..200u64)
+            .map(|i| (i % 40) * 100 + i)
+            .collect();
+        let dp = optimal_partitions(&values, RegressorKind::Linear);
+        let dp_cost = total_cost_bits(&values, &dp, RegressorKind::Linear);
+        let single_cost = exact_cost_bits(&values, RegressorKind::Linear);
+        let greedy = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1);
+        let greedy_cost = total_cost_bits(&values, &greedy, RegressorKind::Linear);
+        assert!(dp_cost <= single_cost);
+        assert!(dp_cost <= greedy_cost);
+    }
+
+    #[test]
+    fn greedy_is_close_to_optimal_on_piecewise_data() {
+        // The §3.2.2 claim: split–merge stays within a few percent of optimal.
+        // We allow 10% here because the inputs are tiny (header costs weigh
+        // relatively more than on the paper's 200M-value data sets).
+        let mut values = Vec::new();
+        let mut v: u64 = 1_000;
+        for seg in 0..6u64 {
+            let slope = seg % 3 + 1;
+            for _ in 0..40 {
+                values.push(v);
+                v += slope;
+            }
+            v += 10_000;
+        }
+        let dp_cost = total_cost_bits(
+            &values,
+            &optimal_partitions(&values, RegressorKind::Linear),
+            RegressorKind::Linear,
+        );
+        let greedy = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
+        let greedy_cost = total_cost_bits(&values, &greedy, RegressorKind::Linear);
+        assert!(
+            greedy_cost as f64 <= dp_cost as f64 * 1.10,
+            "greedy {greedy_cost} vs optimal {dp_cost}"
+        );
+    }
+
+    #[test]
+    fn falls_back_on_large_input() {
+        let values: Vec<u64> = (0..(MAX_DP_LEN as u64 + 10)).collect();
+        let parts = optimal_partitions(&values, RegressorKind::Linear);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn singleton_input() {
+        let parts = optimal_partitions(&[9], RegressorKind::Linear);
+        assert_eq!(parts, vec![Partition::new(0, 1)]);
+    }
+}

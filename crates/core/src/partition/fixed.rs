@@ -1,0 +1,194 @@
+//! Fixed-length partitioning with automatic block-size search (§3.2.1).
+//!
+//! Fixed-length partitions give the fastest random access (the target
+//! partition is `i / L`, no metadata search) at the cost of flexibility.  The
+//! block size matters a great deal — the compression ratio as a function of
+//! the block size is typically U-shaped (Figure 5) — so LeCo picks it by:
+//!
+//! 1. sampling < 1% of the data as contiguous subsequences,
+//! 2. exponentially increasing the candidate size until the ratio has clearly
+//!    passed the minimum, and
+//! 3. refining backwards with smaller steps until the improvement between
+//!    iterations falls below a convergence threshold.
+
+use super::{exact_cost_bits, Partition};
+use crate::model::RegressorKind;
+
+/// Maximum partition length considered by the automatic search.
+pub const MAX_SEARCH_LEN: usize = 10_000;
+/// Minimum partition length considered by the automatic search.
+pub const MIN_SEARCH_LEN: usize = 16;
+/// Convergence threshold on the relative compression-ratio decline.
+const CONVERGENCE: f64 = 1e-4;
+
+/// Split `[0, n)` into partitions of exactly `len` values (last one shorter).
+pub fn fixed_partitions(n: usize, len: usize) -> Vec<Partition> {
+    assert!(len > 0, "partition length must be positive");
+    let mut parts = Vec::with_capacity(n / len + 1);
+    let mut start = 0;
+    while start < n {
+        let l = len.min(n - start);
+        parts.push(Partition::new(start, l));
+        start += l;
+    }
+    parts
+}
+
+/// Compressed size in bits of the sampled subsequences when each is cut into
+/// fixed blocks of `len`.  Chunks are evaluated independently so the
+/// artificial discontinuity between two sampled regions never pollutes a
+/// block.
+fn sample_cost_bits(sample: &[&[u64]], len: usize, regressor: RegressorKind) -> usize {
+    sample
+        .iter()
+        .flat_map(|chunk| chunk.chunks(len))
+        .map(|block| exact_cost_bits(block, regressor))
+        .sum()
+}
+
+/// Draw a deterministic sample of at most ~1% of `values` (but at least
+/// `MAX_SEARCH_LEN` values when available) as contiguous subsequences, so the
+/// sample preserves local serial correlation.
+fn draw_sample(values: &[u64]) -> Vec<&[u64]> {
+    let n = values.len();
+    let target = ((n / 100).max(MAX_SEARCH_LEN)).min(n);
+    if target == n {
+        return vec![values];
+    }
+    // A handful of evenly spaced chunks.
+    let chunks = 4usize;
+    let chunk_len = target / chunks;
+    let mut sample = Vec::with_capacity(chunks);
+    for c in 0..chunks {
+        let start = c * (n - chunk_len) / (chunks - 1).max(1);
+        sample.push(&values[start..start + chunk_len]);
+    }
+    sample
+}
+
+/// Search the fixed partition size that minimises the compression ratio on a
+/// sample of `values` (§3.2.1).
+pub fn search_partition_size(values: &[u64], regressor: RegressorKind) -> usize {
+    let n = values.len();
+    if n <= MIN_SEARCH_LEN {
+        return n.max(1);
+    }
+    let sample = draw_sample(values);
+    let sample_total: usize = sample.iter().map(|c| c.len()).sum();
+    let upper = MAX_SEARCH_LEN.min(sample_total);
+
+    // Phase 1: exponential search until the cost stops improving (we are past
+    // the bottom of the U) or we hit the upper bound.
+    let mut candidates: Vec<(usize, usize)> = Vec::new(); // (len, cost_bits)
+    let mut len = MIN_SEARCH_LEN;
+    let mut best = (len, usize::MAX);
+    let mut worse_streak = 0;
+    while len <= upper {
+        let cost = sample_cost_bits(&sample, len, regressor);
+        candidates.push((len, cost));
+        if cost < best.1 {
+            best = (len, cost);
+            worse_streak = 0;
+        } else {
+            worse_streak += 1;
+            if worse_streak >= 2 {
+                break;
+            }
+        }
+        len *= 2;
+    }
+
+    // Phase 2: refine around the best exponential candidate with smaller
+    // steps until convergence.
+    let mut step = (best.0 / 4).max(1);
+    let mut best_len = best.0;
+    let mut best_cost = best.1;
+    while step >= 1 {
+        let mut improved = false;
+        for candidate in [best_len.saturating_sub(step).max(MIN_SEARCH_LEN), best_len + step] {
+            if candidate == best_len || candidate > upper {
+                continue;
+            }
+            let cost = sample_cost_bits(&sample, candidate, regressor);
+            if (best_cost as f64 - cost as f64) / best_cost as f64 > CONVERGENCE {
+                best_cost = cost;
+                best_len = candidate;
+                improved = true;
+            }
+        }
+        if !improved {
+            if step == 1 {
+                break;
+            }
+            step /= 2;
+        }
+    }
+    best_len.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_partitions_cover_exactly() {
+        let parts = fixed_partitions(1000, 128);
+        assert!(super::super::is_valid_cover(&parts, 1000));
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.last().unwrap().len, 1000 - 7 * 128);
+    }
+
+    #[test]
+    fn fixed_partitions_exact_multiple() {
+        let parts = fixed_partitions(1024, 256);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len == 256));
+    }
+
+    #[test]
+    fn search_returns_small_size_for_noisy_data() {
+        // Locally hard data: large partitions are fine because nothing fits
+        // anyway; the search must at least return something valid.
+        let values: Vec<u64> = (0..50_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let len = search_partition_size(&values, RegressorKind::Linear);
+        assert!((1..=MAX_SEARCH_LEN).contains(&len));
+    }
+
+    #[test]
+    fn search_prefers_large_partitions_for_clean_lines() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| 13 + 7 * i).collect();
+        let len = search_partition_size(&values, RegressorKind::Linear);
+        // On a perfect line bigger partitions amortise header cost.
+        assert!(len >= 1024, "expected a large partition size, got {len}");
+    }
+
+    #[test]
+    fn search_prefers_small_partitions_for_jumpy_data() {
+        // Piecewise-constant with jumps every 64 values: small partitions can
+        // isolate the plateaus, big ones pay for the jumps.
+        let values: Vec<u64> = (0..100_000u64).map(|i| (i / 64) * 1_000_003).collect();
+        let small = search_partition_size(&values, RegressorKind::Constant);
+        assert!(small <= 1024, "expected a modest partition size, got {small}");
+    }
+
+    #[test]
+    fn tiny_input_uses_single_partition() {
+        let values: Vec<u64> = (0..10u64).collect();
+        assert_eq!(search_partition_size(&values, RegressorKind::Linear), 10);
+    }
+
+    #[test]
+    fn u_shape_exists_on_jumpy_data() {
+        // Sanity check of the Figure 5 premise: mid-sized blocks beat both
+        // tiny and huge blocks on data with occasional level shifts.
+        let values: Vec<u64> = (0..20_000u64)
+            .map(|i| (i / 500) * 100_000 + (i % 500) * 3)
+            .collect();
+        let cost = |len: usize| sample_cost_bits(&[values.as_slice()], len, RegressorKind::Linear);
+        let tiny = cost(4);
+        let mid = cost(500);
+        let huge = cost(20_000);
+        assert!(mid < tiny, "mid {mid} should beat tiny {tiny}");
+        assert!(mid < huge, "mid {mid} should beat huge {huge}");
+    }
+}

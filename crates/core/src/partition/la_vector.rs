@@ -1,0 +1,115 @@
+//! la_vector-style partitioner (§4.8 comparison).
+//!
+//! Boffa et al. model optimal partitioning as a shortest-path problem over a
+//! graph whose vertices are positions and whose edge weights are the
+//! compressed size of the spanned segment, then approximate the graph with a
+//! reduced edge set.  We reproduce that structure: candidate breakpoints come
+//! from fine-grained PLA runs (small ε), and a dynamic program finds the
+//! cheapest path through those breakpoints with a bounded look-ahead.
+//!
+//! As the paper observes, the approach optimises the *weight* of the path but
+//! not its *length*, so on data sets with many sharp turns it tends to keep an
+//! excessive number of segments whose model parameters dominate the output.
+
+use super::{exact_cost_bits, Partition};
+use crate::model::RegressorKind;
+
+/// How many candidate breakpoints ahead an edge may span.
+const MAX_SKIP: usize = 24;
+/// Error bounds used to harvest candidate breakpoints.
+const CANDIDATE_EPSILONS: [f64; 2] = [4.0, 64.0];
+
+/// Run the la_vector-style partitioner.
+pub fn la_vector_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Partition> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Candidate breakpoints: union of PLA boundaries at a couple of error
+    // bounds, plus the endpoints.
+    let mut breakpoints: Vec<usize> = vec![0, n];
+    for eps in CANDIDATE_EPSILONS {
+        for p in super::pla::pla_partitions(values, eps) {
+            breakpoints.push(p.start);
+        }
+    }
+    breakpoints.sort_unstable();
+    breakpoints.dedup();
+    let m = breakpoints.len();
+
+    // Shortest path over breakpoints: best[k] = minimal cost of covering
+    // [0, breakpoints[k]).
+    let mut best = vec![usize::MAX; m];
+    let mut prev = vec![usize::MAX; m];
+    best[0] = 0;
+    for k in 0..m - 1 {
+        if best[k] == usize::MAX {
+            continue;
+        }
+        let start = breakpoints[k];
+        let upper = (k + 1 + MAX_SKIP).min(m - 1);
+        for next in (k + 1)..=upper {
+            let end = breakpoints[next];
+            let cost = exact_cost_bits(&values[start..end], regressor);
+            let total = best[k] + cost;
+            if total < best[next] {
+                best[next] = total;
+                prev[next] = k;
+            }
+        }
+    }
+    // Walk back the path.  The look-ahead bound guarantees reachability
+    // because adjacent breakpoints are always connected.
+    let mut cuts = Vec::new();
+    let mut k = m - 1;
+    while k != 0 {
+        cuts.push(k);
+        k = prev[k];
+    }
+    cuts.push(0);
+    cuts.reverse();
+    cuts.windows(2)
+        .map(|w| Partition::new(breakpoints[w[0]], breakpoints[w[1]] - breakpoints[w[0]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_cover;
+
+    #[test]
+    fn produces_valid_cover() {
+        let values: Vec<u64> = (0..4_000u64).map(|i| i * 5 + (i % 71)).collect();
+        let parts = la_vector_partitions(&values, RegressorKind::Linear);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn piecewise_linear_recovers_few_segments() {
+        let values: Vec<u64> = (0..2_000u64)
+            .map(|i| if i < 1_000 { 3 * i } else { 500_000 + 11 * i })
+            .collect();
+        let parts = la_vector_partitions(&values, RegressorKind::Linear);
+        assert!(is_valid_cover(&parts, values.len()));
+        assert!(parts.len() <= 16, "got {} segments", parts.len());
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(la_vector_partitions(&[], RegressorKind::Linear).is_empty());
+        let parts = la_vector_partitions(&[1, 2], RegressorKind::Linear);
+        assert!(is_valid_cover(&parts, 2));
+    }
+
+    #[test]
+    fn keeps_more_segments_than_split_merge_on_jumpy_data() {
+        // The weakness the paper highlights: many sharp turns → too many models.
+        let values: Vec<u64> = (0..4_000u64)
+            .map(|i| (i % 40) * 1_000 + ((i / 40) % 17) * 31)
+            .collect();
+        let la = la_vector_partitions(&values, RegressorKind::Linear).len();
+        let sm = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1).len();
+        assert!(la + 2 >= sm, "la_vector {la} vs split-merge {sm}");
+    }
+}

@@ -1,0 +1,187 @@
+//! The Partitioner module (§3.2): split a sequence into partitions so the
+//! overall "model + delta" size is minimised.
+//!
+//! Implemented strategies:
+//!
+//! * [`fixed`] — fixed-length partitions with the sampling-based automatic
+//!   block-size search of §3.2.1.
+//! * [`split_merge`] — the greedy variable-length algorithm of §3.2.2
+//!   (init / split / merge phases).
+//! * [`pla`], [`sim_piece`], [`la_vector`] — the comparison partitioners of
+//!   §4.8 adapted from lossy time-series compression and rank/select
+//!   dictionaries.
+//! * [`dp`] — the exact dynamic-programming partitioner used to bound the
+//!   greedy algorithm's gap from optimal (only practical for small inputs).
+
+pub mod dp;
+pub mod fixed;
+pub mod la_vector;
+pub mod pla;
+pub mod sim_piece;
+pub mod split_merge;
+
+use crate::model::RegressorKind;
+use crate::regressor::{self, FitContext};
+
+/// A half-open range `[start, start + len)` of the input sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Index of the first value of the partition.
+    pub start: usize,
+    /// Number of values in the partition.
+    pub len: usize,
+}
+
+impl Partition {
+    /// Construct a partition.
+    pub fn new(start: usize, len: usize) -> Self {
+        Self { start, len }
+    }
+
+    /// One-past-the-end index.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Partitioning strategy selected in a [`crate::LecoConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionerKind {
+    /// Fixed-length partitions of exactly `len` values.
+    Fixed {
+        /// Partition length.
+        len: usize,
+    },
+    /// Fixed-length partitions whose length is chosen by the sampling-based
+    /// search of §3.2.1.
+    FixedAuto,
+    /// Greedy split–merge variable-length partitioning (§3.2.2).
+    SplitMerge {
+        /// Split aggressiveness τ ∈ [0, 1]: the split phase admits a new
+        /// point when its inclusion cost is below `τ · model_size`.
+        tau: f64,
+    },
+    /// Angle-based piecewise-linear-approximation partitioner with a global
+    /// error bound (the time-series baseline of §4.8).
+    Pla {
+        /// Absolute error bound ε.
+        epsilon: u64,
+    },
+    /// Sim-Piece-style partitioner: PLA segments with quantised anchors.
+    SimPiece {
+        /// Absolute error bound ε.
+        epsilon: u64,
+    },
+    /// la_vector-style partitioner: shortest path over a reduced breakpoint
+    /// graph.
+    LaVector,
+    /// Exact dynamic-programming partitioner (O(n²) states, exact fits);
+    /// only use on small inputs.
+    DynamicProgramming,
+}
+
+/// Produce a partition assignment of `values` for the given strategy and
+/// regressor family.
+///
+/// The returned partitions are a disjoint cover of `[0, values.len())` in
+/// increasing order (verified by a debug assertion).
+pub fn partition(kind: &PartitionerKind, regressor: RegressorKind, values: &[u64]) -> Vec<Partition> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let parts = match kind {
+        PartitionerKind::Fixed { len } => fixed::fixed_partitions(values.len(), *len),
+        PartitionerKind::FixedAuto => {
+            let len = fixed::search_partition_size(values, regressor);
+            fixed::fixed_partitions(values.len(), len)
+        }
+        PartitionerKind::SplitMerge { tau } => split_merge::split_merge(values, regressor, *tau),
+        PartitionerKind::Pla { epsilon } => pla::pla_partitions(values, *epsilon as f64),
+        PartitionerKind::SimPiece { epsilon } => sim_piece::sim_piece_partitions(values, *epsilon as f64),
+        PartitionerKind::LaVector => la_vector::la_vector_partitions(values, regressor),
+        PartitionerKind::DynamicProgramming => dp::optimal_partitions(values, regressor),
+    };
+    debug_assert!(is_valid_cover(&parts, values.len()), "partitioner produced an invalid cover");
+    parts
+}
+
+/// Check that `parts` is a disjoint, ordered, complete cover of `[0, n)`.
+pub fn is_valid_cover(parts: &[Partition], n: usize) -> bool {
+    if n == 0 {
+        return parts.is_empty();
+    }
+    let mut expected_start = 0usize;
+    for p in parts {
+        if p.start != expected_start || p.len == 0 {
+            return false;
+        }
+        expected_start = p.end();
+    }
+    expected_start == n
+}
+
+/// Exact compressed size (in bits) of one partition under `regressor`:
+/// fits the model and evaluates the delta statistics.  Shared by the
+/// partition-size search, the merge phase and the DP partitioner.
+pub fn exact_cost_bits(values: &[u64], regressor: RegressorKind) -> usize {
+    let (model, stats) = regressor::fit_checked(regressor, values, &FitContext::default());
+    regressor::partition_cost_bits(&model, values.len(), stats.width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piecewise(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| if i < n as u64 / 2 { 10 + 3 * i } else { 1_000_000 + 17 * i })
+            .collect()
+    }
+
+    #[test]
+    fn every_partitioner_produces_a_valid_cover() {
+        let values = piecewise(3_000);
+        let kinds = [
+            PartitionerKind::Fixed { len: 100 },
+            PartitionerKind::FixedAuto,
+            PartitionerKind::SplitMerge { tau: 0.1 },
+            PartitionerKind::Pla { epsilon: 16 },
+            PartitionerKind::SimPiece { epsilon: 16 },
+            PartitionerKind::LaVector,
+        ];
+        for kind in kinds {
+            let parts = partition(&kind, RegressorKind::Linear, &values);
+            assert!(is_valid_cover(&parts, values.len()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dp_partitioner_valid_on_small_input() {
+        let values = piecewise(150);
+        let parts = partition(&PartitionerKind::DynamicProgramming, RegressorKind::Linear, &values);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn empty_input_yields_no_partitions() {
+        for kind in [PartitionerKind::Fixed { len: 10 }, PartitionerKind::SplitMerge { tau: 0.1 }] {
+            assert!(partition(&kind, RegressorKind::Linear, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn cover_validation_rejects_gaps_and_overlaps() {
+        assert!(is_valid_cover(&[Partition::new(0, 5), Partition::new(5, 5)], 10));
+        assert!(!is_valid_cover(&[Partition::new(0, 5), Partition::new(6, 4)], 10));
+        assert!(!is_valid_cover(&[Partition::new(0, 6), Partition::new(5, 5)], 10));
+        assert!(!is_valid_cover(&[Partition::new(0, 5)], 10));
+        assert!(!is_valid_cover(&[Partition::new(0, 0), Partition::new(0, 10)], 10));
+    }
+
+    #[test]
+    fn exact_cost_prefers_good_fits() {
+        let clean: Vec<u64> = (0..1000u64).map(|i| 5 * i).collect();
+        let noisy: Vec<u64> = (0..1000u64).map(|i| 5 * i + (i * 2654435761 % 1024)).collect();
+        assert!(exact_cost_bits(&clean, RegressorKind::Linear) < exact_cost_bits(&noisy, RegressorKind::Linear));
+    }
+}

@@ -1,0 +1,136 @@
+//! Angle-based piecewise linear approximation (PLA) partitioner.
+//!
+//! This is the partitioning scheme used by lossy time-series compression
+//! (§4.8 baseline "LeCo-PLA") and by the hardness metrics of the
+//! Hyper-parameter Advisor: a segment is extended as long as *some* line
+//! anchored at the segment's first point stays within a global error bound
+//! `ε` of every point; otherwise a new segment starts.
+//!
+//! Keeping a single anchored slope cone makes the algorithm one-pass and
+//! O(n), exactly like the original angle-based PLA of Cameron / swing
+//! filters.
+
+use super::Partition;
+
+/// Summary of a PLA run; the segment list plus the statistics the hardness
+/// scores need (§3.2.3).
+#[derive(Debug, Clone)]
+pub struct PlaResult {
+    /// The produced segments.
+    pub partitions: Vec<Partition>,
+    /// Value gap between the last point of a segment and the first point of
+    /// the next segment, for every adjacent pair.
+    pub gaps: Vec<f64>,
+}
+
+/// Run angle-based PLA with error bound `epsilon` and return both the
+/// partitions and the adjacency statistics.
+pub fn pla_with_stats(values: &[u64], epsilon: f64) -> PlaResult {
+    let n = values.len();
+    let mut partitions = Vec::new();
+    let mut gaps = Vec::new();
+    if n == 0 {
+        return PlaResult { partitions, gaps };
+    }
+    let mut start = 0usize;
+    // Slope cone [lo, hi] of lines through (start, v[start]) that stay within
+    // ±epsilon of every point seen so far in the segment.
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    let mut anchor = values[0] as f64;
+    for i in 1..n {
+        let dx = (i - start) as f64;
+        let dy = values[i] as f64 - anchor;
+        let new_lo = lo.max((dy - epsilon) / dx);
+        let new_hi = hi.min((dy + epsilon) / dx);
+        if new_lo <= new_hi {
+            lo = new_lo;
+            hi = new_hi;
+        } else {
+            // Close the segment [start, i).
+            partitions.push(Partition::new(start, i - start));
+            gaps.push((values[i] as f64 - values[i - 1] as f64).abs());
+            start = i;
+            anchor = values[i] as f64;
+            lo = f64::NEG_INFINITY;
+            hi = f64::INFINITY;
+        }
+    }
+    partitions.push(Partition::new(start, n - start));
+    PlaResult { partitions, gaps }
+}
+
+/// PLA partitions only (the §4.8 comparison partitioner).
+pub fn pla_partitions(values: &[u64], epsilon: f64) -> Vec<Partition> {
+    pla_with_stats(values, epsilon).partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_cover;
+
+    #[test]
+    fn clean_line_is_one_segment() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| 3 * i + 5).collect();
+        let parts = pla_partitions(&values, 1.0);
+        assert_eq!(parts.len(), 1);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn slope_change_creates_segments() {
+        let values: Vec<u64> = (0..2_000u64)
+            .map(|i| if i < 1_000 { 2 * i } else { 2_000 + 100 * (i - 1_000) })
+            .collect();
+        let parts = pla_partitions(&values, 4.0);
+        assert!(parts.len() >= 2);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn every_segment_admits_a_line_within_epsilon() {
+        // Verify the defining invariant of PLA on noisy data.
+        let epsilon = 16.0;
+        let values: Vec<u64> = (0..5_000u64)
+            .map(|i| 1_000 + 7 * i + ((i * 2654435761) % 23))
+            .collect();
+        let parts = pla_partitions(&values, epsilon);
+        assert!(is_valid_cover(&parts, values.len()));
+        for p in &parts {
+            let seg = &values[p.start..p.end()];
+            let ys: Vec<f64> = seg.iter().map(|&v| v as f64).collect();
+            let model = crate::regressor::linear::fit_linear(&ys);
+            let err = crate::regressor::linear::max_abs_error(&model, &ys);
+            // The anchored-cone guarantee is one-sided (anchor has zero
+            // error); the best free line can only be better, and must be
+            // within epsilon.
+            assert!(err <= epsilon + 1e-6, "segment error {err} exceeds ε");
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_gives_more_segments() {
+        let values: Vec<u64> = (0..3_000u64).map(|i| i + (i % 37) * (i % 11)).collect();
+        let fine = pla_partitions(&values, 2.0).len();
+        let coarse = pla_partitions(&values, 256.0).len();
+        assert!(fine >= coarse);
+    }
+
+    #[test]
+    fn gaps_reported_for_adjacent_segments() {
+        let values: Vec<u64> = (0..100u64)
+            .map(|i| if i < 50 { i } else { 1_000_000 + i })
+            .collect();
+        let result = pla_with_stats(&values, 1.0);
+        assert_eq!(result.gaps.len(), result.partitions.len() - 1);
+        assert!(result.gaps.iter().any(|&g| g > 100_000.0));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pla_partitions(&[], 1.0).is_empty());
+        let parts = pla_partitions(&[42], 1.0);
+        assert_eq!(parts, vec![Partition::new(0, 1)]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Greedy variable-length partitioning: the split–merge algorithm of §3.2.2.
+//!
+//! * **Init** — candidate starting positions are scored by the magnitude of
+//!   their (k+1)-th order differences (small means "locally polynomial of
+//!   degree ≤ k", a good place to anchor a partition).
+//! * **Split** — partitions grow greedily; a neighbouring point is admitted
+//!   when its *inclusion cost* `C = (len+1)·Δ_new − len·Δ_old` stays below
+//!   `τ·S_M`, where `Δ` is the cheap width proxy of §3.2.2 (the bit width of
+//!   the spread of k-th order differences) and `S_M` the model size.
+//! * **Merge** — adjacent partitions are merged whenever the exactly
+//!   evaluated size of the merged partition is smaller than the sum of the
+//!   parts, iterating until a fixed point.
+
+use super::{exact_cost_bits, Partition};
+use crate::model::RegressorKind;
+
+/// Cap on the length a merged partition may reach; prevents the merge phase
+/// from degenerating to quadratic work on very long runs.
+const MAX_MERGED_LEN: usize = 1 << 16;
+/// Maximum number of merge passes.
+const MAX_MERGE_PASSES: usize = 8;
+/// Look-ahead window when choosing a good starting position.
+const START_LOOKAHEAD: usize = 8;
+
+/// Difference order used as the Δ proxy for each regressor family.
+fn proxy_degree(kind: RegressorKind) -> usize {
+    match kind {
+        RegressorKind::Constant => 0,
+        RegressorKind::Linear | RegressorKind::Auto => 1,
+        RegressorKind::Poly2 => 2,
+        RegressorKind::Poly3 => 3,
+        // The special models behave roughly linearly at partition scale.
+        RegressorKind::Exponential
+        | RegressorKind::Logarithm
+        | RegressorKind::Sine { .. } => 1,
+    }
+}
+
+/// Nominal serialized model size in bits for the split threshold `τ·S_M`.
+fn nominal_model_bits(kind: RegressorKind) -> f64 {
+    let bytes = match kind {
+        RegressorKind::Constant => 9,
+        RegressorKind::Linear | RegressorKind::Auto => 17,
+        RegressorKind::Poly2 => 26,
+        RegressorKind::Poly3 => 34,
+        RegressorKind::Exponential | RegressorKind::Logarithm => 17,
+        RegressorKind::Sine { terms, .. } => 18 + terms as usize * 24,
+    };
+    (bytes * 8) as f64
+}
+
+/// Incrementally tracks the spread (max − min) of the `degree`-th order
+/// differences of the values pushed so far, yielding the Δ width proxy.
+#[derive(Debug, Clone)]
+struct DiffTracker {
+    degree: usize,
+    /// Last `degree` raw values (enough to form the next difference).
+    tail: Vec<i128>,
+    count: usize,
+    min_d: i128,
+    max_d: i128,
+}
+
+impl DiffTracker {
+    fn new(degree: usize) -> Self {
+        Self {
+            degree,
+            tail: Vec::with_capacity(degree + 1),
+            count: 0,
+            min_d: i128::MAX,
+            max_d: i128::MIN,
+        }
+    }
+
+    /// The `degree`-th order difference ending at `v`, given the previous
+    /// `degree` values in `tail` (oldest first).
+    fn diff_with(&self, v: i128) -> Option<i128> {
+        if self.tail.len() < self.degree {
+            return if self.degree == 0 { Some(v) } else { None };
+        }
+        // Binomial expansion: Σ (-1)^k · C(d, k) · x_{last-k}
+        let d = self.degree;
+        let mut acc: i128 = 0;
+        let mut coeff: i128 = 1;
+        for k in 0..=d {
+            let x = if k == 0 { v } else { self.tail[self.tail.len() - k] };
+            acc += coeff * x;
+            // next coefficient: C(d,k+1)·(-1)^{k+1}
+            coeff = -coeff * (d as i128 - k as i128) / (k as i128 + 1);
+        }
+        Some(acc)
+    }
+
+    /// Δ width (bits) after hypothetically pushing `v`, without mutating.
+    fn width_with(&self, v: i128) -> u8 {
+        match self.diff_with(v) {
+            None => self.width(),
+            Some(d) => {
+                let min_d = self.min_d.min(d);
+                let max_d = self.max_d.max(d);
+                spread_bits(min_d, max_d)
+            }
+        }
+    }
+
+    /// Current Δ width (bits).
+    fn width(&self) -> u8 {
+        if self.count == 0 || self.min_d > self.max_d {
+            0
+        } else {
+            spread_bits(self.min_d, self.max_d)
+        }
+    }
+
+    fn push(&mut self, v: i128) {
+        if let Some(d) = self.diff_with(v) {
+            self.min_d = self.min_d.min(d);
+            self.max_d = self.max_d.max(d);
+        }
+        if self.degree > 0 {
+            self.tail.push(v);
+            if self.tail.len() > self.degree {
+                self.tail.remove(0);
+            }
+        }
+        self.count += 1;
+    }
+}
+
+/// Bits needed to represent the spread `max − min` (saturating at 64).
+fn spread_bits(min_d: i128, max_d: i128) -> u8 {
+    if min_d > max_d {
+        return 0;
+    }
+    let spread = (max_d - min_d) as u128;
+    if spread > u64::MAX as u128 {
+        64
+    } else {
+        leco_bitpack::bits_for(spread as u64)
+    }
+}
+
+/// Scores for the init phase: the bit width of the (degree+1)-th order
+/// difference ending at each position (0 for the first degree+1 positions).
+fn start_scores(values: &[u64], degree: usize) -> Vec<u8> {
+    let order = degree + 1;
+    let mut scores = vec![0u8; values.len()];
+    if values.len() <= order {
+        return scores;
+    }
+    // Difference triangle, computed iteratively.
+    let mut current: Vec<i128> = values.iter().map(|&v| v as i128).collect();
+    for _ in 0..order {
+        for i in (1..current.len()).rev() {
+            current[i] -= current[i - 1];
+        }
+        current.remove(0);
+    }
+    for (i, &d) in current.iter().enumerate() {
+        let mag = d.unsigned_abs();
+        let bits = if mag > u64::MAX as u128 { 64 } else { leco_bitpack::bits_for(mag as u64) };
+        scores[i + order] = bits;
+    }
+    scores
+}
+
+/// The split phase: grow partitions greedily from good starting positions.
+fn split_phase(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Partition> {
+    let n = values.len();
+    let degree = proxy_degree(regressor);
+    let min_len = (degree + 2).max(2);
+    let threshold = tau * nominal_model_bits(regressor);
+    let scores = start_scores(values, degree);
+
+    let mut parts: Vec<Partition> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // Init: if the immediate position is "bumpy", emit singletons until a
+        // locally smooth start within the look-ahead window.
+        if i > 0 && n - i > min_len + START_LOOKAHEAD {
+            let window_end = (i + START_LOOKAHEAD).min(n - min_len);
+            let best = (i..window_end).min_by_key(|&p| scores[p]).unwrap_or(i);
+            while i < best {
+                parts.push(Partition::new(i, 1));
+                i += 1;
+            }
+        }
+        let start = i;
+        let end = (start + min_len).min(n);
+        let mut tracker = DiffTracker::new(degree);
+        for &v in &values[start..end] {
+            tracker.push(v as i128);
+        }
+        let mut j = end;
+        while j < n {
+            let old_width = tracker.width() as f64;
+            let old_len = (j - start) as f64;
+            let new_width = tracker.width_with(values[j] as i128) as f64;
+            let cost = (old_len + 1.0) * new_width - old_len * old_width;
+            if cost <= threshold {
+                tracker.push(values[j] as i128);
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        parts.push(Partition::new(start, j - start));
+        i = j;
+    }
+    parts
+}
+
+/// The merge phase: repeatedly merge adjacent partitions while that reduces
+/// the exactly evaluated compressed size.
+fn merge_phase(values: &[u64], regressor: RegressorKind, mut parts: Vec<Partition>) -> Vec<Partition> {
+    if parts.len() <= 1 {
+        return parts;
+    }
+    let mut costs: Vec<usize> = parts
+        .iter()
+        .map(|p| exact_cost_bits(&values[p.start..p.end()], regressor))
+        .collect();
+    for _ in 0..MAX_MERGE_PASSES {
+        let mut changed = false;
+        let mut new_parts: Vec<Partition> = Vec::with_capacity(parts.len());
+        let mut new_costs: Vec<usize> = Vec::with_capacity(parts.len());
+        let mut cur = parts[0];
+        let mut cur_cost = costs[0];
+        for k in 1..parts.len() {
+            let next = parts[k];
+            let next_cost = costs[k];
+            let merged_len = cur.len + next.len;
+            if merged_len <= MAX_MERGED_LEN {
+                let merged_cost =
+                    exact_cost_bits(&values[cur.start..cur.start + merged_len], regressor);
+                if merged_cost < cur_cost + next_cost {
+                    cur = Partition::new(cur.start, merged_len);
+                    cur_cost = merged_cost;
+                    changed = true;
+                    continue;
+                }
+            }
+            new_parts.push(cur);
+            new_costs.push(cur_cost);
+            cur = next;
+            cur_cost = next_cost;
+        }
+        new_parts.push(cur);
+        new_costs.push(cur_cost);
+        parts = new_parts;
+        costs = new_costs;
+        if !changed {
+            break;
+        }
+    }
+    parts
+}
+
+/// Run the full init/split/merge pipeline.
+pub fn split_merge(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Partition> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let parts = split_phase(values, regressor, tau.clamp(0.0, 1.0));
+    merge_phase(values, regressor, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::is_valid_cover;
+
+    #[test]
+    fn diff_tracker_orders() {
+        // degree 1: first-order differences of 0, 2, 4, 10 are 2, 2, 6.
+        let mut t = DiffTracker::new(1);
+        for v in [0i128, 2, 4] {
+            t.push(v);
+        }
+        assert_eq!(t.width(), leco_bitpack::bits_for(0)); // spread 0
+        assert_eq!(t.width_with(10), leco_bitpack::bits_for(4)); // diffs {2,6} spread 4
+        // degree 2: second-order differences of a quadratic are constant.
+        let mut t = DiffTracker::new(2);
+        for v in [0i128, 1, 4, 9, 16, 25] {
+            t.push(v);
+        }
+        assert_eq!(t.width(), 0);
+    }
+
+    #[test]
+    fn diff_tracker_degree_zero_tracks_value_range() {
+        let mut t = DiffTracker::new(0);
+        for v in [100i128, 90, 110] {
+            t.push(v);
+        }
+        assert_eq!(t.width(), leco_bitpack::bits_for(20));
+    }
+
+    #[test]
+    fn start_scores_flag_bumps() {
+        // Smooth line with one spike at position 50.
+        let mut values: Vec<u64> = (0..100u64).map(|i| 10 * i).collect();
+        values[50] += 5_000;
+        let scores = start_scores(&values, 1);
+        assert!(scores[50] > scores[25], "spike should raise the start score");
+    }
+
+    #[test]
+    fn splits_at_slope_change() {
+        // Two clean linear pieces: expect roughly two partitions after merge.
+        let values: Vec<u64> = (0..2_000u64)
+            .map(|i| if i < 1_000 { 100 + 2 * i } else { 1_000_000 + 50 * (i - 1_000) })
+            .collect();
+        let parts = split_merge(&values, RegressorKind::Linear, 0.1);
+        assert!(is_valid_cover(&parts, values.len()));
+        assert!(parts.len() <= 8, "expected few partitions, got {}", parts.len());
+        // A partition boundary should land near the slope change.
+        assert!(
+            parts.iter().any(|p| (990..=1_010).contains(&p.start)),
+            "expected a boundary near 1000: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn variable_beats_fixed_on_irregular_boundaries() {
+        // Piecewise-linear segments of irregular lengths.
+        let mut values = Vec::new();
+        let mut v = 0u64;
+        let lens = [137usize, 901, 55, 333, 678, 41, 1500, 222];
+        for (k, &len) in lens.iter().enumerate() {
+            let slope = (k as u64 * 7) % 13 + 1;
+            for _ in 0..len {
+                values.push(v);
+                v += slope;
+            }
+            v += 100_000; // jump between segments
+        }
+        let var_parts = split_merge(&values, RegressorKind::Linear, 0.05);
+        let var_cost: usize = var_parts
+            .iter()
+            .map(|p| exact_cost_bits(&values[p.start..p.end()], RegressorKind::Linear))
+            .sum();
+        let fixed_parts = crate::partition::fixed::fixed_partitions(values.len(), 512);
+        let fixed_cost: usize = fixed_parts
+            .iter()
+            .map(|p| exact_cost_bits(&values[p.start..p.end()], RegressorKind::Linear))
+            .sum();
+        assert!(
+            var_cost < fixed_cost,
+            "variable {var_cost} should beat fixed {fixed_cost}"
+        );
+    }
+
+    #[test]
+    fn merge_collapses_over_splitting() {
+        // A single clean line: the split phase may produce several partitions
+        // but the merge phase should collapse them down to very few.
+        let values: Vec<u64> = (0..5_000u64).map(|i| 7 * i + 3).collect();
+        let parts = split_merge(&values, RegressorKind::Linear, 0.0);
+        assert!(is_valid_cover(&parts, values.len()));
+        assert!(parts.len() <= 3, "expected ~1 partition, got {}", parts.len());
+    }
+
+    #[test]
+    fn constant_regressor_groups_runs() {
+        let mut values = vec![5u64; 500];
+        values.extend(vec![900u64; 500]);
+        values.extend(vec![17u64; 500]);
+        let parts = split_merge(&values, RegressorKind::Constant, 0.1);
+        assert!(is_valid_cover(&parts, values.len()));
+        assert!(parts.len() <= 6, "runs should form few partitions: {}", parts.len());
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        for n in 1..6usize {
+            let values: Vec<u64> = (0..n as u64).collect();
+            let parts = split_merge(&values, RegressorKind::Linear, 0.1);
+            assert!(is_valid_cover(&parts, n));
+        }
+    }
+
+    #[test]
+    fn tau_zero_only_grows_exact_fits() {
+        let values: Vec<u64> = vec![10, 20, 30, 40, 1000, 2000, 4000, 8000];
+        let parts = split_merge(&values, RegressorKind::Linear, 0.0);
+        assert!(is_valid_cover(&parts, values.len()));
+    }
+
+    #[test]
+    fn smaller_tau_gives_no_fewer_partitions_before_merge() {
+        let values: Vec<u64> = (0..3_000u64)
+            .map(|i| i * 3 + (i % 97) * (i % 13))
+            .collect();
+        let fine = split_phase(&values, RegressorKind::Linear, 0.01);
+        let coarse = split_phase(&values, RegressorKind::Linear, 0.5);
+        assert!(fine.len() >= coarse.len());
+    }
+}

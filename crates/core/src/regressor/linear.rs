@@ -1,0 +1,199 @@
+//! Constant and linear regressors with minimax (ℓ∞) objectives.
+//!
+//! The paper formulates the fit as a linear program minimising the bit width
+//! `φ` of the largest absolute error (§3.1).  For the constant and linear
+//! families we solve the ℓ∞ problem directly:
+//!
+//! * constant: the optimum is the midpoint of `[min, max]`;
+//! * linear: the width `w(b) = max_i(y_i − b·i) − min_i(y_i − b·i)` is a
+//!   convex piecewise-linear function of the slope `b`, so a ternary search
+//!   over the slope (bounded by the extreme consecutive differences) converges
+//!   to the optimal slope; the optimal intercept is then the midpoint of the
+//!   residual range.  This is equivalent to the LP solution up to floating
+//!   point and runs in `O(n log(1/ε))`.
+
+use crate::model::Model;
+
+/// Fit a constant (horizontal line) model: the ℓ∞-optimal constant is the
+/// midpoint of the value range.
+pub fn fit_constant(ys: &[f64]) -> Model {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &y in ys {
+        lo = lo.min(y);
+        hi = hi.max(y);
+    }
+    Model::Constant { value: (lo + hi) / 2.0 }
+}
+
+/// Residual extremes of `y − b·x` for a candidate slope.
+#[inline]
+fn residual_range(ys: &[f64], b: f64) -> (f64, f64) {
+    let mut rmin = f64::INFINITY;
+    let mut rmax = f64::NEG_INFINITY;
+    for (i, &y) in ys.iter().enumerate() {
+        let r = y - b * i as f64;
+        rmin = rmin.min(r);
+        rmax = rmax.max(r);
+    }
+    (rmin, rmax)
+}
+
+/// Fit a linear model minimising the maximum absolute error.
+pub fn fit_linear(ys: &[f64]) -> Model {
+    let n = ys.len();
+    if n <= 1 {
+        return Model::Linear { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+    }
+    if n == 2 {
+        return Model::Linear { theta0: ys[0], theta1: ys[1] - ys[0] };
+    }
+    // The ℓ∞-optimal slope lies within the range of consecutive differences.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for w in ys.windows(2) {
+        let d = w[1] - w[0];
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    if !(lo.is_finite() && hi.is_finite()) {
+        return fit_least_squares(ys);
+    }
+    if hi - lo < f64::EPSILON * (1.0 + hi.abs()) {
+        // Perfectly linear.
+        let (rmin, rmax) = residual_range(ys, lo);
+        return Model::Linear { theta0: (rmin + rmax) / 2.0, theta1: lo };
+    }
+    // Ternary search on the convex width function.
+    let width = |b: f64| {
+        let (rmin, rmax) = residual_range(ys, b);
+        rmax - rmin
+    };
+    for _ in 0..64 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if width(m1) <= width(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+        if hi - lo <= 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    let b = (lo + hi) / 2.0;
+    let (rmin, rmax) = residual_range(ys, b);
+    Model::Linear { theta0: (rmin + rmax) / 2.0, theta1: b }
+}
+
+/// Ordinary least-squares linear fit, kept for the ablation benchmark that
+/// compares the ℓ2 and ℓ∞ objectives and as a numeric fallback.
+pub fn fit_least_squares(ys: &[f64]) -> Model {
+    let n = ys.len() as f64;
+    if ys.len() <= 1 {
+        return Model::Linear { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+    }
+    let sum_x = (n - 1.0) * n / 2.0;
+    let sum_x2 = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
+    let sum_y: f64 = ys.iter().sum();
+    let sum_xy: f64 = ys.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+    let denom = n * sum_x2 - sum_x * sum_x;
+    if denom.abs() < f64::EPSILON {
+        return Model::Linear { theta0: sum_y / n, theta1: 0.0 };
+    }
+    let theta1 = (n * sum_xy - sum_x * sum_y) / denom;
+    let theta0 = (sum_y - theta1 * sum_x) / n;
+    // Centre the residuals so the maximum absolute error is balanced.
+    let (rmin, rmax) = residual_range(ys, theta1);
+    let _ = theta0;
+    Model::Linear { theta0: (rmin + rmax) / 2.0, theta1 }
+}
+
+/// Maximum absolute error of a model over `ys` (used by tests and the
+/// partitioners).
+pub fn max_abs_error(model: &Model, ys: &[f64]) -> f64 {
+    ys.iter()
+        .enumerate()
+        .map(|(i, &y)| (y - model.predict(i)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_is_midpoint() {
+        let m = fit_constant(&[1.0, 9.0, 5.0]);
+        assert_eq!(m, Model::Constant { value: 5.0 });
+        assert_eq!(max_abs_error(&m, &[1.0, 9.0, 5.0]), 4.0);
+    }
+
+    #[test]
+    fn exact_line_zero_error() {
+        let ys: Vec<f64> = (0..100).map(|i| 3.0 + 2.5 * i as f64).collect();
+        let m = fit_linear(&ys);
+        assert!(max_abs_error(&m, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn v_shape_optimal_error() {
+        // y = |x - 5| on 0..=10: best linear fit is a horizontal-ish line; the
+        // optimal ℓ∞ error for the minimax line is 2.5.
+        let ys: Vec<f64> = (0..=10).map(|i| (i as f64 - 5.0).abs()).collect();
+        let m = fit_linear(&ys);
+        let err = max_abs_error(&m, &ys);
+        assert!(err <= 2.5 + 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn minimax_beats_or_matches_least_squares_on_outliers() {
+        let mut ys: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        ys[100] = 500.0; // single outlier
+        let mm = max_abs_error(&fit_linear(&ys), &ys);
+        let ls = max_abs_error(&fit_least_squares(&ys), &ys);
+        assert!(mm <= ls + 1e-9, "minimax {mm} vs least-squares {ls}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(fit_linear(&[]), Model::Linear { theta0: 0.0, theta1: 0.0 });
+        assert_eq!(fit_linear(&[7.0]), Model::Linear { theta0: 7.0, theta1: 0.0 });
+        let m = fit_linear(&[7.0, 9.0]);
+        assert!(max_abs_error(&m, &[7.0, 9.0]) < 1e-9);
+    }
+
+    #[test]
+    fn two_segment_line_error_is_half_gap() {
+        // First half slope 0, second half slope 0 but offset by 10: the best
+        // single line has max error 5 at most.
+        let mut ys = vec![0.0; 50];
+        ys.extend(vec![10.0; 50]);
+        let m = fit_linear(&ys);
+        assert!(max_abs_error(&m, &ys) <= 5.0 + 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_minimax_not_worse_than_least_squares(
+            ys in proptest::collection::vec(-1.0e6f64..1.0e6, 3..120)
+        ) {
+            let mm = max_abs_error(&fit_linear(&ys), &ys);
+            let ls = max_abs_error(&fit_least_squares(&ys), &ys);
+            // Allow a tiny tolerance for ternary-search convergence.
+            prop_assert!(mm <= ls * 1.001 + 1e-6, "minimax {} vs ls {}", mm, ls);
+        }
+
+        #[test]
+        fn prop_minimax_not_worse_than_endpoint_line(
+            ys in proptest::collection::vec(-1.0e6f64..1.0e6, 3..120)
+        ) {
+            let n = ys.len();
+            let slope = (ys[n - 1] - ys[0]) / (n - 1) as f64;
+            let endpoint = Model::Linear { theta0: ys[0], theta1: slope };
+            let mm = max_abs_error(&fit_linear(&ys), &ys);
+            prop_assert!(mm <= max_abs_error(&endpoint, &ys) * 1.001 + 1e-6);
+        }
+    }
+}

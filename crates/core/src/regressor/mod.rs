@@ -1,0 +1,203 @@
+//! The Regressor module (§3.1): fit one model to one partition.
+//!
+//! Unlike classic least-squares regression, LeCo minimises the *maximum*
+//! absolute error because the delta array is bit-packed at a fixed width
+//! `φ = ⌈log2(δ_maxabs)⌉`: only the largest delta matters for space.
+//!
+//! Numerical strategy: every fit works on *offsets from the first value of
+//! the partition* converted to `f64`.  The first value itself (which may use
+//! the full 64-bit range) is folded into the partition's exact integer `bias`
+//! by the encoder, so `f64` rounding never affects losslessness and rarely
+//! affects the delta width.
+
+pub mod linear;
+pub mod poly;
+pub mod special;
+
+use crate::model::{Model, RegressorKind};
+
+/// Extra information a caller can provide to a fit, currently only the known
+/// sine frequencies of the paper's `2sin-freq` configuration (§4.4).
+#[derive(Debug, Clone, Default)]
+pub struct FitContext {
+    /// Angular frequencies (radians/position) to use for `Sine` models with
+    /// `estimate_freq == false`.
+    pub known_frequencies: Vec<f64>,
+}
+
+/// Result of evaluating a fitted model against the partition it was fit on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Minimum signed delta `v_i - floor(pred(i))`; packed deltas are stored
+    /// relative to this bias.
+    pub bias: i128,
+    /// Bits required per packed delta.
+    pub width: u8,
+}
+
+/// Convert a value slice into f64 offsets from the first element.
+pub(crate) fn offsets_f64(values: &[u64]) -> Vec<f64> {
+    let base = values[0];
+    values
+        .iter()
+        .map(|&v| {
+            if v >= base {
+                (v - base) as f64
+            } else {
+                -((base - v) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Fit a model of family `kind` to `values` (the offsets-from-first
+/// convention described in the module docs).
+///
+/// `RegressorKind::Auto` is resolved by the Hyper-parameter Advisor before
+/// this function is called; passing it here falls back to `Linear`.
+pub fn fit(kind: RegressorKind, values: &[u64]) -> Model {
+    fit_with_context(kind, values, &FitContext::default())
+}
+
+/// [`fit`] with caller-provided context (known sine frequencies).
+pub fn fit_with_context(kind: RegressorKind, values: &[u64], ctx: &FitContext) -> Model {
+    assert!(!values.is_empty(), "cannot fit an empty partition");
+    let ys = offsets_f64(values);
+    match kind {
+        RegressorKind::Constant => linear::fit_constant(&ys),
+        RegressorKind::Linear | RegressorKind::Auto => linear::fit_linear(&ys),
+        RegressorKind::Poly2 => poly::fit_poly(&ys, 2),
+        RegressorKind::Poly3 => poly::fit_poly(&ys, 3),
+        RegressorKind::Exponential => special::fit_exponential(&ys),
+        RegressorKind::Logarithm => special::fit_logarithm(&ys),
+        RegressorKind::Sine { terms, estimate_freq } => {
+            let freqs = if estimate_freq || ctx.known_frequencies.is_empty() {
+                special::estimate_frequencies(&ys, terms as usize)
+            } else {
+                ctx.known_frequencies
+                    .iter()
+                    .copied()
+                    .take(terms as usize)
+                    .collect()
+            };
+            special::fit_sine(&ys, &freqs)
+        }
+    }
+}
+
+/// Compute the delta statistics of `model` against `values`.
+///
+/// Deltas are `v_i - floor(pred(i))` computed in exact 128-bit arithmetic.
+/// The returned `width` is the number of bits needed for
+/// `max_delta - min_delta`; if that range exceeds 64 bits (which can only
+/// happen when a badly diverging model meets values spanning the full u64
+/// domain) the caller is expected to fall back to a constant model, which is
+/// always representable.
+pub fn delta_stats(model: &Model, values: &[u64]) -> Option<DeltaStats> {
+    let mut min_d = i128::MAX;
+    let mut max_d = i128::MIN;
+    for (i, &v) in values.iter().enumerate() {
+        let d = v as i128 - model.predict_floor(i);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    let range = (max_d - min_d) as u128;
+    if range > u64::MAX as u128 {
+        return None;
+    }
+    Some(DeltaStats {
+        bias: min_d,
+        width: leco_bitpack::bits_for(range as u64),
+    })
+}
+
+/// Fit `kind`, falling back to a constant model whenever the resulting delta
+/// range would not fit in 64 bits.  Returns the model together with its delta
+/// statistics.
+pub fn fit_checked(kind: RegressorKind, values: &[u64], ctx: &FitContext) -> (Model, DeltaStats) {
+    let model = fit_with_context(kind, values, ctx);
+    if let Some(stats) = delta_stats(&model, values) {
+        return (model, stats);
+    }
+    let fallback = linear::fit_constant(&offsets_f64(values));
+    let stats = delta_stats(&fallback, values)
+        .expect("constant model always yields a representable delta range");
+    (fallback, stats)
+}
+
+/// Compressed size in bits of a partition under `model`:
+/// model parameters + bias/width header + `n` packed deltas.
+/// This is the objective of §3 that the partitioners minimise.
+pub fn partition_cost_bits(model: &Model, n: usize, width: u8) -> usize {
+    // bias is varint-coded; charge a typical 6 bytes, plus 1 width byte.
+    model.size_bits() + (6 + 1) * 8 + n * width as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_handle_decreasing_start() {
+        let values = [100u64, 50, 150];
+        let ys = offsets_f64(&values);
+        assert_eq!(ys, vec![0.0, -50.0, 50.0]);
+    }
+
+    #[test]
+    fn fit_linear_on_clean_line_has_zero_width() {
+        let values: Vec<u64> = (0..1000u64).map(|i| 5 + 3 * i).collect();
+        let (model, stats) = fit_checked(RegressorKind::Linear, &values, &FitContext::default());
+        assert!(matches!(model, Model::Linear { .. }));
+        assert!(stats.width <= 1, "width {} should be ~0 on a clean line", stats.width);
+    }
+
+    #[test]
+    fn constant_fallback_on_extreme_range() {
+        // Values spanning the full u64 range with a linear model that will
+        // diverge: fit_checked must still return something representable.
+        let values = vec![0u64, u64::MAX, 0, u64::MAX];
+        let (_, stats) = fit_checked(RegressorKind::Linear, &values, &FitContext::default());
+        assert!(stats.width <= 64);
+    }
+
+    #[test]
+    fn delta_stats_exactness() {
+        let model = Model::Linear { theta0: 0.0, theta1: 1.0 };
+        let values = vec![10u64, 12, 13, 13]; // preds 0,1,2,3 -> deltas 10,11,11,10
+        let stats = delta_stats(&model, &values).unwrap();
+        assert_eq!(stats.bias, 10);
+        assert_eq!(stats.width, 1);
+    }
+
+    #[test]
+    fn cost_increases_with_width_and_len() {
+        let m = Model::Linear { theta0: 0.0, theta1: 0.0 };
+        assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 100, 8));
+        assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 200, 4));
+    }
+
+    #[test]
+    fn fit_dispatch_every_kind_is_lossless_representable() {
+        let values: Vec<u64> = (0..500u64).map(|i| 1000 + i * i / 7 + (i % 5)).collect();
+        for kind in [
+            RegressorKind::Constant,
+            RegressorKind::Linear,
+            RegressorKind::Poly2,
+            RegressorKind::Poly3,
+            RegressorKind::Exponential,
+            RegressorKind::Logarithm,
+            RegressorKind::Sine { terms: 1, estimate_freq: true },
+        ] {
+            let (model, stats) = fit_checked(kind, &values, &FitContext::default());
+            // Reconstruct and verify losslessness of the model+delta scheme.
+            for (i, &v) in values.iter().enumerate() {
+                let d = v as i128 - model.predict_floor(i);
+                let packed = (d - stats.bias) as u128;
+                assert!(packed <= u64::MAX as u128, "kind {kind:?}");
+                let recovered = model.predict_floor(i) + stats.bias + packed as i128;
+                assert_eq!(recovered as u64, v, "kind {kind:?} at {i}");
+            }
+        }
+    }
+}

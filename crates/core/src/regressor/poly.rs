@@ -1,0 +1,192 @@
+//! Polynomial regressor (degree 2 and 3).
+//!
+//! The coefficients are obtained from the least-squares normal equations
+//! (small dense system solved by Gaussian elimination with partial pivoting),
+//! after which the constant term is re-centred so the positive and negative
+//! residual extremes are balanced — a cheap approximation of the ℓ∞ optimum
+//! that matches the paper's observation that higher-order fits only need to
+//! be "good enough" because the delta array dominates.
+
+use crate::model::Model;
+
+/// Solve the linear system `A·x = b` in place (A is `dim × dim`, row major).
+/// Returns `None` if the system is singular.
+fn solve_linear_system(a: &mut [f64], b: &mut [f64], dim: usize) -> Option<Vec<f64>> {
+    for col in 0..dim {
+        // Partial pivoting.
+        let mut pivot = col;
+        for row in (col + 1)..dim {
+            if a[row * dim + col].abs() > a[pivot * dim + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * dim + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..dim {
+                a.swap(col * dim + k, pivot * dim + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for row in (col + 1)..dim {
+            let factor = a[row * dim + col] / a[col * dim + col];
+            for k in col..dim {
+                a[row * dim + k] -= factor * a[col * dim + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; dim];
+    for col in (0..dim).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..dim {
+            acc -= a[col * dim + k] * x[k];
+        }
+        x[col] = acc / a[col * dim + col];
+    }
+    Some(x)
+}
+
+/// Least-squares fit of a polynomial with the given `degree` (2 or 3),
+/// followed by residual centring.  Positions are normalised to `[0, 1]`
+/// before solving to keep the normal equations well conditioned; the
+/// resulting coefficients are rescaled back to raw positions.
+pub fn fit_poly(ys: &[f64], degree: usize) -> Model {
+    let n = ys.len();
+    let degree = degree.clamp(1, 3);
+    if n <= degree {
+        // Not enough points: fall back to the linear minimax fit padded with
+        // zero high-order coefficients so the model family is preserved.
+        let lin = super::linear::fit_linear(ys);
+        if let Model::Linear { theta0, theta1 } = lin {
+            let mut coeffs = vec![theta0, theta1];
+            coeffs.resize(degree + 1, 0.0);
+            return Model::Poly { coeffs };
+        }
+        unreachable!("fit_linear always returns a linear model");
+    }
+    let dim = degree + 1;
+    let scale = (n - 1).max(1) as f64;
+    // Normal equations on normalised x ∈ [0, 1].
+    let mut xtx = vec![0.0; dim * dim];
+    let mut xty = vec![0.0; dim];
+    for (i, &y) in ys.iter().enumerate() {
+        let x = i as f64 / scale;
+        let mut pow = [1.0f64; 4];
+        for d in 1..dim {
+            pow[d] = pow[d - 1] * x;
+        }
+        for r in 0..dim {
+            for c in 0..dim {
+                xtx[r * dim + c] += pow[r] * pow[c];
+            }
+            xty[r] += pow[r] * y;
+        }
+    }
+    let coeffs_norm = match solve_linear_system(&mut xtx, &mut xty, dim) {
+        Some(c) => c,
+        None => {
+            let lin = super::linear::fit_linear(ys);
+            if let Model::Linear { theta0, theta1 } = lin {
+                let mut coeffs = vec![theta0, theta1];
+                coeffs.resize(dim, 0.0);
+                return Model::Poly { coeffs };
+            }
+            unreachable!()
+        }
+    };
+    // Rescale: c_norm[k] * (i/scale)^k = (c_norm[k] / scale^k) * i^k.
+    let mut coeffs: Vec<f64> = coeffs_norm
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| c / scale.powi(k as i32))
+        .collect();
+    // Residual centring: shift the constant term so max and min residuals are
+    // balanced (halving the worst-case error versus a one-sided fit).
+    let model = Model::Poly { coeffs: coeffs.clone() };
+    let mut rmin = f64::INFINITY;
+    let mut rmax = f64::NEG_INFINITY;
+    for (i, &y) in ys.iter().enumerate() {
+        let r = y - model.predict(i);
+        rmin = rmin.min(r);
+        rmax = rmax.max(r);
+    }
+    coeffs[0] += (rmin + rmax) / 2.0;
+    Model::Poly { coeffs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::linear::max_abs_error;
+
+    #[test]
+    fn exact_quadratic_near_zero_error() {
+        let ys: Vec<f64> = (0..500).map(|i| {
+            let x = i as f64;
+            3.0 + 2.0 * x + 0.5 * x * x
+        }).collect();
+        let m = fit_poly(&ys, 2);
+        assert!(max_abs_error(&m, &ys) < 1e-3, "err {}", max_abs_error(&m, &ys));
+    }
+
+    #[test]
+    fn exact_cubic_near_zero_error() {
+        let ys: Vec<f64> = (0..300).map(|i| {
+            let x = i as f64;
+            1.0 - x + 0.01 * x * x + 0.001 * x * x * x
+        }).collect();
+        let m = fit_poly(&ys, 3);
+        let err = max_abs_error(&m, &ys);
+        // Cubic values reach ~2.7e4; relative error should be tiny.
+        assert!(err < 1.0, "err {err}");
+    }
+
+    #[test]
+    fn poly_beats_linear_on_quadratic_data() {
+        let ys: Vec<f64> = (0..200).map(|i| (i * i) as f64).collect();
+        let poly_err = max_abs_error(&fit_poly(&ys, 2), &ys);
+        let lin_err = max_abs_error(&crate::regressor::linear::fit_linear(&ys), &ys);
+        assert!(poly_err < lin_err / 10.0, "poly {poly_err} vs linear {lin_err}");
+    }
+
+    #[test]
+    fn degenerate_small_inputs() {
+        let m = fit_poly(&[5.0], 3);
+        assert!(matches!(m, Model::Poly { ref coeffs } if coeffs.len() == 4));
+        let m = fit_poly(&[5.0, 6.0, 7.0], 3);
+        assert!(max_abs_error(&m, &[5.0, 6.0, 7.0]) < 1e-6);
+    }
+
+    #[test]
+    fn solver_detects_singularity() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_linear_system(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn solver_solves_known_system() {
+        // 2x + y = 5, x - y = 1  ->  x = 2, y = 1
+        let mut a = vec![2.0, 1.0, 1.0, -1.0];
+        let mut b = vec![5.0, 1.0];
+        let x = solve_linear_system(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_centring_balances_errors() {
+        let ys: Vec<f64> = (0..100).map(|i| (i * i) as f64 + if i % 2 == 0 { 10.0 } else { 0.0 }).collect();
+        let m = fit_poly(&ys, 2);
+        let (mut rmin, mut rmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &y) in ys.iter().enumerate() {
+            let r = y - m.predict(i);
+            rmin = rmin.min(r);
+            rmax = rmax.max(r);
+        }
+        assert!((rmin + rmax).abs() < 1e-6, "residuals should be centred: {rmin} {rmax}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Exponential, logarithmic and sinusoidal regressors.
+//!
+//! These are the "more sophisticated models" of §3.1 and the domain-knowledge
+//! extension of §4.4: the cosmos experiment shows that adding one or two sine
+//! terms (optionally with known frequencies) to the model basis extracts far
+//! more redundancy than a generic polynomial.
+
+use crate::model::{Model, SineTerm};
+
+/// Fit `pred(i) = exp(ln_a + b·i)` by linear regression on `ln(y − min + 1)`,
+/// then re-centre residuals in the original domain.
+///
+/// Offsets may be negative (the fit works on offsets from the first value),
+/// so the data is shifted to be positive before taking logs; the shift is
+/// folded back into the residual centring step, which keeps the model family
+/// intact while remaining lossless (any residual mis-fit simply lands in the
+/// delta array).
+pub fn fit_exponential(ys: &[f64]) -> Model {
+    if ys.len() < 3 {
+        return Model::Exponential { ln_a: 0.0, b: 0.0 };
+    }
+    let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let shift = if min <= 0.0 { 1.0 - min } else { 0.0 };
+    let logs: Vec<f64> = ys.iter().map(|&y| (y + shift).ln()).collect();
+    let lin = super::linear::fit_least_squares(&logs);
+    let (ln_a, b) = match lin {
+        Model::Linear { theta0, theta1 } => (theta0, theta1),
+        _ => unreachable!(),
+    };
+    // Clamp the growth rate so predictions cannot overflow f64 within the
+    // partition (b·n ≤ 700 keeps exp() finite).
+    let b = b.clamp(-700.0 / ys.len() as f64, 700.0 / ys.len() as f64);
+    Model::Exponential { ln_a, b }
+}
+
+/// Fit `pred(i) = θ0 + θ1·ln(i + 1)` by least squares on the transformed
+/// positions, then centre the residuals (ℓ∞ flavour).
+pub fn fit_logarithm(ys: &[f64]) -> Model {
+    if ys.len() < 2 {
+        return Model::Logarithm { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+    }
+    let n = ys.len() as f64;
+    let xs: Vec<f64> = (0..ys.len()).map(|i| ((i + 1) as f64).ln()).collect();
+    let sum_x: f64 = xs.iter().sum();
+    let sum_x2: f64 = xs.iter().map(|x| x * x).sum();
+    let sum_y: f64 = ys.iter().sum();
+    let sum_xy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sum_x2 - sum_x * sum_x;
+    let theta1 = if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (n * sum_xy - sum_x * sum_y) / denom
+    };
+    // Centre residuals.
+    let mut rmin = f64::INFINITY;
+    let mut rmax = f64::NEG_INFINITY;
+    for (i, &y) in ys.iter().enumerate() {
+        let r = y - theta1 * ((i + 1) as f64).ln();
+        rmin = rmin.min(r);
+        rmax = rmax.max(r);
+    }
+    Model::Logarithm { theta0: (rmin + rmax) / 2.0, theta1 }
+}
+
+/// Estimate up to `k` dominant angular frequencies with a coarse periodogram
+/// scan over a grid of candidate periods (from 4 samples up to the partition
+/// length).
+pub fn estimate_frequencies(ys: &[f64], k: usize) -> Vec<f64> {
+    let n = ys.len();
+    if n < 8 || k == 0 {
+        return Vec::new();
+    }
+    // Detrend first so the linear component does not swamp the spectrum.
+    let lin = super::linear::fit_least_squares(ys);
+    let resid: Vec<f64> = ys.iter().enumerate().map(|(i, &y)| y - lin.predict(i)).collect();
+    // Candidate periods: geometric grid between 4 and 4n (frequencies below
+    // one full cycle are indistinguishable from trend, but keep a margin).
+    let mut candidates: Vec<f64> = Vec::new();
+    let mut p = 4.0f64;
+    while p <= (4 * n) as f64 {
+        candidates.push(std::f64::consts::TAU / p);
+        p *= 1.05;
+    }
+    let mut scored: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|&omega| {
+            let mut s = 0.0;
+            let mut c = 0.0;
+            for (i, &r) in resid.iter().enumerate() {
+                let phase = omega * i as f64;
+                s += r * phase.sin();
+                c += r * phase.cos();
+            }
+            (omega, s * s + c * c)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Pick the top-k frequencies that are not near-duplicates of an already
+    // selected one.
+    let mut out: Vec<f64> = Vec::new();
+    for (omega, _) in scored {
+        if out.iter().all(|&o: &f64| (o - omega).abs() / o.max(omega) > 0.15) {
+            out.push(omega);
+            if out.len() == k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Fit a linear trend plus sine terms at the given angular frequencies by
+/// least squares (the model is linear in all coefficients once the
+/// frequencies are fixed), then centre residuals.
+pub fn fit_sine(ys: &[f64], omegas: &[f64]) -> Model {
+    if omegas.is_empty() {
+        let lin = super::linear::fit_linear(ys);
+        if let Model::Linear { theta0, theta1 } = lin {
+            return Model::Sine { theta0, theta1, terms: Vec::new() };
+        }
+        unreachable!()
+    }
+    let dim = 2 + 2 * omegas.len();
+    // Basis: [1, x, sin(ω1 x), cos(ω1 x), sin(ω2 x), cos(ω2 x), ...]
+    let basis = |i: usize| -> Vec<f64> {
+        let x = i as f64;
+        let mut row = Vec::with_capacity(dim);
+        row.push(1.0);
+        row.push(x);
+        for &omega in omegas {
+            row.push((omega * x).sin());
+            row.push((omega * x).cos());
+        }
+        row
+    };
+    let mut xtx = vec![0.0; dim * dim];
+    let mut xty = vec![0.0; dim];
+    for (i, &y) in ys.iter().enumerate() {
+        let row = basis(i);
+        for r in 0..dim {
+            for c in 0..dim {
+                xtx[r * dim + c] += row[r] * row[c];
+            }
+            xty[r] += row[r] * y;
+        }
+    }
+    // Ridge regularisation keeps the system solvable when a frequency aliases.
+    for r in 0..dim {
+        xtx[r * dim + r] += 1e-9;
+    }
+    let coeffs = match solve(&mut xtx, &mut xty, dim) {
+        Some(c) => c,
+        None => {
+            let lin = super::linear::fit_linear(ys);
+            if let Model::Linear { theta0, theta1 } = lin {
+                return Model::Sine { theta0, theta1, terms: Vec::new() };
+            }
+            unreachable!()
+        }
+    };
+    let mut terms = Vec::with_capacity(omegas.len());
+    for (t, &omega) in omegas.iter().enumerate() {
+        terms.push(SineTerm {
+            omega,
+            a_sin: coeffs[2 + 2 * t],
+            a_cos: coeffs[3 + 2 * t],
+        });
+    }
+    let mut model = Model::Sine { theta0: coeffs[0], theta1: coeffs[1], terms };
+    // Residual centring on the constant term.
+    let mut rmin = f64::INFINITY;
+    let mut rmax = f64::NEG_INFINITY;
+    for (i, &y) in ys.iter().enumerate() {
+        let r = y - model.predict(i);
+        rmin = rmin.min(r);
+        rmax = rmax.max(r);
+    }
+    if let Model::Sine { ref mut theta0, .. } = model {
+        *theta0 += (rmin + rmax) / 2.0;
+    }
+    model
+}
+
+/// Gaussian elimination used by [`fit_sine`] (same algorithm as the
+/// polynomial fitter, duplicated locally to keep module dependencies flat).
+fn solve(a: &mut [f64], b: &mut [f64], dim: usize) -> Option<Vec<f64>> {
+    for col in 0..dim {
+        let mut pivot = col;
+        for row in (col + 1)..dim {
+            if a[row * dim + col].abs() > a[pivot * dim + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * dim + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..dim {
+                a.swap(col * dim + k, pivot * dim + k);
+            }
+            b.swap(col, pivot);
+        }
+        for row in (col + 1)..dim {
+            let factor = a[row * dim + col] / a[col * dim + col];
+            for k in col..dim {
+                a[row * dim + k] -= factor * a[col * dim + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; dim];
+    for col in (0..dim).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..dim {
+            acc -= a[col * dim + k] * x[k];
+        }
+        x[col] = acc / a[col * dim + col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::linear::max_abs_error;
+
+    #[test]
+    fn exponential_fits_growth_curve() {
+        let ys: Vec<f64> = (0..200).map(|i| (0.02 * i as f64).exp() * 50.0).collect();
+        let m = fit_exponential(&ys);
+        let err = max_abs_error(&m, &ys);
+        let lin_err = max_abs_error(&crate::regressor::linear::fit_linear(&ys), &ys);
+        assert!(err < lin_err, "exp err {err} should beat linear {lin_err}");
+    }
+
+    #[test]
+    fn logarithm_fits_log_curve() {
+        let ys: Vec<f64> = (0..500).map(|i| 100.0 + 30.0 * ((i + 1) as f64).ln()).collect();
+        let m = fit_logarithm(&ys);
+        assert!(max_abs_error(&m, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn frequency_estimation_finds_dominant_period() {
+        let period = 50.0;
+        let omega_true = std::f64::consts::TAU / period;
+        let ys: Vec<f64> = (0..2000).map(|i| 1000.0 * (omega_true * i as f64).sin()).collect();
+        let freqs = estimate_frequencies(&ys, 1);
+        assert_eq!(freqs.len(), 1);
+        assert!(
+            (freqs[0] - omega_true).abs() / omega_true < 0.05,
+            "estimated {} vs true {}",
+            freqs[0],
+            omega_true
+        );
+    }
+
+    #[test]
+    fn sine_with_known_frequency_fits_well() {
+        let omega = std::f64::consts::TAU / 64.0;
+        let ys: Vec<f64> = (0..1000)
+            .map(|i| 5_000.0 + 2.0 * i as f64 + 300.0 * (omega * i as f64).sin())
+            .collect();
+        let m = fit_sine(&ys, &[omega]);
+        let err = max_abs_error(&m, &ys);
+        assert!(err < 5.0, "err {err}");
+        // The same data under a pure linear model has error ~300.
+        let lin_err = max_abs_error(&crate::regressor::linear::fit_linear(&ys), &ys);
+        assert!(err < lin_err / 10.0);
+    }
+
+    #[test]
+    fn two_sine_terms_beat_one_on_mixed_signal() {
+        let o1 = std::f64::consts::TAU / 60.0;
+        let o2 = std::f64::consts::TAU / 17.0;
+        let ys: Vec<f64> = (0..3000)
+            .map(|i| {
+                let x = i as f64;
+                1.0e6 * (o1 * x).sin() + 1.0e5 * (o2 * x).sin()
+            })
+            .collect();
+        let one = max_abs_error(&fit_sine(&ys, &[o1]), &ys);
+        let two = max_abs_error(&fit_sine(&ys, &[o1, o2]), &ys);
+        assert!(two < one / 5.0, "two-term {two} vs one-term {one}");
+    }
+
+    #[test]
+    fn sine_with_no_frequencies_degenerates_to_linear() {
+        let ys: Vec<f64> = (0..100).map(|i| 2.0 * i as f64).collect();
+        let m = fit_sine(&ys, &[]);
+        assert!(max_abs_error(&m, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn small_inputs_do_not_panic() {
+        assert!(matches!(fit_exponential(&[1.0]), Model::Exponential { .. }));
+        assert!(matches!(fit_logarithm(&[]), Model::Logarithm { .. }));
+        assert!(estimate_frequencies(&[1.0, 2.0], 2).is_empty());
+    }
+}

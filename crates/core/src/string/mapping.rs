@@ -1,0 +1,226 @@
+//! Order-preserving string ↔ integer mapping with character-set reduction.
+//!
+//! Many string columns only use a fraction of the byte alphabet (lower-case
+//! letters, hex digits, ...).  Mapping each character to its rank within the
+//! partition's character set and rounding the base up to a power of two makes
+//! the mapped integers smaller *and* keeps digit extraction cheap: a modulo
+//! becomes a mask and a division becomes a shift (§3.4).
+
+/// Character table of one string partition.
+#[derive(Debug, Clone)]
+pub struct CharTable {
+    /// Sorted distinct characters (rank → byte).
+    charset: Vec<u8>,
+    /// byte → rank (only meaningful for bytes present in `charset`).
+    ranks: [u8; 256],
+    /// Bits per character after rounding the base to a power of two.
+    bits: u8,
+    /// If `true`, characters are mapped by identity (8 bits each).
+    full_byte: bool,
+}
+
+impl CharTable {
+    /// Build the table from the partition's suffixes.  With
+    /// `full_byte == true` the reduction step is skipped.
+    pub fn build(suffixes: &[&[u8]], full_byte: bool) -> Self {
+        if full_byte {
+            let mut ranks = [0u8; 256];
+            for (i, r) in ranks.iter_mut().enumerate() {
+                *r = i as u8;
+            }
+            return Self { charset: (0..=255).collect(), ranks, bits: 8, full_byte: true };
+        }
+        let mut present = [false; 256];
+        for s in suffixes {
+            for &b in *s {
+                present[b as usize] = true;
+            }
+        }
+        let charset: Vec<u8> = (0..=255u8).filter(|&b| present[b as usize]).collect();
+        let mut ranks = [0u8; 256];
+        for (rank, &b) in charset.iter().enumerate() {
+            ranks[b as usize] = rank as u8;
+        }
+        let bits = if charset.is_empty() {
+            0
+        } else {
+            leco_bitpack::bits_for((charset.len() - 1) as u64).max(1)
+        };
+        Self { charset, ranks, bits, full_byte: false }
+    }
+
+    /// Bits per character (log2 of the rounded-up base).
+    pub fn bits_per_char(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of distinct characters (serialized table size).
+    pub fn charset_len(&self) -> usize {
+        if self.full_byte {
+            0 // identity mapping needs no stored table
+        } else {
+            self.charset.len()
+        }
+    }
+
+    /// The effective base `M = 2^bits`.
+    pub fn base(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Map the first `width_chars` characters of `s` to a base-`M` integer,
+    /// padding missing positions with the *smallest* character (rank 0).
+    pub fn map_min(&self, s: &[u8], width_chars: usize) -> u128 {
+        self.map_with_padding(s, width_chars, 0)
+    }
+
+    /// Like [`Self::map_min`] but padding with the *largest* digit `M − 1`.
+    pub fn map_max(&self, s: &[u8], width_chars: usize) -> u128 {
+        self.map_with_padding(s, width_chars, (1u32 << self.bits) - 1)
+    }
+
+    fn map_with_padding(&self, s: &[u8], width_chars: usize, pad_digit: u32) -> u128 {
+        if self.bits == 0 || width_chars == 0 {
+            return 0;
+        }
+        let mut acc: u128 = 0;
+        for pos in 0..width_chars {
+            let digit = if pos < s.len() {
+                if self.full_byte {
+                    s[pos] as u32
+                } else {
+                    self.ranks[s[pos] as usize] as u32
+                }
+            } else {
+                pad_digit
+            };
+            acc = (acc << self.bits) | digit as u128;
+        }
+        acc
+    }
+
+    /// Decode the first `take` characters out of a mapped integer that was
+    /// encoded with `total` digit positions, appending them to `out`.
+    pub fn decode_digits(&self, mapped: u128, total: usize, take: usize, out: &mut Vec<u8>) {
+        if self.bits == 0 {
+            // Single-character (or empty) alphabet: the characters are all the
+            // lone charset entry.
+            if let Some(&c) = self.charset.first() {
+                out.extend(std::iter::repeat(c).take(take));
+            }
+            return;
+        }
+        let mask: u128 = (1u128 << self.bits) - 1;
+        for pos in 0..take {
+            let shift = (total - 1 - pos) as u32 * self.bits as u32;
+            let digit = ((mapped >> shift) & mask) as usize;
+            let byte = if self.full_byte {
+                digit as u8
+            } else {
+                self.charset[digit.min(self.charset.len() - 1)]
+            };
+            out.push(byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduced_charset_uses_fewer_bits() {
+        let suffixes = [b"abc".as_slice(), b"cab".as_slice(), b"bca".as_slice()];
+        let t = CharTable::build(&suffixes, false);
+        assert_eq!(t.charset_len(), 3);
+        assert_eq!(t.bits_per_char(), 2);
+        assert_eq!(t.base(), 4);
+    }
+
+    #[test]
+    fn lower_case_letters_use_five_bits() {
+        let strings: Vec<Vec<u8>> = (b'a'..=b'z').map(|c| vec![c, c]).collect();
+        let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        let t = CharTable::build(&refs, false);
+        assert_eq!(t.bits_per_char(), 5);
+        assert_eq!(t.base(), 32);
+    }
+
+    #[test]
+    fn mapping_is_order_preserving_for_equal_length() {
+        let suffixes = [b"apple".as_slice(), b"bears".as_slice(), b"candy".as_slice()];
+        let t = CharTable::build(&suffixes, false);
+        let a = t.map_min(b"apple", 5);
+        let b = t.map_min(b"bears", 5);
+        let c = t.map_min(b"candy", 5);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn min_and_max_padding_bracket_prefix_extensions() {
+        let suffixes = [b"ab".as_slice(), b"abzzz".as_slice()];
+        let t = CharTable::build(&suffixes, false);
+        let lo = t.map_min(b"ab", 5);
+        let hi = t.map_max(b"ab", 5);
+        let extended = t.map_min(b"abzzz", 5);
+        assert!(lo <= extended && extended <= hi);
+    }
+
+    #[test]
+    fn decode_digits_round_trip() {
+        let suffixes = [b"hello".as_slice(), b"world".as_slice()];
+        let t = CharTable::build(&suffixes, false);
+        let mapped = t.map_min(b"hello", 8);
+        let mut out = Vec::new();
+        t.decode_digits(mapped, 8, 5, &mut out);
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn full_byte_identity() {
+        let t = CharTable::build(&[], true);
+        assert_eq!(t.bits_per_char(), 8);
+        let mapped = t.map_min(&[0xFF, 0x00, 0x7F], 3);
+        let mut out = Vec::new();
+        t.decode_digits(mapped, 3, 3, &mut out);
+        assert_eq!(out, vec![0xFF, 0x00, 0x7F]);
+    }
+
+    #[test]
+    fn single_character_alphabet() {
+        let suffixes = [b"aaa".as_slice(), b"a".as_slice()];
+        let t = CharTable::build(&suffixes, false);
+        assert_eq!(t.bits_per_char(), 1);
+        let mut out = Vec::new();
+        t.decode_digits(t.map_min(b"aaa", 3), 3, 3, &mut out);
+        assert_eq!(out, b"aaa");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_decode_round_trip(s in proptest::collection::vec(any::<u8>(), 0..14)) {
+            let refs = [s.as_slice()];
+            let t = CharTable::build(&refs, false);
+            let width = s.len().max(1);
+            let mapped = t.map_min(&s, width);
+            let mut out = Vec::new();
+            t.decode_digits(mapped, width, s.len(), &mut out);
+            prop_assert_eq!(out, s);
+        }
+
+        #[test]
+        fn prop_order_preserved_same_charset(
+            mut strings in proptest::collection::vec(proptest::collection::vec(b'a'..=b'f', 6), 2..20)
+        ) {
+            let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+            let t = CharTable::build(&refs, false);
+            let mapped: Vec<u128> = strings.iter().map(|s| t.map_min(s, 6)).collect();
+            strings.sort();
+            let mut sorted_mapped: Vec<u128> = mapped.clone();
+            sorted_mapped.sort();
+            let remapped: Vec<u128> = strings.iter().map(|s| t.map_min(s, 6)).collect();
+            prop_assert_eq!(remapped, sorted_mapped);
+        }
+    }
+}

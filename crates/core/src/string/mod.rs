@@ -1,0 +1,471 @@
+//! String extension (§3.4): LeCo for (mostly unique) string columns.
+//!
+//! Per partition the encoder:
+//!
+//! 1. extracts the common prefix and stores it once in the header,
+//! 2. shrinks the character set of the remaining suffixes and rounds the base
+//!    up to a power of two `M = 2^m`, so digit extraction is a shift + mask
+//!    instead of a division/modulo,
+//! 3. maps each suffix to an order-preserving base-`M` integer, padded to the
+//!    partition's maximum suffix length, choosing the padding *adaptively*
+//!    from the model prediction so that the stored delta is minimised, and
+//! 4. fits a linear model over the mapped integers and stores bit-packed
+//!    deltas, exactly like the integer pipeline.
+//!
+//! Mapped integers use up to [`MAX_MAPPED_BITS`] bits (u128 arithmetic);
+//! suffix characters beyond that budget are stored verbatim in a per-value
+//! tail so the scheme stays lossless for arbitrarily long strings.
+
+pub mod mapping;
+
+use crate::model::Model;
+use crate::regressor::linear::fit_linear;
+use leco_bitpack::{BitWriter, stream::read_bits};
+use mapping::CharTable;
+
+/// Maximum number of bits a mapped suffix integer may use.
+pub const MAX_MAPPED_BITS: u32 = 120;
+
+/// Configuration of the string compressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StringConfig {
+    /// Values per partition.
+    pub partition_len: usize,
+    /// If `true`, skip character-set reduction and map raw bytes (8 bits per
+    /// character).  This is the "large base" configuration of Figure 15;
+    /// the default reduces the character set to the smallest power of two.
+    pub full_byte_charset: bool,
+}
+
+impl Default for StringConfig {
+    fn default() -> Self {
+        Self { partition_len: 1024, full_byte_charset: false }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StringPartition {
+    start: usize,
+    /// Common prefix shared by every string in the partition.
+    prefix: Vec<u8>,
+    /// Character table of the suffixes.
+    chars: CharTable,
+    /// Number of suffix characters folded into the mapped integer.
+    mapped_chars: usize,
+    /// Linear model over the mapped integers.
+    model: Model,
+    /// Exact minimum delta.
+    bias: i128,
+    /// Bits per stored delta (≤ 127, stored in two reads when > 64).
+    width: u8,
+    /// Bit offset of this partition's deltas.
+    bit_offset: u64,
+    /// Bit offset of this partition's suffix lengths.
+    len_bit_offset: u64,
+    /// Bits per stored suffix length.
+    len_width: u8,
+    /// Verbatim tails of strings whose suffix exceeded the mapped budget,
+    /// concatenated; `tail_ranges[local]` indexes into it.
+    tails: Vec<u8>,
+    tail_ranges: Vec<(u32, u32)>,
+}
+
+/// A compressed string column.
+#[derive(Debug, Clone)]
+pub struct CompressedStrings {
+    partitions: Vec<StringPartition>,
+    /// Packed deltas of every partition.
+    payload: Vec<u64>,
+    payload_bits: usize,
+    /// Packed suffix lengths of every partition.
+    len_payload: Vec<u64>,
+    len_payload_bits: usize,
+    len: usize,
+    partition_len: usize,
+    raw_bytes: usize,
+}
+
+/// Write a value of up to 127 bits as two chunks.
+fn write_wide(w: &mut BitWriter, value: u128, width: u8) {
+    if width == 0 {
+        return;
+    }
+    if width <= 64 {
+        w.write(value as u64, width);
+    } else {
+        w.write(value as u64, 64);
+        w.write((value >> 64) as u64, width - 64);
+    }
+}
+
+/// Read a value of up to 127 bits written by [`write_wide`].
+fn read_wide(words: &[u64], bit_pos: usize, width: u8) -> u128 {
+    if width == 0 {
+        return 0;
+    }
+    if width <= 64 {
+        read_bits(words, bit_pos, width) as u128
+    } else {
+        let lo = read_bits(words, bit_pos, 64) as u128;
+        let hi = read_bits(words, bit_pos + 64, width - 64) as u128;
+        lo | (hi << 64)
+    }
+}
+
+fn bits_for_u128(v: u128) -> u8 {
+    (128 - v.leading_zeros()) as u8
+}
+
+/// Longest common prefix of a batch of strings.
+fn common_prefix<'a>(strings: &[&'a [u8]]) -> &'a [u8] {
+    let first = match strings.first() {
+        Some(f) => *f,
+        None => return &[],
+    };
+    let mut len = first.len();
+    for s in &strings[1..] {
+        len = len.min(s.len());
+        while len > 0 && s[..len] != first[..len] {
+            len -= 1;
+        }
+        if len == 0 {
+            break;
+        }
+    }
+    &first[..len]
+}
+
+impl CompressedStrings {
+    /// Compress a string column.
+    pub fn encode(strings: &[&[u8]], config: StringConfig) -> Self {
+        let raw_bytes = strings.iter().map(|s| s.len()).sum::<usize>() + strings.len() * 4;
+        let mut result = Self {
+            partitions: Vec::new(),
+            payload: Vec::new(),
+            payload_bits: 0,
+            len_payload: Vec::new(),
+            len_payload_bits: 0,
+            len: strings.len(),
+            partition_len: config.partition_len.max(1),
+            raw_bytes,
+        };
+        if strings.is_empty() {
+            return result;
+        }
+        let mut delta_writer = BitWriter::new();
+        let mut len_writer = BitWriter::new();
+        let mut start = 0usize;
+        while start < strings.len() {
+            let len = result.partition_len.min(strings.len() - start);
+            let slice = &strings[start..start + len];
+            let part = encode_partition(slice, start, config, &mut delta_writer, &mut len_writer);
+            result.partitions.push(part);
+            start += len;
+        }
+        let (payload, payload_bits) = delta_writer.finish();
+        let (len_payload, len_payload_bits) = len_writer.finish();
+        result.payload = payload;
+        result.payload_bits = payload_bits;
+        result.len_payload = len_payload;
+        result.len_payload_bits = len_payload_bits;
+        result
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Compressed size in bytes: per-partition headers (prefix, character
+    /// set, model, bias, widths), packed suffix lengths, packed deltas and
+    /// verbatim tails.
+    pub fn size_bytes(&self) -> usize {
+        let headers: usize = self
+            .partitions
+            .iter()
+            .map(|p| {
+                2 + p.prefix.len()
+                    + 1 + p.chars.charset_len()
+                    + p.model.size_bytes()
+                    + 7 // bias varint (typical) + width + len_width
+                    + p.tails.len()
+                    + p.tail_ranges.iter().filter(|r| r.1 > r.0).count() * 4
+            })
+            .sum();
+        headers
+            + leco_bitpack::div_ceil(self.payload_bits, 8)
+            + leco_bitpack::div_ceil(self.len_payload_bits, 8)
+    }
+
+    /// Compression ratio against the raw strings plus a 4-byte offset each
+    /// (the same accounting used for FSST in §4.7).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 0.0;
+        }
+        self.size_bytes() as f64 / self.raw_bytes as f64
+    }
+
+    /// Random access: decode string `i`.
+    pub fn get(&self, i: usize) -> Vec<u8> {
+        assert!(i < self.len, "index {i} out of bounds");
+        let p = &self.partitions[i / self.partition_len];
+        let local = i - p.start;
+        // Suffix length.
+        let suffix_len = if p.len_width == 0 {
+            0
+        } else {
+            read_bits(&self.len_payload, p.len_bit_offset as usize + local * p.len_width as usize, p.len_width) as usize
+        };
+        // Mapped integer = model prediction + bias + delta.
+        let packed = read_wide(
+            &self.payload,
+            p.bit_offset as usize + local * p.width as usize,
+            p.width,
+        );
+        let mapped = (p.model.predict_floor(local) + p.bias + packed as i128) as u128;
+        let mapped_chars = suffix_len.min(p.mapped_chars);
+        let mut out = Vec::with_capacity(p.prefix.len() + suffix_len);
+        out.extend_from_slice(&p.prefix);
+        p.chars.decode_digits(mapped, p.mapped_chars, mapped_chars, &mut out);
+        // Tail characters beyond the mapped budget.
+        let (t0, t1) = p.tail_ranges[local];
+        out.extend_from_slice(&p.tails[t0 as usize..t1 as usize]);
+        out
+    }
+
+    /// Decode every string.
+    pub fn decode_all(&self) -> Vec<Vec<u8>> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Encode one partition.
+fn encode_partition(
+    slice: &[&[u8]],
+    start: usize,
+    config: StringConfig,
+    delta_writer: &mut BitWriter,
+    len_writer: &mut BitWriter,
+) -> StringPartition {
+    let prefix = common_prefix(slice).to_vec();
+    let suffixes: Vec<&[u8]> = slice.iter().map(|s| &s[prefix.len()..]).collect();
+    let chars = CharTable::build(&suffixes, config.full_byte_charset);
+    let bits_per_char = chars.bits_per_char();
+    let max_suffix_len = suffixes.iter().map(|s| s.len()).max().unwrap_or(0);
+    // Cap the number of characters folded into the mapped integer.
+    let mapped_chars = if bits_per_char == 0 {
+        0
+    } else {
+        max_suffix_len.min((MAX_MAPPED_BITS / bits_per_char as u32) as usize)
+    };
+
+    // Order-preserving mapped integers (minimum padding) used for fitting.
+    let mins: Vec<u128> = suffixes.iter().map(|s| chars.map_min(s, mapped_chars)).collect();
+    let ys: Vec<f64> = {
+        let base = mins[0];
+        mins.iter()
+            .map(|&m| {
+                if m >= base {
+                    (m - base) as f64
+                } else {
+                    -((base - m) as f64)
+                }
+            })
+            .collect()
+    };
+    let model = fit_linear(&ys);
+
+    // Adaptive padding: choose the padded integer closest to the prediction
+    // within [map_min, map_max]; compute exact deltas against that choice.
+    let mut deltas: Vec<i128> = Vec::with_capacity(slice.len());
+    for (local, s) in suffixes.iter().enumerate() {
+        let lo = chars.map_min(s, mapped_chars);
+        let hi = chars.map_max(s, mapped_chars);
+        let pred = model.predict_floor(local);
+        let chosen: u128 = if pred <= 0 {
+            lo
+        } else {
+            let pred_u = pred as u128;
+            pred_u.clamp(lo, hi)
+        };
+        deltas.push(chosen as i128 - pred);
+    }
+    let bias = *deltas.iter().min().expect("non-empty partition");
+    let spread = (*deltas.iter().max().expect("non-empty") - bias) as u128;
+    let width = bits_for_u128(spread);
+
+    let bit_offset = delta_writer.len_bits() as u64;
+    for &d in &deltas {
+        write_wide(delta_writer, (d - bias) as u128, width);
+    }
+
+    // Suffix lengths (capped at mapped budget for digit extraction; the full
+    // length is implicit from the tail range).
+    let len_width = leco_bitpack::bits_for(max_suffix_len.min(u32::MAX as usize) as u64);
+    let len_bit_offset = len_writer.len_bits() as u64;
+    for s in &suffixes {
+        len_writer.write(s.len().min(mapped_chars) as u64, len_width);
+    }
+
+    // Tails for suffixes longer than the mapped budget.
+    let mut tails = Vec::new();
+    let mut tail_ranges = Vec::with_capacity(slice.len());
+    for s in &suffixes {
+        let t0 = tails.len() as u32;
+        if s.len() > mapped_chars {
+            tails.extend_from_slice(&s[mapped_chars..]);
+        }
+        tail_ranges.push((t0, tails.len() as u32));
+    }
+
+    StringPartition {
+        start,
+        prefix,
+        chars,
+        mapped_chars,
+        model,
+        bias,
+        width,
+        bit_offset,
+        len_bit_offset,
+        len_width,
+        tails,
+        tail_ranges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn as_refs(strings: &[Vec<u8>]) -> Vec<&[u8]> {
+        strings.iter().map(|s| s.as_slice()).collect()
+    }
+
+    fn emails(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("com.mail@user{:06}", i * 13).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_emails() {
+        let strings = emails(3_000);
+        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig::default());
+        assert_eq!(c.decode_all(), strings);
+        assert_eq!(c.get(1_234), strings[1_234]);
+    }
+
+    #[test]
+    fn round_trip_full_byte_charset() {
+        let strings = emails(500);
+        let cfg = StringConfig { partition_len: 128, full_byte_charset: true };
+        let c = CompressedStrings::encode(&as_refs(&strings), cfg);
+        assert_eq!(c.decode_all(), strings);
+    }
+
+    #[test]
+    fn sorted_hex_strings_compress_well() {
+        let strings: Vec<Vec<u8>> = (0..50_000u64).map(|i| format!("{:08x}", i * 977).into_bytes()).collect();
+        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig::default());
+        assert_eq!(c.get(49_999), strings[49_999]);
+        assert!(
+            c.compression_ratio() < 0.6,
+            "ratio {} should show compression on sorted hex",
+            c.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn handles_empty_strings_and_varied_lengths() {
+        let strings: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcdefghijklmnopqrstuvwxyz-very-long-string-beyond-the-mapped-budget".to_vec(),
+            b"ab".to_vec(),
+        ];
+        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig { partition_len: 4, full_byte_charset: false });
+        assert_eq!(c.decode_all(), strings);
+    }
+
+    #[test]
+    fn common_prefix_extraction() {
+        let strings = [b"prefix_aaa".as_slice(), b"prefix_abc".as_slice(), b"prefix_b".as_slice()];
+        assert_eq!(common_prefix(&strings), b"prefix_");
+        let strings = [b"xyz".as_slice(), b"abc".as_slice()];
+        assert_eq!(common_prefix(&strings), b"");
+        assert_eq!(common_prefix(&[]), b"");
+    }
+
+    #[test]
+    fn wide_write_read_round_trip() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u128, u8)> = vec![
+            (0, 1),
+            ((1u128 << 100) - 3, 100),
+            (u128::MAX >> 1, 127),
+            (12345, 64),
+            ((1u128 << 70) + 7, 71),
+        ];
+        for &(v, width) in &values {
+            write_wide(&mut w, v, width);
+        }
+        let (words, _) = w.finish();
+        let mut pos = 0usize;
+        for &(v, width) in &values {
+            assert_eq!(read_wide(&words, pos, width), v, "width {width}");
+            pos += width as usize;
+        }
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = CompressedStrings::encode(&[], StringConfig::default());
+        assert!(c.is_empty());
+        assert_eq!(c.size_bytes() as u64, 0);
+    }
+
+    #[test]
+    fn binary_strings_round_trip() {
+        let strings: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i, 255 - i, 0, i / 2]).collect();
+        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig { partition_len: 64, full_byte_charset: false });
+        assert_eq!(c.decode_all(), strings);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_round_trip(strings in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24), 1..80),
+            full_byte in any::<bool>(),
+            partition_len in 1usize..40)
+        {
+            let refs = as_refs(&strings);
+            let c = CompressedStrings::encode(&refs, StringConfig { partition_len, full_byte_charset: full_byte });
+            prop_assert_eq!(c.decode_all(), strings.clone());
+            for (i, s) in strings.iter().enumerate() {
+                prop_assert_eq!(&c.get(i), s);
+            }
+        }
+
+        #[test]
+        fn prop_ascii_round_trip(strings in proptest::collection::vec("[a-z]{0,20}", 1..60)) {
+            let bytes: Vec<Vec<u8>> = strings.iter().map(|s| s.clone().into_bytes()).collect();
+            let refs = as_refs(&bytes);
+            let c = CompressedStrings::encode(&refs, StringConfig::default());
+            prop_assert_eq!(c.decode_all(), bytes);
+        }
+    }
+}

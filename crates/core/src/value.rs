@@ -1,0 +1,136 @@
+//! Value-type abstraction.
+//!
+//! LeCo operates internally on `u64` sequences.  Signed and 32-bit integer
+//! columns are mapped to `u64` through an *order-preserving* bijection so that
+//! serial patterns (monotonicity, piecewise linearity) survive the conversion,
+//! and so the benchmark harness can report compression ratios against the
+//! original value width.
+
+/// An integer type that can be stored in a LeCo column.
+///
+/// The mapping to `u64` must be order preserving: `a < b ⇔ a.to_ordered_u64()
+/// < b.to_ordered_u64()`.
+pub trait LecoInt: Copy + Ord + std::fmt::Debug {
+    /// Width of the original type in bytes (used for compression-ratio
+    /// accounting).
+    const WIDTH_BYTES: usize;
+
+    /// Map to `u64`, preserving order.
+    fn to_ordered_u64(self) -> u64;
+
+    /// Inverse of [`Self::to_ordered_u64`].
+    fn from_ordered_u64(v: u64) -> Self;
+}
+
+impl LecoInt for u64 {
+    const WIDTH_BYTES: usize = 8;
+
+    #[inline]
+    fn to_ordered_u64(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn from_ordered_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl LecoInt for u32 {
+    const WIDTH_BYTES: usize = 4;
+
+    #[inline]
+    fn to_ordered_u64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_ordered_u64(v: u64) -> Self {
+        v as u32
+    }
+}
+
+impl LecoInt for i64 {
+    const WIDTH_BYTES: usize = 8;
+
+    #[inline]
+    fn to_ordered_u64(self) -> u64 {
+        // Flip the sign bit: i64::MIN -> 0, -1 -> 0x7FFF.., 0 -> 0x8000.., MAX -> u64::MAX.
+        (self as u64) ^ (1u64 << 63)
+    }
+
+    #[inline]
+    fn from_ordered_u64(v: u64) -> Self {
+        (v ^ (1u64 << 63)) as i64
+    }
+}
+
+impl LecoInt for i32 {
+    const WIDTH_BYTES: usize = 4;
+
+    #[inline]
+    fn to_ordered_u64(self) -> u64 {
+        ((self as u32) ^ (1u32 << 31)) as u64
+    }
+
+    #[inline]
+    fn from_ordered_u64(v: u64) -> Self {
+        ((v as u32) ^ (1u32 << 31)) as i32
+    }
+}
+
+/// Convert a slice of any [`LecoInt`] into the internal `u64` representation.
+pub fn to_ordered_u64s<T: LecoInt>(values: &[T]) -> Vec<u64> {
+    values.iter().map(|v| v.to_ordered_u64()).collect()
+}
+
+/// Convert back from the internal representation.
+pub fn from_ordered_u64s<T: LecoInt>(values: &[u64]) -> Vec<T> {
+    values.iter().map(|&v| T::from_ordered_u64(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i64_mapping_is_order_preserving_on_extremes() {
+        let values = [i64::MIN, -1, 0, 1, i64::MAX];
+        for w in values.windows(2) {
+            assert!(w[0].to_ordered_u64() < w[1].to_ordered_u64());
+        }
+    }
+
+    #[test]
+    fn i32_round_trip_extremes() {
+        for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+            assert_eq!(i32::from_ordered_u64(v.to_ordered_u64()), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_i64_round_trip_and_order(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(i64::from_ordered_u64(a.to_ordered_u64()), a);
+            prop_assert_eq!(a.cmp(&b), a.to_ordered_u64().cmp(&b.to_ordered_u64()));
+        }
+
+        #[test]
+        fn prop_i32_round_trip_and_order(a in any::<i32>(), b in any::<i32>()) {
+            prop_assert_eq!(i32::from_ordered_u64(a.to_ordered_u64()), a);
+            prop_assert_eq!(a.cmp(&b), a.to_ordered_u64().cmp(&b.to_ordered_u64()));
+        }
+
+        #[test]
+        fn prop_u32_round_trip(a in any::<u32>()) {
+            prop_assert_eq!(u32::from_ordered_u64(a.to_ordered_u64()), a);
+        }
+
+        #[test]
+        fn prop_slice_round_trip(values in proptest::collection::vec(any::<i64>(), 0..100)) {
+            let u = to_ordered_u64s(&values);
+            prop_assert_eq!(from_ordered_u64s::<i64>(&u), values);
+        }
+    }
+}

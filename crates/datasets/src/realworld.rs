@@ -1,0 +1,276 @@
+//! Synthetic stand-ins for the real-world data sets of §4.1.
+//!
+//! Each generator reproduces the distribution *shape* that drives a serial-
+//! correlation compressor on the corresponding real data set: sortedness,
+//! gap distribution, plateaus, repeated runs, piecewise structure and local
+//! noise.  The shapes are chosen so the data sets land in the same regions of
+//! the local/global hardness plane as Figure 9b (e.g. `linear`/`normal`/
+//! `libio` locally easy, `osm`/`facebook` locally hard, `movieid`/
+//! `house_price` globally hard but locally easy).
+
+use crate::synthetic::std_normal;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sorted sequence built from i.i.d. positive gaps produced by `gap`.
+fn from_gaps(n: usize, start: u64, mut gap: impl FnMut() -> u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut v = start;
+    for _ in 0..n {
+        out.push(v);
+        v = v.saturating_add(gap());
+    }
+    out
+}
+
+/// Pareto-like heavy-tailed gap: mostly small, occasionally huge.
+fn heavy_tail_gap(rng: &mut StdRng, scale: f64, alpha: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (scale / u.powf(1.0 / alpha)) as u64 + 1
+}
+
+/// `ml`: sorted accelerometer timestamps — long stretches of regular sampling
+/// interrupted by session gaps.
+pub fn ml_timestamps(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut v: u64 = 1_493_700_000_000;
+    let mut out = Vec::with_capacity(n);
+    let mut remaining_in_session = 0usize;
+    for _ in 0..n {
+        if remaining_in_session == 0 {
+            remaining_in_session = rng.gen_range(2_000..20_000);
+            v += rng.gen_range(1_000_000..100_000_000); // session gap
+        }
+        out.push(v);
+        v += 40 + rng.gen_range(0..4); // ~25 Hz sampling with jitter
+        remaining_in_session -= 1;
+    }
+    out
+}
+
+/// `booksale`: 32-bit sorted Amazon sale ranks — heavy-tailed gaps.
+pub fn booksale(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let target_max = 4.0e9;
+    let scale = target_max / (n as f64) / 3.0;
+    let mut v = from_gaps(n, 0, || heavy_tail_gap(rng, scale, 1.3));
+    // Clamp into u32 range while keeping sortedness.
+    let max = *v.last().expect("non-empty");
+    if max > u32::MAX as u64 {
+        let ratio = u32::MAX as f64 / max as f64;
+        for x in &mut v {
+            *x = (*x as f64 * ratio) as u64;
+        }
+    }
+    v
+}
+
+/// `facebook`: 64-bit sorted user ids — dense plateaus separated by huge
+/// jumps (id blocks allocated per shard), locally hard.
+pub fn facebook_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut base: u64 = 1 << 32;
+    let mut i = 0usize;
+    while i < n {
+        let block = rng.gen_range(1_000..50_000).min(n - i);
+        for _ in 0..block {
+            base += heavy_tail_gap(rng, 20.0, 1.1);
+            out.push(base);
+        }
+        base = base.saturating_add(rng.gen_range(1u64 << 36..1u64 << 44));
+        i += block;
+    }
+    out
+}
+
+/// `wiki`: 64-bit sorted edit timestamps — near-uniform arrival with daily
+/// periodic intensity.
+pub fn wiki_timestamps(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut v: u64 = 1_200_000_000;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let phase = (i as f64 / n as f64) * 400.0 * std::f64::consts::TAU;
+        let intensity = 1.5 + phase.sin();
+        out.push(v);
+        v += (rng.gen_range(1.0..8.0) / intensity) as u64 + 1;
+    }
+    out
+}
+
+/// `osm`: 64-bit sorted OpenStreetMap cell ids — extremely irregular gap
+/// distribution spanning many orders of magnitude (locally hard).
+pub fn osm_cellids(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    from_gaps(n, 1 << 40, || {
+        let magnitude = rng.gen_range(0u32..36);
+        rng.gen_range(1u64..16) << magnitude
+    })
+}
+
+/// `movieid`: 32-bit *unsorted* "liked movie" ids — per-user bursts of nearly
+/// consecutive ids with jumps between users (the Figure 1 motivating shape).
+pub fn movieid(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        let burst = rng.gen_range(20..500).min(n - i);
+        let start = rng.gen_range(1..80_000u64);
+        let stride = rng.gen_range(1..4u64);
+        for k in 0..burst {
+            out.push(start + k as u64 * stride + rng.gen_range(0..2));
+        }
+        i += burst;
+    }
+    out
+}
+
+/// `house_price`: 32-bit sorted prices — long runs of identical round prices
+/// plus jumps between price bands (globally hard, locally very easy).
+pub fn house_price(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut price: u64 = 45_000;
+    while out.len() < n {
+        let run = rng.gen_range(1..60).min(n - out.len());
+        for _ in 0..run {
+            out.push(price);
+        }
+        // Prices move in round increments, occasionally jumping a band.
+        let step = if rng.gen_bool(0.02) {
+            rng.gen_range(50_000..500_000)
+        } else {
+            rng.gen_range(0..50) * 100
+        };
+        price += step;
+    }
+    out
+}
+
+/// `planet`: 64-bit sorted planet object ids — near-dense with deletions.
+pub fn planet_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    from_gaps(n, 100_000_000, || if rng.gen_bool(0.85) { 1 } else { rng.gen_range(2..2_000) })
+}
+
+/// `libio`: 64-bit sorted repository ids — near-dense, very gentle growth.
+pub fn libio_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    from_gaps(n, 1_000, || rng.gen_range(1..6))
+}
+
+/// `medicare`: augmented 64-bit ids without order (the §4.5 probe column).
+pub fn medicare(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // Dictionary-friendly: values drawn from a moderately sized id universe
+    // with skew, then left unsorted.
+    let universe = (n / 4).max(1_000) as u64;
+    (0..n)
+        .map(|_| {
+            let z = rng.gen_range(0.0f64..1.0).powf(2.0);
+            1_000_000_007u64 + (z * universe as f64) as u64 * 97
+        })
+        .collect()
+}
+
+/// `site`: sorted 32-bit column with a stepped CDF (website session counts).
+pub fn site(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| {
+            let z: f64 = rng.gen_range(0.0..1.0);
+            (z.powf(3.0) * 35_000.0) as u64
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// `weight`: sorted 32-bit column, near-normal (weights × heights data).
+pub fn weight(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| (6.75e6 + std_normal(rng) * 2.0e5).max(6.0e6) as u64)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// `adult`: sorted 32-bit census column with heavy repetition at round values.
+pub fn adult(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                rng.gen_range(0..40u64) * 2_500
+            } else {
+                rng.gen_range(0..1_500_000u64)
+            }
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sorted_generators_are_sorted() {
+        let checks: Vec<(&str, Vec<u64>)> = vec![
+            ("ml", ml_timestamps(20_000, &mut rng())),
+            ("booksale", booksale(20_000, &mut rng())),
+            ("facebook", facebook_ids(20_000, &mut rng())),
+            ("wiki", wiki_timestamps(20_000, &mut rng())),
+            ("osm", osm_cellids(20_000, &mut rng())),
+            ("house_price", house_price(20_000, &mut rng())),
+            ("planet", planet_ids(20_000, &mut rng())),
+            ("libio", libio_ids(20_000, &mut rng())),
+            ("site", site(20_000, &mut rng())),
+            ("weight", weight(20_000, &mut rng())),
+            ("adult", adult(20_000, &mut rng())),
+        ];
+        for (name, v) in checks {
+            assert_eq!(v.len(), 20_000, "{name}");
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "{name} should be sorted");
+        }
+    }
+
+    #[test]
+    fn booksale_fits_u32() {
+        let v = booksale(50_000, &mut rng());
+        assert!(v.iter().all(|&x| x <= u32::MAX as u64));
+    }
+
+    #[test]
+    fn movieid_has_bursty_structure() {
+        let v = movieid(50_000, &mut rng());
+        // Within bursts the first-order gaps are tiny; across bursts they jump.
+        let small_gaps = v
+            .windows(2)
+            .filter(|w| (w[1] as i64 - w[0] as i64).unsigned_abs() <= 4)
+            .count();
+        assert!(small_gaps as f64 / v.len() as f64 > 0.8, "bursts should dominate");
+        assert!(v.iter().all(|&x| x <= u32::MAX as u64));
+    }
+
+    #[test]
+    fn house_price_has_long_runs() {
+        let v = house_price(50_000, &mut rng());
+        let repeats = v.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats as f64 / v.len() as f64 > 0.5, "expected many repeated prices");
+    }
+
+    #[test]
+    fn osm_gaps_span_many_orders_of_magnitude() {
+        let v = osm_cellids(50_000, &mut rng());
+        let gaps: Vec<u64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+        let small = gaps.iter().filter(|&&g| g < 100).count();
+        let large = gaps.iter().filter(|&&g| g > 1_000_000).count();
+        assert!(small > 0 && large > 0);
+    }
+
+    #[test]
+    fn medicare_has_bounded_cardinality() {
+        let v = medicare(100_000, &mut rng());
+        let mut distinct = v.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() < v.len() / 2, "probe column should have repeated join keys");
+    }
+}

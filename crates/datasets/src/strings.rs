@@ -1,0 +1,89 @@
+//! String data sets of §4.7: `email`, `hex` and `word`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `email`: host-reversed email addresses (sorted), average ~15 bytes.
+pub fn email(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    const HOSTS: [&str; 6] = ["com.gmail", "com.yahoo", "com.outlook", "org.mail", "net.fast", "de.web"];
+    const NAMES: [&str; 8] = ["alex", "sam", "kim", "lee", "pat", "max", "joe", "ana"];
+    let mut out: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            let host = HOSTS[rng.gen_range(0..HOSTS.len())];
+            let name = NAMES[rng.gen_range(0..NAMES.len())];
+            let num: u32 = rng.gen_range(0..99_999);
+            format!("{host}@{name}{num}").into_bytes()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// `hex`: sorted hexadecimal strings of up to 8 characters.
+pub fn hex(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..0xFFFF_FFFFu64)).collect();
+    values.sort_unstable();
+    values.dedup();
+    while values.len() < n {
+        values.push(values.last().copied().unwrap_or(0) + 1);
+    }
+    values.into_iter().take(n).map(|v| format!("{v:08x}").into_bytes()).collect()
+}
+
+/// `word`: English-like words (sorted), average ~9 bytes, generated from
+/// syllables so the corpus has the repeating roots/suffixes FSST thrives on.
+pub fn word(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    const SYLLABLES: [&str; 16] = [
+        "an", "ber", "con", "der", "ing", "land", "ment", "ner", "ol", "pre", "qui", "ran", "ser",
+        "tion", "ver", "wor",
+    ];
+    const SUFFIX: [&str; 4] = ["", "s", "ed", "ly"];
+    let mut out: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            let parts = rng.gen_range(2..5);
+            let mut w = String::new();
+            for _ in 0..parts {
+                w.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+            }
+            w.push_str(SUFFIX[rng.gen_range(0..SUFFIX.len())]);
+            w.into_bytes()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn email_shape() {
+        let v = email(5_000, &mut rng());
+        assert_eq!(v.len(), 5_000);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]), "emails are sorted");
+        let avg: f64 = v.iter().map(|s| s.len()).sum::<usize>() as f64 / v.len() as f64;
+        assert!((12.0..20.0).contains(&avg), "avg len {avg}");
+    }
+
+    #[test]
+    fn hex_strings_are_sorted_8_chars() {
+        let v = hex(5_000, &mut rng());
+        assert!(v.iter().all(|s| s.len() == 8));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(v.iter().all(|s| s.iter().all(|c| c.is_ascii_hexdigit())));
+    }
+
+    #[test]
+    fn words_are_lowercase_and_repetitive() {
+        let v = word(5_000, &mut rng());
+        assert!(v.iter().all(|s| s.iter().all(|c| c.is_ascii_lowercase())));
+        let avg: f64 = v.iter().map(|s| s.len()).sum::<usize>() as f64 / v.len() as f64;
+        assert!((6.0..14.0).contains(&avg), "avg len {avg}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Purely synthetic data sets (§4.1): clean distributions with known ground
+//! truth, used to probe specific regressor families.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard-normal sample via Box–Muller (avoids an extra distribution crate).
+pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `linear`: 32-bit sorted integers following a clean linear distribution.
+pub fn linear(n: usize, _rng: &mut StdRng) -> Vec<u64> {
+    let max = u32::MAX as f64 * 0.95;
+    (0..n).map(|i| (i as f64 / n as f64 * max) as u64).collect()
+}
+
+/// `normal`: 32-bit sorted integers following a normal distribution.
+pub fn normal_sorted(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut values: Vec<u64> = (0..n)
+        .map(|_| {
+            let z = std_normal(rng);
+            let v = 2.1e9 + z * 3.0e8;
+            v.clamp(0.0, u32::MAX as f64) as u64
+        })
+        .collect();
+    values.sort_unstable();
+    values
+}
+
+/// `poisson`: 64-bit timestamps of a Poisson process collected from several
+/// distributed sensors — the merged stream is *almost* sorted but individual
+/// sensor clock skew introduces local inversions (the paper lists it among the
+/// not-fully-sorted sets).
+pub fn poisson_timestamps(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let sensors = 16usize;
+    let rate = 1.0 / 50_000.0; // events every ~50k ns on average
+    let mut clocks = vec![1_600_000_000_000_000_000u64; sensors];
+    // Give each sensor a constant skew.
+    let skews: Vec<i64> = (0..sensors).map(|_| rng.gen_range(-200_000..200_000)).collect();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = rng.gen_range(0..sensors);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() / rate) as u64 + 1;
+        clocks[s] += gap * sensors as u64;
+        out.push((clocks[s] as i64 + skews[s]) as u64);
+    }
+    out
+}
+
+/// `cosmos`: the cosmic-ray signal of §4.4,
+/// `(sin((x+10)/60π) + 0.1·sin(3(x+10)/60π))·10⁶ + N(0, 100)`.
+pub fn cosmos(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let signal = ((x + 10.0) / (60.0 * std::f64::consts::PI)).sin()
+                + 0.1 * (3.0 * (x + 10.0) / (60.0 * std::f64::consts::PI)).sin();
+            let noise = std_normal(rng) * 10.0;
+            let v = signal * 1.0e6 + noise + 2.0e6; // shift positive
+            v.max(0.0) as u64
+        })
+        .collect()
+}
+
+/// `polylog`: alternating polynomial and logarithm blocks of 500 records
+/// (a biological population growth curve).
+pub fn polylog(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let block = 500usize;
+    let mut out = Vec::with_capacity(n);
+    let mut base = 1_000_000.0f64;
+    let mut i = 0usize;
+    let mut which_poly = true;
+    while i < n {
+        let len = block.min(n - i);
+        if which_poly {
+            let a = rng.gen_range(0.5..4.0);
+            for k in 0..len {
+                let x = k as f64;
+                out.push((base + a * x * x) as u64);
+            }
+            base += a * (len as f64) * (len as f64);
+        } else {
+            let s = rng.gen_range(5_000.0..50_000.0);
+            for k in 0..len {
+                out.push((base + s * ((k + 1) as f64).ln()) as u64);
+            }
+            base += s * (len as f64).ln();
+        }
+        which_poly = !which_poly;
+        i += len;
+    }
+    out
+}
+
+/// `exp`: blockwise exponential growth with per-block parameters.
+pub fn exp_blocks(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let block = 2_000usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        let len = block.min(n - i);
+        let start = rng.gen_range(1.0e3..1.0e6);
+        let rate = rng.gen_range(0.002..0.012);
+        for k in 0..len {
+            let v = start * (rate * k as f64).exp();
+            out.push(v.min(1.7e15) as u64);
+        }
+        i += len;
+    }
+    out
+}
+
+/// `poly`: blockwise polynomial growth with per-block parameters.
+pub fn poly_blocks(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let block = 3_000usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        let len = block.min(n - i);
+        let a = rng.gen_range(0.001..0.1);
+        let b = rng.gen_range(1.0..500.0);
+        let c = rng.gen_range(0.0..1.0e6);
+        for k in 0..len {
+            let x = k as f64;
+            out.push((c + b * x + a * x * x * x) as u64);
+        }
+        i += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn linear_is_sorted_and_spans_u32() {
+        let v = linear(100_000, &mut rng());
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*v.last().unwrap() > 4_000_000_000);
+        assert!(v.iter().all(|&x| x <= u32::MAX as u64));
+    }
+
+    #[test]
+    fn normal_sorted_is_sorted_and_concentrated() {
+        let v = normal_sorted(50_000, &mut rng());
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let median = v[v.len() / 2] as f64;
+        assert!((median - 2.1e9).abs() < 1.0e8, "median {median}");
+    }
+
+    #[test]
+    fn poisson_has_positive_gaps_mostly() {
+        let v = poisson_timestamps(20_000, &mut rng());
+        let increasing = v.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(increasing as f64 / v.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn cosmos_oscillates() {
+        let v = cosmos(10_000, &mut rng());
+        let min = *v.iter().min().unwrap() as f64;
+        let max = *v.iter().max().unwrap() as f64;
+        assert!(max - min > 1.5e6, "amplitude {}", max - min);
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..100_000).map(|_| std_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn block_generators_produce_requested_length() {
+        assert_eq!(polylog(12_345, &mut rng()).len(), 12_345);
+        assert_eq!(exp_blocks(7_001, &mut rng()).len(), 7_001);
+        assert_eq!(poly_blocks(9_999, &mut rng()).len(), 9_999);
+    }
+}

@@ -1,0 +1,391 @@
+//! Multi-column tabular data sets (§4.6, Figure 13) and the sensor table of
+//! the end-to-end query experiments (§5.1).
+//!
+//! Each generator produces the *numeric* columns of the corresponding table,
+//! sorted by its primary-key column, with non-key columns exhibiting varying
+//! degrees of correlation with the sort order — the property Figure 13 links
+//! to per-table "sortedness".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small in-memory table: named numeric columns of equal length.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (paper label).
+    pub name: &'static str,
+    /// `(column name, values)` pairs.
+    pub columns: Vec<(&'static str, Vec<u64>)>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Average column sortedness (the Figure 13 table metric).
+    pub fn sortedness(&self) -> f64 {
+        if self.columns.is_empty() {
+            return 1.0;
+        }
+        self.columns.iter().map(|(_, c)| crate::sortedness(c)).sum::<f64>() / self.columns.len() as f64
+    }
+
+    /// Columns whose number of distinct values is at least `fraction` of the
+    /// row count (the "high-cardinality only" panel of Figure 13).
+    pub fn high_cardinality_columns(&self, fraction: f64) -> Vec<&(&'static str, Vec<u64>)> {
+        self.columns
+            .iter()
+            .filter(|(_, c)| {
+                let mut d = c.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.len() as f64 >= fraction * c.len() as f64
+            })
+            .collect()
+    }
+}
+
+/// The nine tabular data sets of Figure 13, generated at `rows` rows each.
+pub fn all_tables(rows: usize, seed: u64) -> Vec<Table> {
+    vec![
+        lineitem(rows, seed),
+        partsupp(rows, seed),
+        orders(rows, seed),
+        inventory(rows, seed),
+        catalog_sales(rows, seed),
+        date_dim(rows, seed),
+        geo(rows, seed),
+        stock(rows, seed),
+        course_info(rows, seed),
+    ]
+}
+
+fn rng_for(name: &str, seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(name.len() as u64))
+}
+
+/// TPC-H `lineitem`-like: orderkey-sorted, partkey/suppkey random, quantities
+/// and prices low-cardinality, dates loosely correlated with orderkey.
+pub fn lineitem(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("lineitem", seed);
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut ok = 1u64;
+    for _ in 0..rows {
+        orderkey.push(ok);
+        if rng.gen_bool(0.25) {
+            ok += rng.gen_range(1..8);
+        }
+    }
+    let partkey: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..200_000)).collect();
+    let suppkey: Vec<u64> = partkey.iter().map(|p| p % 10_000 + 1).collect();
+    let quantity: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..51)).collect();
+    let extendedprice: Vec<u64> = (0..rows)
+        .map(|i| quantity[i] * rng.gen_range(90_000..110_000) / 100)
+        .collect();
+    let shipdate: Vec<u64> = orderkey.iter().map(|&o| 19_920_101 + o / 800 + rng.gen_range(0..120)).collect();
+    let commitdate: Vec<u64> = shipdate.iter().map(|&d| d + rng.gen_range(0..90)).collect();
+    let receiptdate: Vec<u64> = shipdate.iter().map(|&d| d + rng.gen_range(0..30)).collect();
+    Table {
+        name: "lineitem",
+        columns: vec![
+            ("l_orderkey", orderkey),
+            ("l_partkey", partkey),
+            ("l_suppkey", suppkey),
+            ("l_quantity", quantity),
+            ("l_extendedprice", extendedprice),
+            ("l_shipdate", shipdate),
+            ("l_commitdate", commitdate),
+            ("l_receiptdate", receiptdate),
+        ],
+    }
+}
+
+/// TPC-H `partsupp`-like: partkey-sorted, 4 suppliers per part.
+pub fn partsupp(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("partsupp", seed);
+    let partkey: Vec<u64> = (0..rows).map(|i| (i / 4 + 1) as u64).collect();
+    let suppkey: Vec<u64> = (0..rows).map(|i| ((i % 4) * 2_500 + (i / 4) % 2_500 + 1) as u64).collect();
+    let availqty: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..10_000)).collect();
+    let supplycost: Vec<u64> = (0..rows).map(|_| rng.gen_range(100..100_000)).collect();
+    Table {
+        name: "partsupp",
+        columns: vec![
+            ("ps_partkey", partkey),
+            ("ps_suppkey", suppkey),
+            ("ps_availqty", availqty),
+            ("ps_supplycost", supplycost),
+        ],
+    }
+}
+
+/// TPC-H `orders`-like: orderkey-sorted, custkeys random, dates correlated.
+pub fn orders(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("orders", seed);
+    let orderkey: Vec<u64> = (0..rows).map(|i| (i as u64) * 4 + 1).collect();
+    let custkey: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..150_000)).collect();
+    let totalprice: Vec<u64> = (0..rows).map(|_| rng.gen_range(85_000..55_000_000)).collect();
+    let orderdate: Vec<u64> = orderkey.iter().map(|&o| 19_920_101 + o / 2_000 + rng.gen_range(0..30)).collect();
+    let shippriority: Vec<u64> = (0..rows).map(|_| 0).collect();
+    Table {
+        name: "orders",
+        columns: vec![
+            ("o_orderkey", orderkey),
+            ("o_custkey", custkey),
+            ("o_totalprice", totalprice),
+            ("o_orderdate", orderdate),
+            ("o_shippriority", shippriority),
+        ],
+    }
+}
+
+/// TPC-DS `inventory`-like: highly sorted composite key columns.
+pub fn inventory(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("inventory", seed);
+    let items = 2_000u64;
+    let date_sk: Vec<u64> = (0..rows).map(|i| 2_450_815 + (i as u64 / (items * 10)) * 7).collect();
+    let item_sk: Vec<u64> = (0..rows).map(|i| (i as u64 / 10) % items + 1).collect();
+    let warehouse_sk: Vec<u64> = (0..rows).map(|i| (i % 10) as u64 + 1).collect();
+    let quantity: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..1_000)).collect();
+    Table {
+        name: "inventory",
+        columns: vec![
+            ("inv_date_sk", date_sk),
+            ("inv_item_sk", item_sk),
+            ("inv_warehouse_sk", warehouse_sk),
+            ("inv_quantity_on_hand", quantity),
+        ],
+    }
+}
+
+/// TPC-DS `catalog_sales`-like: mostly uncorrelated fact columns.
+pub fn catalog_sales(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("catalog_sales", seed);
+    let mut columns: Vec<(&'static str, Vec<u64>)> = Vec::new();
+    let order: Vec<u64> = (0..rows).map(|i| i as u64 + 1).collect();
+    columns.push(("cs_order_number", order));
+    const NAMES: [&str; 12] = [
+        "cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk", "cs_ship_customer_sk",
+        "cs_warehouse_sk", "cs_promo_sk", "cs_quantity", "cs_wholesale_cost",
+        "cs_list_price", "cs_sales_price", "cs_ext_tax", "cs_net_profit",
+    ];
+    for (k, name) in NAMES.iter().enumerate() {
+        let hi = 1_000u64 * (k as u64 + 1) * 37;
+        columns.push((name, (0..rows).map(|_| rng.gen_range(0..hi.max(2))).collect()));
+    }
+    Table { name: "catalog_sales", columns }
+}
+
+/// TPC-DS `date_dim`-like: derived calendar columns, strongly sorted.
+pub fn date_dim(rows: usize, seed: u64) -> Table {
+    let _ = seed;
+    let date_sk: Vec<u64> = (0..rows).map(|i| 2_415_022 + i as u64).collect();
+    let year: Vec<u64> = (0..rows).map(|i| 1_900 + (i / 365) as u64).collect();
+    let moy: Vec<u64> = (0..rows).map(|i| ((i / 30) % 12) as u64 + 1).collect();
+    let dom: Vec<u64> = (0..rows).map(|i| (i % 30) as u64 + 1).collect();
+    let qoy: Vec<u64> = moy.iter().map(|m| (m - 1) / 3 + 1).collect();
+    Table {
+        name: "date_dim",
+        columns: vec![
+            ("d_date_sk", date_sk),
+            ("d_year", year),
+            ("d_moy", moy),
+            ("d_dom", dom),
+            ("d_qoy", qoy),
+        ],
+    }
+}
+
+/// geonames-like: id-sorted with latitude/longitude/population/elevation.
+pub fn geo(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("geo", seed);
+    let id: Vec<u64> = {
+        let mut v = 1_000u64;
+        (0..rows)
+            .map(|_| {
+                v += rng.gen_range(1..40);
+                v
+            })
+            .collect()
+    };
+    let lat: Vec<u64> = (0..rows).map(|_| (rng.gen_range(-90.0f64..90.0) * 10_000.0 + 900_000.0) as u64).collect();
+    let lon: Vec<u64> = (0..rows).map(|_| (rng.gen_range(-180.0f64..180.0) * 10_000.0 + 1_800_000.0) as u64).collect();
+    let population: Vec<u64> = (0..rows).map(|_| heavy(&mut rng, 1.0e7)).collect();
+    let elevation: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..4_000)).collect();
+    Table {
+        name: "geo",
+        columns: vec![
+            ("geonameid", id),
+            ("latitude", lat),
+            ("longitude", lon),
+            ("population", population),
+            ("elevation", elevation),
+        ],
+    }
+}
+
+/// Price-tick (GRXEUR) style: timestamp-sorted with slowly drifting prices —
+/// the highest-sortedness table of the group.
+pub fn stock(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("stock", seed);
+    let ts: Vec<u64> = {
+        let mut v = 1_500_000_000_000u64;
+        (0..rows)
+            .map(|_| {
+                v += rng.gen_range(50..2_000);
+                v
+            })
+            .collect()
+    };
+    // Prices follow a random walk with upward drift: locally noisy but
+    // long-range sorted, which is what gives the table its 0.98 sortedness in
+    // the paper.
+    let mut price = 1_000_000i64;
+    let open: Vec<u64> = (0..rows)
+        .map(|_| {
+            price += rng.gen_range(-100..140);
+            price.max(1) as u64
+        })
+        .collect();
+    let high: Vec<u64> = open.iter().map(|&p| p + rng.gen_range(0..200)).collect();
+    let low: Vec<u64> = open.iter().map(|&p| p.saturating_sub(rng.gen_range(0..200))).collect();
+    let close: Vec<u64> = open.iter().map(|&p| p + rng.gen_range(0..100)).collect();
+    let volume: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..5_000)).collect();
+    Table {
+        name: "stock",
+        columns: vec![
+            ("timestamp", ts),
+            ("open", open),
+            ("high", high),
+            ("low", low),
+            ("close", close),
+            ("volume", volume),
+        ],
+    }
+}
+
+/// Udemy-courses-like: course-id sorted, prices/subscribers heavy-tailed.
+pub fn course_info(rows: usize, seed: u64) -> Table {
+    let mut rng = rng_for("course_info", seed);
+    let id: Vec<u64> = {
+        let mut v = 10_000u64;
+        (0..rows)
+            .map(|_| {
+                v += rng.gen_range(1..2_000);
+                v
+            })
+            .collect()
+    };
+    let price: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..10u64) * 25).collect();
+    let subscribers: Vec<u64> = (0..rows).map(|_| heavy(&mut rng, 3.0e5)).collect();
+    let reviews: Vec<u64> = subscribers.iter().map(|&s| s / (rng.gen_range(5..40))).collect();
+    let lectures: Vec<u64> = (0..rows).map(|_| rng.gen_range(5..400)).collect();
+    let duration: Vec<u64> = lectures.iter().map(|&l| l * rng.gen_range(3..15)).collect();
+    Table {
+        name: "course_info",
+        columns: vec![
+            ("course_id", id),
+            ("price", price),
+            ("num_subscribers", subscribers),
+            ("num_reviews", reviews),
+            ("num_lectures", lectures),
+            ("content_duration", duration),
+        ],
+    }
+}
+
+fn heavy(rng: &mut StdRng, max: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    ((1.0 / u.powf(1.5) - 1.0).min(max)) as u64
+}
+
+/// The §5.1 sensor table: `(ts, id, val)` columns under the `random` or
+/// `correlated` distribution of the filter-group-by-aggregation experiment.
+#[derive(Debug, Clone)]
+pub struct SensorTable {
+    /// Timestamps in seconds, almost sorted (from the `ml` distribution).
+    pub ts: Vec<u64>,
+    /// 16-bit sensor ids, 1..=10_000.
+    pub id: Vec<u64>,
+    /// 64-bit sensor readings.
+    pub val: Vec<u64>,
+}
+
+/// Distribution of the non-key columns of the sensor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorDistribution {
+    /// `id` and `val` random: hard to compress for every scheme.
+    Random,
+    /// `id` clustered in groups of 100, `val` monotonically increasing across
+    /// groups (random within): serial patterns available.
+    Correlated,
+}
+
+/// Generate the sensor table of §5.1.1.
+pub fn sensor_table(rows: usize, dist: SensorDistribution, seed: u64) -> SensorTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E25);
+    let ts = crate::realworld::ml_timestamps(rows, &mut rng);
+    let (id, val) = match dist {
+        SensorDistribution::Random => {
+            let id: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..=10_000)).collect();
+            let val: Vec<u64> = (0..rows).map(|_| rng.gen::<u64>() >> 1).collect();
+            (id, val)
+        }
+        SensorDistribution::Correlated => {
+            let id: Vec<u64> = (0..rows).map(|i| ((i / 100) % 10_000) as u64 + 1).collect();
+            let val: Vec<u64> = (0..rows)
+                .map(|i| (i as u64 / 100) * 1_000 + rng.gen_range(0..1_000))
+                .collect();
+            (id, val)
+        }
+    };
+    SensorTable { ts, id, val }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_rows_and_names() {
+        let tables = all_tables(5_000, 3);
+        assert_eq!(tables.len(), 9);
+        for t in &tables {
+            assert_eq!(t.num_rows(), 5_000, "{}", t.name);
+            assert!(t.columns.len() >= 4, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn sortedness_ordering_matches_paper_intuition() {
+        let tables = all_tables(20_000, 3);
+        let get = |name: &str| tables.iter().find(|t| t.name == name).unwrap().sortedness();
+        // stock and inventory are highly sorted; catalog_sales is not.
+        assert!(get("stock") > 0.8, "stock {}", get("stock"));
+        assert!(get("inventory") > 0.45, "inventory {}", get("inventory"));
+        assert!(get("catalog_sales") < 0.4, "catalog_sales {}", get("catalog_sales"));
+    }
+
+    #[test]
+    fn high_cardinality_filter_works() {
+        let t = lineitem(10_000, 1);
+        let hi = t.high_cardinality_columns(0.10);
+        assert!(!hi.is_empty());
+        assert!(hi.len() < t.columns.len());
+    }
+
+    #[test]
+    fn sensor_table_shapes() {
+        let random = sensor_table(50_000, SensorDistribution::Random, 1);
+        let corr = sensor_table(50_000, SensorDistribution::Correlated, 1);
+        assert_eq!(random.ts.len(), 50_000);
+        assert!(random.id.iter().all(|&i| (1..=10_000).contains(&i)));
+        assert!(corr.id.iter().all(|&i| (1..=10_000).contains(&i)));
+        // Correlated values rise across groups.
+        assert!(corr.val[40_000] > corr.val[100]);
+        // Correlated ids are clustered in runs of 100.
+        assert_eq!(corr.id[0], corr.id[99]);
+        assert_ne!(corr.id[0], corr.id[100]);
+    }
+}

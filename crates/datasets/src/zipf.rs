@@ -1,0 +1,90 @@
+//! Zipfian workload generator for the key-value store experiment (§5.2).
+//!
+//! The paper uses YCSB with a skewed configuration where 80% of queries touch
+//! 20% of the keys.  This module provides a classic Zipf(θ) sampler over a
+//! key universe plus a convenience constructor tuned to the 80/20 shape.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf-distributed sampler over `0..n` using the standard inverse-CDF table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `theta` (0 = uniform,
+    /// larger = more skew).  The memory cost is one `f64` per item.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sampler whose skew approximates the YCSB "80% of accesses hit 20% of
+    /// keys" configuration (θ ≈ 0.99 gives that shape for large universes).
+    pub fn ycsb_skewed(n: usize) -> Self {
+        Self::new(n, 0.99)
+    }
+
+    /// Number of items.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one item index (0-based rank; rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draw `count` item indices.
+    pub fn sample_many(&self, count: usize, rng: &mut StdRng) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_theta_zero() {
+        let z = Zipf::new(1_000, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = z.sample_many(50_000, &mut rng);
+        let top_fifth = samples.iter().filter(|&&s| s < 200).count();
+        let share = top_fifth as f64 / samples.len() as f64;
+        assert!((share - 0.2).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn skewed_sampler_is_roughly_80_20() {
+        let z = Zipf::ycsb_skewed(100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = z.sample_many(100_000, &mut rng);
+        let hot = samples.iter().filter(|&&s| s < 20_000).count();
+        let share = hot as f64 / samples.len() as f64;
+        assert!(share > 0.70, "hot-key share {share} should be close to 0.8");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+}

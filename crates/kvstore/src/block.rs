@@ -1,0 +1,166 @@
+//! Data blocks: the 4 KB units an SSTable is divided into.
+//!
+//! A block stores sorted key-value entries back to back
+//! (`key_len u16 | key | value_len u32 | value`).  Blocks are the unit of
+//! disk I/O and of block-cache residency; `seek` within a block is a linear
+//! scan (a 4 KB block holds only a handful of the 420-byte records used in
+//! the §5.2 workload, so binary search inside the block would not pay off).
+
+/// Target data block size (RocksDB's default).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Builds data blocks from sorted key-value pairs.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    entries: usize,
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+}
+
+impl BlockBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if adding an `extra`-byte entry would overflow the target size
+    /// (a non-empty block always accepts at least one entry).
+    pub fn is_full(&self, extra: usize) -> bool {
+        self.entries > 0 && self.buf.len() + extra > BLOCK_SIZE
+    }
+
+    /// Append an entry.  Keys must be added in sorted order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(self.entries == 0 || self.last_key.as_slice() <= key, "keys must be sorted");
+        if self.entries == 0 {
+            self.first_key = key.to_vec();
+        }
+        self.last_key = key.to_vec();
+        self.buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(value);
+        self.entries += 1;
+    }
+
+    /// Serialized size the block would have right now.
+    pub fn current_size(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// First key of the block (the index's separator key).
+    pub fn first_key(&self) -> &[u8] {
+        &self.first_key
+    }
+
+    /// Finish the block, returning its bytes and resetting the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        self.entries = 0;
+        self.first_key.clear();
+        self.last_key.clear();
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Find the first entry in `block` whose key is `>= target`.
+/// Returns `(key, value)` or `None` if every key is smaller.
+pub fn seek_in_block<'a>(block: &'a [u8], target: &[u8]) -> Option<(&'a [u8], &'a [u8])> {
+    let mut pos = 0usize;
+    while pos + 6 <= block.len() {
+        let key_len = u16::from_le_bytes([block[pos], block[pos + 1]]) as usize;
+        pos += 2;
+        let key = &block[pos..pos + key_len];
+        pos += key_len;
+        let value_len =
+            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]]) as usize;
+        pos += 4;
+        let value = &block[pos..pos + value_len];
+        pos += value_len;
+        if key >= target {
+            return Some((key, value));
+        }
+    }
+    None
+}
+
+/// Iterate every `(key, value)` pair of a block (used by tests and scans).
+pub fn iter_block(block: &[u8]) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        if pos + 6 > block.len() {
+            return None;
+        }
+        let key_len = u16::from_le_bytes([block[pos], block[pos + 1]]) as usize;
+        pos += 2;
+        let key = &block[pos..pos + key_len];
+        pos += key_len;
+        let value_len =
+            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]]) as usize;
+        pos += 4;
+        let value = &block[pos..pos + value_len];
+        pos += value_len;
+        Some((key, value))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_seek() {
+        let mut b = BlockBuilder::new();
+        for i in 0..8u32 {
+            b.add(format!("key{:04}", i * 10).as_bytes(), &[i as u8; 16]);
+        }
+        assert_eq!(b.entries(), 8);
+        assert_eq!(b.first_key(), b"key0000");
+        let block = b.finish();
+        assert_eq!(b.entries(), 0);
+
+        let (k, v) = seek_in_block(&block, b"key0035").unwrap();
+        assert_eq!(k, b"key0040");
+        assert_eq!(v, &[4u8; 16]);
+        // Exact hit.
+        let (k, _) = seek_in_block(&block, b"key0070").unwrap();
+        assert_eq!(k, b"key0070");
+        // Past the end.
+        assert!(seek_in_block(&block, b"key9999").is_none());
+    }
+
+    #[test]
+    fn is_full_respects_block_size() {
+        let mut b = BlockBuilder::new();
+        assert!(!b.is_full(10_000), "an empty block always accepts one entry");
+        let mut count = 0;
+        loop {
+            let key = format!("key{count:08}");
+            let value = vec![0u8; 400];
+            if b.is_full(key.len() + value.len() + 6) {
+                break;
+            }
+            b.add(key.as_bytes(), &value);
+            count += 1;
+        }
+        assert!(b.current_size() <= BLOCK_SIZE);
+        assert!(count >= 9, "a 4KB block should hold ~10 records of 420 bytes, got {count}");
+    }
+
+    #[test]
+    fn iter_returns_all_entries_in_order() {
+        let mut b = BlockBuilder::new();
+        let keys: Vec<String> = (0..5).map(|i| format!("k{i}")).collect();
+        for k in &keys {
+            b.add(k.as_bytes(), b"v");
+        }
+        let block = b.finish();
+        let seen: Vec<Vec<u8>> = iter_block(&block).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(seen, keys.iter().map(|k| k.clone().into_bytes()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,175 @@
+//! A byte-budgeted LRU cache for data blocks.
+//!
+//! Mirrors the role of RocksDB's block cache: Figure 22 varies its capacity
+//! to show how a smaller index footprint translates into a better data-block
+//! hit ratio.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key identifying a cached block: (sstable id, byte offset of the block).
+pub type BlockKey = (u32, u64);
+
+struct Entry {
+    data: Arc<Vec<u8>>,
+    /// Monotonic tick of the last access.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<BlockKey, Entry>,
+    used_bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe LRU cache with a byte budget.
+pub struct BlockCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+}
+
+impl BlockCache {
+    /// Create a cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                used_bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Look up a block, updating recency and hit statistics.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let data = entry.data.clone();
+                inner.hits += 1;
+                Some(data)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a block, evicting least-recently-used entries until the budget
+    /// is respected.  Blocks larger than the whole budget are not cached.
+    pub fn insert(&self, key: BlockKey, data: Arc<Vec<u8>>) {
+        let size = data.len();
+        if size > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(key, Entry { data, last_used: tick }) {
+            inner.used_bytes -= old.data.len();
+        }
+        inner.used_bytes += size;
+        while inner.used_bytes > self.capacity_bytes {
+            // Evict the least recently used entry.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache over budget implies non-empty");
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.used_bytes -= e.data.len();
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = BlockCache::new(1_000);
+        assert!(cache.get(&(0, 0)).is_none());
+        cache.insert((0, 0), Arc::new(vec![1u8; 100]));
+        assert!(cache.get(&(0, 0)).is_some());
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_lru_when_over_budget() {
+        let cache = BlockCache::new(250);
+        cache.insert((0, 0), Arc::new(vec![0u8; 100]));
+        cache.insert((0, 1), Arc::new(vec![0u8; 100]));
+        // Touch block 0 so block 1 becomes the LRU victim.
+        cache.get(&(0, 0));
+        cache.insert((0, 2), Arc::new(vec![0u8; 100]));
+        assert!(cache.get(&(0, 0)).is_some());
+        assert!(cache.get(&(0, 1)).is_none());
+        assert!(cache.get(&(0, 2)).is_some());
+        assert!(cache.used_bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let cache = BlockCache::new(50);
+        cache.insert((1, 1), Arc::new(vec![0u8; 100]));
+        assert!(cache.get(&(1, 1)).is_none());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_budget() {
+        let cache = BlockCache::new(300);
+        cache.insert((0, 0), Arc::new(vec![0u8; 200]));
+        cache.insert((0, 0), Arc::new(vec![0u8; 250]));
+        assert_eq!(cache.used_bytes(), 250);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(BlockCache::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    c.insert((t, i % 16), Arc::new(vec![t as u8; 128]));
+                    c.get(&(t, i % 16));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.used_bytes() <= 10_000);
+    }
+}

@@ -1,0 +1,314 @@
+//! Index blocks: mapping separator keys to data-block handles.
+//!
+//! Two families of formats, matching §5.2:
+//!
+//! * [`IndexBlockFormat::RestartInterval`] — RocksDB's native scheme.  Within
+//!   each compression unit of `RI` entries, a key is stored as the length of
+//!   its shared prefix with the previous key plus the remaining suffix, and
+//!   block offsets are delta encoded.  `RI = 1` disables compression; larger
+//!   values shrink the index but force a lookup to decode an entire unit.
+//! * [`IndexBlockFormat::Leco`] — keys compressed with LeCo's string
+//!   extension and block offsets with integer LeCo, both supporting O(1)
+//!   random access, so a lookup is a binary search with two memory probes
+//!   per step.
+
+use leco_core::string::{CompressedStrings, StringConfig};
+use leco_core::{LecoCompressor, LecoConfig};
+
+/// A data-block handle: byte offset and length within the SSTable file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    /// Byte offset of the block.
+    pub offset: u64,
+    /// Length of the block in bytes.
+    pub size: u32,
+}
+
+/// Index block format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexBlockFormat {
+    /// RocksDB-style prefix-delta compression with the given restart interval.
+    RestartInterval(usize),
+    /// LeCo-compressed keys and offsets.
+    Leco,
+}
+
+impl IndexBlockFormat {
+    /// Label used in experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            IndexBlockFormat::RestartInterval(ri) => format!("Baseline_{ri}"),
+            IndexBlockFormat::Leco => "LeCo".to_string(),
+        }
+    }
+}
+
+/// A built index block.
+#[derive(Debug)]
+pub enum IndexBlock {
+    /// Prefix-delta compressed entries.
+    Restart(RestartIndex),
+    /// LeCo-compressed entries.
+    Leco(LecoIndex),
+}
+
+impl IndexBlock {
+    /// Build an index block over `(separator key, handle)` pairs (sorted by key).
+    pub fn build(entries: &[(Vec<u8>, BlockHandle)], format: IndexBlockFormat) -> Self {
+        match format {
+            IndexBlockFormat::RestartInterval(ri) => {
+                IndexBlock::Restart(RestartIndex::build(entries, ri.max(1)))
+            }
+            IndexBlockFormat::Leco => IndexBlock::Leco(LecoIndex::build(entries)),
+        }
+    }
+
+    /// Number of index entries.
+    pub fn len(&self) -> usize {
+        match self {
+            IndexBlock::Restart(r) => r.num_entries,
+            IndexBlock::Leco(l) => l.len,
+        }
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the index block in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            IndexBlock::Restart(r) => r.size_bytes(),
+            IndexBlock::Leco(l) => l.size_bytes(),
+        }
+    }
+
+    /// Handle of the data block that may contain `key`: the entry with the
+    /// largest separator key `<= key` (clamped to the first block).
+    pub fn seek(&self, key: &[u8]) -> BlockHandle {
+        match self {
+            IndexBlock::Restart(r) => r.seek(key),
+            IndexBlock::Leco(l) => l.seek(key),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RocksDB-style restart-interval index
+// ---------------------------------------------------------------------------
+
+/// Prefix-delta compressed index with restart points.
+#[derive(Debug)]
+pub struct RestartIndex {
+    /// Serialized entries of every compression unit, concatenated.
+    data: Vec<u8>,
+    /// Byte offset of each restart unit in `data`, plus its full first key.
+    restarts: Vec<(u32, Vec<u8>)>,
+    restart_interval: usize,
+    num_entries: usize,
+    /// Handles are reconstructed during the unit decode; sizes kept raw.
+    handles: Vec<BlockHandle>,
+}
+
+impl RestartIndex {
+    fn build(entries: &[(Vec<u8>, BlockHandle)], restart_interval: usize) -> Self {
+        let mut data = Vec::new();
+        let mut restarts = Vec::new();
+        let mut prev_key: &[u8] = &[];
+        for (i, (key, _)) in entries.iter().enumerate() {
+            if i % restart_interval == 0 {
+                restarts.push((data.len() as u32, key.clone()));
+                prev_key = &[];
+            }
+            let shared = key.iter().zip(prev_key.iter()).take_while(|(a, b)| a == b).count();
+            data.extend_from_slice(&(shared as u16).to_le_bytes());
+            data.extend_from_slice(&((key.len() - shared) as u16).to_le_bytes());
+            data.extend_from_slice(&key[shared..]);
+            prev_key = key;
+        }
+        Self {
+            data,
+            restarts,
+            restart_interval,
+            num_entries: entries.len(),
+            handles: entries.iter().map(|(_, h)| *h).collect(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Key payload + one u32 restart offset per unit + delta-coded handles
+        // (~3 bytes per entry for offsets stored as deltas within a unit).
+        self.data.len() + self.restarts.len() * 4 + self.num_entries * 3
+    }
+
+    fn seek(&self, key: &[u8]) -> BlockHandle {
+        if self.num_entries == 0 {
+            return BlockHandle { offset: 0, size: 0 };
+        }
+        // Binary search over restart points by their full first key.
+        let mut lo = 0usize;
+        let mut hi = self.restarts.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.restarts[mid].1.as_slice() <= key {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Decode the unit sequentially (the per-lookup cost RocksDB pays for
+        // larger restart intervals).
+        let mut pos = self.restarts[lo].0 as usize;
+        let mut prev_key: Vec<u8> = Vec::new();
+        let mut best = lo * self.restart_interval;
+        let unit_end = ((lo + 1) * self.restart_interval).min(self.num_entries);
+        for idx in (lo * self.restart_interval)..unit_end {
+            let shared = u16::from_le_bytes([self.data[pos], self.data[pos + 1]]) as usize;
+            let suffix_len = u16::from_le_bytes([self.data[pos + 2], self.data[pos + 3]]) as usize;
+            pos += 4;
+            let mut k = prev_key[..shared.min(prev_key.len())].to_vec();
+            k.extend_from_slice(&self.data[pos..pos + suffix_len]);
+            pos += suffix_len;
+            if k.as_slice() <= key {
+                best = idx;
+            } else {
+                break;
+            }
+            prev_key = k;
+        }
+        self.handles[best]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LeCo index
+// ---------------------------------------------------------------------------
+
+/// Index block whose keys use LeCo's string extension and whose offsets use
+/// integer LeCo.
+#[derive(Debug)]
+pub struct LecoIndex {
+    keys: CompressedStrings,
+    offsets: leco_core::CompressedColumn,
+    sizes: leco_core::CompressedColumn,
+    len: usize,
+}
+
+impl LecoIndex {
+    fn build(entries: &[(Vec<u8>, BlockHandle)]) -> Self {
+        let key_refs: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        let keys = CompressedStrings::encode(
+            &key_refs,
+            StringConfig { partition_len: 64, full_byte_charset: false },
+        );
+        let offs: Vec<u64> = entries.iter().map(|(_, h)| h.offset).collect();
+        let sizes: Vec<u64> = entries.iter().map(|(_, h)| h.size as u64).collect();
+        let compressor = LecoCompressor::new(LecoConfig::leco_fix_with_len(64));
+        Self {
+            keys,
+            offsets: compressor.compress(&offs),
+            sizes: compressor.compress(&sizes),
+            len: entries.len(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.keys.size_bytes() + self.offsets.size_bytes() + self.sizes.size_bytes()
+    }
+
+    fn seek(&self, key: &[u8]) -> BlockHandle {
+        if self.len == 0 {
+            return BlockHandle { offset: 0, size: 0 };
+        }
+        // Binary search over the compressed keys using random access.
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.keys.get(mid).as_slice() <= key {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        BlockHandle {
+            offset: self.offsets.get(lo),
+            size: self.sizes.get(lo) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries(n: usize) -> Vec<(Vec<u8>, BlockHandle)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("user{:012}", i as u64 * 977).into_bytes(),
+                    BlockHandle { offset: i as u64 * 4096, size: 4096 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_formats_agree_on_seek_results() {
+        let entries = sample_entries(2_000);
+        let formats = [
+            IndexBlockFormat::RestartInterval(1),
+            IndexBlockFormat::RestartInterval(16),
+            IndexBlockFormat::RestartInterval(128),
+            IndexBlockFormat::Leco,
+        ];
+        let blocks: Vec<IndexBlock> = formats.iter().map(|f| IndexBlock::build(&entries, *f)).collect();
+        for probe in 0..2_000usize {
+            let key = format!("user{:012}", probe as u64 * 977 + 13).into_bytes();
+            let expected = {
+                // Reference: last entry with key <= probe key.
+                let idx = entries.partition_point(|(k, _)| k.as_slice() <= key.as_slice());
+                entries[idx.saturating_sub(1)].1
+            };
+            for (b, f) in blocks.iter().zip(&formats) {
+                assert_eq!(b.seek(&key), expected, "{f:?} probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_key_and_before_first_key() {
+        let entries = sample_entries(100);
+        for format in [IndexBlockFormat::RestartInterval(16), IndexBlockFormat::Leco] {
+            let block = IndexBlock::build(&entries, format);
+            // Exact first key.
+            assert_eq!(block.seek(&entries[0].0), entries[0].1);
+            // A key before the first separator clamps to block 0.
+            assert_eq!(block.seek(b"aaaa"), entries[0].1);
+            // A key after the last separator lands in the last block.
+            assert_eq!(block.seek(b"zzzz"), entries[99].1);
+        }
+    }
+
+    #[test]
+    fn size_ordering_matches_paper() {
+        // RI=1 (no compression) is the largest; RI=128 the smallest baseline;
+        // LeCo sits between RI=16 and RI=1 sizes but far below RI=1.
+        let entries = sample_entries(5_000);
+        let size = |f| IndexBlock::build(&entries, f).size_bytes();
+        let ri1 = size(IndexBlockFormat::RestartInterval(1));
+        let ri16 = size(IndexBlockFormat::RestartInterval(16));
+        let ri128 = size(IndexBlockFormat::RestartInterval(128));
+        let leco = size(IndexBlockFormat::Leco);
+        assert!(ri128 < ri16 && ri16 < ri1, "{ri128} {ri16} {ri1}");
+        assert!(leco < ri1 / 2, "LeCo {leco} should be far smaller than RI=1 {ri1}");
+    }
+
+    #[test]
+    fn empty_index() {
+        let block = IndexBlock::build(&[], IndexBlockFormat::Leco);
+        assert!(block.is_empty());
+        assert_eq!(block.seek(b"anything"), BlockHandle { offset: 0, size: 0 });
+    }
+}

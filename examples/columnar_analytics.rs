@@ -1,0 +1,48 @@
+//! The paper's §5.1 scenario in miniature: a sensor table stored in a
+//! columnar file with different encodings, queried with a selective
+//! filter → group-by → average pipeline using late materialisation.
+//!
+//! Run with: `cargo run --release --example columnar_analytics`
+
+use leco::columnar::{exec, Encoding, QueryStats, TableFile, TableFileOptions};
+use leco::datasets::tables::{sensor_table, SensorDistribution};
+
+fn main() -> std::io::Result<()> {
+    let rows = 400_000;
+    let table = sensor_table(rows, SensorDistribution::Correlated, 7);
+    println!("sensor table: {rows} rows (ts, id, val), correlated distribution\n");
+
+    let ts_lo = table.ts[rows / 2];
+    let ts_hi = table.ts[rows / 2 + rows / 100]; // ~1% selectivity
+
+    println!("{:<10} {:>12} {:>10} {:>10} {:>10} {:>8}", "encoding", "file size", "IO ms", "CPU ms", "total ms", "groups");
+    for encoding in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco] {
+        let mut path = std::env::temp_dir();
+        path.push(format!("leco-example-analytics-{:?}-{}.tbl", encoding, std::process::id()));
+        let file = TableFile::write(
+            &path,
+            &["ts", "id", "val"],
+            &[table.ts.clone(), table.id.clone(), table.val.clone()],
+            TableFileOptions { encoding, row_group_size: 100_000, ..Default::default() },
+        )?;
+
+        let mut stats = QueryStats::default();
+        // SELECT AVG(val) FROM t WHERE ts BETWEEN lo AND hi GROUP BY id
+        let bitmap = exec::filter_range(&file, 0, ts_lo, ts_hi, true, &mut stats)?;
+        let groups = exec::group_by_avg(&file, 1, 2, &bitmap, &mut stats)?;
+
+        println!(
+            "{:<10} {:>9.1} MB {:>10.2} {:>10.2} {:>10.2} {:>8}",
+            encoding.name(),
+            file.file_size_bytes() as f64 / 1.0e6,
+            stats.io_seconds * 1e3,
+            stats.cpu_seconds * 1e3,
+            stats.total_seconds() * 1e3,
+            groups.len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    println!("\nLeCo gives the smallest file (least I/O) while keeping FOR-like random access for the");
+    println!("group-by phase — the combination behind the paper's up-to-5.2x end-to-end speedup.");
+    Ok(())
+}

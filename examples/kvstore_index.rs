@@ -1,0 +1,58 @@
+//! The paper's §5.2 scenario in miniature: compress the index blocks of an
+//! LSM key-value store with LeCo and compare seek throughput against the
+//! RocksDB-style restart-interval baselines under a constrained block cache.
+//!
+//! Run with: `cargo run --release --example kvstore_index`
+
+use leco::datasets::zipf::Zipf;
+use leco::kvstore::{run_seek_workload, IndexBlockFormat, Store, StoreOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    let n = 200_000;
+    // 20-byte keys, 400-byte values: the RocksDB performance-benchmark shape.
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+        .map(|i| (format!("user{:016}", i as u64 * 7919).into_bytes(), vec![b'v'; 400]))
+        .collect();
+
+    // Skewed YCSB-style seek workload: 80% of queries touch 20% of keys.
+    let zipf = Zipf::ycsb_skewed(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let queries: Vec<Vec<u8>> = zipf
+        .sample_many(50_000, &mut rng)
+        .into_iter()
+        .map(|rank| records[rank].0.clone())
+        .collect();
+
+    let cache_bytes = 4 << 20; // deliberately small so index size matters
+    println!("{n} records (~{} MB), 50k zipfian seeks, {} MB block cache\n", n * 420 / 1_000_000, cache_bytes >> 20);
+    println!("{:<14} {:>14} {:>14} {:>14}", "index format", "index size", "cache hit %", "throughput");
+    for format in [
+        IndexBlockFormat::RestartInterval(1),
+        IndexBlockFormat::RestartInterval(16),
+        IndexBlockFormat::RestartInterval(128),
+        IndexBlockFormat::Leco,
+    ] {
+        let mut path = std::env::temp_dir();
+        path.push(format!("leco-example-kv-{}-{}.sst", format.name(), std::process::id()));
+        let store = Arc::new(Store::load(&path, &records, StoreOptions {
+            index_format: format,
+            block_cache_bytes: cache_bytes,
+        })?);
+        let ops = run_seek_workload(&store, &queries, 4);
+        let (hits, misses) = store.cache_stats();
+        println!(
+            "{:<14} {:>11} KB {:>13.1}% {:>9.0} op/s",
+            format.name(),
+            store.index_size_bytes() / 1024,
+            hits as f64 / (hits + misses).max(1) as f64 * 100.0,
+            ops
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    println!("\nA LeCo-compressed index is a fraction of the uncompressed one yet still supports O(1)");
+    println!("random access inside the block — the effect behind the paper's 16% throughput gain.");
+    Ok(())
+}

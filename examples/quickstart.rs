@@ -1,0 +1,54 @@
+//! Quickstart: compress an integer column with LeCo, inspect the result,
+//! random-access it, serialize it and read it back.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use leco::prelude::*;
+
+fn main() {
+    // A realistic columnar workload: sorted timestamps with bursts.
+    let values: Vec<u64> = (0..1_000_000u64)
+        .map(|i| 1_700_000_000_000 + i * 40 + (i / 100_000) * 5_000_000 + (i % 7))
+        .collect();
+    let raw_bytes = values.len() * 8;
+
+    // LeCo-fix: linear regressor, fixed partitions with an auto-searched size.
+    let fix = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
+    // LeCo-var: the variable-length split–merge partitioner (better ratio,
+    // slower compression and slightly slower point access).
+    let var = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+    // FOR expressed inside the same framework, for comparison.
+    let for_ = LecoCompressor::new(LecoConfig::for_()).compress(&values);
+
+    println!("raw size           : {} KB", raw_bytes / 1024);
+    for (name, col) in [("FOR   ", &for_), ("LeCo-fix", &fix), ("LeCo-var", &var)] {
+        println!(
+            "{name} : {:7} KB  (ratio {:5.2}%, {} partitions, {} bytes of models)",
+            col.size_bytes() / 1024,
+            col.compression_ratio() * 100.0,
+            col.num_partitions(),
+            col.model_size_bytes(),
+        );
+    }
+
+    // Random access without decompressing anything else.
+    assert_eq!(fix.get(123_456), values[123_456]);
+    assert_eq!(var.get(999_999), values[999_999]);
+
+    // Range decode (uses the θ₁-accumulation fast path internally).
+    let mut window = Vec::new();
+    fix.decode_range_into(500_000, 500_010, &mut window);
+    assert_eq!(window, &values[500_000..500_010]);
+    println!("values[500000..500010] = {window:?}");
+
+    // The format is self-describing: serialize and reload.
+    let bytes = fix.to_bytes();
+    let restored = CompressedColumn::from_bytes(&bytes).expect("valid LeCo column");
+    assert_eq!(restored.get(42), values[42]);
+    println!("serialized column: {} bytes, round-trips correctly", bytes.len());
+
+    // Lossless end to end.
+    assert_eq!(fix.decode_all(), values);
+    assert_eq!(var.decode_all(), values);
+    println!("lossless: OK");
+}

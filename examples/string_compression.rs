@@ -1,0 +1,53 @@
+//! LeCo's string extension (§3.4) versus an FSST-style dictionary codec on a
+//! sorted email column: compression ratio and random-access behaviour.
+//!
+//! Run with: `cargo run --release --example string_compression`
+
+use leco::codecs::FsstLike;
+use leco::core::string::{CompressedStrings, StringConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 100_000;
+    let mut rng = StdRng::seed_from_u64(11);
+    let emails = leco::datasets::strings::email(n, &mut rng);
+    let raw_bytes: usize = emails.iter().map(|s| s.len()).sum::<usize>() + n * 4;
+    println!("{n} sorted email addresses, {} KB raw (incl. 4-byte offsets)\n", raw_bytes / 1024);
+
+    let refs: Vec<&[u8]> = emails.iter().map(|s| s.as_slice()).collect();
+    let leco = CompressedStrings::encode(&refs, StringConfig::default());
+    let fsst = FsstLike::encode(&emails, 0);
+    let fsst_blocked = FsstLike::encode(&emails, 100);
+
+    let bench_access = |label: &str, get: &dyn Fn(usize) -> Vec<u8>| {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for i in (0..n).step_by(3) {
+            sink += get(i).len();
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (n as f64 / 3.0);
+        println!("{label:<28} random access ≈ {ns:6.0} ns/string");
+        std::hint::black_box(sink);
+    };
+
+    println!(
+        "LeCo string extension        ratio {:5.1}%  ({} partitions)",
+        leco.compression_ratio() * 100.0,
+        leco.num_partitions()
+    );
+    println!("FSST-style (plain offsets)   ratio {:5.1}%", fsst.compression_ratio(&emails) * 100.0);
+    println!("FSST-style (offset block 100) ratio {:5.1}%\n", fsst_blocked.compression_ratio(&emails) * 100.0);
+
+    bench_access("LeCo string extension", &|i| leco.get(i));
+    bench_access("FSST-style (plain offsets)", &|i| fsst.get(i));
+    bench_access("FSST-style (offset block 100)", &|i| fsst_blocked.get(i));
+
+    // Everything is lossless.
+    for i in (0..n).step_by(997) {
+        assert_eq!(leco.get(i), emails[i]);
+        assert_eq!(fsst.get(i), emails[i]);
+    }
+    println!("\nlossless: OK");
+}

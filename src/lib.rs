@@ -1,0 +1,53 @@
+//! # LeCo — Lightweight Compression via Learning Serial Correlations
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] (`leco-core`) — the LeCo framework itself: regressors,
+//!   partitioners, the hyper-parameter advisor, the encoder/decoder and the
+//!   string extension.
+//! * [`codecs`] (`leco-codecs`) — baseline lightweight codecs (FOR, Delta,
+//!   RLE, Elias-Fano, rANS, dictionary, FSST-like, `lzb`).
+//! * [`bitpack`] (`leco-bitpack`) — bit-packing primitives.
+//! * [`datasets`] (`leco-datasets`) — reproducible data-set generators.
+//! * [`columnar`] (`leco-columnar`) — a mini columnar execution engine.
+//! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
+//!
+//! ## Example
+//!
+//! ```
+//! use leco::prelude::*;
+//!
+//! let values: Vec<u64> = (0..100_000u64).map(|i| 1_000 + 7 * i).collect();
+//! let column = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
+//! assert_eq!(column.get(42_000), values[42_000]);
+//! assert!(column.compression_ratio() < 0.05);
+//! ```
+
+pub use leco_bitpack as bitpack;
+pub use leco_codecs as codecs;
+pub use leco_columnar as columnar;
+pub use leco_core as core;
+pub use leco_datasets as datasets;
+pub use leco_kvstore as kvstore;
+
+/// The most commonly used types, importable with `use leco::prelude::*`.
+pub mod prelude {
+    pub use leco_codecs::{compression_ratio, IntColumn};
+    pub use leco_core::{
+        CompressedColumn, LecoCompressor, LecoConfig, Model, Partition, PartitionerKind,
+        RegressorKind,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let values = leco_datasets::generate(leco_datasets::IntDataset::Movieid, 10_000, 1);
+        let column = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        assert_eq!(column.decode_all(), values);
+    }
+}

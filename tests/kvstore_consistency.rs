@@ -1,0 +1,82 @@
+//! Cross-crate integration test: the KV store returns exactly the same seek
+//! results regardless of how its index block is compressed, and the LeCo
+//! index is substantially smaller than the uncompressed baseline (§5.2).
+
+use leco::datasets::zipf::Zipf;
+use leco::kvstore::{IndexBlockFormat, Store, StoreOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leco-it-kv-{}-{}", std::process::id(), name));
+    p
+}
+
+fn records(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("user{:016}", i as u64 * 6_151).into_bytes(),
+                format!("payload-{i:08}").repeat(3).into_bytes(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_index_format_answers_zipfian_seeks_identically() {
+    let n = 30_000;
+    let recs = records(n);
+    let reference: BTreeMap<Vec<u8>, Vec<u8>> = recs.iter().cloned().collect();
+    let zipf = Zipf::ycsb_skewed(n);
+    let mut rng = StdRng::seed_from_u64(17);
+    let probes: Vec<Vec<u8>> = zipf
+        .sample_many(2_000, &mut rng)
+        .into_iter()
+        .map(|rank| format!("user{:016}", rank as u64 * 6_151 + 3).into_bytes())
+        .collect();
+
+    let formats = [
+        IndexBlockFormat::RestartInterval(1),
+        IndexBlockFormat::RestartInterval(16),
+        IndexBlockFormat::RestartInterval(128),
+        IndexBlockFormat::Leco,
+    ];
+    for format in formats {
+        let path = tmp(&format!("consistency-{}", format.name()));
+        let store = Store::load(&path, &recs, StoreOptions { index_format: format, block_cache_bytes: 2 << 20 }).unwrap();
+        for probe in &probes {
+            let expected = reference.range(probe.clone()..).next().map(|(k, v)| (k.clone(), v.clone()));
+            assert_eq!(store.seek(probe).unwrap(), expected, "{format:?}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn leco_index_is_much_smaller_and_cache_benefits_from_it() {
+    let n = 60_000;
+    let recs = records(n);
+    let p1 = tmp("ri1");
+    let p2 = tmp("leco");
+    let cache = 512 * 1024; // deliberately tiny cache
+    let ri1 = Store::load(&p1, &recs, StoreOptions { index_format: IndexBlockFormat::RestartInterval(1), block_cache_bytes: cache }).unwrap();
+    let leco = Store::load(&p2, &recs, StoreOptions { index_format: IndexBlockFormat::Leco, block_cache_bytes: cache }).unwrap();
+
+    // Paper shape: RI=1 keeps the index uncompressed (~71% of raw in their
+    // setup); LeCo compresses it far below that.
+    assert!(
+        leco.index_size_bytes() * 3 < ri1.index_size_bytes(),
+        "LeCo index {} vs RI=1 {}",
+        leco.index_size_bytes(),
+        ri1.index_size_bytes()
+    );
+
+    // Both stores still serve the same data.
+    let probe = recs[n / 2].0.clone();
+    assert_eq!(ri1.seek(&probe).unwrap(), leco.seek(&probe).unwrap());
+    assert_eq!(ri1.num_records(), leco.num_records());
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration test: the *shape* of the paper's headline
+//! microbenchmark result (Figure 10) must hold on every data set — LeCo is
+//! lossless, never compresses worse than FOR, and keeps random access usable
+//! where Delta must replay a frame.
+
+use leco::codecs::{DeltaCodec, ForCodec, IntColumn};
+use leco::prelude::*;
+use leco_datasets::{generate, IntDataset};
+
+const N: usize = 40_000;
+const FRAME: usize = 1024;
+
+#[test]
+fn leco_is_lossless_on_every_microbench_dataset() {
+    for dataset in IntDataset::MICROBENCH {
+        let values = generate(dataset, N, 7);
+        for config in [LecoConfig::leco_fix_with_len(FRAME), LecoConfig::leco_var()] {
+            let col = LecoCompressor::new(config.clone()).compress(&values);
+            assert_eq!(col.decode_all(), values, "{dataset:?} under {config:?}");
+            for i in (0..values.len()).step_by(617) {
+                assert_eq!(col.get(i), values[i], "{dataset:?} at {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn leco_never_loses_to_for_on_compression_ratio() {
+    // FOR is a special case of the framework (constant regressor), so a
+    // linear regressor with the same partitioning can never do worse than
+    // FOR by more than float-rounding noise — and usually does much better.
+    for dataset in IntDataset::MICROBENCH {
+        let values = generate(dataset, N, 7);
+        let leco = LecoCompressor::new(LecoConfig::leco_fix_with_len(FRAME)).compress(&values);
+        let for_ = ForCodec::encode(&values, FRAME);
+        assert!(
+            leco.size_bytes() as f64 <= for_.size_bytes() as f64 * 1.02,
+            "{dataset:?}: LeCo {} should be <= FOR {}",
+            leco.size_bytes(),
+            for_.size_bytes()
+        );
+    }
+}
+
+#[test]
+fn leco_clearly_beats_for_on_locally_easy_datasets() {
+    // The paper reports ~40% average improvement on locally-easy data.
+    let locally_easy = [
+        IntDataset::Linear,
+        IntDataset::Normal,
+        IntDataset::Libio,
+        IntDataset::Wiki,
+        IntDataset::Booksale,
+        IntDataset::Planet,
+        IntDataset::Ml,
+    ];
+    let mut improvements = Vec::new();
+    for dataset in locally_easy {
+        let values = generate(dataset, N, 7);
+        let leco = LecoCompressor::new(LecoConfig::leco_fix_with_len(FRAME)).compress(&values);
+        let for_ = ForCodec::encode(&values, FRAME);
+        improvements.push(1.0 - leco.size_bytes() as f64 / for_.size_bytes() as f64);
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    assert!(avg > 0.25, "average improvement over FOR was only {avg:.3}: {improvements:?}");
+}
+
+#[test]
+fn delta_random_access_needs_frame_replay_but_leco_does_not() {
+    // Structural check behind Figure 10's latency gap: a Delta point access
+    // decodes O(frame) values, a LeCo point access touches exactly one delta.
+    let values = generate(IntDataset::Booksale, N, 7);
+    let delta = DeltaCodec::encode(&values, FRAME);
+    let leco = LecoCompressor::new(LecoConfig::leco_fix_with_len(FRAME)).compress(&values);
+    // Both are still correct at the worst-case position (end of a frame).
+    let worst = FRAME - 1;
+    assert_eq!(delta.get(worst), values[worst]);
+    assert_eq!(leco.get(worst), values[worst]);
+    // And LeCo's compression ratio remains competitive with Delta on this
+    // heavy-tailed data set (within 2x, usually better).
+    assert!(leco.size_bytes() < delta.size_bytes() * 2);
+}
+
+#[test]
+fn variable_partitioning_wins_on_globally_hard_datasets() {
+    for dataset in [IntDataset::Movieid, IntDataset::HousePrice] {
+        let values = generate(dataset, N, 7);
+        let fix = LecoCompressor::new(LecoConfig::leco_fix_with_len(FRAME)).compress(&values);
+        let var = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        assert!(
+            var.size_bytes() < fix.size_bytes(),
+            "{dataset:?}: var {} should beat fix {}",
+            var.size_bytes(),
+            fix.size_bytes()
+        );
+    }
+}
+
+#[test]
+fn serialization_round_trips_across_datasets() {
+    for dataset in [IntDataset::Movieid, IntDataset::Osm, IntDataset::HousePrice] {
+        let values = generate(dataset, 10_000, 3);
+        let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        let restored = CompressedColumn::from_bytes(&col.to_bytes()).expect("valid bytes");
+        assert_eq!(restored.decode_all(), values, "{dataset:?}");
+        assert_eq!(restored.size_bytes(), col.size_bytes());
+    }
+}

@@ -1,0 +1,44 @@
+//! Cross-crate integration test: the §3.2.2 claim that the greedy split–merge
+//! partitioner stays close to the dynamic-programming optimum, measured on
+//! samples of the (generated) real-world data sets.
+
+use leco::core::partition::{dp, split_merge};
+use leco::core::RegressorKind;
+use leco_datasets::{generate, IntDataset};
+
+#[test]
+fn greedy_split_merge_is_close_to_dp_optimum_on_real_world_samples() {
+    // Small samples keep the O(n²·fit) DP tractable inside a unit test.
+    let datasets = [IntDataset::Movieid, IntDataset::HousePrice, IntDataset::Booksale, IntDataset::Ml];
+    for dataset in datasets {
+        let values: Vec<u64> = generate(dataset, 600, 5);
+        let greedy = split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
+        let optimal = dp::optimal_partitions(&values, RegressorKind::Linear);
+        let greedy_cost = dp::total_cost_bits(&values, &greedy, RegressorKind::Linear);
+        let optimal_cost = dp::total_cost_bits(&values, &optimal, RegressorKind::Linear);
+        assert!(greedy_cost >= optimal_cost, "DP must be a lower bound ({dataset:?})");
+        // The paper reports < 3% on 200M-value columns; tiny samples make the
+        // per-partition header relatively heavier, so allow 15% here.
+        let overhead = greedy_cost as f64 / optimal_cost as f64 - 1.0;
+        assert!(
+            overhead < 0.15,
+            "{dataset:?}: greedy {greedy_cost} vs optimal {optimal_cost} (overhead {:.1}%)",
+            overhead * 100.0
+        );
+    }
+}
+
+#[test]
+fn split_merge_tracks_segment_boundaries_better_than_fixed_partitions() {
+    // On movieid-like bursts the variable-length partitioner should need far
+    // fewer bits than a mismatched fixed grid.
+    let values = generate(IntDataset::Movieid, 20_000, 5);
+    let var = split_merge::split_merge(&values, RegressorKind::Linear, 0.1);
+    let fixed = leco::core::partition::fixed::fixed_partitions(values.len(), 512);
+    let var_cost = dp::total_cost_bits(&values, &var, RegressorKind::Linear);
+    let fixed_cost = dp::total_cost_bits(&values, &fixed, RegressorKind::Linear);
+    assert!(
+        var_cost < fixed_cost,
+        "variable {var_cost} should beat fixed {fixed_cost}"
+    );
+}

@@ -1,0 +1,89 @@
+//! Property-based integration tests spanning crates: every scheme, every
+//! generated data set, always lossless; serialized LeCo columns always
+//! reload; string extension always round-trips generated string corpora.
+
+use leco::codecs::{DeltaCodec, EliasFano, ForCodec, IntColumn, RansCodec, RleCodec};
+use leco::core::delta_var::DeltaVarColumn;
+use leco::core::string::{CompressedStrings, StringConfig};
+use leco::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any u64 column, any codec in the workspace: decode(encode(x)) == x.
+    #[test]
+    fn prop_every_codec_is_lossless(values in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let frame = 64usize;
+        prop_assert_eq!(ForCodec::encode(&values, frame).decode_all(), values.clone());
+        prop_assert_eq!(DeltaCodec::encode(&values, frame).decode_all(), values.clone());
+        prop_assert_eq!(RleCodec::encode(&values).decode_all(), values.clone());
+        prop_assert_eq!(RansCodec::encode(&values).decode_all(), values.clone());
+        prop_assert_eq!(DeltaVarColumn::encode(&values).decode_all(), values.clone());
+        let leco = LecoCompressor::new(LecoConfig::leco_fix_with_len(frame)).compress(&values);
+        prop_assert_eq!(leco.decode_all(), values.clone());
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(EliasFano::encode(&sorted).unwrap().decode_all(), sorted);
+    }
+
+    /// Random access always equals full decode, for every scheme with O(1)
+    /// or O(frame) access.
+    #[test]
+    fn prop_random_access_matches_decode(values in proptest::collection::vec(0u64..1_000_000, 1..300), seed in any::<u64>()) {
+        let leco = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        let forc = ForCodec::encode(&values, 32);
+        let decoded = leco.decode_all();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        for _ in 0..32 {
+            let i = rng.gen_range(0..values.len());
+            prop_assert_eq!(leco.get(i), decoded[i]);
+            prop_assert_eq!(forc.get(i), values[i]);
+        }
+    }
+
+    /// Serialization is stable: to_bytes → from_bytes preserves every value
+    /// and the reported size.
+    #[test]
+    fn prop_serialized_columns_reload(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(40)).compress(&values);
+        let bytes = col.to_bytes();
+        prop_assert_eq!(bytes.len(), col.size_bytes());
+        let restored = CompressedColumn::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(restored.decode_all(), values);
+    }
+
+    /// The string extension round-trips arbitrary byte-string corpora under
+    /// both character-set modes.
+    #[test]
+    fn prop_string_extension_round_trips(
+        strings in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..60),
+        full_byte in any::<bool>()
+    ) {
+        let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        let c = CompressedStrings::encode(&refs, StringConfig { partition_len: 16, full_byte_charset: full_byte });
+        prop_assert_eq!(c.decode_all(), strings);
+    }
+}
+
+#[test]
+fn all_generated_datasets_survive_every_leco_configuration() {
+    let mut rng = StdRng::seed_from_u64(2);
+    use rand::Rng;
+    for dataset in leco_datasets::IntDataset::MICROBENCH {
+        let n = rng.gen_range(5_000..12_000);
+        let values = leco_datasets::generate(dataset, n, 11);
+        for config in [
+            LecoConfig::leco_fix_with_len(777),
+            LecoConfig::leco_var(),
+            LecoConfig::leco_poly_fix(),
+            LecoConfig::for_(),
+        ] {
+            let col = LecoCompressor::new(config.clone()).compress(&values);
+            assert_eq!(col.decode_all(), values, "{dataset:?} under {config:?}");
+        }
+    }
+}
