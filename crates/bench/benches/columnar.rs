@@ -10,12 +10,20 @@ const ROWS: usize = 100_000;
 fn write_file(encoding: Encoding) -> (TableFile, std::path::PathBuf) {
     let t = sensor_table(ROWS, SensorDistribution::Correlated, 42);
     let mut path = std::env::temp_dir();
-    path.push(format!("leco-bench-columnar-{:?}-{}.tbl", encoding, std::process::id()));
+    path.push(format!(
+        "leco-bench-columnar-{:?}-{}.tbl",
+        encoding,
+        std::process::id()
+    ));
     let file = TableFile::write(
         &path,
         &["ts", "id", "val"],
         &[t.ts, t.id, t.val],
-        TableFileOptions { encoding, row_group_size: 50_000, ..Default::default() },
+        TableFileOptions {
+            encoding,
+            row_group_size: 50_000,
+            ..Default::default()
+        },
     )
     .expect("write table file");
     (file, path)
@@ -24,13 +32,19 @@ fn write_file(encoding: Encoding) -> (TableFile, std::path::PathBuf) {
 fn bench_filter_groupby(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig18_filter_groupby");
     group.sample_size(10);
-    for encoding in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco] {
+    for encoding in [
+        Encoding::Default,
+        Encoding::Delta,
+        Encoding::For,
+        Encoding::Leco,
+    ] {
         let (file, path) = write_file(encoding);
         let ts_lo = 1_493_700_000_000u64;
         group.bench_function(BenchmarkId::new("query", encoding.name()), |b| {
             b.iter(|| {
                 let mut stats = QueryStats::default();
-                let bitmap = exec::filter_range(&file, 0, ts_lo, u64::MAX / 2, true, &mut stats).unwrap();
+                let bitmap =
+                    exec::filter_range(&file, 0, ts_lo, u64::MAX / 2, true, &mut stats).unwrap();
                 let groups = exec::group_by_avg(&file, 1, 2, &bitmap, &mut stats).unwrap();
                 std::hint::black_box(groups.len())
             })

@@ -12,7 +12,12 @@ const RECORDS: usize = 50_000;
 fn bench_seek(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig22_seek");
     let records: Vec<(Vec<u8>, Vec<u8>)> = (0..RECORDS)
-        .map(|i| (format!("user{:016}", i as u64 * 7919).into_bytes(), vec![b'v'; 400]))
+        .map(|i| {
+            (
+                format!("user{:016}", i as u64 * 7919).into_bytes(),
+                vec![b'v'; 400],
+            )
+        })
         .collect();
     let zipf = Zipf::ycsb_skewed(RECORDS);
     let mut rng = StdRng::seed_from_u64(3);
@@ -27,11 +32,19 @@ fn bench_seek(c: &mut Criterion) {
         IndexBlockFormat::Leco,
     ] {
         let mut path = std::env::temp_dir();
-        path.push(format!("leco-bench-kv-{}-{}.sst", format.name(), std::process::id()));
-        let store = Store::load(&path, &records, StoreOptions {
-            index_format: format,
-            block_cache_bytes: 4 << 20,
-        })
+        path.push(format!(
+            "leco-bench-kv-{}-{}.sst",
+            format.name(),
+            std::process::id()
+        ));
+        let store = Store::load(
+            &path,
+            &records,
+            StoreOptions {
+                index_format: format,
+                block_cache_bytes: 4 << 20,
+            },
+        )
         .expect("load store");
         let mut cursor = 0usize;
         group.bench_function(BenchmarkId::new("seek", format.name()), |b| {

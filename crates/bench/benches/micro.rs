@@ -18,8 +18,16 @@ fn bench_random_access(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_random_access");
     for dataset in DATASETS {
         let values = generate(dataset, N, 42);
-        for scheme in [Scheme::For, Scheme::EliasFano, Scheme::DeltaFix, Scheme::LecoFix, Scheme::LecoVar] {
-            let Some(encoded) = encode(scheme, &values) else { continue };
+        for scheme in [
+            Scheme::For,
+            Scheme::EliasFano,
+            Scheme::DeltaFix,
+            Scheme::LecoFix,
+            Scheme::LecoVar,
+        ] {
+            let Some(encoded) = encode(scheme, &values) else {
+                continue;
+            };
             let mut rng = StdRng::seed_from_u64(1);
             group.bench_function(BenchmarkId::new(scheme.name(), dataset.name()), |b| {
                 b.iter(|| {
@@ -39,7 +47,9 @@ fn bench_decode(c: &mut Criterion) {
         let values = generate(dataset, N, 42);
         group.throughput(Throughput::Bytes((values.len() * 8) as u64));
         for scheme in [Scheme::For, Scheme::DeltaFix, Scheme::LecoFix] {
-            let Some(encoded) = encode(scheme, &values) else { continue };
+            let Some(encoded) = encode(scheme, &values) else {
+                continue;
+            };
             group.bench_function(BenchmarkId::new(scheme.name(), dataset.name()), |b| {
                 b.iter(|| std::hint::black_box(encoded.decode_all().len()))
             });

@@ -40,7 +40,9 @@ fn bench_fit_ablation(c: &mut Criterion) {
         .iter()
         .map(|&v| v as f64)
         .collect();
-    group.bench_function("minimax_linf", |b| b.iter(|| std::hint::black_box(linear::fit_linear(&ys))));
+    group.bench_function("minimax_linf", |b| {
+        b.iter(|| std::hint::black_box(linear::fit_linear(&ys)))
+    });
     group.bench_function("least_squares_l2", |b| {
         b.iter(|| std::hint::black_box(linear::fit_least_squares(&ys)))
     });

@@ -9,8 +9,16 @@ use leco_datasets::{generate, IntDataset};
 
 fn main() {
     let n = leco_bench::bench_size();
-    println!("# Figure 2 — Pareto trade-off (weighted average over 12 data sets, {n} values each)\n");
-    let schemes = [Scheme::For, Scheme::EliasFano, Scheme::DeltaFix, Scheme::LecoFix, Scheme::LecoVar];
+    println!(
+        "# Figure 2 — Pareto trade-off (weighted average over 12 data sets, {n} values each)\n"
+    );
+    let schemes = [
+        Scheme::For,
+        Scheme::EliasFano,
+        Scheme::DeltaFix,
+        Scheme::LecoFix,
+        Scheme::LecoVar,
+    ];
     let mut table = TextTable::new(vec!["scheme", "compression ratio", "random access (ns)"]);
     for scheme in schemes {
         let mut ratios: Vec<(f64, usize)> = Vec::new();

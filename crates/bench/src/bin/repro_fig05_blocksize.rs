@@ -35,6 +35,8 @@ fn main() {
         pct(auto.size_bytes() as f64 / (booksale.len() * 4) as f64),
         auto.num_partitions()
     );
-    println!("\nPaper reference (Fig. 5): the ratio is U-shaped in the block size; the sampling-based");
+    println!(
+        "\nPaper reference (Fig. 5): the ratio is U-shaped in the block size; the sampling-based"
+    );
     println!("search should land near the bottom of the U.");
 }

@@ -8,7 +8,12 @@ use leco_datasets::{generate, IntDataset};
 fn main() {
     let n = leco_bench::small_bench_size();
     println!("# Figure 9b — data set hardness ({n} values per data set)\n");
-    let mut table = TextTable::new(vec!["dataset", "local hardness", "global hardness", "advice"]);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "local hardness",
+        "global hardness",
+        "advice",
+    ]);
     for dataset in IntDataset::MICROBENCH {
         let values = generate(dataset, n, 42);
         let h = hardness::hardness(&values);
@@ -24,7 +29,9 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nPaper reference (Fig. 9b): linear/normal/libio/wiki/booksale/planet/ml/house_price are");
+    println!(
+        "\nPaper reference (Fig. 9b): linear/normal/libio/wiki/booksale/planet/ml/house_price are"
+    );
     println!("locally easy; facebook/osm/(poisson) are locally hard; movieid/house_price are globally hard,");
     println!("which is where variable-length partitioning pays off most (§4.3.1).");
 }

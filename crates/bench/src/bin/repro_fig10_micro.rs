@@ -14,9 +14,37 @@ use leco_datasets::{generate, IntDataset};
 fn main() {
     let n = leco_bench::bench_size();
     println!("# Figure 10 — integer microbenchmark ({n} values per data set)\n");
-    let mut ratio = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var", "LeCo model%"]);
-    let mut access = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var"]);
-    let mut decode = TextTable::new(vec!["dataset", "rANS", "FOR", "Elias-Fano", "Delta", "Delta-var", "LeCo", "LeCo-var"]);
+    let mut ratio = TextTable::new(vec![
+        "dataset",
+        "rANS",
+        "FOR",
+        "Elias-Fano",
+        "Delta",
+        "Delta-var",
+        "LeCo",
+        "LeCo-var",
+        "LeCo model%",
+    ]);
+    let mut access = TextTable::new(vec![
+        "dataset",
+        "rANS",
+        "FOR",
+        "Elias-Fano",
+        "Delta",
+        "Delta-var",
+        "LeCo",
+        "LeCo-var",
+    ]);
+    let mut decode = TextTable::new(vec![
+        "dataset",
+        "rANS",
+        "FOR",
+        "Elias-Fano",
+        "Delta",
+        "Delta-var",
+        "LeCo",
+        "LeCo-var",
+    ]);
 
     for dataset in IntDataset::MICROBENCH {
         let values = generate(dataset, n, 42);
@@ -56,5 +84,7 @@ fn main() {
     println!("\n## Full decompression throughput\n");
     decode.print();
     println!("\nPaper reference (Fig. 10): LeCo variants strictly beat FOR on ratio, match FOR on access;");
-    println!("Delta variants are ~an order of magnitude slower on random access; rANS compresses worst.");
+    println!(
+        "Delta variants are ~an order of magnitude slower on random access; rANS compresses worst."
+    );
 }

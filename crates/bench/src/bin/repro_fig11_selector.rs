@@ -39,7 +39,13 @@ fn optimal_ratio(values: &[u64], width: usize) -> f64 {
 fn main() {
     let n = leco_bench::small_bench_size().min(500_000);
     println!("# Figure 11 — Regressor Selector vs FOR / linear LeCo / optimal ({n} values)\n");
-    let mut table = TextTable::new(vec!["dataset", "FOR", "LeCo (linear)", "recommend", "optimal"]);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "FOR",
+        "LeCo (linear)",
+        "recommend",
+        "optimal",
+    ]);
     for dataset in IntDataset::NONLINEAR {
         let values = generate(dataset, n, 42);
         let width = dataset.value_width();
@@ -57,7 +63,9 @@ fn main() {
         eprintln!("  finished {}", dataset.name());
     }
     table.print();
-    println!("\nPaper reference (Fig. 11): the recommended regressor tracks the optimal closely and");
+    println!(
+        "\nPaper reference (Fig. 11): the recommended regressor tracks the optimal closely and"
+    );
     println!("improves substantially over linear-only LeCo on higher-order data sets (poly, exp, polylog);");
     println!("on mostly-linear data (movieid) the gain is limited.");
 }

@@ -16,9 +16,19 @@ fn main() {
     println!("# Figure 12 — compression ratio on cosmos ({n} values)\n");
     let mut table = TextTable::new(vec!["configuration", "compression ratio"]);
 
-    for scheme in [Scheme::Rans, Scheme::For, Scheme::LecoFix, Scheme::LecoVar, Scheme::LecoPolyFix, Scheme::LecoPolyVar] {
+    for scheme in [
+        Scheme::Rans,
+        Scheme::For,
+        Scheme::LecoFix,
+        Scheme::LecoVar,
+        Scheme::LecoPolyFix,
+        Scheme::LecoPolyVar,
+    ] {
         if let Some(enc) = encode(scheme, &values) {
-            table.row(vec![scheme.name().to_string(), pct(enc.size_bytes() as f64 / raw)]);
+            table.row(vec![
+                scheme.name().to_string(),
+                pct(enc.size_bytes() as f64 / raw),
+            ]);
         }
         eprintln!("  finished {}", scheme.name());
     }
@@ -27,20 +37,34 @@ fn main() {
     let partition = PartitionerKind::Fixed { len: 10_000 };
     let sine = |terms: u8, estimate: bool, ctx: FitContext| {
         let config = LecoConfig {
-            regressor: RegressorKind::Sine { terms, estimate_freq: estimate },
+            regressor: RegressorKind::Sine {
+                terms,
+                estimate_freq: estimate,
+            },
             partitioner: partition.clone(),
         };
         let col = LecoCompressor::with_context(config, ctx).compress(&values);
         col.size_bytes() as f64 / raw
     };
-    table.row(vec!["sin (1 estimated term)".to_string(), pct(sine(1, true, FitContext::default()))]);
+    table.row(vec![
+        "sin (1 estimated term)".to_string(),
+        pct(sine(1, true, FitContext::default())),
+    ]);
     eprintln!("  finished sin");
-    table.row(vec!["2sin (2 estimated terms)".to_string(), pct(sine(2, true, FitContext::default()))]);
+    table.row(vec![
+        "2sin (2 estimated terms)".to_string(),
+        pct(sine(2, true, FitContext::default())),
+    ]);
     eprintln!("  finished 2sin");
     // The generator's true angular frequencies (§4.1 footnote): 1/(60π) and 3/(60π).
     let omega1 = 1.0 / (60.0 * std::f64::consts::PI);
-    let ctx = FitContext { known_frequencies: vec![omega1, 3.0 * omega1] };
-    table.row(vec!["2sin-freq (known frequencies)".to_string(), pct(sine(2, false, ctx))]);
+    let ctx = FitContext {
+        known_frequencies: vec![omega1, 3.0 * omega1],
+    };
+    table.row(vec![
+        "2sin-freq (known frequencies)".to_string(),
+        pct(sine(2, false, ctx)),
+    ]);
     eprintln!("  finished 2sin-freq");
 
     table.print();

@@ -17,7 +17,11 @@ const SCHEMES: [Scheme; 5] = [
 
 fn table_ratio(table: &Table, scheme: Scheme, high_cardinality_only: bool) -> f64 {
     let columns: Vec<&Vec<u64>> = if high_cardinality_only {
-        table.high_cardinality_columns(0.10).into_iter().map(|(_, c)| c).collect()
+        table
+            .high_cardinality_columns(0.10)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect()
     } else {
         table.columns.iter().map(|(_, c)| c).collect()
     };
@@ -28,7 +32,9 @@ fn table_ratio(table: &Table, scheme: Scheme, high_cardinality_only: bool) -> f6
     let mut raw = 0usize;
     for col in columns {
         raw += col.len() * 8;
-        compressed += encode(scheme, col).map(|e| e.size_bytes()).unwrap_or(col.len() * 8);
+        compressed += encode(scheme, col)
+            .map(|e| e.size_bytes())
+            .unwrap_or(col.len() * 8);
     }
     compressed as f64 / raw as f64
 }
@@ -38,9 +44,21 @@ fn main() {
     println!("# Figure 13 — multi-column benchmark ({rows} rows per table)\n");
     let tables = all_tables(rows, 42);
 
-    for (label, hc_only) in [("all numeric columns", false), ("high-cardinality columns (NDV >= 10% rows)", true)] {
+    for (label, hc_only) in [
+        ("all numeric columns", false),
+        ("high-cardinality columns (NDV >= 10% rows)", true),
+    ] {
         println!("## Compression ratio, {label}\n");
-        let mut out = TextTable::new(vec!["table", "sortedness", "FOR", "Delta-fix", "Delta-var", "LeCo-fix", "LeCo-var", "LeCo-fix vs FOR"]);
+        let mut out = TextTable::new(vec![
+            "table",
+            "sortedness",
+            "FOR",
+            "Delta-fix",
+            "Delta-var",
+            "LeCo-fix",
+            "LeCo-var",
+            "LeCo-fix vs FOR",
+        ]);
         for t in &tables {
             let mut cells = vec![t.name.to_string(), f2(t.sortedness())];
             let mut for_ratio = f64::NAN;
@@ -55,7 +73,8 @@ fn main() {
                 }
                 cells.push(if r.is_nan() { "n/a".into() } else { pct(r) });
             }
-            let improvement = if for_ratio.is_finite() && leco_ratio.is_finite() && for_ratio > 0.0 {
+            let improvement = if for_ratio.is_finite() && leco_ratio.is_finite() && for_ratio > 0.0
+            {
                 format!("-{:.1}%", (1.0 - leco_ratio / for_ratio) * 100.0)
             } else {
                 "n/a".into()
@@ -67,6 +86,8 @@ fn main() {
         out.print();
         println!();
     }
-    println!("Paper reference (Fig. 13): LeCo beats FOR on every table; the advantage grows with the");
+    println!(
+        "Paper reference (Fig. 13): LeCo beats FOR on every table; the advantage grows with the"
+    );
     println!("table's sortedness (inventory, date_dim, stock) and on high-cardinality columns.");
 }

@@ -42,9 +42,14 @@ impl PagedDictionary {
             .write(true)
             .open(&path)
             .expect("create spill file");
-        file.write_all(&vec![0u8; bytes.max(PAGE)]).expect("fill spill file");
+        file.write_all(&vec![0u8; bytes.max(PAGE)])
+            .expect("fill spill file");
         std::fs::remove_file(&path).ok(); // unlinked but kept open
-        Self { lookup, bytes, file }
+        Self {
+            lookup,
+            bytes,
+            file,
+        }
     }
 
     /// Translate a dictionary code to its value under the given buffer-pool
@@ -79,7 +84,11 @@ fn main() {
 
     // Hash table with 50% of the distinct values (the join build side).
     let mut rng = StdRng::seed_from_u64(7);
-    let build: HashSet<u64> = distinct.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+    let build: HashSet<u64> = distinct
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
     let hash_table_bytes = build.len() * 16;
 
     // Dictionary value-array representations.
@@ -107,7 +116,13 @@ fn main() {
         .map(|f| (format!("{:.0}%", f * 100.0), (full as f64 * f) as usize))
         .collect();
 
-    let mut table = TextTable::new(vec!["memory budget (of raw working set)", "Raw GB/s", "FOR GB/s", "LeCo GB/s", "LeCo vs FOR"]);
+    let mut table = TextTable::new(vec![
+        "memory budget (of raw working set)",
+        "Raw GB/s",
+        "FOR GB/s",
+        "LeCo GB/s",
+        "LeCo vs FOR",
+    ]);
     let distinct_for_lookup = distinct.clone();
     let mut variants: Vec<(&str, PagedDictionary)> = vec![
         (
@@ -116,18 +131,28 @@ fn main() {
         ),
         (
             "FOR",
-            PagedDictionary::new(Box::new(move |c| for_col.get(c)), ForCodec::encode(&distinct, 128).size_bytes()),
+            PagedDictionary::new(
+                Box::new(move |c| for_col.get(c)),
+                ForCodec::encode(&distinct, 128).size_bytes(),
+            ),
         ),
         (
             "LeCo",
-            PagedDictionary::new(Box::new(move |c| leco_col.get(c)), LecoCompressor::new(LecoConfig::leco_fix_with_len(1024)).compress(&distinct).size_bytes()),
+            PagedDictionary::new(
+                Box::new(move |c| leco_col.get(c)),
+                LecoCompressor::new(LecoConfig::leco_fix_with_len(1024))
+                    .compress(&distinct)
+                    .size_bytes(),
+            ),
         ),
     ];
 
     for (label, budget) in budgets {
         let mut tputs = Vec::new();
         for (_, dictionary) in variants.iter_mut() {
-            let resident = budget.saturating_sub(hash_table_bytes).min(dictionary.bytes);
+            let resident = budget
+                .saturating_sub(hash_table_bytes)
+                .min(dictionary.bytes);
             let start = Instant::now();
             let mut matches = 0u64;
             for &row in &selected {
@@ -140,7 +165,11 @@ fn main() {
             std::hint::black_box(matches);
             tputs.push(raw_probe_bytes / start.elapsed().as_secs_f64() / 1.0e9);
         }
-        let speedup = if tputs[1] > 0.0 { format!("{:.1}x", tputs[2] / tputs[1]) } else { "n/a".into() };
+        let speedup = if tputs[1] > 0.0 {
+            format!("{:.1}x", tputs[2] / tputs[1])
+        } else {
+            "n/a".into()
+        };
         table.row(vec![
             label,
             format!("{:.2}", tputs[0]),
@@ -151,7 +180,11 @@ fn main() {
         eprintln!("  finished budget {budget} bytes");
     }
     table.print();
-    println!("\nPaper reference (Fig. 14): once the budget can no longer hold the FOR/raw dictionary,");
-    println!("their throughput collapses (buffer-pool misses) while the LeCo dictionary still fits,");
+    println!(
+        "\nPaper reference (Fig. 14): once the budget can no longer hold the FOR/raw dictionary,"
+    );
+    println!(
+        "their throughput collapses (buffer-pool misses) while the LeCo dictionary still fits,"
+    );
     println!("yielding up to ~two orders of magnitude higher probe throughput.");
 }

@@ -30,7 +30,12 @@ fn main() {
         ("word", leco_datasets::strings::word(n, &mut rng)),
     ];
     println!("# Figure 15 — string compression ({n} strings per data set)\n");
-    let mut table = TextTable::new(vec!["dataset", "configuration", "compression ratio", "random access (ns)"]);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "configuration",
+        "compression ratio",
+        "random access (ns)",
+    ]);
 
     for (name, strings) in &datasets {
         // FSST with different offset-delta block sizes.
@@ -47,8 +52,17 @@ fn main() {
         }
         // LeCo string extension with reduced and full-byte character sets.
         let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
-        for (label, full_byte) in [("LeCo (reduced charset)", false), ("LeCo (full-byte charset)", true)] {
-            let c = CompressedStrings::encode(&refs, StringConfig { partition_len: 1024, full_byte_charset: full_byte });
+        for (label, full_byte) in [
+            ("LeCo (reduced charset)", false),
+            ("LeCo (full-byte charset)", true),
+        ] {
+            let c = CompressedStrings::encode(
+                &refs,
+                StringConfig {
+                    partition_len: 1024,
+                    full_byte_charset: full_byte,
+                },
+            );
             let ns = random_access_ns(strings.len(), |i| c.get(i).len());
             table.row(vec![
                 name.to_string(),
@@ -60,6 +74,8 @@ fn main() {
         eprintln!("  finished {name}");
     }
     table.print();
-    println!("\nPaper reference (Fig. 15): LeCo's string extension offers faster random access at a");
+    println!(
+        "\nPaper reference (Fig. 15): LeCo's string extension offers faster random access at a"
+    );
     println!("competitive ratio on email/hex; FSST compresses better on natural-language words.");
 }

@@ -13,16 +13,27 @@ use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
 use leco_datasets::{generate, IntDataset};
 
 fn ratio(values: &[u64], width: usize, partitioner: PartitionerKind) -> (f64, usize) {
-    let col = LecoCompressor::new(LecoConfig { regressor: RegressorKind::Linear, partitioner })
-        .compress(values);
-    (col.size_bytes() as f64 / (values.len() * width) as f64, col.num_partitions())
+    let col = LecoCompressor::new(LecoConfig {
+        regressor: RegressorKind::Linear,
+        partitioner,
+    })
+    .compress(values);
+    (
+        col.size_bytes() as f64 / (values.len() * width) as f64,
+        col.num_partitions(),
+    )
 }
 
 fn main() {
     let with_dp = std::env::args().any(|a| a == "--dp");
     let n = leco_bench::small_bench_size().min(400_000);
     println!("# Figure 16 — partitioner efficiency ({n} values per data set)\n");
-    let datasets = [IntDataset::Normal, IntDataset::HousePrice, IntDataset::Booksale, IntDataset::Movieid];
+    let datasets = [
+        IntDataset::Normal,
+        IntDataset::HousePrice,
+        IntDataset::Booksale,
+        IntDataset::Movieid,
+    ];
     let partitioners: [(&str, PartitionerKind); 5] = [
         ("LeCo-fix", PartitionerKind::FixedAuto),
         ("LeCo-PLA", PartitionerKind::Pla { epsilon: 64 }),
@@ -30,25 +41,42 @@ fn main() {
         ("Sim-Piece", PartitionerKind::SimPiece { epsilon: 64 }),
         ("LeCo-var", PartitionerKind::SplitMerge { tau: 0.1 }),
     ];
-    let mut table = TextTable::new(vec!["dataset", "partitioner", "compression ratio", "#partitions"]);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "partitioner",
+        "compression ratio",
+        "#partitions",
+    ]);
     for dataset in datasets {
         let values = generate(dataset, n, 42);
         for (name, partitioner) in &partitioners {
             let (r, parts) = ratio(&values, dataset.value_width(), partitioner.clone());
-            table.row(vec![dataset.name().to_string(), name.to_string(), pct(r), format!("{parts}")]);
+            table.row(vec![
+                dataset.name().to_string(),
+                name.to_string(),
+                pct(r),
+                format!("{parts}"),
+            ]);
             eprintln!("  finished {} / {}", dataset.name(), name);
         }
     }
     table.print();
-    println!("\nPaper reference (Fig. 16): the time-series partitioners (PLA, Sim-Piece) and la_vector");
+    println!(
+        "\nPaper reference (Fig. 16): the time-series partitioners (PLA, Sim-Piece) and la_vector"
+    );
     println!("compress noticeably worse than LeCo-var; LeCo-var also beats LeCo-fix on globally-hard data.");
 
     if with_dp {
         println!("\n## Greedy split-merge vs exact DP optimum (§3.2.2 claim, small samples)\n");
-        let mut dp_table = TextTable::new(vec!["dataset", "greedy bits", "optimal bits", "overhead"]);
+        let mut dp_table =
+            TextTable::new(vec!["dataset", "greedy bits", "optimal bits", "overhead"]);
         for dataset in datasets {
             let values: Vec<u64> = generate(dataset, 1_500, 7);
-            let greedy = leco_core::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
+            let greedy = leco_core::partition::split_merge::split_merge(
+                &values,
+                RegressorKind::Linear,
+                0.05,
+            );
             let optimal = dp::optimal_partitions(&values, RegressorKind::Linear);
             let g = dp::total_cost_bits(&values, &greedy, RegressorKind::Linear);
             let o = dp::total_cost_bits(&values, &optimal, RegressorKind::Linear);
@@ -62,6 +90,8 @@ fn main() {
         dp_table.print();
         println!("\nPaper reference: the greedy algorithm stays within ~3% of the optimal compressed size.");
     } else {
-        println!("\n(Pass --dp to also compare the greedy partitioner against the exact DP optimum.)");
+        println!(
+            "\n(Pass --dp to also compare the greedy partitioner against the exact DP optimum.)"
+        );
     }
 }

@@ -20,7 +20,10 @@ fn main() {
             partitioner: PartitionerKind::SplitMerge { tau },
         })
         .compress(&values);
-        var.row(vec![format!("{tau:.2}"), pct(col.size_bytes() as f64 / raw)]);
+        var.row(vec![
+            format!("{tau:.2}"),
+            pct(col.size_bytes() as f64 / raw),
+        ]);
         eprintln!("  finished tau {tau}");
     }
     println!("## LeCo-var: sweep of the split threshold τ\n");
@@ -30,14 +33,21 @@ fn main() {
     for log_eps in 3u32..=13 {
         let col = LecoCompressor::new(LecoConfig {
             regressor: RegressorKind::Linear,
-            partitioner: PartitionerKind::Pla { epsilon: 1 << log_eps },
+            partitioner: PartitionerKind::Pla {
+                epsilon: 1 << log_eps,
+            },
         })
         .compress(&values);
-        pla.row(vec![format!("{log_eps}"), pct(col.size_bytes() as f64 / raw)]);
+        pla.row(vec![
+            format!("{log_eps}"),
+            pct(col.size_bytes() as f64 / raw),
+        ]);
         eprintln!("  finished epsilon 2^{log_eps}");
     }
     println!("\n## LeCo-PLA: sweep of the error bound ε\n");
     pla.print();
-    println!("\nPaper reference (Fig. 17): LeCo-var's ratio is nearly flat across τ, while LeCo-PLA's");
+    println!(
+        "\nPaper reference (Fig. 17): LeCo-var's ratio is nearly flat across τ, while LeCo-PLA's"
+    );
     println!("ratio varies strongly with ε (and is worse at its best point).");
 }

@@ -7,7 +7,12 @@ use leco_bench::report::TextTable;
 use leco_columnar::{exec, Encoding, QueryStats, TableFile, TableFileOptions};
 use leco_datasets::tables::{sensor_table, SensorDistribution};
 
-const ENCODINGS: [Encoding; 4] = [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco];
+const ENCODINGS: [Encoding; 4] = [
+    Encoding::Default,
+    Encoding::Delta,
+    Encoding::For,
+    Encoding::Leco,
+];
 const SELECTIVITIES: [f64; 5] = [0.00001, 0.0001, 0.001, 0.01, 0.1];
 
 fn main() -> std::io::Result<()> {
@@ -17,18 +22,33 @@ fn main() -> std::io::Result<()> {
         let t = sensor_table(rows, dist, 42);
         println!("## distribution: {dist:?}\n");
         let mut table = TextTable::new(vec![
-            "selectivity", "encoding", "file size (MB)", "IO (ms)", "filter+groupby CPU (ms)", "total (ms)", "groups",
+            "selectivity",
+            "encoding",
+            "file size (MB)",
+            "IO (ms)",
+            "filter+groupby CPU (ms)",
+            "total (ms)",
+            "groups",
         ]);
         // Write one file per encoding.
         let mut files = Vec::new();
         for enc in ENCODINGS {
             let mut path = std::env::temp_dir();
-            path.push(format!("leco-fig18-{:?}-{:?}-{}.tbl", dist, enc, std::process::id()));
+            path.push(format!(
+                "leco-fig18-{:?}-{:?}-{}.tbl",
+                dist,
+                enc,
+                std::process::id()
+            ));
             let file = TableFile::write(
                 &path,
                 &["ts", "id", "val"],
                 &[t.ts.clone(), t.id.clone(), t.val.clone()],
-                TableFileOptions { encoding: enc, row_group_size: 100_000, ..Default::default() },
+                TableFileOptions {
+                    encoding: enc,
+                    row_group_size: 100_000,
+                    ..Default::default()
+                },
             )?;
             files.push((enc, file, path));
         }
@@ -63,7 +83,9 @@ fn main() -> std::io::Result<()> {
         }
     }
     println!("Paper reference (Fig. 18): every lightweight encoding beats Default thanks to I/O savings;");
-    println!("LeCo beats Delta on CPU (random access during group-by) and beats FOR on I/O, with the");
+    println!(
+        "LeCo beats Delta on CPU (random access during group-by) and beats FOR on I/O, with the"
+    );
     println!("advantage growing on the correlated distribution (up to 5.2x vs Default).");
     Ok(())
 }

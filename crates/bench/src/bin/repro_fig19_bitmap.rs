@@ -8,7 +8,12 @@ use leco_datasets::{generate, IntDataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const ENCODINGS: [Encoding; 4] = [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco];
+const ENCODINGS: [Encoding; 4] = [
+    Encoding::Default,
+    Encoding::Delta,
+    Encoding::For,
+    Encoding::Leco,
+];
 const SELECTIVITIES: [f64; 5] = [0.00001, 0.0001, 0.001, 0.01, 0.1];
 
 /// Zipf-like clustered bitmap: ten clusters of set bits whose sizes follow a
@@ -35,20 +40,41 @@ fn clustered_bitmap(n: usize, selectivity: f64, rng: &mut StdRng) -> Bitmap {
 fn main() -> std::io::Result<()> {
     let rows = leco_bench::small_bench_size();
     println!("# Figure 19 — bitmap aggregation ({rows} rows per data set)\n");
-    let datasets = [IntDataset::Normal, IntDataset::Booksale, IntDataset::Poisson, IntDataset::Ml];
+    let datasets = [
+        IntDataset::Normal,
+        IntDataset::Booksale,
+        IntDataset::Poisson,
+        IntDataset::Ml,
+    ];
     for dataset in datasets {
         let values = generate(dataset, rows, 42);
         println!("## dataset: {}\n", dataset.name());
-        let mut table = TextTable::new(vec!["selectivity", "encoding", "IO (ms)", "CPU (ms)", "total (ms)"]);
+        let mut table = TextTable::new(vec![
+            "selectivity",
+            "encoding",
+            "IO (ms)",
+            "CPU (ms)",
+            "total (ms)",
+        ]);
         let mut files = Vec::new();
         for enc in ENCODINGS {
             let mut path = std::env::temp_dir();
-            path.push(format!("leco-fig19-{}-{:?}-{}.tbl", dataset.name(), enc, std::process::id()));
-            let file = TableFile::write(&path, &["v"], &[values.clone()], TableFileOptions {
-                encoding: enc,
-                row_group_size: 100_000,
-                ..Default::default()
-            })?;
+            path.push(format!(
+                "leco-fig19-{}-{:?}-{}.tbl",
+                dataset.name(),
+                enc,
+                std::process::id()
+            ));
+            let file = TableFile::write(
+                &path,
+                &["v"],
+                std::slice::from_ref(&values),
+                TableFileOptions {
+                    encoding: enc,
+                    row_group_size: 100_000,
+                    ..Default::default()
+                },
+            )?;
             files.push((enc, file, path));
         }
         let mut rng = StdRng::seed_from_u64(99);
@@ -74,7 +100,11 @@ fn main() -> std::io::Result<()> {
             std::fs::remove_file(path).ok();
         }
     }
-    println!("Paper reference (Fig. 19): LeCo outperforms Default (up to 11.8x), Delta (up to 3.9x) and");
-    println!("FOR (up to 5.0x) thanks to smaller files, fast random access and row-group skipping.");
+    println!(
+        "Paper reference (Fig. 19): LeCo outperforms Default (up to 11.8x), Delta (up to 3.9x) and"
+    );
+    println!(
+        "FOR (up to 5.0x) thanks to smaller files, fast random access and row-group skipping."
+    );
     Ok(())
 }

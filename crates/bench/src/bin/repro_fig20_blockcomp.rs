@@ -9,10 +9,19 @@ use leco_datasets::{generate, IntDataset};
 fn main() -> std::io::Result<()> {
     let rows = leco_bench::small_bench_size();
     println!("# Figure 20 — Parquet-style file sizes with block compression ({rows} rows)\n");
-    let datasets = [IntDataset::Normal, IntDataset::Booksale, IntDataset::Poisson, IntDataset::Ml];
+    let datasets = [
+        IntDataset::Normal,
+        IntDataset::Booksale,
+        IntDataset::Poisson,
+        IntDataset::Ml,
+    ];
     let encodings = [Encoding::Default, Encoding::For, Encoding::Leco];
     let mut table = TextTable::new(vec![
-        "dataset", "encoding", "size", "size + lzb", "lzb improvement",
+        "dataset",
+        "encoding",
+        "size",
+        "size + lzb",
+        "lzb improvement",
     ]);
     for dataset in datasets {
         let values = generate(dataset, rows, 42);
@@ -27,11 +36,16 @@ fn main() -> std::io::Result<()> {
                     compression,
                     std::process::id()
                 ));
-                let file = TableFile::write(&path, &["v"], &[values.clone()], TableFileOptions {
-                    encoding: enc,
-                    row_group_size: 200_000,
-                    block_compression: compression,
-                })?;
+                let file = TableFile::write(
+                    &path,
+                    &["v"],
+                    std::slice::from_ref(&values),
+                    TableFileOptions {
+                        encoding: enc,
+                        row_group_size: 200_000,
+                        block_compression: compression,
+                    },
+                )?;
                 sizes.push(file.file_size_bytes());
                 std::fs::remove_file(&path).ok();
             }
@@ -46,8 +60,14 @@ fn main() -> std::io::Result<()> {
         }
     }
     table.print();
-    println!("\nPaper reference (Fig. 20): block compression still helps on top of the lightweight");
-    println!("encodings, and the relative improvement over LeCo-encoded files is at least as large as");
-    println!("over FOR — LeCo's serial-redundancy removal is complementary to general-purpose codecs.");
+    println!(
+        "\nPaper reference (Fig. 20): block compression still helps on top of the lightweight"
+    );
+    println!(
+        "encodings, and the relative improvement over LeCo-encoded files is at least as large as"
+    );
+    println!(
+        "over FOR — LeCo's serial-redundancy removal is complementary to general-purpose codecs."
+    );
     Ok(())
 }

@@ -4,7 +4,9 @@
 //! can outweigh its I/O savings (§5.1.3).
 
 use leco_bench::report::TextTable;
-use leco_columnar::{exec, Bitmap, BlockCompression, Encoding, QueryStats, TableFile, TableFileOptions};
+use leco_columnar::{
+    exec, Bitmap, BlockCompression, Encoding, QueryStats, TableFile, TableFileOptions,
+};
 use leco_datasets::{generate, IntDataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,16 +25,33 @@ fn main() -> std::io::Result<()> {
         bitmap.set_range(start, start + total / 10);
     }
 
-    let mut table = TextTable::new(vec!["encoding", "block codec", "file size (MB)", "IO (ms)", "CPU (ms)", "total (ms)"]);
+    let mut table = TextTable::new(vec![
+        "encoding",
+        "block codec",
+        "file size (MB)",
+        "IO (ms)",
+        "CPU (ms)",
+        "total (ms)",
+    ]);
     for enc in [Encoding::Default, Encoding::For, Encoding::Leco] {
         for compression in [BlockCompression::None, BlockCompression::Lzb] {
             let mut path = std::env::temp_dir();
-            path.push(format!("leco-fig21-{:?}-{:?}-{}.tbl", enc, compression, std::process::id()));
-            let file = TableFile::write(&path, &["v"], &[values.clone()], TableFileOptions {
-                encoding: enc,
-                row_group_size: 100_000,
-                block_compression: compression,
-            })?;
+            path.push(format!(
+                "leco-fig21-{:?}-{:?}-{}.tbl",
+                enc,
+                compression,
+                std::process::id()
+            ));
+            let file = TableFile::write(
+                &path,
+                &["v"],
+                std::slice::from_ref(&values),
+                TableFileOptions {
+                    encoding: enc,
+                    row_group_size: 100_000,
+                    block_compression: compression,
+                },
+            )?;
             let mut stats = QueryStats::default();
             let sum = exec::sum_selected(&file, 0, &bitmap, &mut stats)?;
             std::hint::black_box(sum);
@@ -53,7 +72,9 @@ fn main() -> std::io::Result<()> {
     }
     table.print();
     println!("\nPaper reference (Fig. 21): the block codec's I/O savings are outweighed by its");
-    println!("decompression CPU on this selective query, so the total time increases — lightweight");
+    println!(
+        "decompression CPU on this selective query, so the total time increases — lightweight"
+    );
     println!("encodings alone keep the CPU off the critical path.");
     Ok(())
 }

@@ -14,12 +14,20 @@ fn main() -> std::io::Result<()> {
     // (~110 GB); we keep the same record shape at a smaller count.
     let records_n = (leco_bench::small_bench_size() / 2).clamp(50_000, 2_000_000);
     let queries_n = records_n.min(200_000);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16);
     println!("# Figure 22 — KV-store seek throughput ({records_n} records, {queries_n} zipfian seeks, {threads} threads)\n");
 
     // 20-byte keys, 400-byte values (the RocksDB performance-benchmark shape).
     let records: Vec<(Vec<u8>, Vec<u8>)> = (0..records_n)
-        .map(|i| (format!("user{:016}", i as u64 * 7919).into_bytes(), vec![b'v'; 400]))
+        .map(|i| {
+            (
+                format!("user{:016}", i as u64 * 7919).into_bytes(),
+                vec![b'v'; 400],
+            )
+        })
         .collect();
     let zipf = Zipf::ycsb_skewed(records_n);
     let mut rng = StdRng::seed_from_u64(42);
@@ -41,15 +49,29 @@ fn main() -> std::io::Result<()> {
     let mut baseline_bytes = 0usize;
     for format in formats {
         let mut path = std::env::temp_dir();
-        path.push(format!("leco-fig22-size-{}-{}.sst", format.name(), std::process::id()));
-        let store = Store::load(&path, &records, StoreOptions { index_format: format, block_cache_bytes: 1 << 20 })?;
+        path.push(format!(
+            "leco-fig22-size-{}-{}.sst",
+            format.name(),
+            std::process::id()
+        ));
+        let store = Store::load(
+            &path,
+            &records,
+            StoreOptions {
+                index_format: format,
+                block_cache_bytes: 1 << 20,
+            },
+        )?;
         if baseline_bytes == 0 {
             baseline_bytes = store.index_size_bytes();
         }
         sizes.row(vec![
             format.name(),
             format!("{} KB", store.index_size_bytes() / 1024),
-            format!("{:.1}%", store.index_size_bytes() as f64 / baseline_bytes as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                store.index_size_bytes() as f64 / baseline_bytes as f64 * 100.0
+            ),
         ]);
         std::fs::remove_file(&path).ok();
     }
@@ -61,33 +83,63 @@ fn main() -> std::io::Result<()> {
     let data_bytes = records_n as u64 * 420;
     let budgets: Vec<(String, usize)> = [0.02f64, 0.05, 0.1, 0.2, 0.5]
         .iter()
-        .map(|f| (format!("{:.0}%", f * 100.0), (data_bytes as f64 * f) as usize))
+        .map(|f| {
+            (
+                format!("{:.0}%", f * 100.0),
+                (data_bytes as f64 * f) as usize,
+            )
+        })
         .collect();
-    let mut tput = TextTable::new(vec!["cache (of data size)", "Baseline_1", "Baseline_16", "Baseline_128", "LeCo", "LeCo vs best baseline"]);
+    let mut tput = TextTable::new(vec![
+        "cache (of data size)",
+        "Baseline_1",
+        "Baseline_16",
+        "Baseline_128",
+        "LeCo",
+        "LeCo vs best baseline",
+    ]);
     for (label, budget) in budgets {
         let mut row = vec![label.clone()];
         let mut results = Vec::new();
         for format in formats {
             let mut path = std::env::temp_dir();
-            path.push(format!("leco-fig22-run-{}-{}-{}.sst", format.name(), budget, std::process::id()));
-            let store = Arc::new(Store::load(&path, &records, StoreOptions {
-                index_format: format,
-                block_cache_bytes: budget,
-            })?);
+            path.push(format!(
+                "leco-fig22-run-{}-{}-{}.sst",
+                format.name(),
+                budget,
+                std::process::id()
+            ));
+            let store = Arc::new(Store::load(
+                &path,
+                &records,
+                StoreOptions {
+                    index_format: format,
+                    block_cache_bytes: budget,
+                },
+            )?);
             let ops_per_sec = run_seek_workload(&store, &queries, threads);
             results.push(ops_per_sec);
             row.push(format!("{:.2} Mop/s", ops_per_sec / 1.0e6));
             std::fs::remove_file(&path).ok();
         }
         let best_baseline = results[..3].iter().cloned().fold(f64::MIN, f64::max);
-        row.push(format!("{:+.1}%", (results[3] / best_baseline - 1.0) * 100.0));
+        row.push(format!(
+            "{:+.1}%",
+            (results[3] / best_baseline - 1.0) * 100.0
+        ));
         tput.row(row);
         eprintln!("  finished cache budget {label}");
     }
     println!("\n## Seek throughput vs block-cache size\n");
     tput.print();
-    println!("\nPaper reference (Fig. 22): LeCo-compressed index blocks beat the best RocksDB restart-");
-    println!("interval configuration by up to 16%, with the advantage largest at small cache sizes");
-    println!("(smaller index → more data blocks cached) while avoiding Delta's per-lookup decode cost.");
+    println!(
+        "\nPaper reference (Fig. 22): LeCo-compressed index blocks beat the best RocksDB restart-"
+    );
+    println!(
+        "interval configuration by up to 16%, with the advantage largest at small cache sizes"
+    );
+    println!(
+        "(smaller index → more data blocks cached) while avoiding Delta's per-lookup decode cost."
+    );
     Ok(())
 }

@@ -28,7 +28,11 @@ fn main() {
         }
         table.row(vec![
             scheme.name().to_string(),
-            format!("{:.2} ± {:.2}", weighted_average(&samples), weighted_std(&samples)),
+            format!(
+                "{:.2} ± {:.2}",
+                weighted_average(&samples),
+                weighted_std(&samples)
+            ),
         ]);
         eprintln!("  finished {}", scheme.name());
     }

@@ -38,7 +38,12 @@ pub fn measure_scheme(scheme: Scheme, values: &[u64], value_width: usize) -> Opt
     let start = Instant::now();
     let encoded = encode(scheme, values)?;
     let compress_secs = start.elapsed().as_secs_f64();
-    Some(finish_measurement(&encoded, values, raw_bytes, compress_secs))
+    Some(finish_measurement(
+        &encoded,
+        values,
+        raw_bytes,
+        compress_secs,
+    ))
 }
 
 /// Measure an already-encoded column (used when the caller wants to reuse an

@@ -136,10 +136,12 @@ pub fn encode(scheme: Scheme, values: &[u64]) -> Option<EncodedInts> {
         },
         Scheme::DeltaFix => EncodedInts::Codec(Box::new(DeltaCodec::encode(values, DEFAULT_FRAME))),
         Scheme::DeltaVar => EncodedInts::DeltaVar(DeltaVarColumn::encode(values)),
-        Scheme::LecoFix => {
-            EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_fix_with_len(DEFAULT_FRAME)).compress(values))
+        Scheme::LecoFix => EncodedInts::Leco(
+            LecoCompressor::new(LecoConfig::leco_fix_with_len(DEFAULT_FRAME)).compress(values),
+        ),
+        Scheme::LecoVar => {
+            EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_var()).compress(values))
         }
-        Scheme::LecoVar => EncodedInts::Leco(LecoCompressor::new(LecoConfig::leco_var()).compress(values)),
         Scheme::LecoPolyFix => EncodedInts::Leco(
             LecoCompressor::new(LecoConfig {
                 regressor: leco_core::RegressorKind::Poly3,

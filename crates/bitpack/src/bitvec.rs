@@ -106,7 +106,7 @@ impl BitVec {
                 let tz = bits.trailing_zeros() as u64;
                 let pos = w_idx as u64 * 64 + tz;
                 if pos < self.len as u64 {
-                    if ones % SELECT_SAMPLE == 0 {
+                    if ones.is_multiple_of(SELECT_SAMPLE) {
                         self.select_samples.push(pos);
                     }
                     ones += 1;

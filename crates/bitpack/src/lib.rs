@@ -45,7 +45,7 @@ pub fn width_for_max(max: u64) -> u8 {
 /// Ceiling division for byte/word sizing computations.
 #[inline]
 pub fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 #[cfg(test)]

@@ -134,7 +134,7 @@ impl PackedArray {
     pub fn decode_into(&self, out: &mut Vec<u64>) {
         out.reserve(self.len);
         if self.width == 0 {
-            out.extend(std::iter::repeat(0).take(self.len));
+            out.extend(std::iter::repeat_n(0, self.len));
             return;
         }
         let width = self.width as usize;

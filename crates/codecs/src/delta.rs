@@ -98,12 +98,16 @@ impl DeltaCodec {
         let mut current = f.first;
         out.push(current);
         if f.width == 0 {
-            out.extend(std::iter::repeat(current).take(n.saturating_sub(1)));
+            out.extend(std::iter::repeat_n(current, n.saturating_sub(1)));
             return;
         }
         let mut bit_pos = f.bit_offset as usize;
         for _ in 1..n {
-            let d = zigzag_decode(leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width));
+            let d = zigzag_decode(leco_bitpack::stream::read_bits(
+                &self.payload,
+                bit_pos,
+                f.width,
+            ));
             bit_pos += f.width as usize;
             current = current.wrapping_add(d as u64);
             out.push(current);
@@ -136,7 +140,11 @@ impl IntColumn for DeltaCodec {
         }
         let mut bit_pos = f.bit_offset as usize;
         for _ in 0..in_frame {
-            let d = zigzag_decode(leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width));
+            let d = zigzag_decode(leco_bitpack::stream::read_bits(
+                &self.payload,
+                bit_pos,
+                f.width,
+            ));
             bit_pos += f.width as usize;
             current = current.wrapping_add(d as u64);
         }

@@ -30,7 +30,11 @@ pub struct NotMonotone {
 
 impl std::fmt::Display for NotMonotone {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sequence is not monotone non-decreasing at index {}", self.at)
+        write!(
+            f,
+            "sequence is not monotone non-decreasing at index {}",
+            self.at
+        )
     }
 }
 
@@ -63,7 +67,11 @@ impl EliasFano {
             let ratio = (universe / n as u64).max(1);
             (63 - ratio.leading_zeros()) as u8
         };
-        let low_mask = if low_bits == 0 { 0 } else { (1u64 << low_bits) - 1 };
+        let low_mask = if low_bits == 0 {
+            0
+        } else {
+            (1u64 << low_bits) - 1
+        };
         let lows: Vec<u64> = values.iter().map(|&v| (v - base) & low_mask).collect();
         let low = PackedArray::from_values(&lows, low_bits);
 
@@ -101,10 +109,7 @@ impl IntColumn for EliasFano {
     #[inline]
     fn get(&self, i: usize) -> u64 {
         assert!(i < self.len, "index {i} out of bounds");
-        let pos = self
-            .high
-            .select1(i as u64)
-            .expect("select within bounds") as u64;
+        let pos = self.high.select1(i as u64).expect("select within bounds") as u64;
         let h = pos - i as u64;
         self.base + ((h << self.low_bits) | self.low.get(i))
     }
@@ -134,7 +139,9 @@ mod tests {
     #[test]
     fn paper_example_round_trip() {
         // The binary sequence from §4.1 of the paper.
-        let values = vec![0b00000u64, 0b00011, 0b01101, 0b10000, 0b10010, 0b10011, 0b11010, 0b11101];
+        let values = vec![
+            0b00000u64, 0b00011, 0b01101, 0b10000, 0b10010, 0b10011, 0b11010, 0b11101,
+        ];
         let c = EliasFano::encode(&values).unwrap();
         assert_eq!(c.decode_all(), values);
         for (i, &v) in values.iter().enumerate() {

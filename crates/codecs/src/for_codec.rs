@@ -119,11 +119,13 @@ impl IntColumn for ForCodec {
         for f in &self.frames {
             let n = remaining.min(self.frame_len);
             if f.width == 0 {
-                out.extend(std::iter::repeat(f.min).take(n));
+                out.extend(std::iter::repeat_n(f.min, n));
             } else {
                 let mut bit_pos = f.bit_offset as usize;
                 for _ in 0..n {
-                    out.push(f.min + leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width));
+                    out.push(
+                        f.min + leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width),
+                    );
                     bit_pos += f.width as usize;
                 }
             }

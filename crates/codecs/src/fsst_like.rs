@@ -215,14 +215,10 @@ impl FsstLike {
         let offsets = if offset_block == 0 {
             Offsets::Plain(ends)
         } else {
-            let mut anchors = Vec::with_capacity(strings.len() / offset_block + 1);
-            for (i, &end) in ends.iter().enumerate() {
-                if i % offset_block == 0 {
-                    // anchor = start offset of the block
-                    let start = if i == 0 { 0 } else { ends[i - 1] };
-                    anchors.push(start);
-                }
-                let _ = end;
+            let mut anchors = Vec::new();
+            for i in (0..ends.len()).step_by(offset_block) {
+                // anchor = start offset of the block
+                anchors.push(if i == 0 { 0 } else { ends[i - 1] });
             }
             let max_len = lengths.iter().copied().max().unwrap_or(0);
             Offsets::DeltaBlocks {
@@ -253,7 +249,9 @@ impl FsstLike {
     pub fn size_bytes(&self) -> usize {
         let offsets = match &self.offsets {
             Offsets::Plain(ends) => ends.len() * 4,
-            Offsets::DeltaBlocks { anchors, lengths, .. } => anchors.len() * 4 + lengths.size_bytes(),
+            Offsets::DeltaBlocks {
+                anchors, lengths, ..
+            } => anchors.len() * 4 + lengths.size_bytes(),
         };
         self.table.size_bytes() + self.payload.len() + offsets
     }
@@ -265,7 +263,11 @@ impl FsstLike {
                 let start = if i == 0 { 0 } else { ends[i - 1] as usize };
                 (start, ends[i] as usize)
             }
-            Offsets::DeltaBlocks { block, anchors, lengths } => {
+            Offsets::DeltaBlocks {
+                block,
+                anchors,
+                lengths,
+            } => {
                 let b = i / block;
                 let mut start = anchors[b] as usize;
                 // Partial scan of the block: the random-access cost that grows

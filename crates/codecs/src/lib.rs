@@ -63,7 +63,7 @@ pub trait IntColumn {
 /// Compression ratio = compressed bytes / uncompressed bytes, where the
 /// uncompressed representation is `len * value_width_bytes`.
 pub fn compression_ratio(column: &dyn IntColumn, value_width_bytes: usize) -> f64 {
-    if column.len() == 0 {
+    if column.is_empty() {
         return 0.0;
     }
     column.size_bytes() as f64 / (column.len() * value_width_bytes) as f64

@@ -155,7 +155,12 @@ mod tests {
     fn highly_redundant_compresses_well() {
         let input: Vec<u8> = (0..100_000).map(|i| ((i / 100) % 7) as u8).collect();
         let c = compress(&input);
-        assert!(c.len() < input.len() / 10, "compressed {} of {}", c.len(), input.len());
+        assert!(
+            c.len() < input.len() / 10,
+            "compressed {} of {}",
+            c.len(),
+            input.len()
+        );
         assert_eq!(decompress(&c), input);
     }
 

@@ -73,7 +73,11 @@ impl FreqTable {
                 slot_to_sym[slot as usize] = s as u8;
             }
         }
-        Self { freq, cum, slot_to_sym }
+        Self {
+            freq,
+            cum,
+            slot_to_sym,
+        }
     }
 
     fn serialized_bytes(&self) -> usize {

@@ -91,7 +91,7 @@ impl IntColumn for RleCodec {
             } else {
                 self.len
             };
-            out.extend(std::iter::repeat(self.values.get(r)).take(end - start));
+            out.extend(std::iter::repeat_n(self.values.get(r), end - start));
         }
     }
 }

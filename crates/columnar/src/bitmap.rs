@@ -15,7 +15,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of `len` bits.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0u64; leco_bitpack::div_ceil(len, 64)], len }
+        Self {
+            words: vec![0u64; leco_bitpack::div_ceil(len, 64)],
+            len,
+        }
     }
 
     /// All-ones bitmap of `len` bits.
@@ -79,7 +82,7 @@ impl Bitmap {
         let to = to.min(self.len);
         let mut i = from;
         while i < to {
-            if i % 64 == 0 && i + 64 <= to {
+            if i.is_multiple_of(64) && i + 64 <= to {
                 if self.words[i / 64] != 0 {
                     return false;
                 }
@@ -104,18 +107,21 @@ impl Bitmap {
 
     /// Iterate over set positions in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(w_idx, &w)| {
-            let mut bits = w;
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    return None;
-                }
-                let tz = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                Some(w_idx * 64 + tz)
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(w_idx, &w)| {
+                let mut bits = w;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w_idx * 64 + tz)
+                })
             })
-        })
-        .filter(move |&i| i < self.len)
+            .filter(move |&i| i < self.len)
     }
 }
 

@@ -75,7 +75,8 @@ impl EncodedColumn {
             Encoding::Delta => EncodedColumn::Delta(DeltaCodec::encode(values, CHUNK_PARTITION)),
             Encoding::For => EncodedColumn::For(ForCodec::encode(values, CHUNK_PARTITION)),
             Encoding::Leco => EncodedColumn::Leco(
-                LecoCompressor::new(LecoConfig::leco_fix_with_len(CHUNK_PARTITION)).compress(values),
+                LecoCompressor::new(LecoConfig::leco_fix_with_len(CHUNK_PARTITION))
+                    .compress(values),
             ),
         }
     }
@@ -192,13 +193,21 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<u64> {
-        (0..30_000u64).map(|i| 1_000_000 + i * 7 + (i % 13)).collect()
+        (0..30_000u64)
+            .map(|i| 1_000_000 + i * 7 + (i % 13))
+            .collect()
     }
 
     #[test]
     fn every_encoding_round_trips() {
         let values = sample();
-        for enc in [Encoding::Default, Encoding::Plain, Encoding::Delta, Encoding::For, Encoding::Leco] {
+        for enc in [
+            Encoding::Default,
+            Encoding::Plain,
+            Encoding::Delta,
+            Encoding::For,
+            Encoding::Leco,
+        ] {
             let col = EncodedColumn::encode(&values, enc);
             assert_eq!(col.len(), values.len(), "{enc:?}");
             assert_eq!(col.decode_all(), values, "{enc:?}");
@@ -211,7 +220,13 @@ mod tests {
     #[test]
     fn byte_image_length_matches_size() {
         let values = sample();
-        for enc in [Encoding::Default, Encoding::Plain, Encoding::Delta, Encoding::For, Encoding::Leco] {
+        for enc in [
+            Encoding::Default,
+            Encoding::Plain,
+            Encoding::Delta,
+            Encoding::For,
+            Encoding::Leco,
+        ] {
             let col = EncodedColumn::encode(&values, enc);
             assert_eq!(col.byte_image().len(), col.size_bytes(), "{enc:?}");
         }
@@ -245,7 +260,11 @@ mod tests {
             let col = EncodedColumn::encode(&values, enc);
             for target in [0u64, 1_000_000, 1_105_000, u64::MAX] {
                 let expected = values.partition_point(|&v| v < target);
-                assert_eq!(col.lower_bound_sorted(target), expected, "{enc:?} target {target}");
+                assert_eq!(
+                    col.lower_bound_sorted(target),
+                    expected,
+                    "{enc:?} target {target}"
+                );
             }
         }
     }

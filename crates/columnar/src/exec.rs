@@ -95,7 +95,11 @@ pub fn group_by_avg(
         let ids = file.read_chunk(rg, id_col, stats)?;
         let vals = file.read_chunk(rg, val_col, stats)?;
         let cpu = Instant::now();
-        for pos in bitmap.iter_ones().skip_while(|&p| p < row_start).take_while(|&p| p < row_end) {
+        for pos in bitmap
+            .iter_ones()
+            .skip_while(|&p| p < row_start)
+            .take_while(|&p| p < row_end)
+        {
             let local = pos - row_start;
             let id = ids.get(local);
             let val = vals.get(local);
@@ -129,7 +133,11 @@ pub fn sum_selected(
         }
         let chunk = file.read_chunk(rg, col, stats)?;
         let cpu = Instant::now();
-        for pos in bitmap.iter_ones().skip_while(|&p| p < row_start).take_while(|&p| p < row_end) {
+        for pos in bitmap
+            .iter_ones()
+            .skip_while(|&p| p < row_start)
+            .take_while(|&p| p < row_end)
+        {
             total += chunk.get(pos - row_start) as u128;
         }
         stats.cpu_seconds += cpu.elapsed().as_secs_f64();
@@ -151,13 +159,7 @@ mod tests {
     }
 
     /// Reference implementation operating on the raw vectors.
-    fn reference_query(
-        ts: &[u64],
-        id: &[u64],
-        val: &[u64],
-        lo: u64,
-        hi: u64,
-    ) -> Vec<(u64, f64)> {
+    fn reference_query(ts: &[u64], id: &[u64], val: &[u64], lo: u64, hi: u64) -> Vec<(u64, f64)> {
         let mut sums: HashMap<u64, (u128, u64)> = HashMap::new();
         for i in 0..ts.len() {
             if (lo..=hi).contains(&ts[i]) {
@@ -166,29 +168,48 @@ mod tests {
                 e.1 += 1;
             }
         }
-        let mut out: Vec<(u64, f64)> =
-            sums.into_iter().map(|(k, (s, c))| (k, s as f64 / c as f64)).collect();
+        let mut out: Vec<(u64, f64)> = sums
+            .into_iter()
+            .map(|(k, (s, c))| (k, s as f64 / c as f64))
+            .collect();
         out.sort_unstable_by_key(|&(k, _)| k);
         out
     }
 
-    fn build(n: usize, encoding: Encoding, name: &str) -> (TableFile, Vec<u64>, Vec<u64>, Vec<u64>, PathBuf) {
+    fn build(
+        n: usize,
+        encoding: Encoding,
+        name: &str,
+    ) -> (TableFile, Vec<u64>, Vec<u64>, Vec<u64>, PathBuf) {
         let ts: Vec<u64> = (0..n as u64).map(|i| 1_000 + i * 2).collect();
         let id: Vec<u64> = (0..n as u64).map(|i| i % 50 + 1).collect();
         let val: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 10_000).collect();
         let path = tmp(name);
-        let file = TableFile::write(&path, &["ts", "id", "val"], &[ts.clone(), id.clone(), val.clone()], TableFileOptions {
-            encoding,
-            row_group_size: 8_000,
-            block_compression: BlockCompression::None,
-        })
+        let file = TableFile::write(
+            &path,
+            &["ts", "id", "val"],
+            &[ts.clone(), id.clone(), val.clone()],
+            TableFileOptions {
+                encoding,
+                row_group_size: 8_000,
+                block_compression: BlockCompression::None,
+            },
+        )
         .unwrap();
         (file, ts, id, val, path)
     }
 
     #[test]
     fn filter_groupby_matches_reference_for_all_encodings() {
-        for (k, enc) in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco].iter().enumerate() {
+        for (k, enc) in [
+            Encoding::Default,
+            Encoding::Delta,
+            Encoding::For,
+            Encoding::Leco,
+        ]
+        .iter()
+        .enumerate()
+        {
             let (file, ts, id, val, path) = build(30_000, *enc, &format!("fga{k}"));
             let (lo, hi) = (5_000u64, 9_000u64);
             let mut stats = QueryStats::default();
@@ -213,7 +234,10 @@ mod tests {
         let a = filter_range(&file, 0, 2_000, 30_000, true, &mut s1).unwrap();
         let b = filter_range(&file, 0, 2_000, 30_000, false, &mut s2).unwrap();
         assert_eq!(a, b);
-        let expected = ts.iter().filter(|&&t| (2_000..=30_000).contains(&t)).count();
+        let expected = ts
+            .iter()
+            .filter(|&&t| (2_000..=30_000).contains(&t))
+            .count();
         assert_eq!(a.count_ones(), expected);
         std::fs::remove_file(&path).ok();
     }
@@ -226,7 +250,12 @@ mod tests {
         filter_range(&file, 0, 1_000, 1_200, true, &mut narrow).unwrap();
         let mut wide = QueryStats::default();
         filter_range(&file, 0, 0, u64::MAX, true, &mut wide).unwrap();
-        assert!(narrow.io_bytes < wide.io_bytes, "narrow {} wide {}", narrow.io_bytes, wide.io_bytes);
+        assert!(
+            narrow.io_bytes < wide.io_bytes,
+            "narrow {} wide {}",
+            narrow.io_bytes,
+            wide.io_bytes
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -254,8 +283,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_components() {
-        let mut a = QueryStats { io_bytes: 10, io_seconds: 1.0, cpu_seconds: 2.0 };
-        let b = QueryStats { io_bytes: 5, io_seconds: 0.5, cpu_seconds: 0.25 };
+        let mut a = QueryStats {
+            io_bytes: 10,
+            io_seconds: 1.0,
+            cpu_seconds: 2.0,
+        };
+        let b = QueryStats {
+            io_bytes: 5,
+            io_seconds: 0.5,
+            cpu_seconds: 0.25,
+        };
         a.merge(&b);
         assert_eq!(a.io_bytes, 15);
         assert!((a.total_seconds() - 3.75).abs() < 1e-12);

@@ -121,7 +121,12 @@ impl TableFile {
                 offset += stored.len() as u64;
                 encoded_cols.push(encoded);
             }
-            row_groups.push(RowGroup { row_start, rows, chunks, columns: encoded_cols });
+            row_groups.push(RowGroup {
+                row_start,
+                rows,
+                chunks,
+                columns: encoded_cols,
+            });
             row_start += rows;
             if num_rows == 0 {
                 break;
@@ -177,7 +182,12 @@ impl TableFile {
 
     /// Read the chunk's bytes back from disk (charging I/O, and CPU for block
     /// decompression) and return the in-memory encoded column for compute.
-    pub fn read_chunk(&self, rg: usize, col: usize, stats: &mut QueryStats) -> std::io::Result<&EncodedColumn> {
+    pub fn read_chunk(
+        &self,
+        rg: usize,
+        col: usize,
+        stats: &mut QueryStats,
+    ) -> std::io::Result<&EncodedColumn> {
         let group = &self.row_groups[rg];
         let meta = &group.chunks[col];
         let io_start = Instant::now();
@@ -201,7 +211,10 @@ impl TableFile {
     /// Sum of the encoded chunk sizes of one column across row groups
     /// (before block compression); used to report per-column footprints.
     pub fn column_encoded_bytes(&self, col: usize) -> u64 {
-        self.row_groups.iter().map(|g| g.columns[col].size_bytes() as u64).sum()
+        self.row_groups
+            .iter()
+            .map(|g| g.columns[col].size_bytes() as u64)
+            .sum()
     }
 }
 
@@ -212,7 +225,11 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("leco-columnar-test-{}-{}", std::process::id(), name));
+        p.push(format!(
+            "leco-columnar-test-{}-{}",
+            std::process::id(),
+            name
+        ));
         p
     }
 
@@ -227,11 +244,16 @@ mod tests {
     fn write_and_read_chunks() {
         let (names, cols) = sample_columns(50_000);
         let path = tmp("basic");
-        let file = TableFile::write(&path, &names, &cols, TableFileOptions {
-            encoding: Encoding::Leco,
-            row_group_size: 20_000,
-            block_compression: BlockCompression::None,
-        })
+        let file = TableFile::write(
+            &path,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Leco,
+                row_group_size: 20_000,
+                block_compression: BlockCompression::None,
+            },
+        )
         .unwrap();
         assert_eq!(file.num_rows(), 50_000);
         assert_eq!(file.num_row_groups(), 3);
@@ -248,15 +270,25 @@ mod tests {
         let (names, cols) = sample_columns(60_000);
         let p1 = tmp("leco");
         let p2 = tmp("default");
-        let leco = TableFile::write(&p1, &names, &cols, TableFileOptions {
-            encoding: Encoding::Leco,
-            ..Default::default()
-        })
+        let leco = TableFile::write(
+            &p1,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Leco,
+                ..Default::default()
+            },
+        )
         .unwrap();
-        let default = TableFile::write(&p2, &names, &cols, TableFileOptions {
-            encoding: Encoding::Default,
-            ..Default::default()
-        })
+        let default = TableFile::write(
+            &p2,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Default,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert!(leco.file_size_bytes() < default.file_size_bytes());
         std::fs::remove_file(&p1).ok();
@@ -268,17 +300,27 @@ mod tests {
         let (names, cols) = sample_columns(60_000);
         let p1 = tmp("nolzb");
         let p2 = tmp("lzb");
-        let plain = TableFile::write(&p1, &names, &cols, TableFileOptions {
-            encoding: Encoding::Plain,
-            block_compression: BlockCompression::None,
-            ..Default::default()
-        })
+        let plain = TableFile::write(
+            &p1,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Plain,
+                block_compression: BlockCompression::None,
+                ..Default::default()
+            },
+        )
         .unwrap();
-        let compressed = TableFile::write(&p2, &names, &cols, TableFileOptions {
-            encoding: Encoding::Plain,
-            block_compression: BlockCompression::Lzb,
-            ..Default::default()
-        })
+        let compressed = TableFile::write(
+            &p2,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Plain,
+                block_compression: BlockCompression::Lzb,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert!(compressed.file_size_bytes() < plain.file_size_bytes());
         // Reading a block-compressed chunk charges CPU time for decompression.
@@ -293,10 +335,15 @@ mod tests {
     fn zone_maps_cover_chunk_ranges() {
         let (names, cols) = sample_columns(30_000);
         let path = tmp("zones");
-        let file = TableFile::write(&path, &names, &cols, TableFileOptions {
-            row_group_size: 10_000,
-            ..Default::default()
-        })
+        let file = TableFile::write(
+            &path,
+            &names,
+            &cols,
+            TableFileOptions {
+                row_group_size: 10_000,
+                ..Default::default()
+            },
+        )
         .unwrap();
         let (min, max) = file.zone_map(1, 0);
         let (start, end) = file.row_group_range(1);

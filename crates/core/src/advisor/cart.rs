@@ -42,7 +42,10 @@ pub struct CartParams {
 
 impl Default for CartParams {
     fn default() -> Self {
-        Self { max_depth: 6, min_samples_split: 8 }
+        Self {
+            max_depth: 6,
+            min_samples_split: 8,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ impl CartTree {
         assert_eq!(samples.len(), labels.len());
         assert!(!samples.is_empty(), "training set must not be empty");
         let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-        let mut tree = Self { nodes: Vec::new(), num_classes };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            num_classes,
+        };
         let indices: Vec<usize> = (0..samples.len()).collect();
         tree.build(samples, labels, &indices, 0, params);
         tree
@@ -103,13 +109,18 @@ impl CartTree {
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
         if pure || depth >= params.max_depth || indices.len() < params.min_samples_split {
             let idx = self.nodes.len();
-            self.nodes.push(Node::Leaf { class: majority_class(&node_labels, self.num_classes) });
+            self.nodes.push(Node::Leaf {
+                class: majority_class(&node_labels, self.num_classes),
+            });
             return idx;
         }
         // Find the best axis-aligned split by Gini gain.
         let num_features = samples[indices[0]].len();
         let parent_gini = gini(&counts, indices.len());
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+                                                        // (clippy's iterator suggestion is wrong here: `feature` indexes the
+                                                        // inner per-sample vectors, not `samples` itself.)
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..num_features {
             let mut values: Vec<f64> = indices.iter().map(|&i| samples[i][feature]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -138,7 +149,7 @@ impl CartTree {
                     + right_n as f64 * gini(&right_counts, right_n))
                     / indices.len() as f64;
                 let gain = parent_gini - weighted;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((feature, threshold, gain));
                 }
             }
@@ -147,19 +158,27 @@ impl CartTree {
             Some(b) if b.2 > 1e-9 => b,
             _ => {
                 let idx = self.nodes.len();
-                self.nodes.push(Node::Leaf { class: majority_class(&node_labels, self.num_classes) });
+                self.nodes.push(Node::Leaf {
+                    class: majority_class(&node_labels, self.num_classes),
+                });
                 return idx;
             }
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| samples[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| samples[i][feature] <= threshold);
         // Reserve this node's slot before building children so the root stays
         // at index 0.
         let idx = self.nodes.len();
         self.nodes.push(Node::Leaf { class: 0 }); // placeholder
         let left = self.build(samples, labels, &left_idx, depth + 1, params);
         let right = self.build(samples, labels, &right_idx, depth + 1, params);
-        self.nodes[idx] = Node::Split { feature, threshold, left, right };
+        self.nodes[idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         idx
     }
 
@@ -169,8 +188,17 @@ impl CartTree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if features[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -195,7 +223,9 @@ mod tests {
     fn learns_a_simple_threshold() {
         // class = (x0 > 5)
         let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0, 0.0]).collect();
-        let labels: Vec<usize> = (0..100).map(|i| usize::from(i as f64 / 10.0 > 5.0)).collect();
+        let labels: Vec<usize> = (0..100)
+            .map(|i| usize::from(i as f64 / 10.0 > 5.0))
+            .collect();
         let tree = CartTree::train(&samples, &labels, CartParams::default());
         assert_eq!(tree.predict(&[2.0, 0.0]), 0);
         assert_eq!(tree.predict(&[8.0, 0.0]), 1);
@@ -211,7 +241,13 @@ mod tests {
                 let x0 = a as f64 / 10.0;
                 let x1 = b as f64 / 10.0;
                 samples.push(vec![x0, x1]);
-                labels.push(if x0 <= 0.5 { 0 } else if x1 <= 0.5 { 1 } else { 2 });
+                labels.push(if x0 <= 0.5 {
+                    0
+                } else if x1 <= 0.5 {
+                    1
+                } else {
+                    2
+                });
             }
         }
         let tree = CartTree::train(&samples, &labels, CartParams::default());
@@ -240,7 +276,14 @@ mod tests {
         // but training must still terminate and produce a small tree.
         let samples: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let labels: Vec<usize> = (0..64).map(|i| i % 2).collect();
-        let tree = CartTree::train(&samples, &labels, CartParams { max_depth: 2, min_samples_split: 2 });
+        let tree = CartTree::train(
+            &samples,
+            &labels,
+            CartParams {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+        );
         assert!(tree.num_nodes() <= 7);
     }
 

@@ -94,7 +94,10 @@ pub fn extract_features(values: &[u64]) -> Features {
 
     // Difference pyramid up to order 3 (as f64 offsets; precision is ample
     // for a classification feature).
-    let mut level: Vec<f64> = values.iter().map(|&v| (v.wrapping_sub(min)) as f64).collect();
+    let mut level: Vec<f64> = values
+        .iter()
+        .map(|&v| (v.wrapping_sub(min)) as f64)
+        .collect();
     let mut devs = [0.0f64; 3];
     let mut repeats = 0usize;
     for w in values.windows(2) {
@@ -181,14 +184,18 @@ mod tests {
 
     #[test]
     fn exponential_data_shows_growing_subranges() {
-        let values: Vec<u64> = (0..1_000u64).map(|i| (1.01f64.powi(i as i32) * 1_000.0) as u64).collect();
+        let values: Vec<u64> = (0..1_000u64)
+            .map(|i| (1.01f64.powi(i as i32) * 1_000.0) as u64)
+            .collect();
         let f = extract_features(&values);
         assert!(f.subrange_trend > 1.2, "trend {}", f.subrange_trend);
     }
 
     #[test]
     fn random_data_has_large_deviation_everywhere() {
-        let values: Vec<u64> = (0..2_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let values: Vec<u64> = (0..2_000u64)
+            .map(|i| (i * 2654435761) % 1_000_000)
+            .collect();
         let f = extract_features(&values);
         assert!(f.dev_delta1 > 0.05);
         assert!(f.dev_delta2 > 0.05);

@@ -42,7 +42,10 @@ pub enum PartitionAdvice {
 pub fn hardness(values: &[u64]) -> Hardness {
     let n = values.len();
     if n < 4 {
-        return Hardness { local: 0.0, global: 0.0 };
+        return Hardness {
+            local: 0.0,
+            global: 0.0,
+        };
     }
     // Local hardness: segment density under a tight error bound.
     let local_segments = pla::pla_partitions(values, LOCAL_EPSILON).len();
@@ -65,11 +68,18 @@ pub fn hardness(values: &[u64]) -> Hardness {
 
     let lens: Vec<f64> = result.partitions.iter().map(|p| p.len as f64).collect();
     let mean_len = lens.iter().sum::<f64>() / m as f64;
-    let var = lens.iter().map(|l| (l - mean_len) * (l - mean_len)).sum::<f64>() / m as f64;
+    let var = lens
+        .iter()
+        .map(|l| (l - mean_len) * (l - mean_len))
+        .sum::<f64>()
+        / m as f64;
     // Coefficient of variation, squashed into [0, 1].
     let var_component = ((var.sqrt() / mean_len) / 2.0).min(1.0);
 
-    Hardness { local, global: ((gap_component + var_component) / 2.0).min(1.0) }
+    Hardness {
+        local,
+        global: ((gap_component + var_component) / 2.0).min(1.0),
+    }
 }
 
 /// Advise a partitioning strategy from the hardness scores: variable-length
@@ -87,7 +97,9 @@ mod tests {
     use super::*;
 
     fn noisy_random(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| (i * 2654435761) % 1_000_000).collect()
+        (0..n as u64)
+            .map(|i| (i * 2654435761) % 1_000_000)
+            .collect()
     }
 
     fn clean_line(n: usize) -> Vec<u64> {
@@ -157,6 +169,12 @@ mod tests {
     #[test]
     fn tiny_inputs_are_neutral() {
         let h = hardness(&[1, 2, 3]);
-        assert_eq!(h, Hardness { local: 0.0, global: 0.0 });
+        assert_eq!(
+            h,
+            Hardness {
+                local: 0.0,
+                global: 0.0
+            }
+        );
     }
 }

@@ -12,7 +12,7 @@ use crate::partition::{self, PartitionerKind};
 use crate::regressor::{self, FitContext};
 use crate::value::LecoInt;
 use crate::LecoConfig;
-use leco_bitpack::{BitWriter, stream::read_bits};
+use leco_bitpack::{stream::read_bits, BitWriter};
 
 /// Per-partition metadata kept in memory (and serialized by [`crate::format`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +54,11 @@ impl LecoCompressor {
         } else {
             None
         };
-        Self { config, fit_ctx: FitContext::default(), selector }
+        Self {
+            config,
+            fit_ctx: FitContext::default(),
+            selector,
+        }
     }
 
     /// Create a compressor with a caller-provided fit context (e.g. known
@@ -67,7 +71,11 @@ impl LecoCompressor {
 
     /// Create a compressor that uses a caller-trained Regressor Selector.
     pub fn with_selector(config: LecoConfig, selector: RegressorSelector) -> Self {
-        Self { config, fit_ctx: FitContext::default(), selector: Some(selector) }
+        Self {
+            config,
+            fit_ctx: FitContext::default(),
+            selector: Some(selector),
+        }
     }
 
     /// The configuration this compressor was built with.
@@ -442,7 +450,10 @@ mod tests {
             LecoConfig::leco_var(),
             LecoConfig::leco_poly_fix(),
             LecoConfig::for_(),
-            LecoConfig { regressor: RegressorKind::Auto, partitioner: PartitionerKind::Fixed { len: 512 } },
+            LecoConfig {
+                regressor: RegressorKind::Auto,
+                partitioner: PartitionerKind::Fixed { len: 512 },
+            },
         ] {
             let col = LecoCompressor::new(config.clone()).compress(&values);
             assert_eq!(col.decode_all(), values, "{config:?}");
@@ -457,7 +468,11 @@ mod tests {
         let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000 + 13 * i).collect();
         let col = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
         // A clean line needs essentially only the models: far below 1 bit/value.
-        assert!(col.size_bytes() * 50 < values.len() * 8, "size {}", col.size_bytes());
+        assert!(
+            col.size_bytes() * 50 < values.len() * 8,
+            "size {}",
+            col.size_bytes()
+        );
         assert_eq!(col.decode_all(), values);
     }
 
@@ -487,7 +502,15 @@ mod tests {
     fn decode_range_matches_slices() {
         let values = movie_like(5_000);
         let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(256)).compress(&values);
-        for (from, to) in [(0usize, 5_000usize), (10, 20), (250, 260), (0, 256), (255, 513), (4_990, 5_000), (100, 100)] {
+        for (from, to) in [
+            (0usize, 5_000usize),
+            (10, 20),
+            (250, 260),
+            (0, 256),
+            (255, 513),
+            (4_990, 5_000),
+            (100, 100),
+        ] {
             let mut out = Vec::new();
             col.decode_range_into(from, to, &mut out);
             assert_eq!(out, &values[from..to], "range {from}..{to}");
@@ -541,7 +564,9 @@ mod tests {
     #[test]
     fn corrections_make_accumulation_exact() {
         // A slope chosen to accumulate floating-point error quickly.
-        let values: Vec<u64> = (0..100_000u64).map(|i| (i as f64 * 0.1).floor() as u64 * 10 + i / 3).collect();
+        let values: Vec<u64> = (0..100_000u64)
+            .map(|i| (i as f64 * 0.1).floor() as u64 * 10 + i / 3)
+            .collect();
         let col = LecoCompressor::new(LecoConfig::leco_fix_with_len(10_000)).compress(&values);
         assert_eq!(col.decode_all(), values);
     }

@@ -9,7 +9,7 @@
 //! uses exact partition costs.
 
 use crate::partition::Partition;
-use leco_bitpack::{bits_for, zigzag_decode, zigzag_encode, BitWriter, stream::read_bits};
+use leco_bitpack::{bits_for, stream::read_bits, zigzag_decode, zigzag_encode, BitWriter};
 
 /// Split aggressiveness: inclusion cost threshold as a fraction of the model
 /// size (first value + width byte = 72 bits).
@@ -117,7 +117,12 @@ impl DeltaVarColumn {
     /// Encode with an explicit split aggressiveness τ ∈ [0, 1].
     pub fn encode_with_tau(values: &[u64], tau: f64) -> Self {
         if values.is_empty() {
-            return Self { partitions: Vec::new(), payload: Vec::new(), payload_bits: 0, len: 0 };
+            return Self {
+                partitions: Vec::new(),
+                payload: Vec::new(),
+                payload_bits: 0,
+                len: 0,
+            };
         }
         let parts = merge_phase(values, split_phase(values, tau.clamp(0.0, 1.0)));
         let mut partitions = Vec::with_capacity(parts.len());
@@ -138,7 +143,12 @@ impl DeltaVarColumn {
             });
         }
         let (payload, payload_bits) = writer.finish();
-        Self { partitions, payload, payload_bits, len: values.len() }
+        Self {
+            partitions,
+            payload,
+            payload_bits,
+            len: values.len(),
+        }
     }
 
     /// Number of logical values.
@@ -254,11 +264,13 @@ mod tests {
             }
         }
         let var = DeltaVarColumn::encode(&values);
-        let fix = leco_bitpack::div_ceil(
-            values.len() * gaps_width(&values) as usize,
-            8,
+        let fix = leco_bitpack::div_ceil(values.len() * gaps_width(&values) as usize, 8);
+        assert!(
+            var.size_bytes() < fix,
+            "var {} vs single-frame {}",
+            var.size_bytes(),
+            fix
         );
-        assert!(var.size_bytes() < fix, "var {} vs single-frame {}", var.size_bytes(), fix);
     }
 
     #[test]

@@ -170,7 +170,11 @@ fn write_model(out: &mut Vec<u8>, model: &Model) {
             out.extend_from_slice(&theta0.to_le_bytes());
             out.extend_from_slice(&theta1.to_le_bytes());
         }
-        Model::Sine { theta0, theta1, terms } => {
+        Model::Sine {
+            theta0,
+            theta1,
+            terms,
+        } => {
             out.push(TAG_SINE);
             out.extend_from_slice(&theta0.to_le_bytes());
             out.extend_from_slice(&theta1.to_le_bytes());
@@ -188,7 +192,10 @@ fn read_model(r: &mut Reader<'_>) -> Result<Model, FormatError> {
     let tag = r.u8()?;
     Ok(match tag {
         TAG_CONSTANT => Model::Constant { value: r.f64()? },
-        TAG_LINEAR => Model::Linear { theta0: r.f64()?, theta1: r.f64()? },
+        TAG_LINEAR => Model::Linear {
+            theta0: r.f64()?,
+            theta1: r.f64()?,
+        },
         TAG_POLY => {
             let k = r.u8()? as usize;
             if k > 8 {
@@ -200,8 +207,14 @@ fn read_model(r: &mut Reader<'_>) -> Result<Model, FormatError> {
             }
             Model::Poly { coeffs }
         }
-        TAG_EXP => Model::Exponential { ln_a: r.f64()?, b: r.f64()? },
-        TAG_LOG => Model::Logarithm { theta0: r.f64()?, theta1: r.f64()? },
+        TAG_EXP => Model::Exponential {
+            ln_a: r.f64()?,
+            b: r.f64()?,
+        },
+        TAG_LOG => Model::Logarithm {
+            theta0: r.f64()?,
+            theta1: r.f64()?,
+        },
         TAG_SINE => {
             let theta0 = r.f64()?;
             let theta1 = r.f64()?;
@@ -211,9 +224,17 @@ fn read_model(r: &mut Reader<'_>) -> Result<Model, FormatError> {
             }
             let mut terms = Vec::with_capacity(k);
             for _ in 0..k {
-                terms.push(SineTerm { omega: r.f64()?, a_sin: r.f64()?, a_cos: r.f64()? });
+                terms.push(SineTerm {
+                    omega: r.f64()?,
+                    a_sin: r.f64()?,
+                    a_cos: r.f64()?,
+                });
             }
-            Model::Sine { theta0, theta1, terms }
+            Model::Sine {
+                theta0,
+                theta1,
+                terms,
+            }
         }
         _ => return Err(FormatError::Corrupt("unknown model tag")),
     })
@@ -228,7 +249,11 @@ pub fn to_bytes(col: &CompressedColumn) -> Vec<u8> {
     let mut out = Vec::with_capacity(serialized_size(col));
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    out.push(if col.fixed_len.is_some() { FLAG_FIXED } else { 0 });
+    out.push(if col.fixed_len.is_some() {
+        FLAG_FIXED
+    } else {
+        0
+    });
     out.push(col.value_width as u8);
     write_varint(&mut out, col.len as u128);
     write_varint(&mut out, col.partitions.len() as u128);
@@ -332,7 +357,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedColumn, FormatError> {
         bit_offset += plen as u64 * width as u64;
     }
     if start != len as u64 {
-        return Err(FormatError::Corrupt("partition lengths do not sum to column length"));
+        return Err(FormatError::Corrupt(
+            "partition lengths do not sum to column length",
+        ));
     }
     let payload_bits = r.varint()? as usize;
     if payload_bits != bit_offset as usize {
@@ -372,7 +399,11 @@ mod tests {
 
     #[test]
     fn to_bytes_length_matches_serialized_size() {
-        for config in [LecoConfig::leco_fix(), LecoConfig::leco_var(), LecoConfig::for_()] {
+        for config in [
+            LecoConfig::leco_fix(),
+            LecoConfig::leco_var(),
+            LecoConfig::for_(),
+        ] {
             let (_, col) = sample_column(config);
             assert_eq!(col.to_bytes().len(), serialized_size(&col));
             assert_eq!(col.size_bytes(), serialized_size(&col));
@@ -395,7 +426,10 @@ mod tests {
     fn rejects_bad_magic_and_truncation() {
         let (_, col) = sample_column(LecoConfig::leco_fix());
         let mut bytes = col.to_bytes();
-        assert_eq!(from_bytes(&bytes[..bytes.len() - 3]).unwrap_err(), FormatError::Corrupt("unexpected end of buffer"));
+        assert_eq!(
+            from_bytes(&bytes[..bytes.len() - 3]).unwrap_err(),
+            FormatError::Corrupt("unexpected end of buffer")
+        );
         bytes[0] = b'X';
         assert_eq!(from_bytes(&bytes).unwrap_err(), FormatError::BadMagic);
     }
@@ -405,7 +439,10 @@ mod tests {
         let (_, col) = sample_column(LecoConfig::leco_fix());
         let mut bytes = col.to_bytes();
         bytes[4] = 99;
-        assert_eq!(from_bytes(&bytes).unwrap_err(), FormatError::UnsupportedVersion(99));
+        assert_eq!(
+            from_bytes(&bytes).unwrap_err(),
+            FormatError::UnsupportedVersion(99)
+        );
     }
 
     #[test]

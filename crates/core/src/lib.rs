@@ -133,7 +133,13 @@ mod tests {
     #[test]
     fn quickstart_example_compiles_and_is_lossless() {
         let values: Vec<u64> = (0..2_000u64)
-            .map(|i| if i < 1_000 { 10 + 3 * i } else { 100_000 + 7 * (i - 1_000) })
+            .map(|i| {
+                if i < 1_000 {
+                    10 + 3 * i
+                } else {
+                    100_000 + 7 * (i - 1_000)
+                }
+            })
             .collect();
         let column = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
         assert_eq!(column.decode_all(), values);

@@ -112,7 +112,11 @@ impl Model {
             }
             Model::Exponential { ln_a, b } => (ln_a + b * x).exp(),
             Model::Logarithm { theta0, theta1 } => theta0 + theta1 * (x + 1.0).ln(),
-            Model::Sine { theta0, theta1, terms } => {
+            Model::Sine {
+                theta0,
+                theta1,
+                terms,
+            } => {
                 let mut acc = theta0 + theta1 * x;
                 for t in terms {
                     acc += t.a_sin * (t.omega * x).sin() + t.a_cos * (t.omega * x).cos();
@@ -179,7 +183,10 @@ mod tests {
 
     #[test]
     fn linear_prediction() {
-        let m = Model::Linear { theta0: 10.0, theta1: 2.5 };
+        let m = Model::Linear {
+            theta0: 10.0,
+            theta1: 2.5,
+        };
         assert_eq!(m.predict(0), 10.0);
         assert_eq!(m.predict(4), 20.0);
         assert_eq!(m.predict_floor(3), 17); // 17.5 -> 17
@@ -187,7 +194,9 @@ mod tests {
 
     #[test]
     fn poly_horner_matches_direct() {
-        let m = Model::Poly { coeffs: vec![1.0, 2.0, 3.0] }; // 1 + 2x + 3x²
+        let m = Model::Poly {
+            coeffs: vec![1.0, 2.0, 3.0],
+        }; // 1 + 2x + 3x²
         for i in 0..20 {
             let x = i as f64;
             assert!((m.predict(i) - (1.0 + 2.0 * x + 3.0 * x * x)).abs() < 1e-9);
@@ -198,31 +207,54 @@ mod tests {
     fn predict_floor_clamps_extremes() {
         let m = Model::Exponential { ln_a: 1e6, b: 1.0 };
         assert_eq!(m.predict_floor(10), i128::MAX);
-        let m = Model::Linear { theta0: f64::NAN, theta1: 0.0 };
+        let m = Model::Linear {
+            theta0: f64::NAN,
+            theta1: 0.0,
+        };
         assert_eq!(m.predict_floor(0), 0);
     }
 
     #[test]
     fn model_sizes() {
         assert_eq!(Model::Constant { value: 0.0 }.size_bytes(), 9);
-        assert_eq!(Model::Linear { theta0: 0.0, theta1: 0.0 }.size_bytes(), 17);
         assert_eq!(
-            Model::Poly { coeffs: vec![0.0; 4] }.size_bytes(),
+            Model::Linear {
+                theta0: 0.0,
+                theta1: 0.0
+            }
+            .size_bytes(),
+            17
+        );
+        assert_eq!(
+            Model::Poly {
+                coeffs: vec![0.0; 4]
+            }
+            .size_bytes(),
             1 + 1 + 32
         );
         let sine = Model::Sine {
             theta0: 0.0,
             theta1: 0.0,
-            terms: vec![SineTerm { omega: 1.0, a_sin: 0.0, a_cos: 0.0 }],
+            terms: vec![SineTerm {
+                omega: 1.0,
+                a_sin: 0.0,
+                a_cos: 0.0,
+            }],
         };
         assert_eq!(sine.size_bytes(), 1 + 16 + 1 + 24);
     }
 
     #[test]
     fn kind_round_trips() {
-        assert_eq!(Model::Constant { value: 1.0 }.kind(), RegressorKind::Constant);
         assert_eq!(
-            Model::Poly { coeffs: vec![0.0; 4] }.kind(),
+            Model::Constant { value: 1.0 }.kind(),
+            RegressorKind::Constant
+        );
+        assert_eq!(
+            Model::Poly {
+                coeffs: vec![0.0; 4]
+            }
+            .kind(),
             RegressorKind::Poly3
         );
     }
@@ -232,7 +264,11 @@ mod tests {
         let m = Model::Sine {
             theta0: 0.0,
             theta1: 0.0,
-            terms: vec![SineTerm { omega: std::f64::consts::PI, a_sin: 1.0, a_cos: 0.0 }],
+            terms: vec![SineTerm {
+                omega: std::f64::consts::PI,
+                a_sin: 1.0,
+                a_cos: 0.0,
+            }],
         };
         assert!((m.predict(0) - 0.0).abs() < 1e-9);
         assert!((m.predict(1) - 0.0).abs() < 1e-9); // sin(pi) ≈ 0

@@ -76,18 +76,21 @@ mod tests {
             .collect();
         let parts = optimal_partitions(&values, RegressorKind::Linear);
         assert!(is_valid_cover(&parts, values.len()));
-        assert!(parts.len() <= 3, "expected ~2 partitions, got {:?}", parts.len());
+        assert!(
+            parts.len() <= 3,
+            "expected ~2 partitions, got {:?}",
+            parts.len()
+        );
     }
 
     #[test]
     fn dp_never_worse_than_single_partition_or_greedy() {
-        let values: Vec<u64> = (0..200u64)
-            .map(|i| (i % 40) * 100 + i)
-            .collect();
+        let values: Vec<u64> = (0..200u64).map(|i| (i % 40) * 100 + i).collect();
         let dp = optimal_partitions(&values, RegressorKind::Linear);
         let dp_cost = total_cost_bits(&values, &dp, RegressorKind::Linear);
         let single_cost = exact_cost_bits(&values, RegressorKind::Linear);
-        let greedy = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1);
+        let greedy =
+            crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1);
         let greedy_cost = total_cost_bits(&values, &greedy, RegressorKind::Linear);
         assert!(dp_cost <= single_cost);
         assert!(dp_cost <= greedy_cost);
@@ -113,7 +116,8 @@ mod tests {
             &optimal_partitions(&values, RegressorKind::Linear),
             RegressorKind::Linear,
         );
-        let greedy = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
+        let greedy =
+            crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
         let greedy_cost = total_cost_bits(&values, &greedy, RegressorKind::Linear);
         assert!(
             greedy_cost as f64 <= dp_cost as f64 * 1.10,

@@ -105,7 +105,10 @@ pub fn search_partition_size(values: &[u64], regressor: RegressorKind) -> usize 
     let mut best_cost = best.1;
     while step >= 1 {
         let mut improved = false;
-        for candidate in [best_len.saturating_sub(step).max(MIN_SEARCH_LEN), best_len + step] {
+        for candidate in [
+            best_len.saturating_sub(step).max(MIN_SEARCH_LEN),
+            best_len + step,
+        ] {
             if candidate == best_len || candidate > upper {
                 continue;
             }
@@ -149,7 +152,9 @@ mod tests {
     fn search_returns_small_size_for_noisy_data() {
         // Locally hard data: large partitions are fine because nothing fits
         // anyway; the search must at least return something valid.
-        let values: Vec<u64> = (0..50_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let values: Vec<u64> = (0..50_000u64)
+            .map(|i| (i * 2654435761) % 1_000_000)
+            .collect();
         let len = search_partition_size(&values, RegressorKind::Linear);
         assert!((1..=MAX_SEARCH_LEN).contains(&len));
     }
@@ -168,7 +173,10 @@ mod tests {
         // isolate the plateaus, big ones pay for the jumps.
         let values: Vec<u64> = (0..100_000u64).map(|i| (i / 64) * 1_000_003).collect();
         let small = search_partition_size(&values, RegressorKind::Constant);
-        assert!(small <= 1024, "expected a modest partition size, got {small}");
+        assert!(
+            small <= 1024,
+            "expected a modest partition size, got {small}"
+        );
     }
 
     #[test]

@@ -109,7 +109,8 @@ mod tests {
             .map(|i| (i % 40) * 1_000 + ((i / 40) % 17) * 31)
             .collect();
         let la = la_vector_partitions(&values, RegressorKind::Linear).len();
-        let sm = crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1).len();
+        let sm =
+            crate::partition::split_merge::split_merge(&values, RegressorKind::Linear, 0.1).len();
         assert!(la + 2 >= sm, "la_vector {la} vs split-merge {sm}");
     }
 }

@@ -85,7 +85,11 @@ pub enum PartitionerKind {
 ///
 /// The returned partitions are a disjoint cover of `[0, values.len())` in
 /// increasing order (verified by a debug assertion).
-pub fn partition(kind: &PartitionerKind, regressor: RegressorKind, values: &[u64]) -> Vec<Partition> {
+pub fn partition(
+    kind: &PartitionerKind,
+    regressor: RegressorKind,
+    values: &[u64],
+) -> Vec<Partition> {
     if values.is_empty() {
         return Vec::new();
     }
@@ -97,11 +101,16 @@ pub fn partition(kind: &PartitionerKind, regressor: RegressorKind, values: &[u64
         }
         PartitionerKind::SplitMerge { tau } => split_merge::split_merge(values, regressor, *tau),
         PartitionerKind::Pla { epsilon } => pla::pla_partitions(values, *epsilon as f64),
-        PartitionerKind::SimPiece { epsilon } => sim_piece::sim_piece_partitions(values, *epsilon as f64),
+        PartitionerKind::SimPiece { epsilon } => {
+            sim_piece::sim_piece_partitions(values, *epsilon as f64)
+        }
         PartitionerKind::LaVector => la_vector::la_vector_partitions(values, regressor),
         PartitionerKind::DynamicProgramming => dp::optimal_partitions(values, regressor),
     };
-    debug_assert!(is_valid_cover(&parts, values.len()), "partitioner produced an invalid cover");
+    debug_assert!(
+        is_valid_cover(&parts, values.len()),
+        "partitioner produced an invalid cover"
+    );
     parts
 }
 
@@ -134,7 +143,13 @@ mod tests {
 
     fn piecewise(n: usize) -> Vec<u64> {
         (0..n as u64)
-            .map(|i| if i < n as u64 / 2 { 10 + 3 * i } else { 1_000_000 + 17 * i })
+            .map(|i| {
+                if i < n as u64 / 2 {
+                    10 + 3 * i
+                } else {
+                    1_000_000 + 17 * i
+                }
+            })
             .collect()
     }
 
@@ -158,30 +173,54 @@ mod tests {
     #[test]
     fn dp_partitioner_valid_on_small_input() {
         let values = piecewise(150);
-        let parts = partition(&PartitionerKind::DynamicProgramming, RegressorKind::Linear, &values);
+        let parts = partition(
+            &PartitionerKind::DynamicProgramming,
+            RegressorKind::Linear,
+            &values,
+        );
         assert!(is_valid_cover(&parts, values.len()));
     }
 
     #[test]
     fn empty_input_yields_no_partitions() {
-        for kind in [PartitionerKind::Fixed { len: 10 }, PartitionerKind::SplitMerge { tau: 0.1 }] {
+        for kind in [
+            PartitionerKind::Fixed { len: 10 },
+            PartitionerKind::SplitMerge { tau: 0.1 },
+        ] {
             assert!(partition(&kind, RegressorKind::Linear, &[]).is_empty());
         }
     }
 
     #[test]
     fn cover_validation_rejects_gaps_and_overlaps() {
-        assert!(is_valid_cover(&[Partition::new(0, 5), Partition::new(5, 5)], 10));
-        assert!(!is_valid_cover(&[Partition::new(0, 5), Partition::new(6, 4)], 10));
-        assert!(!is_valid_cover(&[Partition::new(0, 6), Partition::new(5, 5)], 10));
+        assert!(is_valid_cover(
+            &[Partition::new(0, 5), Partition::new(5, 5)],
+            10
+        ));
+        assert!(!is_valid_cover(
+            &[Partition::new(0, 5), Partition::new(6, 4)],
+            10
+        ));
+        assert!(!is_valid_cover(
+            &[Partition::new(0, 6), Partition::new(5, 5)],
+            10
+        ));
         assert!(!is_valid_cover(&[Partition::new(0, 5)], 10));
-        assert!(!is_valid_cover(&[Partition::new(0, 0), Partition::new(0, 10)], 10));
+        assert!(!is_valid_cover(
+            &[Partition::new(0, 0), Partition::new(0, 10)],
+            10
+        ));
     }
 
     #[test]
     fn exact_cost_prefers_good_fits() {
         let clean: Vec<u64> = (0..1000u64).map(|i| 5 * i).collect();
-        let noisy: Vec<u64> = (0..1000u64).map(|i| 5 * i + (i * 2654435761 % 1024)).collect();
-        assert!(exact_cost_bits(&clean, RegressorKind::Linear) < exact_cost_bits(&noisy, RegressorKind::Linear));
+        let noisy: Vec<u64> = (0..1000u64)
+            .map(|i| 5 * i + (i * 2654435761 % 1024))
+            .collect();
+        assert!(
+            exact_cost_bits(&clean, RegressorKind::Linear)
+                < exact_cost_bits(&noisy, RegressorKind::Linear)
+        );
     }
 }

@@ -81,7 +81,13 @@ mod tests {
     #[test]
     fn slope_change_creates_segments() {
         let values: Vec<u64> = (0..2_000u64)
-            .map(|i| if i < 1_000 { 2 * i } else { 2_000 + 100 * (i - 1_000) })
+            .map(|i| {
+                if i < 1_000 {
+                    2 * i
+                } else {
+                    2_000 + 100 * (i - 1_000)
+                }
+            })
             .collect();
         let parts = pla_partitions(&values, 4.0);
         assert!(parts.len() >= 2);

@@ -28,9 +28,9 @@ pub fn sim_piece_partitions(values: &[u64], epsilon: f64) -> Vec<Partition> {
     let mut anchor = quantise(values[0] as f64);
     let mut lo = f64::NEG_INFINITY;
     let mut hi = f64::INFINITY;
-    for i in 1..n {
+    for (i, &v) in values.iter().enumerate().skip(1) {
         let dx = (i - start) as f64;
-        let dy = values[i] as f64 - anchor;
+        let dy = v as f64 - anchor;
         let new_lo = lo.max((dy - eps) / dx);
         let new_hi = hi.min((dy + eps) / dx);
         if new_lo <= new_hi {
@@ -39,7 +39,7 @@ pub fn sim_piece_partitions(values: &[u64], epsilon: f64) -> Vec<Partition> {
         } else {
             partitions.push(Partition::new(start, i - start));
             start = i;
-            anchor = quantise(values[i] as f64);
+            anchor = quantise(v as f64);
             lo = f64::NEG_INFINITY;
             hi = f64::INFINITY;
         }

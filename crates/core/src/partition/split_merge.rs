@@ -10,6 +10,12 @@
 //! * **Merge** — adjacent partitions are merged whenever the exactly
 //!   evaluated size of the merged partition is smaller than the sum of the
 //!   parts, iterating until a fixed point.
+//! * **Refine** — each boundary between adjacent partitions is hill-climbed
+//!   over exponentially spaced offsets, keeping a move when the exactly
+//!   evaluated cost of the pair shrinks. The split phase places boundaries
+//!   using the cheap width proxy, which systematically misjudges where a
+//!   linear fit actually starts to degrade; refinement recovers most of the
+//!   gap to the DP optimum at a small extra cost.
 
 use super::{exact_cost_bits, Partition};
 use crate::model::RegressorKind;
@@ -17,8 +23,10 @@ use crate::model::RegressorKind;
 /// Cap on the length a merged partition may reach; prevents the merge phase
 /// from degenerating to quadratic work on very long runs.
 const MAX_MERGED_LEN: usize = 1 << 16;
-/// Maximum number of merge passes.
-const MAX_MERGE_PASSES: usize = 8;
+/// Maximum number of merge passes. Pair-merging doubles partition lengths
+/// at best, so reaching [`MAX_MERGED_LEN`] from singletons needs log₂(2¹⁶)
+/// twice over; passes stop early at the first fixed point anyway.
+const MAX_MERGE_PASSES: usize = 32;
 /// Look-ahead window when choosing a good starting position.
 const START_LOOKAHEAD: usize = 8;
 
@@ -30,9 +38,7 @@ fn proxy_degree(kind: RegressorKind) -> usize {
         RegressorKind::Poly2 => 2,
         RegressorKind::Poly3 => 3,
         // The special models behave roughly linearly at partition scale.
-        RegressorKind::Exponential
-        | RegressorKind::Logarithm
-        | RegressorKind::Sine { .. } => 1,
+        RegressorKind::Exponential | RegressorKind::Logarithm | RegressorKind::Sine { .. } => 1,
     }
 }
 
@@ -83,7 +89,11 @@ impl DiffTracker {
         let mut acc: i128 = 0;
         let mut coeff: i128 = 1;
         for k in 0..=d {
-            let x = if k == 0 { v } else { self.tail[self.tail.len() - k] };
+            let x = if k == 0 {
+                v
+            } else {
+                self.tail[self.tail.len() - k]
+            };
             acc += coeff * x;
             // next coefficient: C(d,k+1)·(-1)^{k+1}
             coeff = -coeff * (d as i128 - k as i128) / (k as i128 + 1);
@@ -158,7 +168,11 @@ fn start_scores(values: &[u64], degree: usize) -> Vec<u8> {
     }
     for (i, &d) in current.iter().enumerate() {
         let mag = d.unsigned_abs();
-        let bits = if mag > u64::MAX as u128 { 64 } else { leco_bitpack::bits_for(mag as u64) };
+        let bits = if mag > u64::MAX as u128 {
+            64
+        } else {
+            leco_bitpack::bits_for(mag as u64)
+        };
         scores[i + order] = bits;
     }
     scores
@@ -210,59 +224,224 @@ fn split_phase(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Partit
     parts
 }
 
+/// All phases exchange `(partitions, per-partition exact costs)` so no phase
+/// has to refit what the previous one already evaluated.
+type PartsAndCosts = (Vec<Partition>, Vec<usize>);
+
 /// The merge phase: repeatedly merge adjacent partitions while that reduces
 /// the exactly evaluated compressed size.
-fn merge_phase(values: &[u64], regressor: RegressorKind, mut parts: Vec<Partition>) -> Vec<Partition> {
+///
+/// Each pass merges disjoint *pairs* and advances past a merge, so a value
+/// is re-fitted at most once per pass and long runs coalesce through
+/// doubling across passes: O(n·log n) fit work overall. (Growing one
+/// accumulator partition across a pass — re-fitting the whole chain on
+/// every admission — is O(chain²) and took minutes on million-value columns
+/// whose split phase emits many small partitions.)
+fn merge_phase(
+    values: &[u64],
+    regressor: RegressorKind,
+    (mut parts, mut costs): PartsAndCosts,
+) -> PartsAndCosts {
     if parts.len() <= 1 {
-        return parts;
+        return (parts, costs);
     }
-    let mut costs: Vec<usize> = parts
-        .iter()
-        .map(|p| exact_cost_bits(&values[p.start..p.end()], regressor))
-        .collect();
     for _ in 0..MAX_MERGE_PASSES {
         let mut changed = false;
         let mut new_parts: Vec<Partition> = Vec::with_capacity(parts.len());
         let mut new_costs: Vec<usize> = Vec::with_capacity(parts.len());
-        let mut cur = parts[0];
-        let mut cur_cost = costs[0];
-        for k in 1..parts.len() {
-            let next = parts[k];
-            let next_cost = costs[k];
-            let merged_len = cur.len + next.len;
-            if merged_len <= MAX_MERGED_LEN {
-                let merged_cost =
-                    exact_cost_bits(&values[cur.start..cur.start + merged_len], regressor);
-                if merged_cost < cur_cost + next_cost {
-                    cur = Partition::new(cur.start, merged_len);
-                    cur_cost = merged_cost;
-                    changed = true;
-                    continue;
+        let mut k = 0;
+        while k < parts.len() {
+            if k + 1 < parts.len() {
+                let merged_len = parts[k].len + parts[k + 1].len;
+                if merged_len <= MAX_MERGED_LEN {
+                    let merged_cost = exact_cost_bits(
+                        &values[parts[k].start..parts[k].start + merged_len],
+                        regressor,
+                    );
+                    if merged_cost < costs[k] + costs[k + 1] {
+                        new_parts.push(Partition::new(parts[k].start, merged_len));
+                        new_costs.push(merged_cost);
+                        changed = true;
+                        k += 2;
+                        continue;
+                    }
                 }
             }
-            new_parts.push(cur);
-            new_costs.push(cur_cost);
-            cur = next;
-            cur_cost = next_cost;
+            new_parts.push(parts[k]);
+            new_costs.push(costs[k]);
+            k += 1;
         }
-        new_parts.push(cur);
-        new_costs.push(cur_cost);
         parts = new_parts;
         costs = new_costs;
         if !changed {
             break;
         }
     }
-    parts
+    (parts, costs)
 }
 
-/// Run the full init/split/merge pipeline.
+/// Interior candidate split points evaluated per partition in the bisect
+/// phase.
+const BISECT_CANDIDATES: usize = 9;
+/// Partitions shorter than this are never bisected.
+const MIN_BISECT_LEN: usize = 8;
+
+/// The bisect phase: recursively split any partition whose exactly evaluated
+/// cost drops when cut in two.
+///
+/// The split phase's Δ width proxy tracks the spread of k-th order
+/// differences, which stays flat on jittery-but-trending data even though
+/// the *fit residual* grows like a random walk — so the proxy happily grows
+/// one partition over data the DP optimum cuts several times. Working
+/// top-down with exact costs catches exactly those misses; the follow-up
+/// refine phase then fine-tunes the coarse cut positions.
+fn bisect_phase(
+    values: &[u64],
+    regressor: RegressorKind,
+    (parts, costs): PartsAndCosts,
+) -> PartsAndCosts {
+    let mut out = (
+        Vec::with_capacity(parts.len()),
+        Vec::with_capacity(costs.len()),
+    );
+    for (p, cost) in parts.into_iter().zip(costs) {
+        bisect_rec(values, regressor, p, cost, &mut out);
+    }
+    out
+}
+
+fn bisect_rec(
+    values: &[u64],
+    regressor: RegressorKind,
+    p: Partition,
+    cost: usize,
+    out: &mut PartsAndCosts,
+) {
+    if p.len < MIN_BISECT_LEN {
+        out.0.push(p);
+        out.1.push(cost);
+        return;
+    }
+    // Evaluate evenly spaced interior cut points; keep the best one that
+    // beats the unsplit cost.
+    let mut best: Option<(usize, usize, usize)> = None;
+    for k in 1..=BISECT_CANDIDATES {
+        let b = p.start + p.len * k / (BISECT_CANDIDATES + 1);
+        if b <= p.start || b >= p.end() {
+            continue;
+        }
+        let left = exact_cost_bits(&values[p.start..b], regressor);
+        let right = exact_cost_bits(&values[b..p.end()], regressor);
+        if left + right < cost && best.is_none_or(|(_, l, r)| left + right < l + r) {
+            best = Some((b, left, right));
+        }
+    }
+    match best {
+        Some((b, left, right)) => {
+            bisect_rec(
+                values,
+                regressor,
+                Partition::new(p.start, b - p.start),
+                left,
+                out,
+            );
+            bisect_rec(
+                values,
+                regressor,
+                Partition::new(b, p.end() - b),
+                right,
+                out,
+            );
+        }
+        None => {
+            out.0.push(p);
+            out.1.push(cost);
+        }
+    }
+}
+
+/// Offsets tried when hill-climbing a boundary during the refine phase.
+const REFINE_OFFSETS: [isize; 12] = [-32, -16, -8, -4, -2, -1, 1, 2, 4, 8, 16, 32];
+/// Maximum number of whole-cover refine passes.
+const MAX_REFINE_PASSES: usize = 3;
+/// Maximum hill-climb moves per boundary per pass.
+const MAX_REFINE_MOVES: usize = 8;
+/// Boundaries whose two partitions together span more than this many values
+/// are left alone: each candidate evaluation refits the whole pair, and
+/// moving a boundary by ≤32 positions inside a pair this long changes the
+/// total cost by a negligible fraction.
+const REFINE_SPAN_LIMIT: usize = 16_384;
+
+/// The refine phase: hill-climb each interior boundary by exact cost.
+fn refine_phase(
+    values: &[u64],
+    regressor: RegressorKind,
+    (mut parts, mut costs): PartsAndCosts,
+) -> PartsAndCosts {
+    if parts.len() <= 1 {
+        return (parts, costs);
+    }
+    for _ in 0..MAX_REFINE_PASSES {
+        let mut changed = false;
+        for k in 0..parts.len() - 1 {
+            let lo = parts[k].start;
+            let hi = parts[k + 1].end();
+            if hi - lo > REFINE_SPAN_LIMIT {
+                continue;
+            }
+            let mut best_b = parts[k + 1].start;
+            let mut best_pair = (costs[k], costs[k + 1]);
+            for _ in 0..MAX_REFINE_MOVES {
+                let from = best_b;
+                for off in REFINE_OFFSETS {
+                    let b = from.saturating_add_signed(off);
+                    // Both sides must keep at least one value.
+                    if b <= lo || b >= hi {
+                        continue;
+                    }
+                    let left = exact_cost_bits(&values[lo..b], regressor);
+                    let right = exact_cost_bits(&values[b..hi], regressor);
+                    if left + right < best_pair.0 + best_pair.1 {
+                        best_b = b;
+                        best_pair = (left, right);
+                    }
+                }
+                if best_b == from {
+                    break;
+                }
+            }
+            if best_b != parts[k + 1].start {
+                parts[k] = Partition::new(lo, best_b - lo);
+                parts[k + 1] = Partition::new(best_b, hi - best_b);
+                costs[k] = best_pair.0;
+                costs[k + 1] = best_pair.1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (parts, costs)
+}
+
+/// Run the full init/split/merge/bisect/refine pipeline.
 pub fn split_merge(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Partition> {
     if values.is_empty() {
         return Vec::new();
     }
     let parts = split_phase(values, regressor, tau.clamp(0.0, 1.0));
-    merge_phase(values, regressor, parts)
+    let costs = parts
+        .iter()
+        .map(|p| exact_cost_bits(&values[p.start..p.end()], regressor))
+        .collect();
+    let state = merge_phase(values, regressor, (parts, costs));
+    let state = bisect_phase(values, regressor, state);
+    let state = refine_phase(values, regressor, state);
+    // Bisection and refinement can leave adjacent partitions whose merge is
+    // now profitable (e.g. a remnant shrunk by a moved boundary), so merge
+    // once more to reach a local fixed point.
+    merge_phase(values, regressor, state).0
 }
 
 #[cfg(test)]
@@ -279,7 +458,7 @@ mod tests {
         }
         assert_eq!(t.width(), leco_bitpack::bits_for(0)); // spread 0
         assert_eq!(t.width_with(10), leco_bitpack::bits_for(4)); // diffs {2,6} spread 4
-        // degree 2: second-order differences of a quadratic are constant.
+                                                                 // degree 2: second-order differences of a quadratic are constant.
         let mut t = DiffTracker::new(2);
         for v in [0i128, 1, 4, 9, 16, 25] {
             t.push(v);
@@ -302,18 +481,31 @@ mod tests {
         let mut values: Vec<u64> = (0..100u64).map(|i| 10 * i).collect();
         values[50] += 5_000;
         let scores = start_scores(&values, 1);
-        assert!(scores[50] > scores[25], "spike should raise the start score");
+        assert!(
+            scores[50] > scores[25],
+            "spike should raise the start score"
+        );
     }
 
     #[test]
     fn splits_at_slope_change() {
         // Two clean linear pieces: expect roughly two partitions after merge.
         let values: Vec<u64> = (0..2_000u64)
-            .map(|i| if i < 1_000 { 100 + 2 * i } else { 1_000_000 + 50 * (i - 1_000) })
+            .map(|i| {
+                if i < 1_000 {
+                    100 + 2 * i
+                } else {
+                    1_000_000 + 50 * (i - 1_000)
+                }
+            })
             .collect();
         let parts = split_merge(&values, RegressorKind::Linear, 0.1);
         assert!(is_valid_cover(&parts, values.len()));
-        assert!(parts.len() <= 8, "expected few partitions, got {}", parts.len());
+        assert!(
+            parts.len() <= 8,
+            "expected few partitions, got {}",
+            parts.len()
+        );
         // A partition boundary should land near the slope change.
         assert!(
             parts.iter().any(|p| (990..=1_010).contains(&p.start)),
@@ -358,7 +550,11 @@ mod tests {
         let values: Vec<u64> = (0..5_000u64).map(|i| 7 * i + 3).collect();
         let parts = split_merge(&values, RegressorKind::Linear, 0.0);
         assert!(is_valid_cover(&parts, values.len()));
-        assert!(parts.len() <= 3, "expected ~1 partition, got {}", parts.len());
+        assert!(
+            parts.len() <= 3,
+            "expected ~1 partition, got {}",
+            parts.len()
+        );
     }
 
     #[test]
@@ -368,7 +564,11 @@ mod tests {
         values.extend(vec![17u64; 500]);
         let parts = split_merge(&values, RegressorKind::Constant, 0.1);
         assert!(is_valid_cover(&parts, values.len()));
-        assert!(parts.len() <= 6, "runs should form few partitions: {}", parts.len());
+        assert!(
+            parts.len() <= 6,
+            "runs should form few partitions: {}",
+            parts.len()
+        );
     }
 
     #[test]
@@ -389,9 +589,7 @@ mod tests {
 
     #[test]
     fn smaller_tau_gives_no_fewer_partitions_before_merge() {
-        let values: Vec<u64> = (0..3_000u64)
-            .map(|i| i * 3 + (i % 97) * (i % 13))
-            .collect();
+        let values: Vec<u64> = (0..3_000u64).map(|i| i * 3 + (i % 97) * (i % 13)).collect();
         let fine = split_phase(&values, RegressorKind::Linear, 0.01);
         let coarse = split_phase(&values, RegressorKind::Linear, 0.5);
         assert!(fine.len() >= coarse.len());

@@ -22,7 +22,9 @@ pub fn fit_constant(ys: &[f64]) -> Model {
         lo = lo.min(y);
         hi = hi.max(y);
     }
-    Model::Constant { value: (lo + hi) / 2.0 }
+    Model::Constant {
+        value: (lo + hi) / 2.0,
+    }
 }
 
 /// Residual extremes of `y − b·x` for a candidate slope.
@@ -42,10 +44,16 @@ fn residual_range(ys: &[f64], b: f64) -> (f64, f64) {
 pub fn fit_linear(ys: &[f64]) -> Model {
     let n = ys.len();
     if n <= 1 {
-        return Model::Linear { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+        return Model::Linear {
+            theta0: ys.first().copied().unwrap_or(0.0),
+            theta1: 0.0,
+        };
     }
     if n == 2 {
-        return Model::Linear { theta0: ys[0], theta1: ys[1] - ys[0] };
+        return Model::Linear {
+            theta0: ys[0],
+            theta1: ys[1] - ys[0],
+        };
     }
     // The ℓ∞-optimal slope lies within the range of consecutive differences.
     let mut lo = f64::INFINITY;
@@ -61,7 +69,10 @@ pub fn fit_linear(ys: &[f64]) -> Model {
     if hi - lo < f64::EPSILON * (1.0 + hi.abs()) {
         // Perfectly linear.
         let (rmin, rmax) = residual_range(ys, lo);
-        return Model::Linear { theta0: (rmin + rmax) / 2.0, theta1: lo };
+        return Model::Linear {
+            theta0: (rmin + rmax) / 2.0,
+            theta1: lo,
+        };
     }
     // Ternary search on the convex width function.
     let width = |b: f64| {
@@ -82,7 +93,10 @@ pub fn fit_linear(ys: &[f64]) -> Model {
     }
     let b = (lo + hi) / 2.0;
     let (rmin, rmax) = residual_range(ys, b);
-    Model::Linear { theta0: (rmin + rmax) / 2.0, theta1: b }
+    Model::Linear {
+        theta0: (rmin + rmax) / 2.0,
+        theta1: b,
+    }
 }
 
 /// Ordinary least-squares linear fit, kept for the ablation benchmark that
@@ -90,7 +104,10 @@ pub fn fit_linear(ys: &[f64]) -> Model {
 pub fn fit_least_squares(ys: &[f64]) -> Model {
     let n = ys.len() as f64;
     if ys.len() <= 1 {
-        return Model::Linear { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+        return Model::Linear {
+            theta0: ys.first().copied().unwrap_or(0.0),
+            theta1: 0.0,
+        };
     }
     let sum_x = (n - 1.0) * n / 2.0;
     let sum_x2 = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
@@ -98,14 +115,20 @@ pub fn fit_least_squares(ys: &[f64]) -> Model {
     let sum_xy: f64 = ys.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
     let denom = n * sum_x2 - sum_x * sum_x;
     if denom.abs() < f64::EPSILON {
-        return Model::Linear { theta0: sum_y / n, theta1: 0.0 };
+        return Model::Linear {
+            theta0: sum_y / n,
+            theta1: 0.0,
+        };
     }
     let theta1 = (n * sum_xy - sum_x * sum_y) / denom;
     let theta0 = (sum_y - theta1 * sum_x) / n;
     // Centre the residuals so the maximum absolute error is balanced.
     let (rmin, rmax) = residual_range(ys, theta1);
     let _ = theta0;
-    Model::Linear { theta0: (rmin + rmax) / 2.0, theta1 }
+    Model::Linear {
+        theta0: (rmin + rmax) / 2.0,
+        theta1,
+    }
 }
 
 /// Maximum absolute error of a model over `ys` (used by tests and the
@@ -157,8 +180,20 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        assert_eq!(fit_linear(&[]), Model::Linear { theta0: 0.0, theta1: 0.0 });
-        assert_eq!(fit_linear(&[7.0]), Model::Linear { theta0: 7.0, theta1: 0.0 });
+        assert_eq!(
+            fit_linear(&[]),
+            Model::Linear {
+                theta0: 0.0,
+                theta1: 0.0
+            }
+        );
+        assert_eq!(
+            fit_linear(&[7.0]),
+            Model::Linear {
+                theta0: 7.0,
+                theta1: 0.0
+            }
+        );
         let m = fit_linear(&[7.0, 9.0]);
         assert!(max_abs_error(&m, &[7.0, 9.0]) < 1e-9);
     }

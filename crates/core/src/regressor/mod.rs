@@ -70,7 +70,10 @@ pub fn fit_with_context(kind: RegressorKind, values: &[u64], ctx: &FitContext) -
         RegressorKind::Poly3 => poly::fit_poly(&ys, 3),
         RegressorKind::Exponential => special::fit_exponential(&ys),
         RegressorKind::Logarithm => special::fit_logarithm(&ys),
-        RegressorKind::Sine { terms, estimate_freq } => {
+        RegressorKind::Sine {
+            terms,
+            estimate_freq,
+        } => {
             let freqs = if estimate_freq || ctx.known_frequencies.is_empty() {
                 special::estimate_frequencies(&ys, terms as usize)
             } else {
@@ -149,7 +152,11 @@ mod tests {
         let values: Vec<u64> = (0..1000u64).map(|i| 5 + 3 * i).collect();
         let (model, stats) = fit_checked(RegressorKind::Linear, &values, &FitContext::default());
         assert!(matches!(model, Model::Linear { .. }));
-        assert!(stats.width <= 1, "width {} should be ~0 on a clean line", stats.width);
+        assert!(
+            stats.width <= 1,
+            "width {} should be ~0 on a clean line",
+            stats.width
+        );
     }
 
     #[test]
@@ -163,7 +170,10 @@ mod tests {
 
     #[test]
     fn delta_stats_exactness() {
-        let model = Model::Linear { theta0: 0.0, theta1: 1.0 };
+        let model = Model::Linear {
+            theta0: 0.0,
+            theta1: 1.0,
+        };
         let values = vec![10u64, 12, 13, 13]; // preds 0,1,2,3 -> deltas 10,11,11,10
         let stats = delta_stats(&model, &values).unwrap();
         assert_eq!(stats.bias, 10);
@@ -172,7 +182,10 @@ mod tests {
 
     #[test]
     fn cost_increases_with_width_and_len() {
-        let m = Model::Linear { theta0: 0.0, theta1: 0.0 };
+        let m = Model::Linear {
+            theta0: 0.0,
+            theta1: 0.0,
+        };
         assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 100, 8));
         assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 200, 4));
     }
@@ -187,7 +200,10 @@ mod tests {
             RegressorKind::Poly3,
             RegressorKind::Exponential,
             RegressorKind::Logarithm,
-            RegressorKind::Sine { terms: 1, estimate_freq: true },
+            RegressorKind::Sine {
+                terms: 1,
+                estimate_freq: true,
+            },
         ] {
             let (model, stats) = fit_checked(kind, &values, &FitContext::default());
             // Reconstruct and verify losslessness of the model+delta scheme.

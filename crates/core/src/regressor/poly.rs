@@ -106,7 +106,9 @@ pub fn fit_poly(ys: &[f64], degree: usize) -> Model {
         .collect();
     // Residual centring: shift the constant term so max and min residuals are
     // balanced (halving the worst-case error versus a one-sided fit).
-    let model = Model::Poly { coeffs: coeffs.clone() };
+    let model = Model::Poly {
+        coeffs: coeffs.clone(),
+    };
     let mut rmin = f64::INFINITY;
     let mut rmax = f64::NEG_INFINITY;
     for (i, &y) in ys.iter().enumerate() {
@@ -125,20 +127,28 @@ mod tests {
 
     #[test]
     fn exact_quadratic_near_zero_error() {
-        let ys: Vec<f64> = (0..500).map(|i| {
-            let x = i as f64;
-            3.0 + 2.0 * x + 0.5 * x * x
-        }).collect();
+        let ys: Vec<f64> = (0..500)
+            .map(|i| {
+                let x = i as f64;
+                3.0 + 2.0 * x + 0.5 * x * x
+            })
+            .collect();
         let m = fit_poly(&ys, 2);
-        assert!(max_abs_error(&m, &ys) < 1e-3, "err {}", max_abs_error(&m, &ys));
+        assert!(
+            max_abs_error(&m, &ys) < 1e-3,
+            "err {}",
+            max_abs_error(&m, &ys)
+        );
     }
 
     #[test]
     fn exact_cubic_near_zero_error() {
-        let ys: Vec<f64> = (0..300).map(|i| {
-            let x = i as f64;
-            1.0 - x + 0.01 * x * x + 0.001 * x * x * x
-        }).collect();
+        let ys: Vec<f64> = (0..300)
+            .map(|i| {
+                let x = i as f64;
+                1.0 - x + 0.01 * x * x + 0.001 * x * x * x
+            })
+            .collect();
         let m = fit_poly(&ys, 3);
         let err = max_abs_error(&m, &ys);
         // Cubic values reach ~2.7e4; relative error should be tiny.
@@ -150,7 +160,10 @@ mod tests {
         let ys: Vec<f64> = (0..200).map(|i| (i * i) as f64).collect();
         let poly_err = max_abs_error(&fit_poly(&ys, 2), &ys);
         let lin_err = max_abs_error(&crate::regressor::linear::fit_linear(&ys), &ys);
-        assert!(poly_err < lin_err / 10.0, "poly {poly_err} vs linear {lin_err}");
+        assert!(
+            poly_err < lin_err / 10.0,
+            "poly {poly_err} vs linear {lin_err}"
+        );
     }
 
     #[test]
@@ -179,7 +192,9 @@ mod tests {
 
     #[test]
     fn residual_centring_balances_errors() {
-        let ys: Vec<f64> = (0..100).map(|i| (i * i) as f64 + if i % 2 == 0 { 10.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| (i * i) as f64 + if i % 2 == 0 { 10.0 } else { 0.0 })
+            .collect();
         let m = fit_poly(&ys, 2);
         let (mut rmin, mut rmax) = (f64::INFINITY, f64::NEG_INFINITY);
         for (i, &y) in ys.iter().enumerate() {
@@ -187,6 +202,9 @@ mod tests {
             rmin = rmin.min(r);
             rmax = rmax.max(r);
         }
-        assert!((rmin + rmax).abs() < 1e-6, "residuals should be centred: {rmin} {rmax}");
+        assert!(
+            (rmin + rmax).abs() < 1e-6,
+            "residuals should be centred: {rmin} {rmax}"
+        );
     }
 }

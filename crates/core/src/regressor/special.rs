@@ -37,7 +37,10 @@ pub fn fit_exponential(ys: &[f64]) -> Model {
 /// positions, then centre the residuals (ℓ∞ flavour).
 pub fn fit_logarithm(ys: &[f64]) -> Model {
     if ys.len() < 2 {
-        return Model::Logarithm { theta0: ys.first().copied().unwrap_or(0.0), theta1: 0.0 };
+        return Model::Logarithm {
+            theta0: ys.first().copied().unwrap_or(0.0),
+            theta1: 0.0,
+        };
     }
     let n = ys.len() as f64;
     let xs: Vec<f64> = (0..ys.len()).map(|i| ((i + 1) as f64).ln()).collect();
@@ -59,7 +62,10 @@ pub fn fit_logarithm(ys: &[f64]) -> Model {
         rmin = rmin.min(r);
         rmax = rmax.max(r);
     }
-    Model::Logarithm { theta0: (rmin + rmax) / 2.0, theta1 }
+    Model::Logarithm {
+        theta0: (rmin + rmax) / 2.0,
+        theta1,
+    }
 }
 
 /// Estimate up to `k` dominant angular frequencies with a coarse periodogram
@@ -72,7 +78,11 @@ pub fn estimate_frequencies(ys: &[f64], k: usize) -> Vec<f64> {
     }
     // Detrend first so the linear component does not swamp the spectrum.
     let lin = super::linear::fit_least_squares(ys);
-    let resid: Vec<f64> = ys.iter().enumerate().map(|(i, &y)| y - lin.predict(i)).collect();
+    let resid: Vec<f64> = ys
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| y - lin.predict(i))
+        .collect();
     // Candidate periods: geometric grid between 4 and 4n (frequencies below
     // one full cycle are indistinguishable from trend, but keep a margin).
     let mut candidates: Vec<f64> = Vec::new();
@@ -99,7 +109,10 @@ pub fn estimate_frequencies(ys: &[f64], k: usize) -> Vec<f64> {
     // selected one.
     let mut out: Vec<f64> = Vec::new();
     for (omega, _) in scored {
-        if out.iter().all(|&o: &f64| (o - omega).abs() / o.max(omega) > 0.15) {
+        if out
+            .iter()
+            .all(|&o: &f64| (o - omega).abs() / o.max(omega) > 0.15)
+        {
             out.push(omega);
             if out.len() == k {
                 break;
@@ -116,7 +129,11 @@ pub fn fit_sine(ys: &[f64], omegas: &[f64]) -> Model {
     if omegas.is_empty() {
         let lin = super::linear::fit_linear(ys);
         if let Model::Linear { theta0, theta1 } = lin {
-            return Model::Sine { theta0, theta1, terms: Vec::new() };
+            return Model::Sine {
+                theta0,
+                theta1,
+                terms: Vec::new(),
+            };
         }
         unreachable!()
     }
@@ -153,7 +170,11 @@ pub fn fit_sine(ys: &[f64], omegas: &[f64]) -> Model {
         None => {
             let lin = super::linear::fit_linear(ys);
             if let Model::Linear { theta0, theta1 } = lin {
-                return Model::Sine { theta0, theta1, terms: Vec::new() };
+                return Model::Sine {
+                    theta0,
+                    theta1,
+                    terms: Vec::new(),
+                };
             }
             unreachable!()
         }
@@ -166,7 +187,11 @@ pub fn fit_sine(ys: &[f64], omegas: &[f64]) -> Model {
             a_cos: coeffs[3 + 2 * t],
         });
     }
-    let mut model = Model::Sine { theta0: coeffs[0], theta1: coeffs[1], terms };
+    let mut model = Model::Sine {
+        theta0: coeffs[0],
+        theta1: coeffs[1],
+        terms,
+    };
     // Residual centring on the constant term.
     let mut rmin = f64::INFINITY;
     let mut rmax = f64::NEG_INFINITY;
@@ -235,7 +260,9 @@ mod tests {
 
     #[test]
     fn logarithm_fits_log_curve() {
-        let ys: Vec<f64> = (0..500).map(|i| 100.0 + 30.0 * ((i + 1) as f64).ln()).collect();
+        let ys: Vec<f64> = (0..500)
+            .map(|i| 100.0 + 30.0 * ((i + 1) as f64).ln())
+            .collect();
         let m = fit_logarithm(&ys);
         assert!(max_abs_error(&m, &ys) < 1e-6);
     }
@@ -244,7 +271,9 @@ mod tests {
     fn frequency_estimation_finds_dominant_period() {
         let period = 50.0;
         let omega_true = std::f64::consts::TAU / period;
-        let ys: Vec<f64> = (0..2000).map(|i| 1000.0 * (omega_true * i as f64).sin()).collect();
+        let ys: Vec<f64> = (0..2000)
+            .map(|i| 1000.0 * (omega_true * i as f64).sin())
+            .collect();
         let freqs = estimate_frequencies(&ys, 1);
         assert_eq!(freqs.len(), 1);
         assert!(

@@ -28,7 +28,12 @@ impl CharTable {
             for (i, r) in ranks.iter_mut().enumerate() {
                 *r = i as u8;
             }
-            return Self { charset: (0..=255).collect(), ranks, bits: 8, full_byte: true };
+            return Self {
+                charset: (0..=255).collect(),
+                ranks,
+                bits: 8,
+                full_byte: true,
+            };
         }
         let mut present = [false; 256];
         for s in suffixes {
@@ -46,7 +51,12 @@ impl CharTable {
         } else {
             leco_bitpack::bits_for((charset.len() - 1) as u64).max(1)
         };
-        Self { charset, ranks, bits, full_byte: false }
+        Self {
+            charset,
+            ranks,
+            bits,
+            full_byte: false,
+        }
     }
 
     /// Bits per character (log2 of the rounded-up base).
@@ -106,7 +116,7 @@ impl CharTable {
             // Single-character (or empty) alphabet: the characters are all the
             // lone charset entry.
             if let Some(&c) = self.charset.first() {
-                out.extend(std::iter::repeat(c).take(take));
+                out.extend(std::iter::repeat_n(c, take));
             }
             return;
         }
@@ -149,7 +159,11 @@ mod tests {
 
     #[test]
     fn mapping_is_order_preserving_for_equal_length() {
-        let suffixes = [b"apple".as_slice(), b"bears".as_slice(), b"candy".as_slice()];
+        let suffixes = [
+            b"apple".as_slice(),
+            b"bears".as_slice(),
+            b"candy".as_slice(),
+        ];
         let t = CharTable::build(&suffixes, false);
         let a = t.map_min(b"apple", 5);
         let b = t.map_min(b"bears", 5);

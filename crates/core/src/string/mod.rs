@@ -20,7 +20,7 @@ pub mod mapping;
 
 use crate::model::Model;
 use crate::regressor::linear::fit_linear;
-use leco_bitpack::{BitWriter, stream::read_bits};
+use leco_bitpack::{stream::read_bits, BitWriter};
 use mapping::CharTable;
 
 /// Maximum number of bits a mapped suffix integer may use.
@@ -39,7 +39,10 @@ pub struct StringConfig {
 
 impl Default for StringConfig {
     fn default() -> Self {
-        Self { partition_len: 1024, full_byte_charset: false }
+        Self {
+            partition_len: 1024,
+            full_byte_charset: false,
+        }
     }
 }
 
@@ -225,7 +228,11 @@ impl CompressedStrings {
         let suffix_len = if p.len_width == 0 {
             0
         } else {
-            read_bits(&self.len_payload, p.len_bit_offset as usize + local * p.len_width as usize, p.len_width) as usize
+            read_bits(
+                &self.len_payload,
+                p.len_bit_offset as usize + local * p.len_width as usize,
+                p.len_width,
+            ) as usize
         };
         // Mapped integer = model prediction + bias + delta.
         let packed = read_wide(
@@ -237,7 +244,8 @@ impl CompressedStrings {
         let mapped_chars = suffix_len.min(p.mapped_chars);
         let mut out = Vec::with_capacity(p.prefix.len() + suffix_len);
         out.extend_from_slice(&p.prefix);
-        p.chars.decode_digits(mapped, p.mapped_chars, mapped_chars, &mut out);
+        p.chars
+            .decode_digits(mapped, p.mapped_chars, mapped_chars, &mut out);
         // Tail characters beyond the mapped budget.
         let (t0, t1) = p.tail_ranges[local];
         out.extend_from_slice(&p.tails[t0 as usize..t1 as usize]);
@@ -271,7 +279,10 @@ fn encode_partition(
     };
 
     // Order-preserving mapped integers (minimum padding) used for fitting.
-    let mins: Vec<u128> = suffixes.iter().map(|s| chars.map_min(s, mapped_chars)).collect();
+    let mins: Vec<u128> = suffixes
+        .iter()
+        .map(|s| chars.map_min(s, mapped_chars))
+        .collect();
     let ys: Vec<f64> = {
         let base = mins[0];
         mins.iter()
@@ -371,14 +382,19 @@ mod tests {
     #[test]
     fn round_trip_full_byte_charset() {
         let strings = emails(500);
-        let cfg = StringConfig { partition_len: 128, full_byte_charset: true };
+        let cfg = StringConfig {
+            partition_len: 128,
+            full_byte_charset: true,
+        };
         let c = CompressedStrings::encode(&as_refs(&strings), cfg);
         assert_eq!(c.decode_all(), strings);
     }
 
     #[test]
     fn sorted_hex_strings_compress_well() {
-        let strings: Vec<Vec<u8>> = (0..50_000u64).map(|i| format!("{:08x}", i * 977).into_bytes()).collect();
+        let strings: Vec<Vec<u8>> = (0..50_000u64)
+            .map(|i| format!("{:08x}", i * 977).into_bytes())
+            .collect();
         let c = CompressedStrings::encode(&as_refs(&strings), StringConfig::default());
         assert_eq!(c.get(49_999), strings[49_999]);
         assert!(
@@ -396,13 +412,23 @@ mod tests {
             b"abcdefghijklmnopqrstuvwxyz-very-long-string-beyond-the-mapped-budget".to_vec(),
             b"ab".to_vec(),
         ];
-        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig { partition_len: 4, full_byte_charset: false });
+        let c = CompressedStrings::encode(
+            &as_refs(&strings),
+            StringConfig {
+                partition_len: 4,
+                full_byte_charset: false,
+            },
+        );
         assert_eq!(c.decode_all(), strings);
     }
 
     #[test]
     fn common_prefix_extraction() {
-        let strings = [b"prefix_aaa".as_slice(), b"prefix_abc".as_slice(), b"prefix_b".as_slice()];
+        let strings = [
+            b"prefix_aaa".as_slice(),
+            b"prefix_abc".as_slice(),
+            b"prefix_b".as_slice(),
+        ];
         assert_eq!(common_prefix(&strings), b"prefix_");
         let strings = [b"xyz".as_slice(), b"abc".as_slice()];
         assert_eq!(common_prefix(&strings), b"");
@@ -440,7 +466,13 @@ mod tests {
     #[test]
     fn binary_strings_round_trip() {
         let strings: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i, 255 - i, 0, i / 2]).collect();
-        let c = CompressedStrings::encode(&as_refs(&strings), StringConfig { partition_len: 64, full_byte_charset: false });
+        let c = CompressedStrings::encode(
+            &as_refs(&strings),
+            StringConfig {
+                partition_len: 64,
+                full_byte_charset: false,
+            },
+        );
         assert_eq!(c.decode_all(), strings);
     }
 

@@ -239,16 +239,26 @@ mod tests {
         for ds in IntDataset::MICROBENCH {
             if ds.is_sorted() {
                 let v = generate(ds, 20_000, 7);
-                assert!(v.windows(2).all(|w| w[0] <= w[1]), "{ds:?} should be sorted");
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "{ds:?} should be sorted"
+                );
             }
         }
     }
 
     #[test]
     fn unsorted_datasets_are_not_sorted() {
-        for ds in [IntDataset::Movieid, IntDataset::Medicare, IntDataset::Poisson] {
+        for ds in [
+            IntDataset::Movieid,
+            IntDataset::Medicare,
+            IntDataset::Poisson,
+        ] {
             let v = generate(ds, 20_000, 7);
-            assert!(!v.windows(2).all(|w| w[0] <= w[1]), "{ds:?} should not be fully sorted");
+            assert!(
+                !v.windows(2).all(|w| w[0] <= w[1]),
+                "{ds:?} should not be fully sorted"
+            );
         }
     }
 
@@ -270,7 +280,10 @@ mod tests {
         for ds in IntDataset::MICROBENCH {
             let v = generate(ds, 10_000, 3);
             if ds.value_width() == 4 {
-                assert!(v.iter().all(|&x| x <= u32::MAX as u64), "{ds:?} should fit in 32 bits");
+                assert!(
+                    v.iter().all(|&x| x <= u32::MAX as u64),
+                    "{ds:?} should fit in 32 bits"
+                );
             }
         }
     }

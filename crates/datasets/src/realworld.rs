@@ -144,7 +144,13 @@ pub fn house_price(n: usize, rng: &mut StdRng) -> Vec<u64> {
 
 /// `planet`: 64-bit sorted planet object ids — near-dense with deletions.
 pub fn planet_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
-    from_gaps(n, 100_000_000, || if rng.gen_bool(0.85) { 1 } else { rng.gen_range(2..2_000) })
+    from_gaps(n, 100_000_000, || {
+        if rng.gen_bool(0.85) {
+            1
+        } else {
+            rng.gen_range(2..2_000)
+        }
+    })
 }
 
 /// `libio`: 64-bit sorted repository ids — near-dense, very gentle growth.
@@ -227,7 +233,10 @@ mod tests {
         ];
         for (name, v) in checks {
             assert_eq!(v.len(), 20_000, "{name}");
-            assert!(v.windows(2).all(|w| w[0] <= w[1]), "{name} should be sorted");
+            assert!(
+                v.windows(2).all(|w| w[0] <= w[1]),
+                "{name} should be sorted"
+            );
         }
     }
 
@@ -245,7 +254,10 @@ mod tests {
             .windows(2)
             .filter(|w| (w[1] as i64 - w[0] as i64).unsigned_abs() <= 4)
             .count();
-        assert!(small_gaps as f64 / v.len() as f64 > 0.8, "bursts should dominate");
+        assert!(
+            small_gaps as f64 / v.len() as f64 > 0.8,
+            "bursts should dominate"
+        );
         assert!(v.iter().all(|&x| x <= u32::MAX as u64));
     }
 
@@ -253,7 +265,10 @@ mod tests {
     fn house_price_has_long_runs() {
         let v = house_price(50_000, &mut rng());
         let repeats = v.windows(2).filter(|w| w[0] == w[1]).count();
-        assert!(repeats as f64 / v.len() as f64 > 0.5, "expected many repeated prices");
+        assert!(
+            repeats as f64 / v.len() as f64 > 0.5,
+            "expected many repeated prices"
+        );
     }
 
     #[test]
@@ -271,6 +286,9 @@ mod tests {
         let mut distinct = v.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() < v.len() / 2, "probe column should have repeated join keys");
+        assert!(
+            distinct.len() < v.len() / 2,
+            "probe column should have repeated join keys"
+        );
     }
 }

@@ -5,7 +5,14 @@ use rand::Rng;
 
 /// `email`: host-reversed email addresses (sorted), average ~15 bytes.
 pub fn email(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
-    const HOSTS: [&str; 6] = ["com.gmail", "com.yahoo", "com.outlook", "org.mail", "net.fast", "de.web"];
+    const HOSTS: [&str; 6] = [
+        "com.gmail",
+        "com.yahoo",
+        "com.outlook",
+        "org.mail",
+        "net.fast",
+        "de.web",
+    ];
     const NAMES: [&str; 8] = ["alex", "sam", "kim", "lee", "pat", "max", "joe", "ana"];
     let mut out: Vec<Vec<u8>> = (0..n)
         .map(|_| {
@@ -27,7 +34,11 @@ pub fn hex(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
     while values.len() < n {
         values.push(values.last().copied().unwrap_or(0) + 1);
     }
-    values.into_iter().take(n).map(|v| format!("{v:08x}").into_bytes()).collect()
+    values
+        .into_iter()
+        .take(n)
+        .map(|v| format!("{v:08x}").into_bytes())
+        .collect()
 }
 
 /// `word`: English-like words (sorted), average ~9 bytes, generated from

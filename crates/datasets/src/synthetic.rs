@@ -39,7 +39,9 @@ pub fn poisson_timestamps(n: usize, rng: &mut StdRng) -> Vec<u64> {
     let rate = 1.0 / 50_000.0; // events every ~50k ns on average
     let mut clocks = vec![1_600_000_000_000_000_000u64; sensors];
     // Give each sensor a constant skew.
-    let skews: Vec<i64> = (0..sensors).map(|_| rng.gen_range(-200_000..200_000)).collect();
+    let skews: Vec<i64> = (0..sensors)
+        .map(|_| rng.gen_range(-200_000..200_000))
+        .collect();
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let s = rng.gen_range(0..sensors);
@@ -178,7 +180,8 @@ mod tests {
         let mut r = rng();
         let samples: Vec<f64> = (0..100_000).map(|_| std_normal(&mut r)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -29,7 +29,11 @@ impl Table {
         if self.columns.is_empty() {
             return 1.0;
         }
-        self.columns.iter().map(|(_, c)| crate::sortedness(c)).sum::<f64>() / self.columns.len() as f64
+        self.columns
+            .iter()
+            .map(|(_, c)| crate::sortedness(c))
+            .sum::<f64>()
+            / self.columns.len() as f64
     }
 
     /// Columns whose number of distinct values is at least `fraction` of the
@@ -84,7 +88,10 @@ pub fn lineitem(rows: usize, seed: u64) -> Table {
     let extendedprice: Vec<u64> = (0..rows)
         .map(|i| quantity[i] * rng.gen_range(90_000..110_000) / 100)
         .collect();
-    let shipdate: Vec<u64> = orderkey.iter().map(|&o| 19_920_101 + o / 800 + rng.gen_range(0..120)).collect();
+    let shipdate: Vec<u64> = orderkey
+        .iter()
+        .map(|&o| 19_920_101 + o / 800 + rng.gen_range(0..120))
+        .collect();
     let commitdate: Vec<u64> = shipdate.iter().map(|&d| d + rng.gen_range(0..90)).collect();
     let receiptdate: Vec<u64> = shipdate.iter().map(|&d| d + rng.gen_range(0..30)).collect();
     Table {
@@ -106,7 +113,9 @@ pub fn lineitem(rows: usize, seed: u64) -> Table {
 pub fn partsupp(rows: usize, seed: u64) -> Table {
     let mut rng = rng_for("partsupp", seed);
     let partkey: Vec<u64> = (0..rows).map(|i| (i / 4 + 1) as u64).collect();
-    let suppkey: Vec<u64> = (0..rows).map(|i| ((i % 4) * 2_500 + (i / 4) % 2_500 + 1) as u64).collect();
+    let suppkey: Vec<u64> = (0..rows)
+        .map(|i| ((i % 4) * 2_500 + (i / 4) % 2_500 + 1) as u64)
+        .collect();
     let availqty: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..10_000)).collect();
     let supplycost: Vec<u64> = (0..rows).map(|_| rng.gen_range(100..100_000)).collect();
     Table {
@@ -125,8 +134,13 @@ pub fn orders(rows: usize, seed: u64) -> Table {
     let mut rng = rng_for("orders", seed);
     let orderkey: Vec<u64> = (0..rows).map(|i| (i as u64) * 4 + 1).collect();
     let custkey: Vec<u64> = (0..rows).map(|_| rng.gen_range(1..150_000)).collect();
-    let totalprice: Vec<u64> = (0..rows).map(|_| rng.gen_range(85_000..55_000_000)).collect();
-    let orderdate: Vec<u64> = orderkey.iter().map(|&o| 19_920_101 + o / 2_000 + rng.gen_range(0..30)).collect();
+    let totalprice: Vec<u64> = (0..rows)
+        .map(|_| rng.gen_range(85_000..55_000_000))
+        .collect();
+    let orderdate: Vec<u64> = orderkey
+        .iter()
+        .map(|&o| 19_920_101 + o / 2_000 + rng.gen_range(0..30))
+        .collect();
     let shippriority: Vec<u64> = (0..rows).map(|_| 0).collect();
     Table {
         name: "orders",
@@ -144,7 +158,9 @@ pub fn orders(rows: usize, seed: u64) -> Table {
 pub fn inventory(rows: usize, seed: u64) -> Table {
     let mut rng = rng_for("inventory", seed);
     let items = 2_000u64;
-    let date_sk: Vec<u64> = (0..rows).map(|i| 2_450_815 + (i as u64 / (items * 10)) * 7).collect();
+    let date_sk: Vec<u64> = (0..rows)
+        .map(|i| 2_450_815 + (i as u64 / (items * 10)) * 7)
+        .collect();
     let item_sk: Vec<u64> = (0..rows).map(|i| (i as u64 / 10) % items + 1).collect();
     let warehouse_sk: Vec<u64> = (0..rows).map(|i| (i % 10) as u64 + 1).collect();
     let quantity: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..1_000)).collect();
@@ -166,15 +182,30 @@ pub fn catalog_sales(rows: usize, seed: u64) -> Table {
     let order: Vec<u64> = (0..rows).map(|i| i as u64 + 1).collect();
     columns.push(("cs_order_number", order));
     const NAMES: [&str; 12] = [
-        "cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk", "cs_ship_customer_sk",
-        "cs_warehouse_sk", "cs_promo_sk", "cs_quantity", "cs_wholesale_cost",
-        "cs_list_price", "cs_sales_price", "cs_ext_tax", "cs_net_profit",
+        "cs_sold_date_sk",
+        "cs_item_sk",
+        "cs_bill_customer_sk",
+        "cs_ship_customer_sk",
+        "cs_warehouse_sk",
+        "cs_promo_sk",
+        "cs_quantity",
+        "cs_wholesale_cost",
+        "cs_list_price",
+        "cs_sales_price",
+        "cs_ext_tax",
+        "cs_net_profit",
     ];
     for (k, name) in NAMES.iter().enumerate() {
         let hi = 1_000u64 * (k as u64 + 1) * 37;
-        columns.push((name, (0..rows).map(|_| rng.gen_range(0..hi.max(2))).collect()));
+        columns.push((
+            name,
+            (0..rows).map(|_| rng.gen_range(0..hi.max(2))).collect(),
+        ));
     }
-    Table { name: "catalog_sales", columns }
+    Table {
+        name: "catalog_sales",
+        columns,
+    }
 }
 
 /// TPC-DS `date_dim`-like: derived calendar columns, strongly sorted.
@@ -209,8 +240,12 @@ pub fn geo(rows: usize, seed: u64) -> Table {
             })
             .collect()
     };
-    let lat: Vec<u64> = (0..rows).map(|_| (rng.gen_range(-90.0f64..90.0) * 10_000.0 + 900_000.0) as u64).collect();
-    let lon: Vec<u64> = (0..rows).map(|_| (rng.gen_range(-180.0f64..180.0) * 10_000.0 + 1_800_000.0) as u64).collect();
+    let lat: Vec<u64> = (0..rows)
+        .map(|_| (rng.gen_range(-90.0f64..90.0) * 10_000.0 + 900_000.0) as u64)
+        .collect();
+    let lon: Vec<u64> = (0..rows)
+        .map(|_| (rng.gen_range(-180.0f64..180.0) * 10_000.0 + 1_800_000.0) as u64)
+        .collect();
     let population: Vec<u64> = (0..rows).map(|_| heavy(&mut rng, 1.0e7)).collect();
     let elevation: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..4_000)).collect();
     Table {
@@ -249,7 +284,10 @@ pub fn stock(rows: usize, seed: u64) -> Table {
         })
         .collect();
     let high: Vec<u64> = open.iter().map(|&p| p + rng.gen_range(0..200)).collect();
-    let low: Vec<u64> = open.iter().map(|&p| p.saturating_sub(rng.gen_range(0..200))).collect();
+    let low: Vec<u64> = open
+        .iter()
+        .map(|&p| p.saturating_sub(rng.gen_range(0..200)))
+        .collect();
     let close: Vec<u64> = open.iter().map(|&p| p + rng.gen_range(0..100)).collect();
     let volume: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..5_000)).collect();
     Table {
@@ -279,7 +317,10 @@ pub fn course_info(rows: usize, seed: u64) -> Table {
     };
     let price: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..10u64) * 25).collect();
     let subscribers: Vec<u64> = (0..rows).map(|_| heavy(&mut rng, 3.0e5)).collect();
-    let reviews: Vec<u64> = subscribers.iter().map(|&s| s / (rng.gen_range(5..40))).collect();
+    let reviews: Vec<u64> = subscribers
+        .iter()
+        .map(|&s| s / (rng.gen_range(5..40)))
+        .collect();
     let lectures: Vec<u64> = (0..rows).map(|_| rng.gen_range(5..400)).collect();
     let duration: Vec<u64> = lectures.iter().map(|&l| l * rng.gen_range(3..15)).collect();
     Table {
@@ -364,7 +405,11 @@ mod tests {
         // stock and inventory are highly sorted; catalog_sales is not.
         assert!(get("stock") > 0.8, "stock {}", get("stock"));
         assert!(get("inventory") > 0.45, "inventory {}", get("inventory"));
-        assert!(get("catalog_sales") < 0.4, "catalog_sales {}", get("catalog_sales"));
+        assert!(
+            get("catalog_sales") < 0.4,
+            "catalog_sales {}",
+            get("catalog_sales")
+        );
     }
 
     #[test]

@@ -32,14 +32,19 @@ impl BlockBuilder {
 
     /// Append an entry.  Keys must be added in sorted order.
     pub fn add(&mut self, key: &[u8], value: &[u8]) {
-        debug_assert!(self.entries == 0 || self.last_key.as_slice() <= key, "keys must be sorted");
+        debug_assert!(
+            self.entries == 0 || self.last_key.as_slice() <= key,
+            "keys must be sorted"
+        );
         if self.entries == 0 {
             self.first_key = key.to_vec();
         }
         self.last_key = key.to_vec();
-        self.buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
         self.buf.extend_from_slice(key);
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(value);
         self.entries += 1;
     }
@@ -78,7 +83,8 @@ pub fn seek_in_block<'a>(block: &'a [u8], target: &[u8]) -> Option<(&'a [u8], &'
         let key = &block[pos..pos + key_len];
         pos += key_len;
         let value_len =
-            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]]) as usize;
+            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]])
+                as usize;
         pos += 4;
         let value = &block[pos..pos + value_len];
         pos += value_len;
@@ -101,7 +107,8 @@ pub fn iter_block(block: &[u8]) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
         let key = &block[pos..pos + key_len];
         pos += key_len;
         let value_len =
-            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]]) as usize;
+            u32::from_le_bytes([block[pos], block[pos + 1], block[pos + 2], block[pos + 3]])
+                as usize;
         pos += 4;
         let value = &block[pos..pos + value_len];
         pos += value_len;
@@ -137,7 +144,10 @@ mod tests {
     #[test]
     fn is_full_respects_block_size() {
         let mut b = BlockBuilder::new();
-        assert!(!b.is_full(10_000), "an empty block always accepts one entry");
+        assert!(
+            !b.is_full(10_000),
+            "an empty block always accepts one entry"
+        );
         let mut count = 0;
         loop {
             let key = format!("key{count:08}");
@@ -149,7 +159,10 @@ mod tests {
             count += 1;
         }
         assert!(b.current_size() <= BLOCK_SIZE);
-        assert!(count >= 9, "a 4KB block should hold ~10 records of 420 bytes, got {count}");
+        assert!(
+            count >= 9,
+            "a 4KB block should hold ~10 records of 420 bytes, got {count}"
+        );
     }
 
     #[test]
@@ -161,6 +174,11 @@ mod tests {
         }
         let block = b.finish();
         let seen: Vec<Vec<u8>> = iter_block(&block).map(|(k, _)| k.to_vec()).collect();
-        assert_eq!(seen, keys.iter().map(|k| k.clone().into_bytes()).collect::<Vec<_>>());
+        assert_eq!(
+            seen,
+            keys.iter()
+                .map(|k| k.clone().into_bytes())
+                .collect::<Vec<_>>()
+        );
     }
 }

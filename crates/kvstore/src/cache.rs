@@ -80,7 +80,13 @@ impl BlockCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(old) = inner.map.insert(key, Entry { data, last_used: tick }) {
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                data,
+                last_used: tick,
+            },
+        ) {
             inner.used_bytes -= old.data.len();
         }
         inner.used_bytes += size;

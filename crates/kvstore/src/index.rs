@@ -44,6 +44,10 @@ impl IndexBlockFormat {
 }
 
 /// A built index block.
+///
+/// (One instance exists per SSTable, so the size gap between the two
+/// variants is irrelevant — not worth a `Box` indirection on the seek path.)
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum IndexBlock {
     /// Prefix-delta compressed entries.
@@ -121,7 +125,11 @@ impl RestartIndex {
                 restarts.push((data.len() as u32, key.clone()));
                 prev_key = &[];
             }
-            let shared = key.iter().zip(prev_key.iter()).take_while(|(a, b)| a == b).count();
+            let shared = key
+                .iter()
+                .zip(prev_key.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
             data.extend_from_slice(&(shared as u16).to_le_bytes());
             data.extend_from_slice(&((key.len() - shared) as u16).to_le_bytes());
             data.extend_from_slice(&key[shared..]);
@@ -200,7 +208,10 @@ impl LecoIndex {
         let key_refs: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
         let keys = CompressedStrings::encode(
             &key_refs,
-            StringConfig { partition_len: 64, full_byte_charset: false },
+            StringConfig {
+                partition_len: 64,
+                full_byte_charset: false,
+            },
         );
         let offs: Vec<u64> = entries.iter().map(|(_, h)| h.offset).collect();
         let sizes: Vec<u64> = entries.iter().map(|(_, h)| h.size as u64).collect();
@@ -248,7 +259,10 @@ mod tests {
             .map(|i| {
                 (
                     format!("user{:012}", i as u64 * 977).into_bytes(),
-                    BlockHandle { offset: i as u64 * 4096, size: 4096 },
+                    BlockHandle {
+                        offset: i as u64 * 4096,
+                        size: 4096,
+                    },
                 )
             })
             .collect()
@@ -263,7 +277,10 @@ mod tests {
             IndexBlockFormat::RestartInterval(128),
             IndexBlockFormat::Leco,
         ];
-        let blocks: Vec<IndexBlock> = formats.iter().map(|f| IndexBlock::build(&entries, *f)).collect();
+        let blocks: Vec<IndexBlock> = formats
+            .iter()
+            .map(|f| IndexBlock::build(&entries, *f))
+            .collect();
         for probe in 0..2_000usize {
             let key = format!("user{:012}", probe as u64 * 977 + 13).into_bytes();
             let expected = {
@@ -280,7 +297,10 @@ mod tests {
     #[test]
     fn exact_key_and_before_first_key() {
         let entries = sample_entries(100);
-        for format in [IndexBlockFormat::RestartInterval(16), IndexBlockFormat::Leco] {
+        for format in [
+            IndexBlockFormat::RestartInterval(16),
+            IndexBlockFormat::Leco,
+        ] {
             let block = IndexBlock::build(&entries, format);
             // Exact first key.
             assert_eq!(block.seek(&entries[0].0), entries[0].1);
@@ -302,7 +322,10 @@ mod tests {
         let ri128 = size(IndexBlockFormat::RestartInterval(128));
         let leco = size(IndexBlockFormat::Leco);
         assert!(ri128 < ri16 && ri16 < ri1, "{ri128} {ri16} {ri1}");
-        assert!(leco < ri1 / 2, "LeCo {leco} should be far smaller than RI=1 {ri1}");
+        assert!(
+            leco < ri1 / 2,
+            "LeCo {leco} should be far smaller than RI=1 {ri1}"
+        );
     }
 
     #[test]

@@ -52,23 +52,35 @@ impl Store {
         records: &[(Vec<u8>, Vec<u8>)],
         options: StoreOptions,
     ) -> std::io::Result<Self> {
-        debug_assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "records must be sorted");
+        debug_assert!(
+            records.windows(2).all(|w| w[0].0 <= w[1].0),
+            "records must be sorted"
+        );
         let mut file = File::create(path.as_ref())?;
         let mut builder = BlockBuilder::new();
         let mut index_entries: Vec<(Vec<u8>, BlockHandle)> = Vec::new();
         let mut offset = 0u64;
-        let flush =
-            |builder: &mut BlockBuilder, file: &mut File, offset: &mut u64, entries: &mut Vec<(Vec<u8>, BlockHandle)>| -> std::io::Result<()> {
-                if builder.entries() == 0 {
-                    return Ok(());
-                }
-                let first_key = builder.first_key().to_vec();
-                let block = builder.finish();
-                file.write_all(&block)?;
-                entries.push((first_key, BlockHandle { offset: *offset, size: block.len() as u32 }));
-                *offset += block.len() as u64;
-                Ok(())
-            };
+        let flush = |builder: &mut BlockBuilder,
+                     file: &mut File,
+                     offset: &mut u64,
+                     entries: &mut Vec<(Vec<u8>, BlockHandle)>|
+         -> std::io::Result<()> {
+            if builder.entries() == 0 {
+                return Ok(());
+            }
+            let first_key = builder.first_key().to_vec();
+            let block = builder.finish();
+            file.write_all(&block)?;
+            entries.push((
+                first_key,
+                BlockHandle {
+                    offset: *offset,
+                    size: block.len() as u32,
+                },
+            ));
+            *offset += block.len() as u64;
+            Ok(())
+        };
         for (key, value) in records {
             let entry_size = key.len() + value.len() + 6;
             if builder.is_full(entry_size) {
@@ -183,7 +195,7 @@ pub fn run_seek_workload(store: &Arc<Store>, queries: &[Vec<u8>], threads: usize
     let threads = threads.max(1);
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
-        let chunk = (queries.len() + threads - 1) / threads;
+        let chunk = queries.len().div_ceil(threads);
         for part in queries.chunks(chunk.max(1)) {
             let store = Arc::clone(store);
             scope.spawn(move || {
@@ -229,11 +241,26 @@ mod tests {
             IndexBlockFormat::Leco,
         ] {
             let path = tmp(&format!("seek-{}", format.name()));
-            let store = Store::load(&path, &recs, StoreOptions { index_format: format, block_cache_bytes: 1 << 20 }).unwrap();
+            let store = Store::load(
+                &path,
+                &recs,
+                StoreOptions {
+                    index_format: format,
+                    block_cache_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
             for probe in (0..20_000usize).step_by(371) {
                 let key = format!("user{:012}", probe as u64 * 37 + 5).into_bytes();
-                let expected = reference.range(key.clone()..).next().map(|(k, v)| (k.clone(), v.clone()));
-                assert_eq!(store.seek(&key).unwrap(), expected, "{format:?} probe {probe}");
+                let expected = reference
+                    .range(key.clone()..)
+                    .next()
+                    .map(|(k, v)| (k.clone(), v.clone()));
+                assert_eq!(
+                    store.seek(&key).unwrap(),
+                    expected,
+                    "{format:?} probe {probe}"
+                );
             }
             // Seeks beyond the last key return None.
             assert_eq!(store.seek(b"zzzz").unwrap(), None);
@@ -246,8 +273,24 @@ mod tests {
         let recs = records(50_000);
         let p1 = tmp("ri1");
         let p2 = tmp("leco");
-        let baseline = Store::load(&p1, &recs, StoreOptions { index_format: IndexBlockFormat::RestartInterval(1), block_cache_bytes: 1 << 20 }).unwrap();
-        let leco = Store::load(&p2, &recs, StoreOptions { index_format: IndexBlockFormat::Leco, block_cache_bytes: 1 << 20 }).unwrap();
+        let baseline = Store::load(
+            &p1,
+            &recs,
+            StoreOptions {
+                index_format: IndexBlockFormat::RestartInterval(1),
+                block_cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        let leco = Store::load(
+            &p2,
+            &recs,
+            StoreOptions {
+                index_format: IndexBlockFormat::Leco,
+                block_cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
         assert!(
             leco.index_size_bytes() < baseline.index_size_bytes() / 2,
             "LeCo {} vs RI=1 {}",
@@ -262,7 +305,15 @@ mod tests {
     fn block_cache_hits_grow_with_skewed_access() {
         let recs = records(10_000);
         let path = tmp("cache");
-        let store = Store::load(&path, &recs, StoreOptions { index_format: IndexBlockFormat::Leco, block_cache_bytes: 8 << 20 }).unwrap();
+        let store = Store::load(
+            &path,
+            &recs,
+            StoreOptions {
+                index_format: IndexBlockFormat::Leco,
+                block_cache_bytes: 8 << 20,
+            },
+        )
+        .unwrap();
         // Repeatedly hit the same small key range.
         for _ in 0..5 {
             for probe in 0..100usize {
@@ -280,7 +331,15 @@ mod tests {
         let recs = records(5_000);
         let path = tmp("threads");
         let store = Arc::new(
-            Store::load(&path, &recs, StoreOptions { index_format: IndexBlockFormat::Leco, block_cache_bytes: 4 << 20 }).unwrap(),
+            Store::load(
+                &path,
+                &recs,
+                StoreOptions {
+                    index_format: IndexBlockFormat::Leco,
+                    block_cache_bytes: 4 << 20,
+                },
+            )
+            .unwrap(),
         );
         let queries: Vec<Vec<u8>> = (0..2_000usize)
             .map(|i| format!("user{:012}", (i * 91) as u64 * 37).into_bytes())

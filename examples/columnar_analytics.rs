@@ -15,15 +15,31 @@ fn main() -> std::io::Result<()> {
     let ts_lo = table.ts[rows / 2];
     let ts_hi = table.ts[rows / 2 + rows / 100]; // ~1% selectivity
 
-    println!("{:<10} {:>12} {:>10} {:>10} {:>10} {:>8}", "encoding", "file size", "IO ms", "CPU ms", "total ms", "groups");
-    for encoding in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco] {
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "encoding", "file size", "IO ms", "CPU ms", "total ms", "groups"
+    );
+    for encoding in [
+        Encoding::Default,
+        Encoding::Delta,
+        Encoding::For,
+        Encoding::Leco,
+    ] {
         let mut path = std::env::temp_dir();
-        path.push(format!("leco-example-analytics-{:?}-{}.tbl", encoding, std::process::id()));
+        path.push(format!(
+            "leco-example-analytics-{:?}-{}.tbl",
+            encoding,
+            std::process::id()
+        ));
         let file = TableFile::write(
             &path,
             &["ts", "id", "val"],
             &[table.ts.clone(), table.id.clone(), table.val.clone()],
-            TableFileOptions { encoding, row_group_size: 100_000, ..Default::default() },
+            TableFileOptions {
+                encoding,
+                row_group_size: 100_000,
+                ..Default::default()
+            },
         )?;
 
         let mut stats = QueryStats::default();
@@ -42,7 +58,9 @@ fn main() -> std::io::Result<()> {
         );
         std::fs::remove_file(&path).ok();
     }
-    println!("\nLeCo gives the smallest file (least I/O) while keeping FOR-like random access for the");
+    println!(
+        "\nLeCo gives the smallest file (least I/O) while keeping FOR-like random access for the"
+    );
     println!("group-by phase — the combination behind the paper's up-to-5.2x end-to-end speedup.");
     Ok(())
 }

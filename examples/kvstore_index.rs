@@ -14,7 +14,12 @@ fn main() -> std::io::Result<()> {
     let n = 200_000;
     // 20-byte keys, 400-byte values: the RocksDB performance-benchmark shape.
     let records: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
-        .map(|i| (format!("user{:016}", i as u64 * 7919).into_bytes(), vec![b'v'; 400]))
+        .map(|i| {
+            (
+                format!("user{:016}", i as u64 * 7919).into_bytes(),
+                vec![b'v'; 400],
+            )
+        })
         .collect();
 
     // Skewed YCSB-style seek workload: 80% of queries touch 20% of keys.
@@ -27,8 +32,15 @@ fn main() -> std::io::Result<()> {
         .collect();
 
     let cache_bytes = 4 << 20; // deliberately small so index size matters
-    println!("{n} records (~{} MB), 50k zipfian seeks, {} MB block cache\n", n * 420 / 1_000_000, cache_bytes >> 20);
-    println!("{:<14} {:>14} {:>14} {:>14}", "index format", "index size", "cache hit %", "throughput");
+    println!(
+        "{n} records (~{} MB), 50k zipfian seeks, {} MB block cache\n",
+        n * 420 / 1_000_000,
+        cache_bytes >> 20
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "index format", "index size", "cache hit %", "throughput"
+    );
     for format in [
         IndexBlockFormat::RestartInterval(1),
         IndexBlockFormat::RestartInterval(16),
@@ -36,11 +48,19 @@ fn main() -> std::io::Result<()> {
         IndexBlockFormat::Leco,
     ] {
         let mut path = std::env::temp_dir();
-        path.push(format!("leco-example-kv-{}-{}.sst", format.name(), std::process::id()));
-        let store = Arc::new(Store::load(&path, &records, StoreOptions {
-            index_format: format,
-            block_cache_bytes: cache_bytes,
-        })?);
+        path.push(format!(
+            "leco-example-kv-{}-{}.sst",
+            format.name(),
+            std::process::id()
+        ));
+        let store = Arc::new(Store::load(
+            &path,
+            &records,
+            StoreOptions {
+                index_format: format,
+                block_cache_bytes: cache_bytes,
+            },
+        )?);
         let ops = run_seek_workload(&store, &queries, 4);
         let (hits, misses) = store.cache_stats();
         println!(
@@ -52,7 +72,9 @@ fn main() -> std::io::Result<()> {
         );
         std::fs::remove_file(&path).ok();
     }
-    println!("\nA LeCo-compressed index is a fraction of the uncompressed one yet still supports O(1)");
+    println!(
+        "\nA LeCo-compressed index is a fraction of the uncompressed one yet still supports O(1)"
+    );
     println!("random access inside the block — the effect behind the paper's 16% throughput gain.");
     Ok(())
 }

@@ -45,7 +45,10 @@ fn main() {
     let bytes = fix.to_bytes();
     let restored = CompressedColumn::from_bytes(&bytes).expect("valid LeCo column");
     assert_eq!(restored.get(42), values[42]);
-    println!("serialized column: {} bytes, round-trips correctly", bytes.len());
+    println!(
+        "serialized column: {} bytes, round-trips correctly",
+        bytes.len()
+    );
 
     // Lossless end to end.
     assert_eq!(fix.decode_all(), values);

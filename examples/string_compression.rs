@@ -14,7 +14,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let emails = leco::datasets::strings::email(n, &mut rng);
     let raw_bytes: usize = emails.iter().map(|s| s.len()).sum::<usize>() + n * 4;
-    println!("{n} sorted email addresses, {} KB raw (incl. 4-byte offsets)\n", raw_bytes / 1024);
+    println!(
+        "{n} sorted email addresses, {} KB raw (incl. 4-byte offsets)\n",
+        raw_bytes / 1024
+    );
 
     let refs: Vec<&[u8]> = emails.iter().map(|s| s.as_slice()).collect();
     let leco = CompressedStrings::encode(&refs, StringConfig::default());
@@ -37,8 +40,14 @@ fn main() {
         leco.compression_ratio() * 100.0,
         leco.num_partitions()
     );
-    println!("FSST-style (plain offsets)   ratio {:5.1}%", fsst.compression_ratio(&emails) * 100.0);
-    println!("FSST-style (offset block 100) ratio {:5.1}%\n", fsst_blocked.compression_ratio(&emails) * 100.0);
+    println!(
+        "FSST-style (plain offsets)   ratio {:5.1}%",
+        fsst.compression_ratio(&emails) * 100.0
+    );
+    println!(
+        "FSST-style (offset block 100) ratio {:5.1}%\n",
+        fsst_blocked.compression_ratio(&emails) * 100.0
+    );
 
     bench_access("LeCo string extension", &|i| leco.get(i));
     bench_access("FSST-style (plain offsets)", &|i| fsst.get(i));

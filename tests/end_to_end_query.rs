@@ -2,7 +2,9 @@
 //! answers for every encoding, and LeCo files are the smallest on correlated
 //! data (the premise of Figures 18–20).
 
-use leco::columnar::{exec, Bitmap, BlockCompression, Encoding, QueryStats, TableFile, TableFileOptions};
+use leco::columnar::{
+    exec, Bitmap, BlockCompression, Encoding, QueryStats, TableFile, TableFileOptions,
+};
 use leco::datasets::tables::{sensor_table, SensorDistribution};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -22,7 +24,10 @@ fn reference_groupby(ts: &[u64], id: &[u64], val: &[u64], lo: u64, hi: u64) -> V
             e.1 += 1;
         }
     }
-    let mut out: Vec<(u64, f64)> = acc.into_iter().map(|(k, (s, c))| (k, s as f64 / c as f64)).collect();
+    let mut out: Vec<(u64, f64)> = acc
+        .into_iter()
+        .map(|(k, (s, c))| (k, s as f64 / c as f64))
+        .collect();
     out.sort_unstable_by_key(|&(k, _)| k);
     out
 }
@@ -36,13 +41,22 @@ fn all_encodings_agree_with_the_reference_engine() {
     let expected = reference_groupby(&t.ts, &t.id, &t.val, lo, hi);
     assert!(!expected.is_empty());
 
-    for encoding in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco] {
+    for encoding in [
+        Encoding::Default,
+        Encoding::Delta,
+        Encoding::For,
+        Encoding::Leco,
+    ] {
         let path = tmp(&format!("agree-{encoding:?}"));
         let file = TableFile::write(
             &path,
             &["ts", "id", "val"],
             &[t.ts.clone(), t.id.clone(), t.val.clone()],
-            TableFileOptions { encoding, row_group_size: 16_384, ..Default::default() },
+            TableFileOptions {
+                encoding,
+                row_group_size: 16_384,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut stats = QueryStats::default();
@@ -70,10 +84,17 @@ fn leco_files_are_smallest_on_correlated_data_and_block_compression_stacks() {
                 &path,
                 &["ts", "id", "val"],
                 &[t.ts.clone(), t.id.clone(), t.val.clone()],
-                TableFileOptions { encoding, row_group_size: 30_000, block_compression: compression },
+                TableFileOptions {
+                    encoding,
+                    row_group_size: 30_000,
+                    block_compression: compression,
+                },
             )
             .unwrap();
-            sizes.insert((encoding.name(), compression == BlockCompression::Lzb), file.file_size_bytes());
+            sizes.insert(
+                (encoding.name(), compression == BlockCompression::Lzb),
+                file.file_size_bytes(),
+            );
             std::fs::remove_file(path).ok();
         }
     }
@@ -93,13 +114,23 @@ fn bitmap_aggregation_matches_reference_on_every_encoding() {
     bitmap.set_range(1_000, 1_500);
     bitmap.set_range(40_000, 40_050);
     let expected: u128 = bitmap.iter_ones().map(|i| t.val[i] as u128).sum();
-    for encoding in [Encoding::Default, Encoding::Delta, Encoding::For, Encoding::Leco] {
+    for encoding in [
+        Encoding::Default,
+        Encoding::Delta,
+        Encoding::For,
+        Encoding::Leco,
+    ] {
         let path = tmp(&format!("bitmap-{encoding:?}"));
-        let file = TableFile::write(&path, &["val"], &[t.val.clone()], TableFileOptions {
-            encoding,
-            row_group_size: 10_000,
-            ..Default::default()
-        })
+        let file = TableFile::write(
+            &path,
+            &["val"],
+            std::slice::from_ref(&t.val),
+            TableFileOptions {
+                encoding,
+                row_group_size: 10_000,
+                ..Default::default()
+            },
+        )
         .unwrap();
         let mut stats = QueryStats::default();
         let got = exec::sum_selected(&file, 0, &bitmap, &mut stats).unwrap();

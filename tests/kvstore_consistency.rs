@@ -47,9 +47,20 @@ fn every_index_format_answers_zipfian_seeks_identically() {
     ];
     for format in formats {
         let path = tmp(&format!("consistency-{}", format.name()));
-        let store = Store::load(&path, &recs, StoreOptions { index_format: format, block_cache_bytes: 2 << 20 }).unwrap();
+        let store = Store::load(
+            &path,
+            &recs,
+            StoreOptions {
+                index_format: format,
+                block_cache_bytes: 2 << 20,
+            },
+        )
+        .unwrap();
         for probe in &probes {
-            let expected = reference.range(probe.clone()..).next().map(|(k, v)| (k.clone(), v.clone()));
+            let expected = reference
+                .range(probe.clone()..)
+                .next()
+                .map(|(k, v)| (k.clone(), v.clone()));
             assert_eq!(store.seek(probe).unwrap(), expected, "{format:?}");
         }
         std::fs::remove_file(path).ok();
@@ -63,8 +74,24 @@ fn leco_index_is_much_smaller_and_cache_benefits_from_it() {
     let p1 = tmp("ri1");
     let p2 = tmp("leco");
     let cache = 512 * 1024; // deliberately tiny cache
-    let ri1 = Store::load(&p1, &recs, StoreOptions { index_format: IndexBlockFormat::RestartInterval(1), block_cache_bytes: cache }).unwrap();
-    let leco = Store::load(&p2, &recs, StoreOptions { index_format: IndexBlockFormat::Leco, block_cache_bytes: cache }).unwrap();
+    let ri1 = Store::load(
+        &p1,
+        &recs,
+        StoreOptions {
+            index_format: IndexBlockFormat::RestartInterval(1),
+            block_cache_bytes: cache,
+        },
+    )
+    .unwrap();
+    let leco = Store::load(
+        &p2,
+        &recs,
+        StoreOptions {
+            index_format: IndexBlockFormat::Leco,
+            block_cache_bytes: cache,
+        },
+    )
+    .unwrap();
 
     // Paper shape: RI=1 keeps the index uncompressed (~71% of raw in their
     // setup); LeCo compresses it far below that.

@@ -62,7 +62,10 @@ fn leco_clearly_beats_for_on_locally_easy_datasets() {
         improvements.push(1.0 - leco.size_bytes() as f64 / for_.size_bytes() as f64);
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    assert!(avg > 0.25, "average improvement over FOR was only {avg:.3}: {improvements:?}");
+    assert!(
+        avg > 0.25,
+        "average improvement over FOR was only {avg:.3}: {improvements:?}"
+    );
 }
 
 #[test]

@@ -9,14 +9,22 @@ use leco_datasets::{generate, IntDataset};
 #[test]
 fn greedy_split_merge_is_close_to_dp_optimum_on_real_world_samples() {
     // Small samples keep the O(n²·fit) DP tractable inside a unit test.
-    let datasets = [IntDataset::Movieid, IntDataset::HousePrice, IntDataset::Booksale, IntDataset::Ml];
+    let datasets = [
+        IntDataset::Movieid,
+        IntDataset::HousePrice,
+        IntDataset::Booksale,
+        IntDataset::Ml,
+    ];
     for dataset in datasets {
         let values: Vec<u64> = generate(dataset, 600, 5);
         let greedy = split_merge::split_merge(&values, RegressorKind::Linear, 0.05);
         let optimal = dp::optimal_partitions(&values, RegressorKind::Linear);
         let greedy_cost = dp::total_cost_bits(&values, &greedy, RegressorKind::Linear);
         let optimal_cost = dp::total_cost_bits(&values, &optimal, RegressorKind::Linear);
-        assert!(greedy_cost >= optimal_cost, "DP must be a lower bound ({dataset:?})");
+        assert!(
+            greedy_cost >= optimal_cost,
+            "DP must be a lower bound ({dataset:?})"
+        );
         // The paper reports < 3% on 200M-value columns; tiny samples make the
         // per-partition header relatively heavier, so allow 15% here.
         let overhead = greedy_cost as f64 / optimal_cost as f64 - 1.0;

@@ -1,0 +1,246 @@
+//! Minimal offline stand-in for crates.io `criterion`.
+//!
+//! Implements the API surface the LeCo bench suite uses — benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `sample_size`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: per sample the closure runs in a timed batch, and the median
+//! sample is reported as ns/iter (plus derived throughput when declared).
+//! No statistical analysis, plots or HTML reports; output is one line per
+//! benchmark on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line arguments the way cargo's bench runner passes
+    /// them: the first free argument is a substring filter. Harness flags
+    /// cargo itself forwards (`--bench`, `--test`) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let id = id.into();
+        self.run_one(&id.0, sample_size, None, &mut f);
+    }
+
+    pub fn final_summary(self) {}
+
+    fn run_one<F>(&self, name: &str, sample_size: usize, throughput: Option<&Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(name, throughput);
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.criterion
+            .run_one(&full, self.sample_size, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units for derived throughput reporting.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the batch so one sample lasts ≥ ~1ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let extra = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib_s = *n as f64 / median / 1.073_741_824;
+                format!("  {gib_s:8.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let melem_s = *n as f64 / median * 1_000.0;
+                format!("  {melem_s:8.1} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!("{name:<60} {:>12} ns/iter{extra}", format_ns(median));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: the `main` for a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("leco", "books").0, "leco/books");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

@@ -1,0 +1,94 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specifications accepted by the collection strategies (mirror of
+/// `proptest::collection::SizeRange` conversions): an exact `usize`, `a..b`
+/// or `a..=b`.
+pub trait IntoSizeRange {
+    /// Half-open `(min, max)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Mirror of `proptest::collection::vec`: a `Vec` of `size` elements drawn
+/// from `element`.
+pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.min + rng.below((self.max - self.min) as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Mirror of `proptest::collection::btree_set`: up to `size` distinct
+/// elements. Like the real crate, the target size is best-effort — if the
+/// element domain is too small, the set stops growing early.
+pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+    Z: IntoSizeRange,
+{
+    let (min, max) = size.bounds();
+    BTreeSetStrategy { element, min, max }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.min + rng.below((self.max - self.min) as u64) as usize;
+        let mut out = BTreeSet::new();
+        // Cap the attempts so a small element domain cannot loop forever.
+        let mut budget = 10 * target + 10;
+        while out.len() < target && budget > 0 {
+            out.insert(self.element.sample(rng));
+            budget -= 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for crates.io `proptest`.
+//!
+//! The workspace builds in a container without registry access, so this crate
+//! implements the slice of proptest the LeCo tests actually use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * `any::<T>()` for primitive integers and `bool`,
+//! * integer and float range strategies (`0u64..100`, `b'a'..=b'f'`, ...),
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * string-literal strategies for simple regexes like `"[a-z]{0,20}"`.
+//!
+//! Differences from real proptest: cases are sampled from a deterministic
+//! per-test RNG (no persisted failure seeds) and failing cases are reported
+//! but **not shrunk**. Inputs of a failing case are printed in full, which
+//! for the small vectors used here is an acceptable substitute.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Entry point mirroring `proptest::proptest!`.
+///
+/// Expands each contained `fn name(arg in strategy, ...) { body }` into a
+/// plain `#[test]`-style function that samples the strategies `cases` times
+/// and runs the body, printing the offending inputs if a case panics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)+) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $crate::__proptest_bind!{ @rng(__rng) @inputs(__inputs) $($args)+ }
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest `{}` failed at case {}/{} with inputs:\n  {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __inputs.join("\n  "),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Muncher turning `[mut] name in strategy, ...` argument lists into
+/// sampling `let` bindings plus a debug record of each sampled input.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    (@rng($rng:ident) @inputs($inputs:ident)) => {};
+    (@rng($rng:ident) @inputs($inputs:ident) mut $arg:ident in $strat:expr) => {
+        $crate::__proptest_bind!{ @rng($rng) @inputs($inputs) mut $arg in $strat, }
+    };
+    (@rng($rng:ident) @inputs($inputs:ident) mut $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $inputs.push(::std::format!("{} = {:?}", stringify!($arg), &$arg));
+        $crate::__proptest_bind!{ @rng($rng) @inputs($inputs) $($rest)* }
+    };
+    (@rng($rng:ident) @inputs($inputs:ident) $arg:ident in $strat:expr) => {
+        $crate::__proptest_bind!{ @rng($rng) @inputs($inputs) $arg in $strat, }
+    };
+    (@rng($rng:ident) @inputs($inputs:ident) $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $inputs.push(::std::format!("{} = {:?}", stringify!($arg), &$arg));
+        $crate::__proptest_bind!{ @rng($rng) @inputs($inputs) $($rest)* }
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`: panics (and thus fails the case) when
+/// the condition is false. The shim does not thread `Result` through test
+/// bodies, so this is a plain assertion.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u64..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_size_vec(v in crate::collection::vec(b'a'..=b'f', 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn btree_set_bounds(s in crate::collection::btree_set(0usize..500, 0..60)) {
+            prop_assert!(s.len() < 60);
+            prop_assert!(s.iter().all(|&x| x < 500));
+        }
+
+        #[test]
+        fn regex_lite_strings(s in "[a-z]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn any_bool_and_map(b in any::<bool>(), x in any::<u64>()) {
+            prop_assert_ne!(b as u64 + 2, x.wrapping_sub(x));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_name("same");
+        let mut b = crate::test_runner::TestRng::from_name("same");
+        let s = crate::collection::vec(0u64..1_000_000, 0..50);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

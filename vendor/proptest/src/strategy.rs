@@ -1,0 +1,299 @@
+//! The [`Strategy`] trait and the primitive strategies.
+//!
+//! A strategy here is just a sampler: `sample` draws one value from the
+//! deterministic [`TestRng`]. There is no shrinking tree; the trade-off is
+//! documented on the crate root.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values. Mirrors `proptest::strategy::Strategy` in
+/// name and spirit, but samples directly instead of building value trees.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Mirror of proptest's `prop_map` adapter.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy producing values of `T` from its "whole domain" distribution;
+/// returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Mirror of `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a default whole-domain generator (mirror of
+/// `proptest::arbitrary::Arbitrary`, sans parameters).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias roughly one draw in eight toward the boundary values
+                // that uniform sampling would almost never produce.
+                if rng.one_in(8) {
+                    const EDGES: [$t; 5] = [0 as $t, 1 as $t, <$t>::MIN, <$t>::MAX, <$t>::MAX - 1];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    Self::from_le_bytes(
+                        rng_bytes(rng)[..std::mem::size_of::<$t>()].try_into().unwrap(),
+                    )
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// 16 fresh random bytes, enough for any primitive integer.
+fn rng_bytes(rng: &mut TestRng) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+    out[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+    out
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats spanning many magnitudes (no NaN/inf: the tests
+        // feed these into codecs that require finite inputs).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+/// Element types samplable from range strategies. A single blanket impl of
+/// [`Strategy`] per range shape (rather than one impl per element type)
+/// keeps type inference working for unsuffixed literals.
+pub trait RangeSampled: Copy + PartialOrd {
+    fn sample_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self;
+    fn sample_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self;
+}
+
+impl<T: RangeSampled> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: RangeSampled> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! impl_range_sampled_int {
+    ($($t:ty),*) => {$(
+        impl RangeSampled for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                let span = (end as u64).wrapping_sub(start as u64);
+                // Nudge one draw in sixteen onto an endpoint.
+                if rng.one_in(16) {
+                    if rng.next_u64() & 1 == 0 { start } else {
+                        start.wrapping_add((span - 1) as $t)
+                    }
+                } else {
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            fn sample_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit-wide inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_sampled_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_sampled_float {
+    ($($t:ty),*) => {$(
+        impl RangeSampled for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                start + rng.unit_f64() as $t * (end - start)
+            }
+
+            fn sample_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                Self::sample_half_open(start, end, rng)
+            }
+        }
+    )*};
+}
+
+impl_range_sampled_float!(f32, f64);
+
+/// Strategy always yielding a clone of one value (mirror of `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// String literals act as regex-lite strategies, e.g. `"[a-z]{0,20}"`.
+///
+/// Supported syntax: literal characters, `[c1-c2...]` classes (ranges and
+/// single characters, no negation), and the quantifiers `{n}`, `{m,n}`, `?`,
+/// `*` and `+` (the unbounded ones capped at 32 repetitions). Anything
+/// fancier panics with a clear message — extend the parser when a test
+/// needs more.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex_lite(self, rng)
+    }
+}
+
+fn sample_regex_lite(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character...
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in regex strategy {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in regex strategy {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex strategy {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling \\ in regex strategy {pattern:?}"));
+                i += 2;
+                vec![c]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax {:?} in strategy {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // ...followed by an optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in regex strategy {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<u64>().expect("bad quantifier"),
+                        n.trim().parse::<u64>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<u64>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in regex strategy {pattern:?}");
+        let reps = min + rng.below(max - min + 1);
+        for _ in 0..reps {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}

@@ -1,0 +1,81 @@
+//! Test configuration and the deterministic RNG driving case generation.
+
+/// Mirrors `proptest::test_runner::Config` (exported in the prelude as
+/// `ProptestConfig`). Only the `cases` knob is implemented.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases each property runs. Overridable with the
+    /// `PROPTEST_CASES` environment variable, like real proptest.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim halves that to keep the
+        // debug-profile `cargo test` wall clock reasonable.
+        Config {
+            cases: env_cases().unwrap_or(128),
+        }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Deterministic splitmix64 generator, seeded from the test's name so every
+/// property gets an independent but reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)` by modulo with tail rejection.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True once every `n` draws on average; used to bias toward edge cases.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}

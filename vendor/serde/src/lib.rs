@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for crates.io `serde`.
+//!
+//! The LeCo sources only apply `#[derive(Serialize, Deserialize)]` to model
+//! and advisor types — no code path serializes anything yet (the on-disk
+//! formats are hand-rolled in `leco-core::format` and `leco-columnar::file`).
+//! This shim provides the two marker traits and re-exports the derive macros
+//! so those annotations compile; a future PR that needs real serialization
+//! replaces this crate with the genuine article without touching callers.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided — the shim
+/// has no borrowing deserializer).
+pub trait Deserialize {}

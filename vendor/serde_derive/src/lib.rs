@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The derives expand to nothing: the annotated types keep compiling and the
+//! attribute documents serializability, but no impl is generated. When real
+//! serialization lands, this crate is replaced by the genuine serde_derive.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
