@@ -12,6 +12,25 @@
 //! Data-set sizes default to ~1M values and scale with the `LECO_SCALE`
 //! environment variable (see `leco-datasets`); individual binaries also
 //! honour `LECO_N` for an absolute override.
+//!
+//! Full-decode throughput is measured through the word-parallel
+//! [`EncodedInts::decode_into`] bulk path into a pre-allocated buffer, so
+//! the reported GB/s numbers (see the README's "Performance" section)
+//! reflect decoding, not the allocator.  Serialized LeCo columns follow
+//! `docs/FORMAT.md` at the repository root.
+//!
+//! ```
+//! use leco_bench::scheme::{encode, Scheme};
+//!
+//! let values: Vec<u64> = (0..10_000u64).map(|i| 40 + i * 9).collect();
+//! let leco = encode(Scheme::LecoFix, &values).unwrap();
+//! assert_eq!(leco.get(7_777), values[7_777]);
+//! let mut out = Vec::with_capacity(leco.len());
+//! leco.decode_into(&mut out);
+//! assert_eq!(out, values);
+//! // Elias-Fano refuses non-monotone input, mirroring Figure 10's gaps.
+//! assert!(encode(Scheme::EliasFano, &[3, 1, 2]).is_none());
+//! ```
 
 pub mod measure;
 pub mod report;

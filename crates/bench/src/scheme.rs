@@ -114,13 +114,21 @@ impl EncodedInts {
         }
     }
 
+    /// Full decompression into a caller-provided buffer (the word-parallel
+    /// bulk path, allocation-free when the buffer is reused across runs).
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        match self {
+            EncodedInts::Codec(c) => c.decode_into(out),
+            EncodedInts::DeltaVar(c) => c.decode_into(out),
+            EncodedInts::Leco(c) => c.decode_into(out),
+        }
+    }
+
     /// Full decompression.
     pub fn decode_all(&self) -> Vec<u64> {
-        match self {
-            EncodedInts::Codec(c) => c.decode_all(),
-            EncodedInts::DeltaVar(c) => c.decode_all(),
-            EncodedInts::Leco(c) => c.decode_all(),
-        }
+        let mut out = Vec::with_capacity(self.len());
+        self.decode_into(&mut out);
+        out
     }
 }
 

@@ -9,24 +9,49 @@
 //! * [`PackedArray`] — a fixed-width array of unsigned integers with O(1)
 //!   random access.  This is the physical representation of every LeCo delta
 //!   array and of Frame-of-Reference frames.
+//! * [`unpack`] — word-parallel bulk decode kernels (one monomorphised
+//!   kernel per bit width) behind [`unpack::unpack_bits_into`], the fast
+//!   path under every sequential `decode_into` in the workspace.
 //! * [`BitVec`] — an uncompressed bit vector with constant-time `rank1` and
 //!   near-constant-time `select1`, used by the Elias-Fano codec to find the
 //!   upper-bit bucket of the *i*-th element.
 //! * [`zigzag`] / [`unary`] — small helper encodings.
 //!
+//! In paper terms this crate is the storage substrate beneath §3.1's
+//! "Model + Delta" representation: the delta array of Figure 7 is a
+//! [`PackedArray`], and the fixed-width payload bytes documented in
+//! `docs/FORMAT.md` (§"Packed delta payload") are exactly its backing words.
+//!
 //! All structures are self-contained (no external dependencies) and carry
 //! enough metadata to report their exact serialized size in bytes, which the
 //! benchmark harness relies on when computing compression ratios.
+//!
+//! ```
+//! use leco_bitpack::PackedArray;
+//!
+//! let values: Vec<u64> = (0..1000).map(|i| i % 500).collect();
+//! let packed = PackedArray::from_values_auto(&values);
+//! assert_eq!(packed.width(), 9); // 499 needs 9 bits
+//! assert_eq!(packed.get(123), 123);
+//! assert_eq!(packed.try_get(1000), None);
+//!
+//! // Word-parallel bulk decode into a caller-provided buffer.
+//! let mut out = vec![0u64; values.len()];
+//! packed.decode_into_slice(&mut out);
+//! assert_eq!(out, values);
+//! ```
 
 pub mod bitvec;
 pub mod packed;
 pub mod stream;
 pub mod unary;
+pub mod unpack;
 pub mod zigzag;
 
 pub use bitvec::BitVec;
 pub use packed::PackedArray;
 pub use stream::{BitReader, BitWriter};
+pub use unpack::unpack_bits_into;
 pub use zigzag::{zigzag_decode, zigzag_encode};
 
 /// Number of bits needed to represent `v` (0 needs 0 bits).

@@ -108,16 +108,26 @@ impl PackedArray {
     /// Random access to element `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len` (in debug builds; release builds may read garbage
-    /// only when `debug_assertions` are disabled *and* the index is within the
-    /// padded word range, so callers should still treat this as a logic error).
+    /// Panics if `i >= len`, in both debug and release builds.  Callers that
+    /// probe speculatively should use [`Self::try_get`] instead.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        if self.width == 0 {
-            return 0;
+        match self.try_get(i) {
+            Some(v) => v,
+            None => panic!("index {i} out of bounds (len {})", self.len),
         }
-        read_bits(&self.words, i * self.width as usize, self.width)
+    }
+
+    /// Checked random access: `None` when `i >= len`.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Option<u64> {
+        if i >= self.len {
+            return None;
+        }
+        if self.width == 0 {
+            return Some(0);
+        }
+        Some(read_bits(&self.words, i * self.width as usize, self.width))
     }
 
     /// Decode the whole array into a vector.
@@ -129,9 +139,36 @@ impl PackedArray {
 
     /// Decode the whole array, appending to `out`.
     ///
-    /// This is the hot sequential-decode path; it walks the words directly
-    /// instead of performing a positioned read per element.
+    /// This is the hot sequential-decode path; it routes through the
+    /// word-parallel kernels of [`crate::unpack`], which decode several
+    /// values per 64-bit word read instead of performing a positioned
+    /// bit-extract per element.
     pub fn decode_into(&self, out: &mut Vec<u64>) {
+        let start = out.len();
+        out.resize(start + self.len, 0);
+        self.decode_into_slice(&mut out[start..]);
+    }
+
+    /// Decode the whole array into a caller-provided slice of exactly
+    /// [`Self::len`] elements (the allocation-free bulk path).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into_slice(&self, out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            self.len,
+            "output slice length must equal the array length"
+        );
+        crate::unpack::unpack_bits_into(&self.words, 0, self.width, out);
+    }
+
+    /// Reference scalar decode: one positioned bit-extract per element.
+    ///
+    /// This is the pre-word-parallel implementation, kept as the oracle for
+    /// the differential tests (and for measuring the speed-up of
+    /// [`Self::decode_into`]).  It is not used on any hot path.
+    pub fn decode_into_scalar(&self, out: &mut Vec<u64>) {
         out.reserve(self.len);
         if self.width == 0 {
             out.extend(std::iter::repeat_n(0, self.len));
@@ -219,6 +256,68 @@ mod tests {
         assert_eq!(arr.to_vec(), Vec::<u64>::new());
     }
 
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics_in_all_builds() {
+        // The payload has padding words, so an unchecked read at index 8
+        // would silently return garbage; `get` must panic instead.
+        let arr = PackedArray::from_values(&[1u64; 8], 3);
+        arr.get(8);
+    }
+
+    #[test]
+    fn try_get_probes_without_panicking() {
+        let arr = PackedArray::from_values(&[5u64, 6, 7], 3);
+        assert_eq!(arr.try_get(2), Some(7));
+        assert_eq!(arr.try_get(3), None);
+        assert_eq!(arr.try_get(usize::MAX), None);
+        let empty = PackedArray::from_values(&[], 0);
+        assert_eq!(empty.try_get(0), None);
+    }
+
+    fn pseudo_values(n: usize, width: u8) -> Vec<u64> {
+        let mask = if width == 0 {
+            0
+        } else if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(23) & mask)
+            .collect()
+    }
+
+    /// Differential check: the word-parallel `decode_into` / `decode_into_slice`
+    /// paths must agree with per-element `get` and with the retained scalar
+    /// oracle for every width 0..=64, across lengths that exercise empty
+    /// arrays, partial words, exact word multiples, 64-value block boundaries
+    /// and straddling tails.
+    #[test]
+    fn decode_matches_get_for_all_widths() {
+        for width in 0u8..=64 {
+            for &n in &[0usize, 1, 5, 63, 64, 65, 127, 128, 129, 191, 257] {
+                let values = pseudo_values(n, width);
+                let arr = PackedArray::from_values(&values, width);
+
+                let mut bulk = Vec::new();
+                arr.decode_into(&mut bulk);
+                let mut scalar = Vec::new();
+                arr.decode_into_scalar(&mut scalar);
+                assert_eq!(bulk, scalar, "width {width} len {n}: bulk vs scalar");
+
+                let mut sliced = vec![0u64; n];
+                arr.decode_into_slice(&mut sliced);
+                assert_eq!(bulk, sliced, "width {width} len {n}: vec vs slice");
+
+                for (i, &v) in bulk.iter().enumerate() {
+                    assert_eq!(arr.get(i), v, "width {width} len {n} at {i}");
+                }
+                assert_eq!(bulk, values, "width {width} len {n}: round trip");
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_round_trip(values in proptest::collection::vec(0u64..u64::MAX, 0..300), extra_width in 0u8..4) {
@@ -236,6 +335,36 @@ mod tests {
             let arr = PackedArray::from_values_auto(&values);
             let rebuilt = PackedArray::from_raw_parts(arr.words().to_vec(), arr.len(), arr.width());
             prop_assert_eq!(rebuilt.to_vec(), values);
+        }
+
+        /// Differential property: for arbitrary width/length combinations
+        /// (biased towards word-boundary-straddling lengths), the
+        /// word-parallel bulk path agrees with per-element `get` and with
+        /// the scalar oracle.
+        #[test]
+        fn prop_bulk_decode_matches_get_and_scalar(
+            width in 0u8..=64,
+            base_len in 0usize..3,
+            jitter in 0usize..7,
+            seed in any::<u64>(),
+        ) {
+            // Lengths cluster around the 64-value block boundaries so the
+            // block-kernel/stream-kernel seam is always exercised.
+            let n = base_len * 64 + jitter;
+            let mask = if width == 0 { 0 } else if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..n as u64)
+                .map(|i| (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let arr = PackedArray::from_values(&values, width);
+            let mut bulk = Vec::new();
+            arr.decode_into(&mut bulk);
+            let mut scalar = Vec::new();
+            arr.decode_into_scalar(&mut scalar);
+            prop_assert_eq!(&bulk, &scalar);
+            prop_assert_eq!(&bulk, &values);
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(arr.get(i), v);
+            }
         }
     }
 }

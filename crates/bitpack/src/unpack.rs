@@ -1,0 +1,222 @@
+//! Word-parallel fixed-width unpacking kernels.
+//!
+//! [`crate::stream::read_bits`] extracts one value per call and pays a
+//! bit-position division, a modulo and a straddle branch every time.  The
+//! kernels here amortise that work over whole 64-bit words: the bit width is
+//! a compile-time constant (one monomorphised kernel per width 1..=64), so
+//! word indices, shift amounts and the straddle decision constant-fold away
+//! and the inner loops compile to straight-line shift/or/mask code.
+//!
+//! Two kernels cooperate:
+//!
+//! * a fully unrolled *block* kernel that decodes 64 values from exactly
+//!   `width` consecutive words (usable whenever the run starts on a word
+//!   boundary), and
+//! * a *streaming* kernel holding a 128-bit bit buffer that handles arbitrary
+//!   start phases and tail lengths without ever re-deriving word positions.
+//!
+//! [`unpack_bits_into`] is the only entry point; every sequential decode in
+//! the workspace (LeCo partitions, FOR frames, Delta gap arrays, dictionary
+//! codes) funnels through it.  See `docs/FORMAT.md` for how the packed
+//! payload these kernels read is laid out on disk.
+
+/// Mask selecting the low `W` bits (`W` in `1..=64`).
+#[inline(always)]
+const fn low_mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Decode exactly 64 values of width `W` from the `W` words at the start of
+/// `words` into `out`.  The run must begin on a word boundary.
+///
+/// The loop body is fully unrolled by the compiler: `bit`, the word index,
+/// the shift amount and the straddle test are all compile-time constants per
+/// iteration, so each output costs one or two shifts, an or and a mask —
+/// branch-free, and 4–8 outputs are produced per word read depending on `W`.
+#[inline(always)]
+fn unpack_block64<const W: u32>(words: &[u64], out: &mut [u64; 64]) {
+    let words = &words[..W as usize];
+    let m = low_mask(W);
+    for k in 0..64u32 {
+        let bit = k * W;
+        let wi = (bit >> 6) as usize;
+        let off = bit & 63;
+        let first = words[wi] >> off;
+        let v = if off + W <= 64 {
+            first
+        } else {
+            first | (words[wi + 1] << (64 - off))
+        };
+        out[k as usize] = v & m;
+    }
+}
+
+/// Decode `out.len()` values of width `W` starting at absolute bit position
+/// `bit_pos`, using a 128-bit refill buffer.  Handles any start phase; used
+/// for unaligned runs (partition payloads start mid-word) and block tails.
+#[inline(always)]
+fn unpack_stream<const W: u32>(words: &[u64], bit_pos: usize, out: &mut [u64]) {
+    if out.is_empty() {
+        return;
+    }
+    let m = low_mask(W);
+    let mut wi = bit_pos >> 6;
+    let off = (bit_pos & 63) as u32;
+    let mut buf = (words[wi] >> off) as u128;
+    let mut avail = 64 - off;
+    wi += 1;
+    for slot in out.iter_mut() {
+        if avail < W {
+            buf |= (words[wi] as u128) << avail;
+            wi += 1;
+            avail += 64;
+        }
+        *slot = (buf as u64) & m;
+        buf >>= W;
+        avail -= W;
+    }
+}
+
+/// Monomorphised driver: word-aligned prefixes go through the unrolled block
+/// kernel in 64-value chunks, everything else through the streaming kernel.
+fn unpack_width<const W: u32>(words: &[u64], bit_pos: usize, out: &mut [u64]) {
+    let mut pos = bit_pos;
+    let mut rest = out;
+    if pos & 63 == 0 {
+        let blocks = rest.len() / 64;
+        let (head, tail) = rest.split_at_mut(blocks * 64);
+        let mut wi = pos >> 6;
+        for chunk in head.chunks_exact_mut(64) {
+            let chunk: &mut [u64; 64] = chunk.try_into().expect("64-value chunk");
+            unpack_block64::<W>(&words[wi..], chunk);
+            wi += W as usize;
+        }
+        pos += blocks * 64 * W as usize;
+        rest = tail;
+    }
+    unpack_stream::<W>(words, pos, rest);
+}
+
+macro_rules! dispatch_width {
+    ($width:expr, $words:expr, $bit_pos:expr, $out:expr; $($w:literal)*) => {
+        match $width {
+            $( $w => unpack_width::<$w>($words, $bit_pos, $out), )*
+            _ => unreachable!("width checked to be 1..=64"),
+        }
+    };
+}
+
+/// Unpack `out.len()` consecutive `width`-bit values starting at absolute bit
+/// position `bit_pos` of the LSB-first packed `words`, overwriting `out`.
+///
+/// `width == 0` fills `out` with zeros and reads nothing.  This is the bulk
+/// counterpart of [`crate::stream::read_bits`]: one call decodes a whole run
+/// at several values per word read instead of one positioned read per value.
+///
+/// # Panics
+/// Panics if `width > 64` or if the requested bit range extends past the end
+/// of `words`.
+///
+/// ```
+/// use leco_bitpack::unpack::unpack_bits_into;
+///
+/// // Twelve 5-bit values packed LSB-first by hand.
+/// let values: Vec<u64> = (0..12).map(|i| (i * 3) % 32).collect();
+/// let mut words = vec![0u64; 1];
+/// for (i, &v) in values.iter().enumerate() {
+///     words[i * 5 / 64] |= v << (i * 5 % 64);
+/// }
+/// let mut out = vec![0u64; 12];
+/// unpack_bits_into(&words, 0, 5, &mut out);
+/// assert_eq!(out, values);
+/// ```
+pub fn unpack_bits_into(words: &[u64], bit_pos: usize, width: u8, out: &mut [u64]) {
+    assert!(width <= 64, "width must be <= 64, got {width}");
+    if out.is_empty() {
+        return;
+    }
+    if width == 0 {
+        out.fill(0);
+        return;
+    }
+    assert!(
+        bit_pos + out.len() * width as usize <= words.len() * 64,
+        "bit range {}..{} exceeds payload of {} bits",
+        bit_pos,
+        bit_pos + out.len() * width as usize,
+        words.len() * 64
+    );
+    let width = width as u32;
+    dispatch_width!(width, words, bit_pos, out;
+        1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        33 34 35 36 37 38 39 40 41 42 43 44 45 46 47 48
+        49 50 51 52 53 54 55 56 57 58 59 60 61 62 63 64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_bits;
+
+    /// Pack `values` at `width` bits starting at `bit_pos` (reference packer).
+    fn pack_at(values: &[u64], width: u8, bit_pos: usize) -> Vec<u64> {
+        let total = bit_pos + values.len() * width as usize;
+        let mut words = vec![0u64; crate::div_ceil(total.max(1), 64)];
+        for (i, &v) in values.iter().enumerate() {
+            let pos = bit_pos + i * width as usize;
+            let (wi, off) = (pos / 64, pos % 64);
+            words[wi] |= v << off;
+            if (width as usize) > 64 - off {
+                words[wi + 1] |= v >> (64 - off);
+            }
+        }
+        words
+    }
+
+    fn sample_values(n: usize, width: u8) -> Vec<u64> {
+        let m = low_mask(width.max(1) as u32);
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) & m)
+            .collect()
+    }
+
+    #[test]
+    fn matches_read_bits_for_every_width_and_phase() {
+        for width in 1u8..=64 {
+            for &n in &[0usize, 1, 7, 63, 64, 65, 129, 200] {
+                for &phase in &[0usize, 1, 13, 63] {
+                    let values = sample_values(n, width);
+                    let words = pack_at(&values, width, phase);
+                    let mut out = vec![0u64; n];
+                    unpack_bits_into(&words, phase, width, &mut out);
+                    for (i, &expected) in values.iter().enumerate() {
+                        assert_eq!(out[i], expected, "width {width} n {n} phase {phase} at {i}");
+                        assert_eq!(
+                            read_bits(&words, phase + i * width as usize, width),
+                            expected
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_fills_zeros() {
+        let mut out = vec![7u64; 100];
+        unpack_bits_into(&[], 0, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_range_past_end() {
+        let mut out = vec![0u64; 3];
+        unpack_bits_into(&[0u64], 0, 33, &mut out);
+    }
+}

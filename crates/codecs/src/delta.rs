@@ -89,30 +89,6 @@ impl DeltaCodec {
             out.extend_from_slice(&bytes[..take]);
         }
     }
-
-    #[inline]
-    fn frame_values(&self, frame_idx: usize, out: &mut Vec<u64>, limit: usize) {
-        let f = &self.frames[frame_idx];
-        let frame_start = frame_idx * self.frame_len;
-        let n = (self.len - frame_start).min(self.frame_len).min(limit);
-        let mut current = f.first;
-        out.push(current);
-        if f.width == 0 {
-            out.extend(std::iter::repeat_n(current, n.saturating_sub(1)));
-            return;
-        }
-        let mut bit_pos = f.bit_offset as usize;
-        for _ in 1..n {
-            let d = zigzag_decode(leco_bitpack::stream::read_bits(
-                &self.payload,
-                bit_pos,
-                f.width,
-            ));
-            bit_pos += f.width as usize;
-            current = current.wrapping_add(d as u64);
-            out.push(current);
-        }
-    }
 }
 
 impl IntColumn for DeltaCodec {
@@ -152,9 +128,26 @@ impl IntColumn for DeltaCodec {
     }
 
     fn decode_into(&self, out: &mut Vec<u64>) {
-        out.reserve(self.len);
-        for frame_idx in 0..self.frames.len() {
-            self.frame_values(frame_idx, out, usize::MAX);
+        let written = out.len();
+        out.resize(written + self.len, 0);
+        let mut dst = &mut out[written..];
+        for f in &self.frames {
+            let n = dst.len().min(self.frame_len);
+            let (seg, rest) = dst.split_at_mut(n);
+            let (head, gaps) = seg.split_first_mut().expect("frames are non-empty");
+            let mut current = f.first;
+            *head = current;
+            if f.width > 0 {
+                // Bulk-unpack the zigzag gaps, then prefix-sum in place.
+                leco_bitpack::unpack_bits_into(&self.payload, f.bit_offset as usize, f.width, gaps);
+                for slot in gaps.iter_mut() {
+                    current = current.wrapping_add(zigzag_decode(*slot) as u64);
+                    *slot = current;
+                }
+            } else {
+                gaps.fill(current);
+            }
+            dst = rest;
         }
     }
 }

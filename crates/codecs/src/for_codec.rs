@@ -114,22 +114,23 @@ impl IntColumn for ForCodec {
     }
 
     fn decode_into(&self, out: &mut Vec<u64>) {
-        out.reserve(self.len);
-        let mut remaining = self.len;
+        let written = out.len();
+        out.resize(written + self.len, 0);
+        let mut dst = &mut out[written..];
         for f in &self.frames {
-            let n = remaining.min(self.frame_len);
+            let n = dst.len().min(self.frame_len);
+            let (seg, rest) = dst.split_at_mut(n);
             if f.width == 0 {
-                out.extend(std::iter::repeat_n(f.min, n));
+                seg.fill(f.min);
             } else {
-                let mut bit_pos = f.bit_offset as usize;
-                for _ in 0..n {
-                    out.push(
-                        f.min + leco_bitpack::stream::read_bits(&self.payload, bit_pos, f.width),
-                    );
-                    bit_pos += f.width as usize;
+                // Word-parallel unpack of the packed offsets, then one pass
+                // to re-apply the frame reference.
+                leco_bitpack::unpack_bits_into(&self.payload, f.bit_offset as usize, f.width, seg);
+                for v in seg.iter_mut() {
+                    *v += f.min;
                 }
             }
-            remaining -= n;
+            dst = rest;
         }
     }
 }

@@ -15,6 +15,24 @@
 //! ([`dict::OpDict`]), an FSST-style string codec ([`fsst_like::FsstLike`])
 //! and an LZ77-style block codec ([`lzb`]) standing in for zstd in the
 //! system experiments.
+//!
+//! The fixed-width payloads these codecs produce share `leco-bitpack`'s
+//! packed-word layout (see `docs/FORMAT.md` §"Packed delta payload" at the
+//! repository root); their sequential decodes route through the same
+//! word-parallel bulk kernels as LeCo's partition decoder.
+//!
+//! ```
+//! use leco_codecs::{ForCodec, IntColumn};
+//!
+//! let values: Vec<u64> = (0..5_000u64).map(|i| 1_000 + i % 128).collect();
+//! let col = ForCodec::encode(&values, 1024);
+//! assert!(col.size_bytes() < values.len() * 2); // 7-bit offsets + frame headers
+//! assert_eq!(col.get(4_321), values[4_321]);
+//!
+//! let mut out = Vec::with_capacity(col.len());
+//! col.decode_into(&mut out); // word-parallel bulk decode
+//! assert_eq!(out, values);
+//! ```
 
 pub mod delta;
 pub mod dict;

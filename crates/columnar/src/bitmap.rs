@@ -75,26 +75,31 @@ impl Bitmap {
         }
     }
 
-    /// True if no position in `[from, to)` is set — used for row-group
-    /// skipping.
-    pub fn all_zero_in(&self, from: usize, to: usize) -> bool {
-        // Check whole words where possible.
+    /// Number of set positions in `[from, to)` — used by the scan kernels to
+    /// decide between per-position random access and a bulk row-group decode.
+    pub fn count_ones_in(&self, from: usize, to: usize) -> usize {
         let to = to.min(self.len);
+        if from >= to {
+            return 0;
+        }
+        let mut count = 0usize;
         let mut i = from;
         while i < to {
             if i.is_multiple_of(64) && i + 64 <= to {
-                if self.words[i / 64] != 0 {
-                    return false;
-                }
+                count += self.words[i / 64].count_ones() as usize;
                 i += 64;
             } else {
-                if self.get(i) {
-                    return false;
-                }
+                count += self.get(i) as usize;
                 i += 1;
             }
         }
-        true
+        count
+    }
+
+    /// True if no position in `[from, to)` is set — used for row-group
+    /// skipping.  Early-exits at the first set bit.
+    pub fn all_zero_in(&self, from: usize, to: usize) -> bool {
+        self.iter_ones_in(from, to).next().is_none()
     }
 
     /// Intersect with another bitmap of the same length.
@@ -122,6 +127,36 @@ impl Bitmap {
                 })
             })
             .filter(move |&i| i < self.len)
+    }
+
+    /// Iterate over the set positions in `[from, to)` in increasing order,
+    /// visiting only the words that overlap the range — so a scan that walks
+    /// row groups pays O(range) per group instead of re-skipping the whole
+    /// bitmap prefix every time.
+    pub fn iter_ones_in(&self, from: usize, to: usize) -> impl Iterator<Item = usize> + '_ {
+        let to = to.min(self.len);
+        let from = from.min(to);
+        let w0 = from / 64;
+        let w1 = to.div_ceil(64);
+        self.words[w0..w1]
+            .iter()
+            .enumerate()
+            .flat_map(move |(k, &w)| {
+                let w_idx = w0 + k;
+                let mut bits = w;
+                if w_idx == w0 {
+                    bits &= u64::MAX << (from % 64);
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w_idx * 64 + tz)
+                })
+            })
+            .filter(move |&i| i < to)
     }
 }
 
@@ -174,6 +209,32 @@ mod tests {
         assert_eq!(e.selectivity(), 0.0);
     }
 
+    #[test]
+    fn ranged_iteration_and_count() {
+        let mut b = Bitmap::new(300);
+        for p in [0usize, 63, 64, 65, 128, 200, 299] {
+            b.set(p);
+        }
+        for (from, to) in [
+            (0, 300),
+            (0, 0),
+            (64, 65),
+            (63, 129),
+            (65, 65),
+            (201, 300),
+            (64, 64),
+        ] {
+            let got: Vec<usize> = b.iter_ones_in(from, to).collect();
+            let expected: Vec<usize> = b.iter_ones().filter(|&p| p >= from && p < to).collect();
+            assert_eq!(got, expected, "range {from}..{to}");
+            assert_eq!(
+                b.count_ones_in(from, to),
+                expected.len(),
+                "range {from}..{to}"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_iter_matches_get(positions in proptest::collection::btree_set(0usize..500, 0..60)) {
@@ -184,6 +245,22 @@ mod tests {
             let from_iter: Vec<usize> = b.iter_ones().collect();
             let expected: Vec<usize> = positions.into_iter().collect();
             prop_assert_eq!(from_iter, expected);
+        }
+
+        #[test]
+        fn prop_ranged_iter_matches_filtered_full_iter(
+            positions in proptest::collection::btree_set(0usize..500, 0..60),
+            from in 0usize..520,
+            span in 0usize..200,
+        ) {
+            let mut b = Bitmap::new(500);
+            for &p in &positions {
+                b.set(p);
+            }
+            let to = from + span;
+            let got: Vec<usize> = b.iter_ones_in(from, to).collect();
+            let expected: Vec<usize> = b.iter_ones().filter(|&p| p >= from && p < to).collect();
+            prop_assert_eq!(got, expected);
         }
     }
 }

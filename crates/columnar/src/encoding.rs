@@ -120,15 +120,26 @@ impl EncodedColumn {
         }
     }
 
+    /// Decode every value, appending to `out`.
+    ///
+    /// This is the word-parallel bulk path used by the scan kernels in
+    /// [`crate::exec`] so one buffer can be reused across row groups instead
+    /// of allocating a fresh vector per chunk.
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        match self {
+            EncodedColumn::Plain(v) => out.extend_from_slice(v),
+            EncodedColumn::Dict(c) => c.decode_into(out),
+            EncodedColumn::Delta(c) => c.decode_into(out),
+            EncodedColumn::For(c) => c.decode_into(out),
+            EncodedColumn::Leco(c) => c.decode_into(out),
+        }
+    }
+
     /// Decode every value.
     pub fn decode_all(&self) -> Vec<u64> {
-        match self {
-            EncodedColumn::Plain(v) => v.clone(),
-            EncodedColumn::Dict(c) => c.decode_all(),
-            EncodedColumn::Delta(c) => c.decode_all(),
-            EncodedColumn::For(c) => c.decode_all(),
-            EncodedColumn::Leco(c) => c.decode_all(),
-        }
+        let mut out = Vec::with_capacity(self.len());
+        self.decode_into(&mut out);
+        out
     }
 
     /// The byte image persisted by the file layer.

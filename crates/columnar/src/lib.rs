@@ -15,6 +15,23 @@
 //!   pushdown, group-by average aggregation and bitmap sum aggregation,
 //! * per-query [`exec::QueryStats`] splitting time into an I/O and a CPU
 //!   component, which is exactly the breakdown plotted in Figures 18–21.
+//!
+//! Scans decode chunks through the word-parallel bulk path
+//! ([`EncodedColumn::decode_into`]); LeCo chunks are persisted in the byte
+//! format specified by `docs/FORMAT.md` at the repository root.
+//!
+//! ```
+//! use leco_columnar::{EncodedColumn, Encoding};
+//!
+//! let values: Vec<u64> = (0..20_000u64).map(|i| 500 + i * 3).collect();
+//! let col = EncodedColumn::encode(&values, Encoding::Leco);
+//! assert!(col.size_bytes() < values.len()); // sub-byte per value
+//! assert_eq!(col.get(12_345), values[12_345]);
+//!
+//! let mut out = Vec::with_capacity(col.len());
+//! col.decode_into(&mut out);
+//! assert_eq!(out, values);
+//! ```
 
 pub mod bitmap;
 pub mod encoding;

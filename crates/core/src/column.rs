@@ -277,16 +277,22 @@ impl CompressedColumn {
 
     /// Decode the half-open range `[from, to)` into `out`.
     ///
-    /// Full partitions inside the range use the θ₁-accumulation fast path
-    /// (one addition instead of a multiplication per value) with the
-    /// correction list compensating for floating-point drift; partial
-    /// partitions at the edges fall back to exact per-value inference.
+    /// Every partition segment is decoded with the fused word-parallel bulk
+    /// path: the packed deltas are unpacked straight into the output buffer
+    /// by [`leco_bitpack::unpack_bits_into`] (several values per word read),
+    /// then the model prediction and bias are folded in with one in-place
+    /// pass.  Full partitions with linear models additionally use the
+    /// θ₁-accumulation fast path (one addition instead of a multiplication
+    /// per value) with the correction list compensating for floating-point
+    /// drift; partial partitions at the edges evaluate the model exactly.
     pub fn decode_range_into(&self, from: usize, to: usize, out: &mut Vec<u64>) {
         assert!(from <= to && to <= self.len, "invalid range {from}..{to}");
         if from == to {
             return;
         }
-        out.reserve(to - from);
+        let written = out.len();
+        out.resize(written + (to - from), 0);
+        let mut dst = &mut out[written..];
         let mut i = from;
         let mut part_idx = self.partition_of(from);
         while i < to {
@@ -295,73 +301,29 @@ impl CompressedColumn {
             let p_end = p_start + p.len as usize;
             let seg_from = i;
             let seg_to = to.min(p_end);
+            let local0 = seg_from - p_start;
+            let (seg, rest) = dst.split_at_mut(seg_to - seg_from);
+            leco_bitpack::unpack_bits_into(
+                &self.payload,
+                p.bit_offset as usize + local0 * p.width as usize,
+                p.width,
+                seg,
+            );
             if seg_from == p_start && seg_to == p_end {
-                self.decode_full_partition(p, out);
+                p.model.reconstruct_into(p.bias, &p.corrections, seg);
             } else {
-                for pos in seg_from..seg_to {
-                    let local = pos - p_start;
-                    let packed = if p.width == 0 {
-                        0
-                    } else {
-                        read_bits(
-                            &self.payload,
-                            p.bit_offset as usize + local * p.width as usize,
-                            p.width,
-                        )
-                    };
-                    out.push((p.model.predict_floor(local) + p.bias + packed as i128) as u64);
-                }
+                p.model.reconstruct_span_into(p.bias, local0, seg);
             }
+            dst = rest;
             i = seg_to;
             part_idx += 1;
         }
     }
 
-    /// Decode one full partition using the accumulation fast path when the
-    /// model is linear.
-    fn decode_full_partition(&self, p: &PartitionMeta, out: &mut Vec<u64>) {
-        let len = p.len as usize;
-        match &p.model {
-            Model::Linear { theta0, theta1 } => {
-                let mut acc = *theta0;
-                let mut corr_iter = p.corrections.iter().peekable();
-                for local in 0..len {
-                    if local > 0 {
-                        acc += theta1;
-                    }
-                    let pred = if corr_iter.peek() == Some(&&(local as u32)) {
-                        corr_iter.next();
-                        p.model.predict_floor(local)
-                    } else {
-                        acc.floor() as i128
-                    };
-                    let packed = if p.width == 0 {
-                        0
-                    } else {
-                        read_bits(
-                            &self.payload,
-                            p.bit_offset as usize + local * p.width as usize,
-                            p.width,
-                        )
-                    };
-                    out.push((pred + p.bias + packed as i128) as u64);
-                }
-            }
-            _ => {
-                for local in 0..len {
-                    let packed = if p.width == 0 {
-                        0
-                    } else {
-                        read_bits(
-                            &self.payload,
-                            p.bit_offset as usize + local * p.width as usize,
-                            p.width,
-                        )
-                    };
-                    out.push((p.model.predict_floor(local) + p.bias + packed as i128) as u64);
-                }
-            }
-        }
+    /// Decode the whole column, appending to `out` (the bulk API used by the
+    /// columnar scan kernels to reuse one buffer across row groups).
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        self.decode_range_into(0, self.len, out);
     }
 
     /// Decode the whole column.

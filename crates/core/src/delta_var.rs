@@ -208,20 +208,34 @@ impl DeltaVarColumn {
         current
     }
 
+    /// Decode every value, appending to `out`.
+    ///
+    /// The zigzag gaps of each partition are bulk-unpacked straight into the
+    /// output buffer by the word-parallel kernels, then turned into values by
+    /// an in-place prefix sum — the same fused structure as LeCo's partition
+    /// decode, with accumulation playing the role of the model.
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        let written = out.len();
+        out.resize(written + self.len, 0);
+        let mut dst = &mut out[written..];
+        for p in &self.partitions {
+            let (seg, rest) = dst.split_at_mut(p.len as usize);
+            let (head, gaps) = seg.split_first_mut().expect("partitions are non-empty");
+            leco_bitpack::unpack_bits_into(&self.payload, p.bit_offset as usize, p.width, gaps);
+            let mut current = p.first;
+            *head = current;
+            for slot in gaps.iter_mut() {
+                current = current.wrapping_add(zigzag_decode(*slot) as u64);
+                *slot = current;
+            }
+            dst = rest;
+        }
+    }
+
     /// Decode every value.
     pub fn decode_all(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.len);
-        for p in &self.partitions {
-            let mut current = p.first;
-            out.push(current);
-            let mut bit_pos = p.bit_offset as usize;
-            for _ in 1..p.len {
-                let gap = zigzag_decode(read_bits(&self.payload, bit_pos, p.width));
-                bit_pos += p.width as usize;
-                current = current.wrapping_add(gap as u64);
-                out.push(current);
-            }
-        }
+        self.decode_into(&mut out);
         out
     }
 }

@@ -16,9 +16,13 @@
 //! * [`advisor`] — the Hyper-parameter Advisor: feature extraction, a CART
 //!   regressor selector, and the local/global hardness scores that drive the
 //!   partition-strategy advice.
-//! * [`column`] + [`format`] — the Encoder/Decoder pair: a self-describing
-//!   storage format with O(1)-ish random access and a sequential range
-//!   decoder that uses the θ₁-accumulation optimisation.
+//! * [`column`](mod@column) + [`format`](mod@format) — the Encoder/Decoder
+//!   pair: a self-describing
+//!   storage format with O(1)-ish random access and a fused word-parallel
+//!   sequential decoder (bulk delta unpack + in-place model reconstruction;
+//!   §3.3's θ₁-accumulation survives as the wide-value fallback).  The byte
+//!   layout is specified in `docs/FORMAT.md` at the repository root and
+//!   enforced by `tests/format_spec.rs`.
 //! * [`string`] — the order-preserving string extension (§3.4).
 //!
 //! [`delta_var`] implements "Delta-var", the paper's improved Delta encoding

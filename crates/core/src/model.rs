@@ -94,6 +94,41 @@ pub enum Model {
     },
 }
 
+/// True when every prediction of the line `t0 + t1·k` for `k < len` is
+/// certain to stay strictly inside the i64 range, so `floor() as i64` cannot
+/// saturate.  The accumulated sequence is monotone, hence checking the two
+/// endpoints suffices; the limit leaves well over 2^62 of slack for the
+/// ulp-level drift the correction list tracks.
+#[inline]
+fn linear_fits_i64(t0: f64, t1: f64, len: usize) -> bool {
+    const LIMIT: f64 = 4.0e18; // < 2^62
+    let last = t0 + t1 * len.saturating_sub(1) as f64;
+    t0.is_finite() && last.is_finite() && t0.abs() < LIMIT && last.abs() < LIMIT
+}
+
+/// `x.floor() as i64` for finite `|x| < 2^62`, without the `floor` libm call
+/// the baseline x86-64 target emits (`roundsd` needs SSE4.1): truncate toward
+/// zero with the hardware cast, then subtract 1 when truncation rounded up
+/// (negative non-integers).  Bit-identical to `floor` in the guarded range.
+#[inline(always)]
+fn floor_to_i64(x: f64) -> i64 {
+    let t = x as i64;
+    t - ((t as f64 > x) as i64)
+}
+
+/// The shared linear fast loop: `out[k] = floor(θ0 + θ1·(local0+k)) + bias +
+/// out[k]` in wrapping u64 arithmetic.  Callers must have established
+/// [`linear_fits_i64`] over the span first.  `#[inline(always)]` so both the
+/// full-partition and span decoders get a monomorphic, call-free inner loop.
+#[inline(always)]
+fn linear_reconstruct_fill(theta0: f64, theta1: f64, local0: usize, bias: i128, out: &mut [u64]) {
+    let base = bias as u64;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let p = floor_to_i64(theta0 + theta1 * (local0 + k) as f64);
+        *slot = (p as u64).wrapping_add(base).wrapping_add(*slot);
+    }
+}
+
 impl Model {
     /// Evaluate the model at local position `i`.
     #[inline]
@@ -139,6 +174,93 @@ impl Model {
             i128::MIN
         } else {
             p as i128
+        }
+    }
+
+    /// Reconstruct a full partition in place: `out` arrives holding the raw
+    /// bit-unpacked deltas and leaves holding `floor(predict(i)) + bias +
+    /// delta_i` for each local position `i`.
+    ///
+    /// This is the model half of the fused word-parallel partition decode:
+    /// the caller bulk-unpacks the packed payload straight into the output
+    /// buffer and this method folds the prediction in with one pass, hoisting
+    /// the model-variant dispatch out of the per-element loop.  Linear models
+    /// normally evaluate `floor(θ0 + θ1·i)` directly in i64/u64-wrapping
+    /// arithmetic (element-independent, so the loop pipelines); partitions
+    /// whose predictions approach the i64 range instead fall back to the
+    /// θ₁-accumulation path of §3.3 in full i128, with `corrections` listing
+    /// the positions where accumulation drifts from the exact floor.
+    pub fn reconstruct_into(&self, bias: i128, corrections: &[u32], out: &mut [u64]) {
+        if let Model::Linear { theta0, theta1 } = self {
+            // The true value `floor(pred) + bias + delta` is exact in i128
+            // and always fits u64, so wrapping u64 arithmetic reproduces it
+            // exactly — provided `floor(acc) mod 2^64` itself is computed
+            // correctly.  An `f64 → i64` cast does that with one hardware
+            // instruction as long as the prediction never saturates; the
+            // endpoint check proves that for the whole partition (the
+            // accumulated sequence is monotone in `local`).  Only columns
+            // whose models predict magnitudes near 2^63 take the i128 path.
+            if linear_fits_i64(*theta0, *theta1, out.len()) {
+                // Evaluate `floor(θ0 + θ1·local)` directly — bit-identical
+                // to what the encoder subtracted, so the correction list
+                // (which only patches the *accumulation* shortcut) is not
+                // consulted at all.  Unlike `acc += θ1`, every element is
+                // independent, so the loop pipelines/vectorises.
+                linear_reconstruct_fill(*theta0, *theta1, 0, bias, out);
+            } else {
+                let mut acc = *theta0;
+                let mut corr = corrections.iter().peekable();
+                for (local, slot) in out.iter_mut().enumerate() {
+                    let pred = if corr.peek() == Some(&&(local as u32)) {
+                        corr.next();
+                        self.predict_floor(local)
+                    } else {
+                        // `as` saturates and maps NaN to 0, matching the
+                        // clamp in `predict_floor` so the correction list
+                        // stays exact.
+                        acc.floor() as i128
+                    };
+                    acc += theta1;
+                    *slot = (pred + bias + *slot as i128) as u64;
+                }
+            }
+        } else {
+            debug_assert!(
+                corrections.is_empty(),
+                "corrections are only produced for linear models"
+            );
+            self.reconstruct_span_into(bias, 0, out);
+        }
+    }
+
+    /// Reconstruct an arbitrary span in place: like [`Self::reconstruct_into`]
+    /// but starting at local position `local0` and always evaluating the
+    /// model exactly (accumulation drift is only tracked from position 0, so
+    /// partial spans cannot use the correction list).
+    pub fn reconstruct_span_into(&self, bias: i128, local0: usize, out: &mut [u64]) {
+        match self {
+            Model::Constant { .. } => {
+                // Exact in wrapping u64 arithmetic: see `reconstruct_into`.
+                let base = (self.predict_floor(0) + bias) as u64;
+                for slot in out.iter_mut() {
+                    *slot = base.wrapping_add(*slot);
+                }
+            }
+            Model::Linear { theta0, theta1 } => {
+                let t0 = theta0 + theta1 * local0 as f64;
+                if linear_fits_i64(t0, *theta1, out.len()) {
+                    linear_reconstruct_fill(*theta0, *theta1, local0, bias, out);
+                } else {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = (self.predict_floor(local0 + k) + bias + *slot as i128) as u64;
+                    }
+                }
+            }
+            _ => {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = (self.predict_floor(local0 + k) + bias + *slot as i128) as u64;
+                }
+            }
         }
     }
 

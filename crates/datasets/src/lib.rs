@@ -11,7 +11,22 @@
 //! The [`IntDataset`] enum enumerates every integer data set by its paper
 //! name; [`generate`] produces it at any requested size.  String data sets,
 //! multi-column tables, the §5.1 sensor table and the zipfian key workload of
-//! §5.2 live in the [`strings`], [`tables`] and [`zipf`] modules.
+//! §5.2 live in the [`strings`], [`tables`] and [`zipf`] modules.  The
+//! columns these generators produce are what the benchmark harness feeds the
+//! compressors whose on-disk output `docs/FORMAT.md` (repository root)
+//! specifies.
+//!
+//! ```
+//! use leco_datasets::{generate, IntDataset};
+//!
+//! // Same seed, same data — experiments are reproducible.
+//! let a = generate(IntDataset::Booksale, 10_000, 42);
+//! let b = generate(IntDataset::Booksale, 10_000, 42);
+//! assert_eq!(a, b);
+//! assert_eq!(a.len(), 10_000);
+//! // booksale is sorted (a cumulative count), the shape LeCo exploits.
+//! assert!(a.windows(2).all(|w| w[0] <= w[1]));
+//! ```
 
 pub mod realworld;
 pub mod strings;

@@ -13,6 +13,10 @@
 //! * [`columnar`] (`leco-columnar`) — a mini columnar execution engine.
 //! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
 //!
+//! The serialized column layout is specified byte-by-byte in
+//! `docs/FORMAT.md`; sequential decodes everywhere go through the
+//! word-parallel bulk kernels of [`bitpack::unpack`].
+//!
 //! ## Example
 //!
 //! ```
