@@ -1,9 +1,11 @@
 //! Criterion bench backing Figures 18–21: the columnar engine's filter,
-//! group-by and bitmap-aggregation kernels per encoding.
+//! group-by and bitmap-aggregation kernels per encoding, plus the
+//! morsel-driven parallel scan engine at 1/2/4/8 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use leco_columnar::{exec, Bitmap, Encoding, QueryStats, TableFile, TableFileOptions};
 use leco_datasets::tables::{sensor_table, SensorDistribution};
+use leco_scan::Scanner;
 
 const ROWS: usize = 100_000;
 
@@ -73,5 +75,32 @@ fn bench_bitmap_sum(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_filter_groupby, bench_bitmap_sum);
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_parallel_filter_groupby");
+    group.sample_size(10);
+    let (file, path) = write_file(Encoding::Leco);
+    let ts_lo = 1_493_700_000_000u64;
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let result = Scanner::new(&file)
+                    .filter_col(0, ts_lo, u64::MAX / 2)
+                    .sorted_filter(true)
+                    .group_by_avg_cols(1, 2)
+                    .run(threads)
+                    .expect("scan");
+                std::hint::black_box(result.groups.len())
+            })
+        });
+    }
+    std::fs::remove_file(path).ok();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter_groupby,
+    bench_bitmap_sum,
+    bench_parallel_scan
+);
 criterion_main!(benches);

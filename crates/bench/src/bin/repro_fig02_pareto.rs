@@ -3,7 +3,7 @@
 //! Elias-Fano, Delta, LeCo and LeCo-var.
 
 use leco_bench::measure::{measure_scheme, weighted_average};
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_bench::scheme::Scheme;
 use leco_datasets::{generate, IntDataset};
 
@@ -38,6 +38,7 @@ fn main() {
         eprintln!("  finished {}", scheme.name());
     }
     table.print();
+    write_bench_json("fig02_pareto", &[("pareto", &table)]);
     println!("\nPaper reference (Fig. 2): LeCo sits on the Pareto frontier — better ratio than FOR/Elias-Fano");
     println!("at comparable access latency, and far faster access than Delta at a similar ratio.");
 }

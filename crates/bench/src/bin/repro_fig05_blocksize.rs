@@ -2,7 +2,7 @@
 //! `booksale` and `normal` — the "U-shape" that motivates the automatic
 //! block-size search of §3.2.1.
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_core::{LecoCompressor, LecoConfig};
 use leco_datasets::{generate, IntDataset};
 
@@ -30,6 +30,7 @@ fn main() {
     let auto = LecoCompressor::new(LecoConfig::leco_fix()).compress(&booksale);
     println!();
     table.print();
+    write_bench_json("fig05_blocksize", &[("blocksize", &table)]);
     println!(
         "\nAuto-searched partition size on booksale gives ratio {} with {} partitions.",
         pct(auto.size_bytes() as f64 / (booksale.len() * 4) as f64),

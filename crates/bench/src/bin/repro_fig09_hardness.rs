@@ -1,7 +1,7 @@
 //! Figure 9b: local vs global hardness of each integer data set, the scores
 //! that drive the partition-strategy advice of §3.2.3.
 
-use leco_bench::report::{f2, TextTable};
+use leco_bench::report::{f2, write_bench_json, TextTable};
 use leco_core::advisor::hardness;
 use leco_datasets::{generate, IntDataset};
 
@@ -29,6 +29,7 @@ fn main() {
         ]);
     }
     table.print();
+    write_bench_json("fig09_hardness", &[("hardness", &table)]);
     println!(
         "\nPaper reference (Fig. 9b): linear/normal/libio/wiki/booksale/planet/ml/house_price are"
     );

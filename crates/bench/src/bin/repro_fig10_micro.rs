@@ -7,7 +7,7 @@
 //! `repro_fig02_pareto` for that summary view.
 
 use leco_bench::measure::measure_scheme;
-use leco_bench::report::{f2, pct, TextTable};
+use leco_bench::report::{f2, pct, write_bench_json, TextTable};
 use leco_bench::scheme::Scheme;
 use leco_datasets::{generate, IntDataset};
 
@@ -83,6 +83,14 @@ fn main() {
     access.print();
     println!("\n## Full decompression throughput\n");
     decode.print();
+    write_bench_json(
+        "fig10_micro",
+        &[
+            ("ratio", &ratio),
+            ("access_ns", &access),
+            ("decode", &decode),
+        ],
+    );
     println!("\nPaper reference (Fig. 10): LeCo variants strictly beat FOR on ratio, match FOR on access;");
     println!(
         "Delta variants are ~an order of magnitude slower on random access; rANS compresses worst."

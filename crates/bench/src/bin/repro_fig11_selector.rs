@@ -2,7 +2,7 @@
 //! LeCo (linear only), the selector's per-partition recommendation and the
 //! exhaustive optimum on the eight non-linear data sets of §4.4.
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
 use leco_datasets::{generate, IntDataset};
 
@@ -63,6 +63,7 @@ fn main() {
         eprintln!("  finished {}", dataset.name());
     }
     table.print();
+    write_bench_json("fig11_selector", &[("selector", &table)]);
     println!(
         "\nPaper reference (Fig. 11): the recommended regressor tracks the optimal closely and"
     );

@@ -2,7 +2,7 @@
 //! informed models — rANS, FOR, LeCo-fix/var, polynomial LeCo, one sine term,
 //! two sine terms, and two sine terms with the known frequencies (§4.4).
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_bench::scheme::{encode, Scheme};
 use leco_core::regressor::FitContext;
 use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
@@ -68,6 +68,7 @@ fn main() {
     eprintln!("  finished 2sin-freq");
 
     table.print();
+    write_bench_json("fig12_cosmos", &[("cosmos", &table)]);
     println!("\nPaper reference (Fig. 12): 82.2 / 61.4 / 54.6 / 50.5 / 42.3 / 41.8 / 36.7 / 25.8 / 21.1 (%);");
     println!("each additional piece of domain knowledge (sine terms, known frequencies) buys more compression.");
 }

@@ -3,7 +3,9 @@
 //! columns and (b) high-cardinality columns only, together with the table's
 //! sortedness.
 
-use leco_bench::report::{f2, pct, TextTable};
+use leco_bench::report::{f2, pct, BenchReport, TextTable};
+
+const REPORT_NAME: &str = "fig13_tables";
 use leco_bench::scheme::{encode, Scheme};
 use leco_datasets::tables::{all_tables, Table};
 
@@ -43,6 +45,7 @@ fn main() {
     let rows = (leco_bench::small_bench_size() / 4).max(50_000);
     println!("# Figure 13 — multi-column benchmark ({rows} rows per table)\n");
     let tables = all_tables(rows, 42);
+    let mut report = BenchReport::new(REPORT_NAME);
 
     for (label, hc_only) in [
         ("all numeric columns", false),
@@ -84,7 +87,11 @@ fn main() {
             eprintln!("  finished {} ({})", t.name, label);
         }
         out.print();
+        report.add_table(label, &out);
         println!();
+    }
+    if let Err(e) = report.write() {
+        eprintln!("failed to write BENCH_{REPORT_NAME}.json: {e}");
     }
     println!(
         "Paper reference (Fig. 13): LeCo beats FOR on every table; the advantage grows with the"

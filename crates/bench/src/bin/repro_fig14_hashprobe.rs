@@ -9,7 +9,7 @@
 //! hold the dictionary, each code→value translation may fault a 4 KB page in
 //! from disk.  Throughput is reported as raw probe-side bytes per second.
 
-use leco_bench::report::TextTable;
+use leco_bench::report::{write_bench_json, TextTable};
 use leco_codecs::{ForCodec, IntColumn, OpDict};
 use leco_core::{LecoCompressor, LecoConfig};
 use leco_datasets::{generate, IntDataset};
@@ -180,6 +180,7 @@ fn main() {
         eprintln!("  finished budget {budget} bytes");
     }
     table.print();
+    write_bench_json("fig14_hashprobe", &[("hashprobe", &table)]);
     println!(
         "\nPaper reference (Fig. 14): once the budget can no longer hold the FOR/raw dictionary,"
     );

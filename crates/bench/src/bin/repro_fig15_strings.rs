@@ -2,7 +2,7 @@
 //! 0/20/40/60/80/100 strings) versus LeCo's string extension (reduced and
 //! full-byte character sets) on `email`, `hex` and `word`.
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_codecs::FsstLike;
 use leco_core::string::{CompressedStrings, StringConfig};
 use rand::rngs::StdRng;
@@ -74,6 +74,7 @@ fn main() {
         eprintln!("  finished {name}");
     }
     table.print();
+    write_bench_json("fig15_strings", &[("strings", &table)]);
     println!(
         "\nPaper reference (Fig. 15): LeCo's string extension offers faster random access at a"
     );

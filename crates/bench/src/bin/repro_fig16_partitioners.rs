@@ -7,7 +7,7 @@
 //! split–merge result with the exact dynamic-programming optimum on a small
 //! sample.
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_core::partition::dp;
 use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
 use leco_datasets::{generate, IntDataset};
@@ -66,6 +66,7 @@ fn main() {
     );
     println!("compress noticeably worse than LeCo-var; LeCo-var also beats LeCo-fix on globally-hard data.");
 
+    let mut dp_section: Option<TextTable> = None;
     if with_dp {
         println!("\n## Greedy split-merge vs exact DP optimum (§3.2.2 claim, small samples)\n");
         let mut dp_table =
@@ -88,10 +89,16 @@ fn main() {
             ]);
         }
         dp_table.print();
+        dp_section = Some(dp_table);
         println!("\nPaper reference: the greedy algorithm stays within ~3% of the optimal compressed size.");
     } else {
         println!(
             "\n(Pass --dp to also compare the greedy partitioner against the exact DP optimum.)"
         );
     }
+    let mut sections: Vec<(&str, &TextTable)> = vec![("partitioners", &table)];
+    if let Some(dp_table) = &dp_section {
+        sections.push(("dp_gap", dp_table));
+    }
+    write_bench_json("fig16_partitioners", &sections);
 }

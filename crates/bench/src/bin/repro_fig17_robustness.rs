@@ -2,7 +2,7 @@
 //! of LeCo-var and the error bound ε of LeCo-PLA on `booksale` and report the
 //! resulting compression ratios.
 
-use leco_bench::report::{pct, TextTable};
+use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_core::{LecoCompressor, LecoConfig, PartitionerKind, RegressorKind};
 use leco_datasets::{generate, IntDataset};
 
@@ -46,6 +46,10 @@ fn main() {
     }
     println!("\n## LeCo-PLA: sweep of the error bound ε\n");
     pla.print();
+    write_bench_json(
+        "fig17_robustness",
+        &[("leco_var_tau", &var), ("leco_pla_eps", &pla)],
+    );
     println!(
         "\nPaper reference (Fig. 17): LeCo-var's ratio is nearly flat across τ, while LeCo-PLA's"
     );

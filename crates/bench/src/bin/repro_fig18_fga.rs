@@ -3,7 +3,9 @@
 //! sweeping the filter selectivity and reporting the CPU/IO time breakdown
 //! per encoding (Default, Delta, FOR, LeCo).
 
-use leco_bench::report::TextTable;
+use leco_bench::report::{BenchReport, TextTable};
+
+const REPORT_NAME: &str = "fig18_fga";
 use leco_columnar::{exec, Encoding, QueryStats, TableFile, TableFileOptions};
 use leco_datasets::tables::{sensor_table, SensorDistribution};
 
@@ -18,6 +20,7 @@ const SELECTIVITIES: [f64; 5] = [0.00001, 0.0001, 0.001, 0.01, 0.1];
 fn main() -> std::io::Result<()> {
     let rows = leco_bench::small_bench_size();
     println!("# Figure 18 — filter-groupby-aggregation ({rows} rows)\n");
+    let mut report = BenchReport::new(REPORT_NAME);
     for dist in [SensorDistribution::Random, SensorDistribution::Correlated] {
         let t = sensor_table(rows, dist, 42);
         println!("## distribution: {dist:?}\n");
@@ -77,10 +80,14 @@ fn main() -> std::io::Result<()> {
             eprintln!("  finished selectivity {selectivity}");
         }
         table.print();
+        report.add_table(&format!("{dist:?}"), &table);
         println!();
         for (_, _, path) in files {
             std::fs::remove_file(path).ok();
         }
+    }
+    if let Err(e) = report.write() {
+        eprintln!("failed to write BENCH_{REPORT_NAME}.json: {e}");
     }
     println!("Paper reference (Fig. 18): every lightweight encoding beats Default thanks to I/O savings;");
     println!(

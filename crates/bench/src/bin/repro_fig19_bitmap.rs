@@ -2,7 +2,9 @@
 //! positions of a column under Zipf-clustered bitmaps of varying selectivity,
 //! for the `normal`, `booksale`, `poisson` and `ml` data sets.
 
-use leco_bench::report::TextTable;
+use leco_bench::report::{BenchReport, TextTable};
+
+const REPORT_NAME: &str = "fig19_bitmap";
 use leco_columnar::{exec, Bitmap, Encoding, QueryStats, TableFile, TableFileOptions};
 use leco_datasets::{generate, IntDataset};
 use rand::rngs::StdRng;
@@ -40,6 +42,7 @@ fn clustered_bitmap(n: usize, selectivity: f64, rng: &mut StdRng) -> Bitmap {
 fn main() -> std::io::Result<()> {
     let rows = leco_bench::small_bench_size();
     println!("# Figure 19 — bitmap aggregation ({rows} rows per data set)\n");
+    let mut report = BenchReport::new(REPORT_NAME);
     let datasets = [
         IntDataset::Normal,
         IntDataset::Booksale,
@@ -95,10 +98,14 @@ fn main() -> std::io::Result<()> {
             eprintln!("  finished {} selectivity {selectivity}", dataset.name());
         }
         table.print();
+        report.add_table(dataset.name(), &table);
         println!();
         for (_, _, path) in files {
             std::fs::remove_file(path).ok();
         }
+    }
+    if let Err(e) = report.write() {
+        eprintln!("failed to write BENCH_{REPORT_NAME}.json: {e}");
     }
     println!(
         "Paper reference (Fig. 19): LeCo outperforms Default (up to 11.8x), Delta (up to 3.9x) and"

@@ -2,7 +2,7 @@
 //! in for zstd) is layered on top of the lightweight encodings (§5.1.3), on
 //! `normal`, `booksale`, `poisson` and `ml`.
 
-use leco_bench::report::{human_bytes, TextTable};
+use leco_bench::report::{human_bytes, write_bench_json, TextTable};
 use leco_columnar::{BlockCompression, Encoding, TableFile, TableFileOptions};
 use leco_datasets::{generate, IntDataset};
 
@@ -60,6 +60,7 @@ fn main() -> std::io::Result<()> {
         }
     }
     table.print();
+    write_bench_json("fig20_blockcomp", &[("blockcomp", &table)]);
     println!(
         "\nPaper reference (Fig. 20): block compression still helps on top of the lightweight"
     );

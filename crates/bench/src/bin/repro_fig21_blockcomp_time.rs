@@ -3,7 +3,7 @@
 //! set at 0.01 selectivity — showing that the block codec's decompression CPU
 //! can outweigh its I/O savings (§5.1.3).
 
-use leco_bench::report::TextTable;
+use leco_bench::report::{write_bench_json, TextTable};
 use leco_columnar::{
     exec, Bitmap, BlockCompression, Encoding, QueryStats, TableFile, TableFileOptions,
 };
@@ -71,6 +71,7 @@ fn main() -> std::io::Result<()> {
         }
     }
     table.print();
+    write_bench_json("fig21_blockcomp_time", &[("blockcomp_time", &table)]);
     println!("\nPaper reference (Fig. 21): the block codec's I/O savings are outweighed by its");
     println!(
         "decompression CPU on this selective query, so the total time increases — lightweight"

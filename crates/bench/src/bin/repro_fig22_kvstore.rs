@@ -2,7 +2,7 @@
 //! RocksDB-style restart-interval index formats (RI = 1 / 16 / 128) and the
 //! LeCo-compressed index (§5.2), plus the per-format index compression ratios.
 
-use leco_bench::report::TextTable;
+use leco_bench::report::{write_bench_json, TextTable};
 use leco_datasets::zipf::Zipf;
 use leco_kvstore::{run_seek_workload, IndexBlockFormat, Store, StoreOptions};
 use rand::rngs::StdRng;
@@ -132,6 +132,10 @@ fn main() -> std::io::Result<()> {
     }
     println!("\n## Seek throughput vs block-cache size\n");
     tput.print();
+    write_bench_json(
+        "fig22_kvstore",
+        &[("index_sizes", &sizes), ("seek_throughput", &tput)],
+    );
     println!(
         "\nPaper reference (Fig. 22): LeCo-compressed index blocks beat the best RocksDB restart-"
     );

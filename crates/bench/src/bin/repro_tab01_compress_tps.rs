@@ -2,7 +2,7 @@
 //! average ± standard deviation across the twelve microbenchmark data sets.
 
 use leco_bench::measure::{measure_scheme, weighted_average, weighted_std};
-use leco_bench::report::TextTable;
+use leco_bench::report::{write_bench_json, TextTable};
 use leco_bench::scheme::Scheme;
 use leco_datasets::{generate, IntDataset};
 
@@ -37,6 +37,7 @@ fn main() {
         eprintln!("  finished {}", scheme.name());
     }
     table.print();
+    write_bench_json("tab01_compress_tps", &[("compress_tps", &table)]);
     println!("\nPaper reference (Tab. 1): FOR/Delta/LeCo-fix compress at comparable speed;");
     println!("the variable-length schemes (Delta-var, LeCo-var) are an order of magnitude slower.");
 }

@@ -7,7 +7,10 @@
 //! * [`measure`] — compression-ratio / throughput / random-access-latency
 //!   measurement loops.
 //! * [`report`] — small fixed-width table printer so the binaries produce
-//!   the same rows and series the paper reports.
+//!   the same rows and series the paper reports, plus a hand-rolled JSON
+//!   emitter/parser ([`report::Json`], [`report::BenchReport`]) through
+//!   which every `repro_*` binary also writes a machine-readable
+//!   `BENCH_*.json` (into `LECO_BENCH_DIR`, default the working directory).
 //!
 //! Data-set sizes default to ~1M values and scale with the `LECO_SCALE`
 //! environment variable (see `leco-datasets`); individual binaries also
@@ -37,6 +40,7 @@ pub mod report;
 pub mod scheme;
 
 pub use measure::{measure_scheme, Measurement};
+pub use report::{BenchReport, Json};
 pub use scheme::{encode, EncodedInts, Scheme};
 
 /// Number of values to use for a microbenchmark data set, honouring

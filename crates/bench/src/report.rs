@@ -1,4 +1,422 @@
-//! Minimal fixed-width table printing for the reproduction binaries.
+//! Minimal fixed-width table printing for the reproduction binaries, plus a
+//! hand-rolled JSON emitter/parser so every binary can drop a
+//! machine-readable `BENCH_*.json` next to its text tables (the vendored
+//! `serde` shim has no real serialization, and the build environment cannot
+//! fetch the genuine crate).
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A JSON value: the minimal tree the bench reports need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// All numbers are f64, like JavaScript.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match), `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip float formatting; integers render
+                    // without a fraction part.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text.  Recursive-descent, strict enough for round-tripping
+    /// our own output and the usual hand-edited configs.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                pos,
+                message: "trailing characters after value".into(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse failure: byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError {
+            pos: *pos,
+            message: format!("expected {lit:?}"),
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError {
+            pos: *pos,
+            message: "unexpected end of input".into(),
+        }),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "expected ',' or ']'".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "expected ',' or '}'".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError {
+            pos: *pos,
+            message: "expected string".into(),
+        });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    pos: *pos,
+                    message: "unterminated string".into(),
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).copied().ok_or(JsonError {
+                    pos: *pos,
+                    message: "unterminated escape".into(),
+                })?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(JsonError {
+                            pos: *pos,
+                            message: "truncated \\u escape".into(),
+                        })?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| JsonError {
+                                pos: *pos,
+                                message: "non-ascii \\u escape".into(),
+                            })?,
+                            16,
+                        )
+                        .map_err(|_| JsonError {
+                            pos: *pos,
+                            message: "bad \\u escape".into(),
+                        })?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our own output.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "unknown escape".into(),
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+                        pos: start,
+                        message: "invalid UTF-8".into(),
+                    })?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or(JsonError {
+            pos: start,
+            message: "invalid number".into(),
+        })
+}
+
+/// Collects the tables a reproduction binary prints and writes them as one
+/// machine-readable `BENCH_<name>.json` file.
+///
+/// The file lands next to the process's working directory (or in
+/// `LECO_BENCH_DIR` when set) and has the shape
+/// `{"bench": name, "sections": [{"label": .., "rows": [{col: cell, ..}]}]}`
+/// with numeric-looking cells emitted as JSON numbers.
+pub struct BenchReport {
+    name: String,
+    sections: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// Start a report for `BENCH_<name>.json`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a printed table under a section label.
+    pub fn add_table(&mut self, label: &str, table: &TextTable) {
+        self.sections.push((label.to_string(), table.to_json()));
+    }
+
+    /// Append an arbitrary JSON value under a section label.
+    pub fn add(&mut self, label: &str, value: Json) {
+        self.sections.push((label.to_string(), value));
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::Str(self.name.clone())),
+            (
+                "sections".into(),
+                Json::Arr(
+                    self.sections
+                        .iter()
+                        .map(|(label, value)| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Str(label.clone())),
+                                ("data".into(), value.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write `BENCH_<name>.json` (into `LECO_BENCH_DIR` or the current
+    /// directory) and return its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("LECO_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("."));
+        self.write_to(&dir)
+    }
+
+    /// Write `BENCH_<name>.json` into `dir` and return its path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().render().as_bytes())?;
+        file.write_all(b"\n")?;
+        eprintln!("wrote {}", path.display());
+        Ok(path)
+    }
+}
 
 /// A simple text table with a header row and fixed-width columns.
 pub struct TextTable {
@@ -50,6 +468,46 @@ impl TextTable {
     /// Print the table to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+
+    /// The table as a JSON array of row objects (header → cell).  Cells that
+    /// parse as plain numbers become JSON numbers; everything else (units,
+    /// percentages, labels) stays a string.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Json::Obj(
+                        self.header
+                            .iter()
+                            .zip(row)
+                            .map(|(h, cell)| {
+                                let value = match cell.parse::<f64>() {
+                                    Ok(v) if v.is_finite() => Json::Num(v),
+                                    _ => Json::Str(cell.clone()),
+                                };
+                                (h.clone(), value)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One-call JSON emission for the reproduction binaries: write
+/// `BENCH_<name>.json` holding the given labelled tables.  Emission is
+/// best-effort — a write failure is reported on stderr but never fails the
+/// run, so the text tables (the primary output) always survive.
+pub fn write_bench_json(name: &str, sections: &[(&str, &TextTable)]) {
+    let mut report = BenchReport::new(name);
+    for (label, table) in sections {
+        report.add_table(label, table);
+    }
+    if let Err(e) = report.write() {
+        eprintln!("failed to write BENCH_{name}.json: {e}");
     }
 }
 
@@ -108,5 +566,84 @@ mod tests {
     fn row_arity_mismatch_panics() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn json_render_parse_round_trip() {
+        let value = Json::Obj(vec![
+            ("name".into(), Json::Str("scan \"fast\"\n".into())),
+            ("threads".into(), Json::Num(8.0)),
+            ("speedup".into(), Json::Num(3.25)),
+            ("ok".into(), Json::Bool(true)),
+            ("missing".into(), Json::Null),
+            (
+                "rows".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Str("x".into())]),
+            ),
+        ]);
+        let text = value.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, value);
+        assert_eq!(back.get("threads").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(
+            back.get("name").and_then(Json::as_str),
+            Some("scan \"fast\"\n")
+        );
+        assert_eq!(
+            back.get("rows").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn json_parser_accepts_whitespace_and_rejects_garbage() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , 2.5e1 , null ] } ").unwrap();
+        assert_eq!(
+            parsed.get("a").and_then(Json::as_arr).map(|a| a.to_vec()),
+            Some(vec![Json::Num(1.0), Json::Num(25.0), Json::Null])
+        );
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn table_to_json_types_cells() {
+        let mut t = TextTable::new(vec!["scheme", "ratio", "ms"]);
+        t.row(vec!["LeCo", "12.3%", "4.25"]);
+        let json = t.to_json();
+        let rows = json.as_arr().unwrap();
+        assert_eq!(rows[0].get("scheme"), Some(&Json::Str("LeCo".into())));
+        assert_eq!(rows[0].get("ratio"), Some(&Json::Str("12.3%".into())));
+        assert_eq!(rows[0].get("ms"), Some(&Json::Num(4.25)));
+    }
+
+    #[test]
+    fn bench_report_writes_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("leco-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut table = TextTable::new(vec!["threads", "throughput"]);
+        table.row(vec!["1", "100.0"]);
+        table.row(vec!["8", "320.5"]);
+        let mut report = BenchReport::new("unit_test");
+        report.add_table("scaling", &table);
+        report.add("meta", Json::Obj(vec![("rows".into(), Json::Num(10.0))]));
+        let path = report.write_to(&dir).unwrap();
+        assert_eq!(path, dir.join("BENCH_unit_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(text.trim()).unwrap();
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("unit_test")
+        );
+        let sections = parsed.get("sections").and_then(Json::as_arr).unwrap();
+        assert_eq!(sections.len(), 2);
+        let rows = sections[0].get("data").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[1].get("throughput").and_then(Json::as_f64),
+            Some(320.5)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

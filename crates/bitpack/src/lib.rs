@@ -51,7 +51,7 @@ pub mod zigzag;
 pub use bitvec::BitVec;
 pub use packed::PackedArray;
 pub use stream::{BitReader, BitWriter};
-pub use unpack::unpack_bits_into;
+pub use unpack::{unpack_bits_into, unpack_deltas_into};
 pub use zigzag::{zigzag_decode, zigzag_encode};
 
 /// Number of bits needed to represent `v` (0 needs 0 bits).

@@ -81,6 +81,43 @@ fn unpack_stream<const W: u32>(words: &[u64], bit_pos: usize, out: &mut [u64]) {
     }
 }
 
+/// Streaming kernel fusing ZigZag decode and prefix summation onto the
+/// extraction loop: each `W`-bit value is a zigzag-mapped gap, and the slot
+/// receives the running total `acc` instead of the raw gap.  Keeping the
+/// accumulator in a register while the bit buffer drains avoids the second
+/// pass over the gap array that a decode-then-prefix-sum pipeline pays.
+#[inline(always)]
+fn unpack_delta_stream<const W: u32>(
+    words: &[u64],
+    bit_pos: usize,
+    acc: &mut u64,
+    out: &mut [u64],
+) {
+    if out.is_empty() {
+        return;
+    }
+    let m = low_mask(W);
+    let mut wi = bit_pos >> 6;
+    let off = (bit_pos & 63) as u32;
+    let mut buf = (words[wi] >> off) as u128;
+    let mut avail = 64 - off;
+    wi += 1;
+    let mut current = *acc;
+    for slot in out.iter_mut() {
+        if avail < W {
+            buf |= (words[wi] as u128) << avail;
+            wi += 1;
+            avail += 64;
+        }
+        let gap = (buf as u64) & m;
+        buf >>= W;
+        avail -= W;
+        current = current.wrapping_add(crate::zigzag_decode(gap) as u64);
+        *slot = current;
+    }
+    *acc = current;
+}
+
 /// Monomorphised driver: word-aligned prefixes go through the unrolled block
 /// kernel in 64-value chunks, everything else through the streaming kernel.
 fn unpack_width<const W: u32>(words: &[u64], bit_pos: usize, out: &mut [u64]) {
@@ -158,6 +195,69 @@ pub fn unpack_bits_into(words: &[u64], bit_pos: usize, width: u8, out: &mut [u64
         49 50 51 52 53 54 55 56 57 58 59 60 61 62 63 64);
 }
 
+macro_rules! dispatch_delta_width {
+    ($width:expr, $words:expr, $bit_pos:expr, $acc:expr, $out:expr; $($w:literal)*) => {
+        match $width {
+            $( $w => unpack_delta_stream::<$w>($words, $bit_pos, $acc, $out), )*
+            _ => unreachable!("width checked to be 1..=64"),
+        }
+    };
+}
+
+/// Reconstruct `out.len()` delta-coded values whose `width`-bit ZigZag gaps
+/// start at absolute bit position `bit_pos` of `words`: writes
+/// `out[i] = anchor ⊕ gap₀ ⊕ … ⊕ gapᵢ` (wrapping addition of the
+/// sign-restored gaps), where `anchor` is the value *preceding* the run.
+///
+/// This is the fused counterpart of calling [`unpack_bits_into`] and then
+/// zigzag-decoding + prefix-summing the gap array in a second pass: the
+/// accumulator rides in a register inside the extraction loop, so the gaps
+/// are never materialised.  A `width` of 0 means every gap is zero and fills
+/// `out` with `anchor`.
+///
+/// # Panics
+/// Panics if `width > 64` or if the requested bit range extends past the end
+/// of `words`.
+///
+/// ```
+/// use leco_bitpack::unpack::unpack_deltas_into;
+/// use leco_bitpack::zigzag_encode;
+///
+/// // Gaps +3, -1, +2 from anchor 100, packed at 4 bits.
+/// let gaps: Vec<u64> = [3i64, -1, 2].iter().map(|&g| zigzag_encode(g)).collect();
+/// let mut words = vec![0u64; 1];
+/// for (i, &g) in gaps.iter().enumerate() {
+///     words[0] |= g << (i * 4);
+/// }
+/// let mut out = vec![0u64; 3];
+/// unpack_deltas_into(&words, 0, 4, 100, &mut out);
+/// assert_eq!(out, vec![103, 102, 104]);
+/// ```
+pub fn unpack_deltas_into(words: &[u64], bit_pos: usize, width: u8, anchor: u64, out: &mut [u64]) {
+    assert!(width <= 64, "width must be <= 64, got {width}");
+    if out.is_empty() {
+        return;
+    }
+    if width == 0 {
+        out.fill(anchor);
+        return;
+    }
+    assert!(
+        bit_pos + out.len() * width as usize <= words.len() * 64,
+        "bit range {}..{} exceeds payload of {} bits",
+        bit_pos,
+        bit_pos + out.len() * width as usize,
+        words.len() * 64
+    );
+    let width = width as u32;
+    let mut acc = anchor;
+    dispatch_delta_width!(width, words, bit_pos, &mut acc, out;
+        1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        33 34 35 36 37 38 39 40 41 42 43 44 45 46 47 48
+        49 50 51 52 53 54 55 56 57 58 59 60 61 62 63 64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +304,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Scalar reference for the fused delta kernel: positioned single-value
+    /// reads, zigzag decode and prefix sum as three separate steps.
+    fn deltas_scalar(words: &[u64], bit_pos: usize, width: u8, anchor: u64, out: &mut [u64]) {
+        let mut acc = anchor;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let gap = if width == 0 {
+                0
+            } else {
+                read_bits(words, bit_pos + i * width as usize, width)
+            };
+            acc = acc.wrapping_add(crate::zigzag_decode(gap) as u64);
+            *slot = acc;
+        }
+    }
+
+    #[test]
+    fn fused_delta_matches_scalar_for_every_width_and_phase() {
+        for width in 0u8..=64 {
+            for &n in &[0usize, 1, 7, 63, 64, 65, 129, 200] {
+                for &phase in &[0usize, 1, 13, 63] {
+                    let gaps = sample_values(n, width);
+                    let words = pack_at(&gaps, width.max(1), phase);
+                    let anchor = 0x1234_5678_9ABC_DEF0u64;
+                    let mut fused = vec![0u64; n];
+                    unpack_deltas_into(&words, phase, width, anchor, &mut fused);
+                    let mut scalar = vec![0u64; n];
+                    deltas_scalar(&words, phase, width, anchor, &mut scalar);
+                    assert_eq!(fused, scalar, "width {width} n {n} phase {phase}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_delta_fills_anchor() {
+        let mut out = vec![0u64; 10];
+        unpack_deltas_into(&[], 0, 0, 42, &mut out);
+        assert!(out.iter().all(|&v| v == 42));
     }
 
     #[test]

@@ -135,18 +135,16 @@ impl IntColumn for DeltaCodec {
             let n = dst.len().min(self.frame_len);
             let (seg, rest) = dst.split_at_mut(n);
             let (head, gaps) = seg.split_first_mut().expect("frames are non-empty");
-            let mut current = f.first;
-            *head = current;
-            if f.width > 0 {
-                // Bulk-unpack the zigzag gaps, then prefix-sum in place.
-                leco_bitpack::unpack_bits_into(&self.payload, f.bit_offset as usize, f.width, gaps);
-                for slot in gaps.iter_mut() {
-                    current = current.wrapping_add(zigzag_decode(*slot) as u64);
-                    *slot = current;
-                }
-            } else {
-                gaps.fill(current);
-            }
+            *head = f.first;
+            // Fused kernel: zigzag decode and prefix summation ride the
+            // bit-extraction loop, so the raw gaps are never materialised.
+            leco_bitpack::unpack_deltas_into(
+                &self.payload,
+                f.bit_offset as usize,
+                f.width,
+                f.first,
+                gaps,
+            );
             dst = rest;
         }
     }

@@ -6,7 +6,7 @@
 //! FOR and LeCo shine on selective queries (§5.1).
 
 /// A fixed-length bitmap over row positions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Bitmap {
     words: Vec<u64>,
     len: usize,
@@ -28,6 +28,15 @@ impl Bitmap {
             b.set(i);
         }
         b
+    }
+
+    /// Clear every bit and resize to `len` positions, reusing the existing
+    /// word buffer — per-morsel scratch bitmaps are reset this way so a scan
+    /// allocates once per worker, not once per row group.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(leco_bitpack::div_ceil(len, 64), 0);
+        self.len = len;
     }
 
     /// Number of positions.
@@ -54,10 +63,26 @@ impl Bitmap {
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    /// Set every position in `[from, to)`.
+    /// Set every position in `[from, to)`.  Whole 64-bit words inside the
+    /// range are filled in one store each, so setting a dense span (a sorted
+    /// filter's hit range, or an unfiltered morsel) costs O(words), not
+    /// O(bits).
     pub fn set_range(&mut self, from: usize, to: usize) {
-        for i in from..to.min(self.len) {
-            self.set(i);
+        let to = to.min(self.len);
+        if from >= to {
+            return;
+        }
+        let (w0, w1) = (from / 64, (to - 1) / 64);
+        let head = u64::MAX << (from % 64);
+        let tail = u64::MAX >> (63 - (to - 1) % 64);
+        if w0 == w1 {
+            self.words[w0] |= head & tail;
+        } else {
+            self.words[w0] |= head;
+            for w in &mut self.words[w0 + 1..w1] {
+                *w = u64::MAX;
+            }
+            self.words[w1] |= tail;
         }
     }
 
@@ -198,6 +223,36 @@ mod tests {
         a.and(&b);
         assert_eq!(a.iter_ones().count(), 50);
         assert!(a.get(50) && a.get(99) && !a.get(100) && !a.get(49));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_range_matches_per_bit_loop(
+            len in 1usize..400,
+            from in 0usize..420,
+            span in 0usize..300,
+        ) {
+            let mut fast = Bitmap::new(len);
+            fast.set_range(from, from + span);
+            let mut slow = Bitmap::new(len);
+            for i in from..(from + span).min(len) {
+                slow.set(i);
+            }
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffer_and_clears_bits() {
+        let mut b = Bitmap::new(100);
+        b.set_range(0, 100);
+        b.reset(300);
+        assert_eq!(b.len(), 300);
+        assert_eq!(b.count_ones(), 0);
+        b.set(299);
+        b.reset(10);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.count_ones(), 0);
     }
 
     #[test]

@@ -6,8 +6,22 @@
 //! accumulates a [`QueryStats`] separating I/O time (reading chunk bytes from
 //! the data file) from CPU time (decoding + compute), which is the breakdown
 //! plotted in Figures 18, 19 and 21.
+//!
+//! The module is layered so a parallel engine can drive it:
+//!
+//! * **stateless per-chunk kernels** ([`filter_chunk`], [`group_by_avg_chunk`],
+//!   [`sum_selected_chunk`]) operate on one row group's encoded chunks plus
+//!   explicitly passed scratch; they hold no references to the file and can
+//!   run on any thread,
+//! * **[`ScanScratch`]** bundles the per-worker mutable state the kernels
+//!   write into (decode buffers, a selection bitmap, partial aggregates and
+//!   per-worker [`QueryStats`]),
+//! * the **single-threaded drivers** ([`filter_range`], [`group_by_avg`],
+//!   [`sum_selected`]) iterate row groups and compose the kernels; the
+//!   `leco-scan` crate composes the same kernels from a worker pool.
 
 use crate::bitmap::Bitmap;
+use crate::encoding::EncodedColumn;
 use crate::file::TableFile;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -21,6 +35,11 @@ pub struct QueryStats {
     pub io_seconds: f64,
     /// Seconds spent decoding and computing.
     pub cpu_seconds: f64,
+    /// Column chunks actually read from the data file.
+    pub chunks_read: u64,
+    /// Row groups skipped before any I/O because their zone map (or bitmap
+    /// slice) proved no row could qualify.
+    pub row_groups_pruned: u64,
 }
 
 impl QueryStats {
@@ -34,6 +53,99 @@ impl QueryStats {
         self.io_bytes += other.io_bytes;
         self.io_seconds += other.io_seconds;
         self.cpu_seconds += other.cpu_seconds;
+        self.chunks_read += other.chunks_read;
+        self.row_groups_pruned += other.row_groups_pruned;
+    }
+}
+
+/// Per-worker mutable scan state: everything a morsel kernel writes into.
+///
+/// A scan allocates one `ScanScratch` per worker thread and reuses it across
+/// every morsel that worker processes, so steady-state decoding allocates
+/// nothing.  The immutable counterpart — shared file metadata and the file
+/// descriptor — lives in [`crate::file::ChunkReader`].
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    /// Raw stored-chunk byte buffer for positioned reads.
+    pub io_buf: Vec<u8>,
+    /// Primary decode buffer (filter column / aggregated column).
+    pub decode: Vec<u64>,
+    /// Secondary decode buffer (group-by value column).
+    pub decode2: Vec<u64>,
+    /// Selection bitmap; morsel-local (`reset` per morsel) in parallel scans,
+    /// table-global in the single-threaded drivers.
+    pub sel: Bitmap,
+    /// Partial `GROUP BY` aggregates: id → (sum, count).
+    pub groups: HashMap<u64, (u128, u64)>,
+    /// Partial sum aggregate.
+    pub sum: u128,
+    /// Rows that passed the filter so far.
+    pub selected: u64,
+    /// Per-worker time/IO accounting, merged into the query total at the end.
+    pub stats: QueryStats,
+}
+
+impl ScanScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another worker's partial aggregates and stats into this one.
+    /// Integer sums and counts merge exactly, which is what makes parallel
+    /// results bit-identical to the single-threaded ones.
+    pub fn merge(&mut self, other: ScanScratch) {
+        for (id, (sum, count)) in other.groups {
+            let entry = self.groups.entry(id).or_insert((0, 0));
+            entry.0 += sum;
+            entry.1 += count;
+        }
+        self.sum += other.sum;
+        self.selected += other.selected;
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// Turn merged `GROUP BY` partials into the driver result shape: `(id, avg)`
+/// pairs sorted by id.  The division happens once, after all integer partials
+/// are merged, so the result does not depend on how work was split.
+pub fn finalize_group_avgs(groups: &HashMap<u64, (u128, u64)>) -> Vec<(u64, f64)> {
+    let mut out: Vec<(u64, f64)> = groups
+        .iter()
+        .map(|(&id, &(sum, count))| (id, sum as f64 / count as f64))
+        .collect();
+    out.sort_unstable_by_key(|&(id, _)| id);
+    out
+}
+
+/// Evaluate `lo <= value <= hi` over one encoded chunk, setting qualifying
+/// positions (offset by `base`) in `sel`.
+///
+/// Stateless per-morsel kernel: `base` is the chunk's first row inside `sel`
+/// (the row-group start for a table-global bitmap, 0 for a morsel-local one),
+/// and `decode` is a reusable scratch buffer for the unsorted path.  Does not
+/// touch `sel` outside `[base, base + chunk.len())`.
+pub fn filter_chunk(
+    chunk: &EncodedColumn,
+    lo: u64,
+    hi: u64,
+    sorted: bool,
+    base: usize,
+    sel: &mut Bitmap,
+    decode: &mut Vec<u64>,
+) {
+    if sorted {
+        let from = chunk.lower_bound_sorted(lo);
+        let to = chunk.lower_bound_sorted(hi.saturating_add(1));
+        sel.set_range(base + from, base + to);
+    } else {
+        decode.clear();
+        chunk.decode_into(decode);
+        for (local, &v) in decode.iter().enumerate() {
+            if (lo..=hi).contains(&v) {
+                sel.set(base + local);
+            }
+        }
     }
 }
 
@@ -53,6 +165,7 @@ pub fn filter_range(
     stats: &mut QueryStats,
 ) -> std::io::Result<Bitmap> {
     let mut bitmap = Bitmap::new(file.num_rows());
+    let reader = file.chunk_reader()?;
     // One decode buffer reused across row groups: the chunks feed it through
     // the word-parallel `decode_into` bulk path, so an unsorted scan costs a
     // single allocation regardless of the number of row groups.
@@ -60,24 +173,13 @@ pub fn filter_range(
     for rg in 0..file.num_row_groups() {
         let (zmin, zmax) = file.zone_map(rg, col);
         if zmax < lo || zmin > hi {
+            stats.row_groups_pruned += 1;
             continue; // zone-map skip: no I/O, no CPU
         }
-        let chunk = file.read_chunk(rg, col, stats)?;
+        let chunk = reader.read_chunk(rg, col, stats)?;
         let (row_start, _) = file.row_group_range(rg);
         let cpu = Instant::now();
-        if sorted {
-            let from = chunk.lower_bound_sorted(lo);
-            let to = chunk.lower_bound_sorted(hi.saturating_add(1));
-            bitmap.set_range(row_start + from, row_start + to);
-        } else {
-            scratch.clear();
-            chunk.decode_into(&mut scratch);
-            for (local, &v) in scratch.iter().enumerate() {
-                if (lo..=hi).contains(&v) {
-                    bitmap.set(row_start + local);
-                }
-            }
-        }
+        filter_chunk(chunk, lo, hi, sorted, row_start, &mut bitmap, &mut scratch);
         stats.cpu_seconds += cpu.elapsed().as_secs_f64();
     }
     Ok(bitmap)
@@ -102,44 +204,70 @@ pub fn group_by_avg(
     bitmap: &Bitmap,
     stats: &mut QueryStats,
 ) -> std::io::Result<Vec<(u64, f64)>> {
-    let mut sums: HashMap<u64, (u128, u64)> = HashMap::new();
-    let mut id_buf: Vec<u64> = Vec::new();
-    let mut val_buf: Vec<u64> = Vec::new();
+    let reader = file.chunk_reader()?;
+    let mut scratch = ScanScratch::new();
     for rg in 0..file.num_row_groups() {
         let (row_start, row_end) = file.row_group_range(rg);
-        let selected = bitmap.count_ones_in(row_start, row_end);
-        if selected == 0 {
+        if bitmap.count_ones_in(row_start, row_end) == 0 {
+            stats.row_groups_pruned += 1;
             continue; // row-group skip
         }
-        let ids = file.read_chunk(rg, id_col, stats)?;
-        let vals = file.read_chunk(rg, val_col, stats)?;
+        let ids = reader.read_chunk(rg, id_col, stats)?;
+        let vals = reader.read_chunk(rg, val_col, stats)?;
         let cpu = Instant::now();
-        let dense = selected * DENSE_DIVISOR >= row_end - row_start;
-        if dense {
-            id_buf.clear();
-            val_buf.clear();
-            ids.decode_into(&mut id_buf);
-            vals.decode_into(&mut val_buf);
-        }
-        for pos in bitmap.iter_ones_in(row_start, row_end) {
-            let local = pos - row_start;
-            let (id, val) = if dense {
-                (id_buf[local], val_buf[local])
-            } else {
-                (ids.get(local), vals.get(local))
-            };
-            let entry = sums.entry(id).or_insert((0, 0));
-            entry.0 += val as u128;
-            entry.1 += 1;
-        }
+        group_by_avg_chunk(
+            ids,
+            vals,
+            bitmap,
+            row_start,
+            &mut scratch.decode,
+            &mut scratch.decode2,
+            &mut scratch.groups,
+        );
         stats.cpu_seconds += cpu.elapsed().as_secs_f64();
     }
-    let mut out: Vec<(u64, f64)> = sums
-        .into_iter()
-        .map(|(id, (sum, count))| (id, sum as f64 / count as f64))
-        .collect();
-    out.sort_unstable_by_key(|&(id, _)| id);
-    Ok(out)
+    Ok(finalize_group_avgs(&scratch.groups))
+}
+
+/// `GROUP BY`-average accumulation over one row group's id/value chunks.
+///
+/// Stateless per-morsel kernel: consults the selection positions
+/// `[base, base + ids.len())` of `sel`, accumulating integer `(sum, count)`
+/// partials into `groups`.  Sparse selections random-access only the
+/// qualifying positions (late materialisation); dense ones bulk-decode both
+/// chunks into the scratch buffers first.
+pub fn group_by_avg_chunk(
+    ids: &EncodedColumn,
+    vals: &EncodedColumn,
+    sel: &Bitmap,
+    base: usize,
+    id_buf: &mut Vec<u64>,
+    val_buf: &mut Vec<u64>,
+    groups: &mut HashMap<u64, (u128, u64)>,
+) {
+    let rows = ids.len();
+    let selected = sel.count_ones_in(base, base + rows);
+    if selected == 0 {
+        return;
+    }
+    let dense = selected * DENSE_DIVISOR >= rows;
+    if dense {
+        id_buf.clear();
+        val_buf.clear();
+        ids.decode_into(id_buf);
+        vals.decode_into(val_buf);
+    }
+    for pos in sel.iter_ones_in(base, base + rows) {
+        let local = pos - base;
+        let (id, val) = if dense {
+            (id_buf[local], val_buf[local])
+        } else {
+            (ids.get(local), vals.get(local))
+        };
+        let entry = groups.entry(id).or_insert((0, 0));
+        entry.0 += val as u128;
+        entry.1 += 1;
+    }
 }
 
 /// Bitmap aggregation (§5.1.2): sum of the selected positions of one column.
@@ -151,32 +279,54 @@ pub fn sum_selected(
     bitmap: &Bitmap,
     stats: &mut QueryStats,
 ) -> std::io::Result<u128> {
+    let reader = file.chunk_reader()?;
     let mut total: u128 = 0;
     let mut buf: Vec<u64> = Vec::new();
     for rg in 0..file.num_row_groups() {
         let (row_start, row_end) = file.row_group_range(rg);
-        let selected = bitmap.count_ones_in(row_start, row_end);
-        if selected == 0 {
+        if bitmap.count_ones_in(row_start, row_end) == 0 {
+            stats.row_groups_pruned += 1;
             continue;
         }
-        let chunk = file.read_chunk(rg, col, stats)?;
+        let chunk = reader.read_chunk(rg, col, stats)?;
         let cpu = Instant::now();
-        let dense = selected * DENSE_DIVISOR >= row_end - row_start;
-        if dense {
-            buf.clear();
-            chunk.decode_into(&mut buf);
-        }
-        for pos in bitmap.iter_ones_in(row_start, row_end) {
-            let local = pos - row_start;
-            total += if dense {
-                buf[local] as u128
-            } else {
-                chunk.get(local) as u128
-            };
-        }
+        total += sum_selected_chunk(chunk, bitmap, row_start, &mut buf);
         stats.cpu_seconds += cpu.elapsed().as_secs_f64();
     }
     Ok(total)
+}
+
+/// Sum-aggregation over one row group's chunk: adds up the values at the
+/// selection positions `[base, base + chunk.len())` of `sel`.
+///
+/// Stateless per-morsel kernel with the same dense/sparse split as
+/// [`group_by_avg_chunk`]; `buf` is the reusable bulk-decode scratch.
+pub fn sum_selected_chunk(
+    chunk: &EncodedColumn,
+    sel: &Bitmap,
+    base: usize,
+    buf: &mut Vec<u64>,
+) -> u128 {
+    let rows = chunk.len();
+    let selected = sel.count_ones_in(base, base + rows);
+    if selected == 0 {
+        return 0;
+    }
+    let dense = selected * DENSE_DIVISOR >= rows;
+    if dense {
+        buf.clear();
+        chunk.decode_into(buf);
+    }
+    let mut total: u128 = 0;
+    for pos in sel.iter_ones_in(base, base + rows) {
+        let local = pos - base;
+        total += if dense {
+            buf[local] as u128
+        } else {
+            chunk.get(local) as u128
+        };
+    }
+    total
 }
 
 #[cfg(test)]
@@ -290,7 +440,92 @@ mod tests {
             narrow.io_bytes,
             wide.io_bytes
         );
+        // The chunk counters prove the pruning: one group read, four pruned.
+        assert_eq!(narrow.chunks_read, 1);
+        assert_eq!(narrow.row_groups_pruned as usize, file.num_row_groups() - 1);
+        assert_eq!(wide.chunks_read as usize, file.num_row_groups());
+        assert_eq!(wide.row_groups_pruned, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_kernels_match_drivers() {
+        // Drive the stateless per-chunk kernels by hand (morsel-local
+        // bitmaps, base 0) and check they reproduce the drivers' answers.
+        let (file, ts, id, val, path) = build(30_000, Encoding::Leco, "kernels");
+        let (lo, hi) = (4_000u64, 40_000u64);
+        let mut stats = QueryStats::default();
+        let reader = file.chunk_reader().unwrap();
+        let mut scratch = ScanScratch::new();
+        for rg in 0..file.num_row_groups() {
+            let (row_start, row_end) = file.row_group_range(rg);
+            let (zmin, zmax) = file.zone_map(rg, 0);
+            if zmax < lo || zmin > hi {
+                continue;
+            }
+            let ts_chunk = reader.read_chunk(rg, 0, &mut scratch.stats).unwrap();
+            scratch.sel.reset(row_end - row_start);
+            filter_chunk(
+                ts_chunk,
+                lo,
+                hi,
+                true,
+                0,
+                &mut scratch.sel,
+                &mut scratch.decode,
+            );
+            scratch.selected += scratch.sel.count_ones() as u64;
+            let ids = reader.read_chunk(rg, 1, &mut scratch.stats).unwrap();
+            let vals = reader.read_chunk(rg, 2, &mut scratch.stats).unwrap();
+            group_by_avg_chunk(
+                ids,
+                vals,
+                &scratch.sel,
+                0,
+                &mut scratch.decode,
+                &mut scratch.decode2,
+                &mut scratch.groups,
+            );
+            scratch.sum += sum_selected_chunk(vals, &scratch.sel, 0, &mut scratch.decode);
+        }
+        let got = finalize_group_avgs(&scratch.groups);
+        let expected = reference_query(&ts, &id, &val, lo, hi);
+        assert_eq!(got, expected);
+        let expected_sum: u128 = (0..ts.len())
+            .filter(|&i| (lo..=hi).contains(&ts[i]))
+            .map(|i| val[i] as u128)
+            .sum();
+        assert_eq!(scratch.sum, expected_sum);
+        let expected_selected = ts.iter().filter(|&&t| (lo..=hi).contains(&t)).count() as u64;
+        assert_eq!(scratch.selected, expected_selected);
+        stats.merge(&scratch.stats);
+        assert!(stats.chunks_read > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scratch_merge_combines_partials_exactly() {
+        let mut a = ScanScratch::new();
+        a.groups.insert(1, (10, 2));
+        a.groups.insert(2, (5, 1));
+        a.sum = 100;
+        a.selected = 3;
+        let mut b = ScanScratch::new();
+        b.groups.insert(2, (7, 3));
+        b.groups.insert(3, (1, 1));
+        b.sum = 11;
+        b.selected = 4;
+        b.stats.io_bytes = 9;
+        a.merge(b);
+        assert_eq!(a.groups[&1], (10, 2));
+        assert_eq!(a.groups[&2], (12, 4));
+        assert_eq!(a.groups[&3], (1, 1));
+        assert_eq!(a.sum, 111);
+        assert_eq!(a.selected, 7);
+        assert_eq!(a.stats.io_bytes, 9);
+        let avgs = finalize_group_avgs(&a.groups);
+        assert_eq!(avgs[0], (1, 5.0));
+        assert_eq!(avgs[1], (2, 3.0));
     }
 
     #[test]
@@ -352,14 +587,20 @@ mod tests {
             io_bytes: 10,
             io_seconds: 1.0,
             cpu_seconds: 2.0,
+            chunks_read: 3,
+            row_groups_pruned: 1,
         };
         let b = QueryStats {
             io_bytes: 5,
             io_seconds: 0.5,
             cpu_seconds: 0.25,
+            chunks_read: 2,
+            row_groups_pruned: 4,
         };
         a.merge(&b);
         assert_eq!(a.io_bytes, 15);
+        assert_eq!(a.chunks_read, 5);
+        assert_eq!(a.row_groups_pruned, 5);
         assert!((a.total_seconds() - 3.75).abs() < 1e-12);
     }
 }

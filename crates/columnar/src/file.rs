@@ -10,7 +10,9 @@
 use crate::encoding::{EncodedColumn, Encoding};
 use crate::exec::QueryStats;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
+#[cfg(not(unix))]
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -180,32 +182,40 @@ impl TableFile {
         (c.min, c.max)
     }
 
+    /// Open a [`ChunkReader`] over this file: one shared descriptor through
+    /// which any number of workers can read chunks concurrently.
+    pub fn chunk_reader(&self) -> std::io::Result<ChunkReader<'_>> {
+        Ok(ChunkReader {
+            table: self,
+            file: PositionedFile::open(&self.path)?,
+        })
+    }
+
+    /// Stored (possibly block-compressed) length in bytes of chunk
+    /// `(rg, col)` — what one positioned read of that chunk transfers.
+    pub fn chunk_stored_len(&self, rg: usize, col: usize) -> u64 {
+        self.row_groups[rg].chunks[col].stored_len
+    }
+
+    /// The in-memory encoded column of chunk `(rg, col)`, without charging
+    /// any I/O.  Compute-only consumers (e.g. a worker whose chunk bytes were
+    /// already fetched by the read-ahead stage) use this directly.
+    pub fn chunk_encoded(&self, rg: usize, col: usize) -> &EncodedColumn {
+        &self.row_groups[rg].columns[col]
+    }
+
     /// Read the chunk's bytes back from disk (charging I/O, and CPU for block
     /// decompression) and return the in-memory encoded column for compute.
+    ///
+    /// Convenience wrapper that opens a fresh [`ChunkReader`] per call; scans
+    /// that touch many chunks should open one reader and reuse it.
     pub fn read_chunk(
         &self,
         rg: usize,
         col: usize,
         stats: &mut QueryStats,
     ) -> std::io::Result<&EncodedColumn> {
-        let group = &self.row_groups[rg];
-        let meta = &group.chunks[col];
-        let io_start = Instant::now();
-        let mut file = File::open(&self.path)?;
-        file.seek(SeekFrom::Start(meta.offset))?;
-        let mut buf = vec![0u8; meta.stored_len as usize];
-        file.read_exact(&mut buf)?;
-        stats.io_seconds += io_start.elapsed().as_secs_f64();
-        stats.io_bytes += meta.stored_len;
-        if self.options.block_compression == BlockCompression::Lzb {
-            let cpu_start = Instant::now();
-            let decompressed = leco_codecs::lzb::decompress(&buf);
-            stats.cpu_seconds += cpu_start.elapsed().as_secs_f64();
-            // The decode path uses the in-memory column; assert the stored
-            // image still matches its size so corruption cannot go unnoticed.
-            debug_assert_eq!(decompressed.len(), group.columns[col].size_bytes());
-        }
-        Ok(&group.columns[col])
+        self.chunk_reader()?.read_chunk(rg, col, stats)
     }
 
     /// Sum of the encoded chunk sizes of one column across row groups
@@ -215,6 +225,114 @@ impl TableFile {
             .iter()
             .map(|g| g.columns[col].size_bytes() as u64)
             .sum()
+    }
+}
+
+/// One open file descriptor supporting positioned (`pread`-style) reads that
+/// take `&self`, so concurrent readers never contend on a seek cursor.
+#[derive(Debug)]
+struct PositionedFile {
+    file: File,
+    /// Non-unix platforms lack a positioned read on `&File`; serialise
+    /// seek+read pairs behind a lock there instead.
+    #[cfg(not(unix))]
+    cursor: std::sync::Mutex<()>,
+}
+
+impl PositionedFile {
+    fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            file: File::open(path)?,
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
+        })
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        let _guard = self.cursor.lock().unwrap_or_else(|e| e.into_inner());
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+/// The immutable read half of a [`TableFile`]: a shared descriptor plus a
+/// borrow of the table's metadata and in-memory encodings.
+///
+/// Every method takes `&self`, and the underlying reads are positioned
+/// (`pread`), so one `ChunkReader` can be shared by a whole pool of scan
+/// workers without a mutex around the file cursor.  Per-worker mutable state
+/// (decode buffers, selection bitmaps, partial aggregates) lives in
+/// [`crate::exec::ScanScratch`] instead.
+#[derive(Debug)]
+pub struct ChunkReader<'a> {
+    table: &'a TableFile,
+    file: PositionedFile,
+}
+
+impl<'a> ChunkReader<'a> {
+    /// The table this reader was opened on.
+    pub fn table(&self) -> &'a TableFile {
+        self.table
+    }
+
+    /// Read the stored bytes of chunk `(rg, col)` into `buf` (overwriting
+    /// it), charging I/O to `stats`.  Returns the number of bytes read.
+    pub fn read_chunk_bytes(
+        &self,
+        rg: usize,
+        col: usize,
+        buf: &mut Vec<u8>,
+        stats: &mut QueryStats,
+    ) -> std::io::Result<u64> {
+        let meta = &self.table.row_groups[rg].chunks[col];
+        let io_start = Instant::now();
+        buf.clear();
+        buf.resize(meta.stored_len as usize, 0);
+        self.file.read_exact_at(buf, meta.offset)?;
+        stats.io_seconds += io_start.elapsed().as_secs_f64();
+        stats.io_bytes += meta.stored_len;
+        stats.chunks_read += 1;
+        Ok(meta.stored_len)
+    }
+
+    /// Read chunk `(rg, col)` — I/O plus block decompression if the file is
+    /// block-compressed — and return the in-memory encoded column for
+    /// compute.  `stats` is charged for the I/O and decompression CPU.
+    pub fn read_chunk(
+        &self,
+        rg: usize,
+        col: usize,
+        stats: &mut QueryStats,
+    ) -> std::io::Result<&'a EncodedColumn> {
+        let mut buf = Vec::new();
+        self.read_chunk_bytes(rg, col, &mut buf, stats)?;
+        self.decompress_chunk(rg, col, &buf, stats);
+        Ok(self.table.chunk_encoded(rg, col))
+    }
+
+    /// Block-decompress stored chunk bytes (no-op when the file is not
+    /// block-compressed), charging CPU to `stats`.  Split out of
+    /// [`Self::read_chunk`] so a read-ahead stage can run it off the workers'
+    /// critical path.
+    pub fn decompress_chunk(&self, rg: usize, col: usize, stored: &[u8], stats: &mut QueryStats) {
+        if self.table.options.block_compression == BlockCompression::Lzb {
+            let cpu_start = Instant::now();
+            let decompressed = leco_codecs::lzb::decompress(stored);
+            stats.cpu_seconds += cpu_start.elapsed().as_secs_f64();
+            // The decode path uses the in-memory column; assert the stored
+            // image still matches its size so corruption cannot go unnoticed.
+            debug_assert_eq!(
+                decompressed.len(),
+                self.table.chunk_encoded(rg, col).size_bytes()
+            );
+        }
     }
 }
 
@@ -262,6 +380,45 @@ mod tests {
         let (start, _) = file.row_group_range(1);
         assert_eq!(chunk.get(0), cols[2][start]);
         assert!(stats.io_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_reader_shared_across_threads() {
+        let (names, cols) = sample_columns(50_000);
+        let path = tmp("shared");
+        let file = TableFile::write(
+            &path,
+            &names,
+            &cols,
+            TableFileOptions {
+                encoding: Encoding::Leco,
+                row_group_size: 10_000,
+                block_compression: BlockCompression::None,
+            },
+        )
+        .unwrap();
+        // One reader, one descriptor; positioned reads from many threads at
+        // once must all see the right bytes (no shared-cursor corruption).
+        let reader = file.chunk_reader().unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let reader = &reader;
+                let cols = &cols;
+                let file = &file;
+                scope.spawn(move || {
+                    for rg in 0..file.num_row_groups() {
+                        let col = (rg + t) % 3;
+                        let mut stats = QueryStats::default();
+                        let chunk = reader.read_chunk(rg, col, &mut stats).unwrap();
+                        let (start, _) = file.row_group_range(rg);
+                        assert_eq!(chunk.get(17), cols[col][start + 17]);
+                        assert_eq!(stats.chunks_read, 1);
+                        assert_eq!(stats.io_bytes, file.chunk_stored_len(rg, col));
+                    }
+                });
+            }
+        });
         std::fs::remove_file(&path).ok();
     }
 

@@ -40,5 +40,5 @@ pub mod file;
 
 pub use bitmap::Bitmap;
 pub use encoding::{EncodedColumn, Encoding};
-pub use exec::{group_by_avg, sum_selected, QueryStats};
-pub use file::{BlockCompression, TableFile, TableFileOptions};
+pub use exec::{group_by_avg, sum_selected, QueryStats, ScanScratch};
+pub use file::{BlockCompression, ChunkReader, TableFile, TableFileOptions};

@@ -1,0 +1,168 @@
+//! The read-ahead stage: overlap chunk I/O with worker compute.
+//!
+//! A dedicated prefetch thread walks the morsel schedule *in order*, reading
+//! each upcoming morsel's column-chunk bytes from the shared
+//! [`ChunkReader`](leco_columnar::ChunkReader) and block-decompressing them,
+//! while the workers decode and aggregate the morsels already fetched.  The
+//! artifacts of a prefetch — the I/O + decompression charge recorded in a
+//! [`QueryStats`] — are parked in a bounded buffer keyed by morsel index.
+//!
+//! Workers never *wait* on the prefetcher: a worker first tries to claim its
+//! morsel's prefetched entry, and on a miss (the prefetcher hasn't reached
+//! it, or a steal reordered consumption) simply performs the read itself and
+//! marks the morsel claimed so the prefetcher skips it.  That single rule
+//! makes the stage deadlock-free by construction: workers only ever take,
+//! and the only blocking wait (the prefetcher's, when the buffer is full)
+//! times out and re-checks the stop flag.
+
+use leco_columnar::QueryStats;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Condvar;
+use std::time::Duration;
+
+/// How many morsels the prefetcher may run ahead of the slowest consumed
+/// one.  Small multiples of the worker count keep the buffered chunk bytes
+/// bounded while still hiding one row group of I/O latency per worker.
+pub(crate) fn read_ahead_budget(n_threads: usize) -> usize {
+    (2 * n_threads).clamp(2, 64)
+}
+
+#[derive(Default)]
+struct PrefetchState {
+    /// Morsel → the I/O/CPU charge of its completed prefetch.
+    ready: HashMap<usize, QueryStats>,
+    /// Morsels a worker already handled itself; the prefetcher skips these,
+    /// and a late prefetch result for one is dropped.
+    claimed: HashSet<usize>,
+}
+
+/// Shared hand-off buffer between the prefetch thread and the workers.
+pub(crate) struct PrefetchBuffer {
+    state: Mutex<PrefetchState>,
+    /// Signalled when buffer space frees up or the scan stops.
+    space: Condvar,
+    stop: AtomicBool,
+    budget: usize,
+}
+
+// The std Condvar pairs with the vendored parking_lot mutex because the
+// shim's guard *is* a std guard; see `vendor/parking_lot`.
+impl PrefetchBuffer {
+    pub(crate) fn new(n_threads: usize) -> Self {
+        Self {
+            state: Mutex::new(PrefetchState::default()),
+            space: Condvar::new(),
+            stop: AtomicBool::new(false),
+            budget: read_ahead_budget(n_threads),
+        }
+    }
+
+    /// Worker side: claim morsel `m`.  Returns the prefetched stats charge if
+    /// the read-ahead got there first, `None` if the worker must do its own
+    /// I/O.  Either way the morsel is marked claimed.
+    pub(crate) fn claim(&self, m: usize) -> Option<QueryStats> {
+        let mut state = self.state.lock();
+        state.claimed.insert(m);
+        let hit = state.ready.remove(&m);
+        drop(state);
+        if hit.is_some() {
+            // Space freed: the prefetcher may move on.
+            self.space.notify_all();
+        }
+        hit
+    }
+
+    /// Prefetcher side: true if morsel `m` still needs fetching.
+    pub(crate) fn should_fetch(&self, m: usize) -> bool {
+        !self.stopped() && !self.state.lock().claimed.contains(&m)
+    }
+
+    /// Prefetcher side: deposit the finished charge for morsel `m` (dropped
+    /// if a worker claimed it while the fetch was in flight), then block
+    /// until there is buffer space for the *next* fetch.
+    pub(crate) fn deposit(&self, m: usize, stats: QueryStats) {
+        let mut state = self.state.lock();
+        if !state.claimed.contains(&m) {
+            state.ready.insert(m, stats);
+        }
+        while state.ready.len() >= self.budget && !self.stopped() {
+            let (next, _timeout) = self
+                .space
+                .wait_timeout(state, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+
+    /// Ask the prefetcher to wind down (scan finished or poisoned).
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.space.notify_all();
+    }
+
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Residual I/O charge of prefetched-but-unclaimed morsels, folded into
+    /// the query total at the end so prefetch I/O is never unaccounted for.
+    pub(crate) fn drain_residual(&self) -> QueryStats {
+        let mut state = self.state.lock();
+        let mut total = QueryStats::default();
+        for (_, stats) in state.ready.drain() {
+            total.merge(&stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_before_deposit_drops_late_result() {
+        let buf = PrefetchBuffer::new(2);
+        assert!(buf.claim(5).is_none());
+        assert!(!buf.should_fetch(5));
+        let stats = QueryStats {
+            io_bytes: 100,
+            ..Default::default()
+        };
+        buf.deposit(5, stats); // late: must be dropped
+        assert_eq!(buf.drain_residual(), QueryStats::default());
+    }
+
+    #[test]
+    fn deposit_then_claim_hands_over_stats() {
+        let buf = PrefetchBuffer::new(2);
+        let stats = QueryStats {
+            io_bytes: 7,
+            chunks_read: 1,
+            ..Default::default()
+        };
+        buf.deposit(3, stats);
+        let got = buf.claim(3).expect("prefetched");
+        assert_eq!(got.io_bytes, 7);
+        assert!(buf.claim(3).is_none(), "claim is one-shot");
+    }
+
+    #[test]
+    fn full_buffer_blocks_until_claim_or_stop() {
+        let buf = PrefetchBuffer::new(1); // budget = 2
+        buf.deposit(0, QueryStats::default());
+        // Second deposit fills the buffer; it must return once stop() is
+        // called even though nobody claims.
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| buf.deposit(1, QueryStats::default()));
+            std::thread::sleep(Duration::from_millis(5));
+            buf.stop();
+            t.join().unwrap();
+        });
+        assert!(buf.stopped());
+        let residual = buf.drain_residual();
+        assert_eq!(residual, QueryStats::default());
+    }
+}

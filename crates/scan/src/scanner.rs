@@ -1,0 +1,471 @@
+//! The morsel-driven scan driver: plan → prune → prefetch → execute → merge.
+
+use crate::pool::{self, PoolError};
+use crate::prefetch::PrefetchBuffer;
+use leco_columnar::exec::{
+    filter_chunk, finalize_group_avgs, group_by_avg_chunk, sum_selected_chunk,
+};
+use leco_columnar::{ChunkReader, QueryStats, ScanScratch, TableFile};
+use std::time::Instant;
+
+/// Errors surfaced by [`Scanner::run`].
+#[derive(Debug)]
+pub enum ScanError {
+    /// Reading chunk bytes from the table file failed.
+    Io(std::io::Error),
+    /// A worker panicked; the scan was poisoned and aborted cleanly.
+    WorkerPanicked {
+        /// Index of the worker that panicked.
+        worker: usize,
+        /// Panic payload rendered as a string.
+        message: String,
+    },
+    /// A column name passed to the builder does not exist in the table.
+    ColumnNotFound(String),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Io(e) => write!(f, "scan I/O error: {e}"),
+            ScanError::WorkerPanicked { worker, message } => {
+                write!(f, "scan poisoned: worker {worker} panicked: {message}")
+            }
+            ScanError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScanError {
+    fn from(e: std::io::Error) -> Self {
+        ScanError::Io(e)
+    }
+}
+
+impl From<PoolError> for ScanError {
+    fn from(e: PoolError) -> Self {
+        let PoolError::WorkerPanicked { worker, message } = e;
+        ScanError::WorkerPanicked { worker, message }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FilterSpec {
+    col: usize,
+    lo: u64,
+    hi: u64,
+    sorted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Aggregate {
+    /// Count the selected rows (filter-only pipelines).
+    Count,
+    /// `SUM(col)` over the selected rows.
+    Sum { col: usize },
+    /// `AVG(val) GROUP BY id` over the selected rows.
+    GroupByAvg { id_col: usize, val_col: usize },
+}
+
+/// Result of a parallel scan.
+///
+/// All result fields are integer-derived and merged with exact arithmetic, so
+/// they are **bit-identical for every thread count**; only [`Self::stats`]
+/// (wall-clock charges) varies between runs.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// `(id, avg)` pairs sorted by id — empty unless group-by was requested.
+    pub groups: Vec<(u64, f64)>,
+    /// Sum aggregate — 0 unless a sum was requested.
+    pub sum: u128,
+    /// Rows passing the filter (all scanned rows when there is no filter).
+    pub rows_selected: u64,
+    /// Rows in the row groups that were actually scanned (after pruning).
+    pub rows_scanned: u64,
+    /// Morsels executed (row groups surviving zone-map pruning).
+    pub morsels: usize,
+    /// Merged per-query accounting, including the scheduler's pruning
+    /// counters and the read-ahead stage's I/O.
+    pub stats: QueryStats,
+}
+
+/// A composable filter → project → aggregate scan over a
+/// [`TableFile`], executed morsel-at-a-time by a work-stealing pool.
+///
+/// ```no_run
+/// use leco_columnar::{TableFile, TableFileOptions};
+/// use leco_scan::Scanner;
+///
+/// # fn demo(table: &TableFile) -> Result<(), leco_scan::ScanError> {
+/// let result = Scanner::new(table)
+///     .filter("ts", 1_000, 2_000)
+///     .sorted_filter(true)
+///     .group_by_avg("id", "val")
+///     .run(8)?;
+/// println!("{} groups, {:?}", result.groups.len(), result.stats);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scanner<'a> {
+    table: &'a TableFile,
+    filter: Option<FilterSpec>,
+    agg: Aggregate,
+    read_ahead: bool,
+    /// Test hook: panic while executing this global morsel index.
+    inject_panic_at: Option<usize>,
+}
+
+impl<'a> Scanner<'a> {
+    /// Start building a scan over `table`.  Without any other calls the scan
+    /// counts all rows.
+    pub fn new(table: &'a TableFile) -> Self {
+        Self {
+            table,
+            filter: None,
+            agg: Aggregate::Count,
+            read_ahead: true,
+            inject_panic_at: None,
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<usize, ScanError> {
+        self.table
+            .column_index(name)
+            .ok_or_else(|| ScanError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Push down the range predicate `lo <= col <= hi` (column by name).
+    ///
+    /// # Panics
+    /// Panics if the column does not exist; use [`Self::try_filter`] to
+    /// handle that case gracefully.
+    pub fn filter(self, col: &str, lo: u64, hi: u64) -> Self {
+        self.try_filter(col, lo, hi)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::filter`]: returns
+    /// [`ScanError::ColumnNotFound`] instead of panicking on a bad name.
+    pub fn try_filter(self, col: &str, lo: u64, hi: u64) -> Result<Self, ScanError> {
+        let idx = self.resolve(col)?;
+        Ok(self.filter_col(idx, lo, hi))
+    }
+
+    /// Push down the range predicate `lo <= col <= hi` (column by index).
+    pub fn filter_col(mut self, col: usize, lo: u64, hi: u64) -> Self {
+        self.filter = Some(FilterSpec {
+            col,
+            lo,
+            hi,
+            sorted: false,
+        });
+        self
+    }
+
+    /// Declare the filter column sorted, enabling the model-guided
+    /// binary-search filter (§5.1.1's computation pruning) instead of a
+    /// decode-and-compare pass.
+    pub fn sorted_filter(mut self, sorted: bool) -> Self {
+        if let Some(f) = &mut self.filter {
+            f.sorted = sorted;
+        }
+        self
+    }
+
+    /// Aggregate `AVG(val) GROUP BY id` over the selected rows (by name).
+    ///
+    /// # Panics
+    /// Panics if either column does not exist; use
+    /// [`Self::try_group_by_avg`] to handle that case gracefully.
+    pub fn group_by_avg(self, id_col: &str, val_col: &str) -> Self {
+        self.try_group_by_avg(id_col, val_col)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::group_by_avg`]: returns
+    /// [`ScanError::ColumnNotFound`] instead of panicking on a bad name.
+    pub fn try_group_by_avg(self, id_col: &str, val_col: &str) -> Result<Self, ScanError> {
+        let id = self.resolve(id_col)?;
+        let val = self.resolve(val_col)?;
+        Ok(self.group_by_avg_cols(id, val))
+    }
+
+    /// Aggregate `AVG(val) GROUP BY id` over the selected rows (by index).
+    pub fn group_by_avg_cols(mut self, id_col: usize, val_col: usize) -> Self {
+        self.agg = Aggregate::GroupByAvg { id_col, val_col };
+        self
+    }
+
+    /// Aggregate `SUM(col)` over the selected rows (by name).
+    ///
+    /// # Panics
+    /// Panics if the column does not exist; use [`Self::try_sum`] to handle
+    /// that case gracefully.
+    pub fn sum(self, col: &str) -> Self {
+        self.try_sum(col).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::sum`]: returns
+    /// [`ScanError::ColumnNotFound`] instead of panicking on a bad name.
+    pub fn try_sum(self, col: &str) -> Result<Self, ScanError> {
+        let idx = self.resolve(col)?;
+        Ok(self.sum_col(idx))
+    }
+
+    /// Aggregate `SUM(col)` over the selected rows (by index).
+    pub fn sum_col(mut self, col: usize) -> Self {
+        self.agg = Aggregate::Sum { col };
+        self
+    }
+
+    /// Only count the selected rows (the default).
+    pub fn count(mut self) -> Self {
+        self.agg = Aggregate::Count;
+        self
+    }
+
+    /// Enable or disable the read-ahead stage (on by default).  With it on, a
+    /// prefetch thread fetches and block-decompresses the next row group's
+    /// chunk bytes while the workers decode the current one.
+    pub fn read_ahead(mut self, enabled: bool) -> Self {
+        self.read_ahead = enabled;
+        self
+    }
+
+    /// Test hook: make whichever worker executes morsel `k` panic, to
+    /// exercise pool poisoning end-to-end.  Hidden from docs; not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn inject_panic_at_morsel(mut self, k: usize) -> Self {
+        self.inject_panic_at = Some(k);
+        self
+    }
+
+    /// Columns the scan must read per morsel, deduplicated.
+    fn needed_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        if let Some(f) = &self.filter {
+            cols.push(f.col);
+        }
+        match self.agg {
+            Aggregate::Count => {}
+            Aggregate::Sum { col } => cols.push(col),
+            Aggregate::GroupByAvg { id_col, val_col } => {
+                cols.push(id_col);
+                cols.push(val_col);
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Execute the scan on `n_threads` workers (clamped to at least 1).
+    pub fn run(&self, n_threads: usize) -> Result<ScanResult, ScanError> {
+        let n_threads = n_threads.max(1);
+        let table = self.table;
+        let mut sched_stats = QueryStats::default();
+
+        // ── Schedule: zone-map pruning happens here, before a morsel is
+        // ever enqueued, so pruned row groups cost the workers nothing.
+        let mut morsels: Vec<usize> = Vec::with_capacity(table.num_row_groups());
+        for rg in 0..table.num_row_groups() {
+            if let Some(f) = &self.filter {
+                let (zmin, zmax) = table.zone_map(rg, f.col);
+                if zmax < f.lo || zmin > f.hi {
+                    sched_stats.row_groups_pruned += 1;
+                    continue;
+                }
+            }
+            morsels.push(rg);
+        }
+        let columns = self.needed_columns();
+        let reader = table.chunk_reader()?;
+        let prefetch = PrefetchBuffer::new(n_threads);
+        let use_read_ahead = self.read_ahead && morsels.len() > 1;
+        // First worker-side I/O error; its presence makes the other workers
+        // bail at their next morsel, and the scan reports it as
+        // `ScanError::Io` after the pool drains.
+        let worker_io_error: parking_lot::Mutex<Option<std::io::Error>> =
+            parking_lot::Mutex::new(None);
+
+        let worker_states = std::thread::scope(|scope| {
+            // ── Read-ahead stage: walk the schedule in order, fetching and
+            // block-decompressing chunk bytes ahead of the workers.
+            let prefetch_handle = if use_read_ahead {
+                let reader = &reader;
+                let prefetch = &prefetch;
+                let morsels = &morsels;
+                let columns = &columns;
+                Some(scope.spawn(move || -> std::io::Result<()> {
+                    let mut buf = Vec::new();
+                    for (m, &rg) in morsels.iter().enumerate() {
+                        if prefetch.stopped() {
+                            break;
+                        }
+                        if !prefetch.should_fetch(m) {
+                            continue;
+                        }
+                        let mut stats = QueryStats::default();
+                        for &col in columns.iter() {
+                            reader.read_chunk_bytes(rg, col, &mut buf, &mut stats)?;
+                            reader.decompress_chunk(rg, col, &buf, &mut stats);
+                        }
+                        prefetch.deposit(m, stats);
+                    }
+                    Ok(())
+                }))
+            } else {
+                None
+            };
+
+            // ── Execute: work-stealing workers fold morsels into their
+            // private ScanScratch.
+            let result = pool::run_with_worker_state(
+                n_threads,
+                morsels.len(),
+                |_| ScanScratch::new(),
+                |scratch: &mut ScanScratch, m| {
+                    if self.inject_panic_at == Some(m) {
+                        panic!("injected scan fault at morsel {m}");
+                    }
+                    if worker_io_error.lock().is_some() {
+                        return; // scan already failing: drain cheaply
+                    }
+                    let rg = morsels[m];
+                    if let Err(e) =
+                        self.execute_morsel(&reader, &prefetch, rg, m, &columns, scratch)
+                    {
+                        let mut slot = worker_io_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                },
+            );
+            prefetch.stop();
+            let prefetch_result =
+                prefetch_handle.map(|h| h.join().expect("prefetcher does not panic"));
+            (result, prefetch_result)
+        });
+        let (pool_result, prefetch_result) = worker_states;
+        let states = pool_result?;
+        if let Some(e) = worker_io_error.lock().take() {
+            return Err(ScanError::Io(e));
+        }
+        if let Some(Err(e)) = prefetch_result {
+            return Err(ScanError::Io(e));
+        }
+
+        // ── Merge: integer partials fold exactly; the final division and
+        // sort happen once, so results are independent of the split.
+        let mut merged = ScanScratch::new();
+        for state in states {
+            merged.merge(state);
+        }
+        merged.stats.merge(&sched_stats);
+        merged.stats.merge(&prefetch.drain_residual());
+        let rows_scanned: u64 = morsels
+            .iter()
+            .map(|&rg| {
+                let (s, e) = table.row_group_range(rg);
+                (e - s) as u64
+            })
+            .sum();
+        Ok(ScanResult {
+            groups: finalize_group_avgs(&merged.groups),
+            sum: merged.sum,
+            rows_selected: merged.selected,
+            rows_scanned,
+            morsels: morsels.len(),
+            stats: merged.stats,
+        })
+    }
+
+    /// One morsel: claim (or perform) the I/O, then run the per-chunk
+    /// kernels against the worker's scratch.  A failed chunk read (truncated
+    /// or corrupt file) propagates up and surfaces as [`ScanError::Io`].
+    fn execute_morsel(
+        &self,
+        reader: &ChunkReader<'_>,
+        prefetch: &PrefetchBuffer,
+        rg: usize,
+        m: usize,
+        columns: &[usize],
+        scratch: &mut ScanScratch,
+    ) -> std::io::Result<()> {
+        // I/O: prefetched charge, or read the chunk bytes ourselves.
+        match prefetch.claim(m) {
+            Some(prefetched) => scratch.stats.merge(&prefetched),
+            None => {
+                let mut buf = std::mem::take(&mut scratch.io_buf);
+                for &col in columns {
+                    let read = reader.read_chunk_bytes(rg, col, &mut buf, &mut scratch.stats);
+                    if let Err(e) = read {
+                        scratch.io_buf = buf;
+                        return Err(e);
+                    }
+                    reader.decompress_chunk(rg, col, &buf, &mut scratch.stats);
+                }
+                scratch.io_buf = buf;
+            }
+        }
+
+        let (row_start, row_end) = self.table.row_group_range(rg);
+        let rows = row_end - row_start;
+        let cpu = Instant::now();
+
+        // Selection: morsel-local bitmap, reset in place (no allocation).
+        scratch.sel.reset(rows);
+        match &self.filter {
+            Some(f) => {
+                let chunk = self.table.chunk_encoded(rg, f.col);
+                filter_chunk(
+                    chunk,
+                    f.lo,
+                    f.hi,
+                    f.sorted,
+                    0,
+                    &mut scratch.sel,
+                    &mut scratch.decode,
+                );
+            }
+            None => scratch.sel.set_range(0, rows),
+        }
+        scratch.selected += scratch.sel.count_ones() as u64;
+
+        // Aggregate over the selection.
+        match self.agg {
+            Aggregate::Count => {}
+            Aggregate::Sum { col } => {
+                let chunk = self.table.chunk_encoded(rg, col);
+                scratch.sum += sum_selected_chunk(chunk, &scratch.sel, 0, &mut scratch.decode);
+            }
+            Aggregate::GroupByAvg { id_col, val_col } => {
+                let ids = self.table.chunk_encoded(rg, id_col);
+                let vals = self.table.chunk_encoded(rg, val_col);
+                group_by_avg_chunk(
+                    ids,
+                    vals,
+                    &scratch.sel,
+                    0,
+                    &mut scratch.decode,
+                    &mut scratch.decode2,
+                    &mut scratch.groups,
+                );
+            }
+        }
+        scratch.stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        Ok(())
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`bitpack`] (`leco-bitpack`) — bit-packing primitives.
 //! * [`datasets`] (`leco-datasets`) — reproducible data-set generators.
 //! * [`columnar`] (`leco-columnar`) — a mini columnar execution engine.
+//! * [`scan`] (`leco-scan`) — a morsel-driven parallel scan engine over
+//!   columnar table files.
 //! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
 //!
 //! The serialized column layout is specified byte-by-byte in
@@ -34,6 +36,7 @@ pub use leco_columnar as columnar;
 pub use leco_core as core;
 pub use leco_datasets as datasets;
 pub use leco_kvstore as kvstore;
+pub use leco_scan as scan;
 
 /// The most commonly used types, importable with `use leco::prelude::*`.
 pub mod prelude {
