@@ -34,14 +34,35 @@ fn bench_partitioners(c: &mut Criterion) {
     group.finish();
 }
 
+/// Split–merge throughput on the long-run timestamp workload whose cost
+/// model this crate re-tuned; `LECO_N`/`LECO_SCALE` scale it up (the
+/// ROADMAP's 200M-value runs) without recompiling.
+fn bench_split_merge_timestamps(c: &mut Criterion) {
+    let n = leco_bench::bench_size();
+    let values = generate(IntDataset::Timestamps, n, 42);
+    let mut group = c.benchmark_group("split_merge_timestamps");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+            std::hint::black_box(col.size_bytes())
+        })
+    });
+    group.finish();
+}
+
 fn bench_fit_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_linear_fit");
     let ys: Vec<f64> = generate(IntDataset::Booksale, 4_096, 42)
         .iter()
         .map(|&v| v as f64)
         .collect();
-    group.bench_function("minimax_linf", |b| {
+    group.bench_function("minimax_linf_hull", |b| {
         b.iter(|| std::hint::black_box(linear::fit_linear(&ys)))
+    });
+    group.bench_function("minimax_linf_ternary", |b| {
+        b.iter(|| std::hint::black_box(linear::fit_linear_ternary(&ys)))
     });
     group.bench_function("least_squares_l2", |b| {
         b.iter(|| std::hint::black_box(linear::fit_least_squares(&ys)))
@@ -49,5 +70,10 @@ fn bench_fit_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_fit_ablation);
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_split_merge_timestamps,
+    bench_fit_ablation
+);
 criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! CI benchmark-regression gate: compare current `BENCH_*.json` reports
+//! against the committed baselines in `BENCH_baseline/` and exit non-zero
+//! on any regression.
+//!
+//! ```text
+//! bench_check --baseline BENCH_baseline --current bench-current \
+//!             [--tolerance 0.5] [--benches fig10_micro,fig16_partitioners,scan]
+//! ```
+//!
+//! Compression ratios are compared exactly (they are deterministic given
+//! the pinned `LECO_N` and seeds); throughput and latency metrics fail only
+//! beyond `--tolerance` (relative), a tripwire for order-of-magnitude
+//! slowdowns that survives CI-runner variance.  See
+//! `leco_bench::check` for the per-benchmark rules.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use leco_bench::check::compare_reports;
+use leco_bench::report::Json;
+
+const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan";
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+    benches: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = PathBuf::from("BENCH_baseline");
+    let mut current = PathBuf::from(".");
+    let mut tolerance = 0.5f64;
+    let mut benches = DEFAULT_BENCHES.to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(value("--baseline")?),
+            "--current" => current = PathBuf::from(value("--current")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?
+            }
+            "--benches" => benches = value("--benches")?,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: bench_check --baseline DIR --current DIR \
+                     [--tolerance 0.5] [--benches {DEFAULT_BENCHES}]"
+                ))
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline,
+        current,
+        tolerance,
+        benches: benches.split(',').map(|s| s.trim().to_string()).collect(),
+    })
+}
+
+fn load(dir: &Path, bench: &str) -> Result<Json, String> {
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(text.trim()).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    for bench in &args.benches {
+        let pair = load(&args.baseline, bench).and_then(|b| Ok((b, load(&args.current, bench)?)));
+        let (baseline, current) = match pair {
+            Ok(pair) => pair,
+            Err(message) => {
+                eprintln!("FAIL  {bench}: {message}");
+                violations += 1;
+                continue;
+            }
+        };
+        let found = compare_reports(&baseline, &current, args.tolerance);
+        if found.is_empty() {
+            println!("ok    {bench}");
+        } else {
+            for v in &found {
+                eprintln!("FAIL  {v}");
+            }
+            violations += found.len();
+        }
+        checked += 1;
+    }
+    println!(
+        "bench_check: {checked} report(s) checked, {violations} violation(s) \
+         (ratio: exact, throughput/latency: within {:.1}x of baseline)",
+        1.0 + args.tolerance
+    );
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

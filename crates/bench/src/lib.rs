@@ -11,6 +11,10 @@
 //!   emitter/parser ([`report::Json`], [`report::BenchReport`]) through
 //!   which every `repro_*` binary also writes a machine-readable
 //!   `BENCH_*.json` (into `LECO_BENCH_DIR`, default the working directory).
+//! * [`check`] — benchmark-regression comparison against the committed
+//!   baselines in `BENCH_baseline/`: compression ratios exactly,
+//!   throughput/latency within a noise tolerance.  Driven by the
+//!   `bench_check` binary in CI's `bench-gate` job.
 //!
 //! Data-set sizes default to ~1M values and scale with the `LECO_SCALE`
 //! environment variable (see `leco-datasets`); individual binaries also
@@ -35,6 +39,7 @@
 //! assert!(encode(Scheme::EliasFano, &[3, 1, 2]).is_none());
 //! ```
 
+pub mod check;
 pub mod measure;
 pub mod report;
 pub mod scheme;

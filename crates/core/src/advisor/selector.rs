@@ -145,7 +145,7 @@ impl RegressorSelector {
         let mut best = (RegressorKind::Linear, usize::MAX);
         for &kind in &CANDIDATES {
             let (model, stats) = regressor::fit_checked(kind, values, &FitContext::default());
-            let cost = regressor::partition_cost_bits(&model, values.len(), stats.width);
+            let cost = regressor::partition_cost_bits_exact(&model, values.len(), &stats);
             if cost < best.1 {
                 best = (kind, cost);
             }
@@ -162,12 +162,12 @@ impl RegressorSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regressor::partition_cost_bits;
+    use crate::regressor::partition_cost_bits_exact;
 
     /// Helper: compressed cost of `values` under `kind`.
     fn cost(values: &[u64], kind: RegressorKind) -> usize {
         let (model, stats) = regressor::fit_checked(kind, values, &FitContext::default());
-        partition_cost_bits(&model, values.len(), stats.width)
+        partition_cost_bits_exact(&model, values.len(), &stats)
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl LecoCompressor {
                 let packed = (delta - stats.bias) as u128 as u64;
                 writer.write(packed, stats.width);
             }
-            let corrections = compute_corrections(&model, p.len);
+            // Only the θ₁-accumulation fallback decoder ever consults the
+            // correction list (`Model::needs_corrections`); partitions on
+            // the direct-evaluation fast path store none — format v2.
+            let corrections = model.drift_corrections(p.len);
             metas.push(PartitionMeta {
                 start: p.start as u64,
                 len: p.len as u32,
@@ -141,38 +144,6 @@ impl LecoCompressor {
         column.serialized_bytes = crate::format::serialized_size(&column);
         column
     }
-}
-
-/// For a linear model, the local positions where accumulating θ₁ gives a
-/// different floor than evaluating the model exactly (§3.3's range-decoding
-/// correction list).
-fn compute_corrections(model: &Model, len: usize) -> Vec<u32> {
-    let (theta0, theta1) = match model {
-        Model::Linear { theta0, theta1 } => (*theta0, *theta1),
-        _ => return Vec::new(),
-    };
-    let mut corrections = Vec::new();
-    let mut acc = theta0;
-    for local in 0..len {
-        if local > 0 {
-            acc += theta1;
-        }
-        let exact = model.predict_floor(local);
-        let accumulated = acc.floor();
-        let accumulated = if accumulated.is_nan() {
-            0
-        } else if accumulated >= i128::MAX as f64 {
-            i128::MAX
-        } else if accumulated <= i128::MIN as f64 {
-            i128::MIN
-        } else {
-            accumulated as i128
-        };
-        if accumulated != exact {
-            corrections.push(local as u32);
-        }
-    }
-    corrections
 }
 
 /// A compressed, immutable LeCo column.
@@ -224,6 +195,15 @@ impl CompressedColumn {
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// The `(start, len)` span of every partition, in order — the layout the
+    /// partitioner chose.  Useful for auditing partition decisions and for
+    /// reconciling the cost model against the serialized size.
+    pub fn partition_spans(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.partitions
+            .iter()
+            .map(|p| (p.start as usize, p.len as usize))
     }
 
     /// Original value width in bytes.

@@ -3,14 +3,19 @@
 //! Layout (all integers little endian):
 //!
 //! ```text
-//! magic "LECO" | version u8 | flags u8 | value_width u8
+//! magic "LECO" | version u8 (2) | flags u8 | value_width u8
 //! | len varint | num_partitions varint | [fixed_len varint if flags & FIXED]
 //! then, per partition:
 //!   len varint | model (tag + params) | bias zigzag-varint(i128) | width u8
-//!   | num_corrections varint | corrections (varint deltas)
+//!   | correction block (num_corrections varint + varint deltas) — PRESENT
+//!     ONLY IF `Model::needs_corrections(len)`, i.e. only when the
+//!     θ₁-accumulation fallback decoder would actually consult it
 //! then the payload:
 //!   payload_bits varint | packed u64 words
 //! ```
+//!
+//! Version 1 buffers (correction block unconditionally present, and written
+//! even for partitions whose decoder never reads it) remain readable.
 //!
 //! Partition start positions and payload bit offsets are *derivable* (prefix
 //! sums of the partition lengths and `len·width` products) and therefore not
@@ -21,7 +26,9 @@ use crate::column::{CompressedColumn, PartitionMeta};
 use crate::model::{Model, SineTerm};
 
 const MAGIC: &[u8; 4] = b"LECO";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Oldest version this decoder still reads.
+const MIN_VERSION: u8 = 1;
 const FLAG_FIXED: u8 = 1;
 
 /// Error returned when deserialization fails.
@@ -51,7 +58,7 @@ impl std::error::Error for FormatError {}
 // primitive writers / readers
 // ---------------------------------------------------------------------------
 
-fn write_varint(out: &mut Vec<u8>, mut v: u128) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u128) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -63,7 +70,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u128) {
     }
 }
 
-fn varint_len(mut v: u128) -> usize {
+pub(crate) fn varint_len(mut v: u128) -> usize {
     let mut n = 1;
     while v >= 0x80 {
         v >>= 7;
@@ -72,7 +79,7 @@ fn varint_len(mut v: u128) -> usize {
     n
 }
 
-fn zigzag_i128(v: i128) -> u128 {
+pub(crate) fn zigzag_i128(v: i128) -> u128 {
     ((v << 1) ^ (v >> 127)) as u128
 }
 
@@ -265,11 +272,17 @@ pub fn to_bytes(col: &CompressedColumn) -> Vec<u8> {
         write_model(&mut out, &p.model);
         write_varint(&mut out, zigzag_i128(p.bias));
         out.push(p.width);
-        write_varint(&mut out, p.corrections.len() as u128);
-        let mut prev = 0u32;
-        for &c in &p.corrections {
-            write_varint(&mut out, (c - prev) as u128);
-            prev = c;
+        // v2: the correction block exists only when the θ₁-accumulation
+        // fallback decoder will consult it.  (Columns loaded from v1 buffers
+        // may carry vestigial correction lists for fast-path partitions;
+        // re-serializing sheds them.)
+        if p.model.needs_corrections(p.len as usize) {
+            write_varint(&mut out, p.corrections.len() as u128);
+            let mut prev = 0u32;
+            for &c in &p.corrections {
+                write_varint(&mut out, (c - prev) as u128);
+                prev = c;
+            }
         }
     }
     write_varint(&mut out, col.payload_bits as u128);
@@ -292,11 +305,13 @@ pub fn serialized_size(col: &CompressedColumn) -> usize {
         size += p.model.size_bytes();
         size += varint_len(zigzag_i128(p.bias));
         size += 1; // width
-        size += varint_len(p.corrections.len() as u128);
-        let mut prev = 0u32;
-        for &c in &p.corrections {
-            size += varint_len((c - prev) as u128);
-            prev = c;
+        if p.model.needs_corrections(p.len as usize) {
+            size += varint_len(p.corrections.len() as u128);
+            let mut prev = 0u32;
+            for &c in &p.corrections {
+                size += varint_len((c - prev) as u128);
+                prev = c;
+            }
         }
     }
     size += varint_len(col.payload_bits as u128);
@@ -311,7 +326,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedColumn, FormatError> {
         return Err(FormatError::BadMagic);
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(FormatError::UnsupportedVersion(version));
     }
     let flags = r.u8()?;
@@ -334,15 +349,21 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedColumn, FormatError> {
         if width > 64 {
             return Err(FormatError::Corrupt("delta width exceeds 64 bits"));
         }
-        let n_corr = r.varint()? as usize;
-        if n_corr > plen as usize {
-            return Err(FormatError::Corrupt("too many corrections"));
-        }
-        let mut corrections = Vec::with_capacity(n_corr);
-        let mut prev = 0u32;
-        for _ in 0..n_corr {
-            prev += r.varint()? as u32;
-            corrections.push(prev);
+        // v1 stores the correction block for every partition; v2 only when
+        // the accumulation fallback decoder will read it.
+        let has_corrections = version == 1 || model.needs_corrections(plen as usize);
+        let mut corrections = Vec::new();
+        if has_corrections {
+            let n_corr = r.varint()? as usize;
+            if n_corr > plen as usize {
+                return Err(FormatError::Corrupt("too many corrections"));
+            }
+            corrections.reserve_exact(n_corr);
+            let mut prev = 0u32;
+            for _ in 0..n_corr {
+                prev += r.varint()? as u32;
+                corrections.push(prev);
+            }
         }
         partitions.push(PartitionMeta {
             start,
@@ -443,6 +464,110 @@ mod tests {
             from_bytes(&bytes).unwrap_err(),
             FormatError::UnsupportedVersion(99)
         );
+    }
+
+    /// The cost model *is* the serializer's accounting: global header plus
+    /// the per-partition `partition_cost_bits_exact` terms plus the payload
+    /// framing reproduces the byte size exactly.
+    #[test]
+    fn exact_partition_costs_decompose_the_serialized_size() {
+        use crate::regressor::{partition_cost_bits_exact, DeltaStats};
+        for config in [
+            LecoConfig::leco_fix(),
+            LecoConfig::leco_var(),
+            LecoConfig::for_(),
+        ] {
+            let (_, col) = sample_column(config.clone());
+            let mut header = 4
+                + 1
+                + 1
+                + 1
+                + varint_len(col.len as u128)
+                + varint_len(col.partitions.len() as u128);
+            if let Some(l) = col.fixed_len {
+                header += varint_len(l as u128);
+            }
+            let partition_bits: usize = col
+                .partitions
+                .iter()
+                .map(|p| {
+                    let stats = DeltaStats {
+                        bias: p.bias,
+                        width: p.width,
+                    };
+                    partition_cost_bits_exact(&p.model, p.len as usize, &stats)
+                })
+                .sum();
+            let payload_framing = varint_len(col.payload_bits as u128) + col.payload.len() * 8;
+            // partition_cost_bits_exact charges metadata plus the partition's
+            // own len·width payload bits; the file stores those same bits
+            // word-padded inside the framing, so both sides carry the
+            // payload_bits term once.
+            assert_eq!(
+                (header + payload_framing) * 8 + partition_bits,
+                col.to_bytes().len() * 8 + col.payload_bits,
+                "{config:?}"
+            );
+        }
+    }
+
+    /// A version-1 buffer — correction block unconditionally present — still
+    /// decodes, and re-serializing sheds the vestigial lists.
+    #[test]
+    fn reads_version_1_buffers() {
+        let (values, col) = sample_column(LecoConfig::leco_var());
+        // Down-convert: flip the version byte and re-insert the correction
+        // blocks (all empty: fast-path partitions) after each width byte.
+        let v2 = col.to_bytes();
+        let mut v1 = Vec::with_capacity(v2.len() + col.partitions.len());
+        let mut r = Reader::new(&v2);
+        v1.extend_from_slice(r.bytes(4).unwrap()); // magic
+        assert_eq!(r.u8().unwrap(), 2);
+        v1.push(1); // version 1
+        let flags = r.u8().unwrap();
+        v1.push(flags);
+        v1.push(r.u8().unwrap()); // value_width
+        let start = r.pos;
+        let len = r.varint().unwrap();
+        let n_parts = r.varint().unwrap();
+        if flags & FLAG_FIXED != 0 {
+            r.varint().unwrap();
+        }
+        v1.extend_from_slice(&v2[start..r.pos]);
+        assert_eq!(len as usize, values.len());
+        for _ in 0..n_parts {
+            let start = r.pos;
+            let plen = r.varint().unwrap() as usize;
+            let model = read_model(&mut r).unwrap();
+            r.varint().unwrap(); // bias
+            r.u8().unwrap(); // width
+            assert!(
+                !model.needs_corrections(plen),
+                "sample data stays on the fast path"
+            );
+            v1.extend_from_slice(&v2[start..r.pos]);
+            v1.push(0); // v1: empty correction block
+        }
+        v1.extend_from_slice(&v2[r.pos..]);
+        let restored = from_bytes(&v1).unwrap();
+        assert_eq!(restored.decode_all(), values);
+        // Round-tripping through the current writer yields v2 again.
+        assert_eq!(restored.to_bytes(), v2);
+    }
+
+    /// Fast-path linear partitions must not spend bytes on corrections the
+    /// decoder never reads (the source of the quickstart's leco_var
+    /// inversion before format v2).
+    #[test]
+    fn fast_path_partitions_store_no_corrections() {
+        let values: Vec<u64> = (0..200_000u64)
+            .map(|i| 1_700_000_000_000 + 40 * i)
+            .collect();
+        let col = LecoCompressor::new(LecoConfig::leco_var()).compress(&values);
+        for p in &col.partitions {
+            assert!(!p.model.needs_corrections(p.len as usize));
+            assert!(p.corrections.is_empty());
+        }
     }
 
     #[test]

@@ -264,6 +264,89 @@ impl Model {
         }
     }
 
+    /// True when the decoder's θ₁-accumulation fallback path is taken for a
+    /// full-partition decode of `len` values under this model — the only
+    /// situation in which the correction list is ever consulted.
+    ///
+    /// Format v2 makes this predicate part of the on-disk contract: the
+    /// correction block is present if and only if this returns `true`
+    /// (see `docs/FORMAT.md`).  Encoder and decoder agree bit-identically
+    /// because both evaluate the same `f64` expressions on the same
+    /// serialized parameters.
+    pub fn needs_corrections(&self, len: usize) -> bool {
+        match self {
+            Model::Linear { theta0, theta1 } => !linear_fits_i64(*theta0, *theta1, len),
+            _ => false,
+        }
+    }
+
+    /// Walk the local positions where accumulating θ₁ (`acc += θ₁` per row)
+    /// floors differently than evaluating the model exactly — the §3.3
+    /// range-decoding correction list.  No-op unless
+    /// [`Self::needs_corrections`] holds, since only the accumulation
+    /// fallback decoder ever reads the list.
+    fn for_each_drift(&self, len: usize, mut visit: impl FnMut(u32)) {
+        if !self.needs_corrections(len) {
+            return;
+        }
+        let (theta0, theta1) = match self {
+            Model::Linear { theta0, theta1 } => (*theta0, *theta1),
+            _ => unreachable!("needs_corrections is only true for linear models"),
+        };
+        let mut acc = theta0;
+        for local in 0..len {
+            if local > 0 {
+                acc += theta1;
+            }
+            let exact = self.predict_floor(local);
+            let accumulated = acc.floor();
+            // Clamp with the same semantics as the decoder's `as i128` cast
+            // (saturating, NaN → 0) so the list is exact.
+            let accumulated = if accumulated.is_nan() {
+                0
+            } else if accumulated >= i128::MAX as f64 {
+                i128::MAX
+            } else if accumulated <= i128::MIN as f64 {
+                i128::MIN
+            } else {
+                accumulated as i128
+            };
+            if accumulated != exact {
+                visit(local as u32);
+            }
+        }
+    }
+
+    /// The correction list for a partition of `len` values: strictly
+    /// increasing local positions where the θ₁-accumulation decode drifts
+    /// from the exact floor.  Empty unless [`Self::needs_corrections`].
+    pub fn drift_corrections(&self, len: usize) -> Vec<u32> {
+        let mut corrections = Vec::new();
+        self.for_each_drift(len, |local| corrections.push(local));
+        corrections
+    }
+
+    /// Exact serialized size in bytes of the correction block for a
+    /// partition of `len` values: the count varint plus one varint per
+    /// delta-encoded position — or 0 when the block is absent (format v2).
+    ///
+    /// This is the term the legacy cost model ignored; charging it is what
+    /// lets the variable-length partitioner price long partitions honestly.
+    pub fn correction_cost_bytes(&self, len: usize) -> usize {
+        if !self.needs_corrections(len) {
+            return 0;
+        }
+        let mut count: usize = 0;
+        let mut bytes: usize = 0;
+        let mut prev = 0u32;
+        self.for_each_drift(len, |local| {
+            count += 1;
+            bytes += crate::format::varint_len((local - prev) as u128);
+            prev = local;
+        });
+        bytes + crate::format::varint_len(count as u128)
+    }
+
     /// Serialized size of the model parameters in bytes (1 tag byte plus the
     /// parameters).  This is the `‖F_j‖` term of the paper's objective.
     pub fn size_bytes(&self) -> usize {

@@ -11,6 +11,7 @@
 
 use super::{exact_cost_bits, Partition};
 use crate::model::RegressorKind;
+use crate::regressor::CostModel;
 
 /// Maximum input length the DP partitioner accepts before falling back to the
 /// greedy algorithm (the DP is cubic in practice once fits are included).
@@ -28,6 +29,10 @@ pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Parti
     if n > MAX_DP_LEN {
         return super::split_merge::split_merge(values, regressor, 0.1);
     }
+    // The DP prices every span through the same exact oracle the greedy
+    // partitioner (and the encoder's serializer) uses, so its optimum is an
+    // optimum in real output bytes, correction lists included.
+    let oracle = CostModel::new(values, regressor);
     // best[j] = minimal cost of covering [0, j); cut[j] = start of last segment.
     let mut best = vec![usize::MAX; n + 1];
     let mut cut = vec![0usize; n + 1];
@@ -37,7 +42,8 @@ pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Parti
             if best[i] == usize::MAX {
                 continue;
             }
-            let cost = best[i] + exact_cost_bits(&values[i..j], regressor);
+            // Uncached: the DP visits every (i, j) span exactly once.
+            let cost = best[i] + oracle.exact_bits_uncached(i, j);
             if cost < best[j] {
                 best[j] = cost;
                 cut[j] = i;

@@ -130,11 +130,15 @@ pub fn is_valid_cover(parts: &[Partition], n: usize) -> bool {
 }
 
 /// Exact compressed size (in bits) of one partition under `regressor`:
-/// fits the model and evaluates the delta statistics.  Shared by the
-/// partition-size search, the merge phase and the DP partitioner.
+/// fits the model the encoder would use, evaluates the delta statistics,
+/// and charges the full serialized record — including the θ₁-accumulation
+/// correction list ([`regressor::partition_cost_bits_exact`]).  Shared by
+/// the partition-size search and the comparison partitioners; the
+/// split–merge and DP partitioners go through the memoising
+/// [`regressor::CostModel`] oracle, which computes the same quantity.
 pub fn exact_cost_bits(values: &[u64], regressor: RegressorKind) -> usize {
     let (model, stats) = regressor::fit_checked(regressor, values, &FitContext::default());
-    regressor::partition_cost_bits(&model, values.len(), stats.width)
+    regressor::partition_cost_bits_exact(&model, values.len(), &stats)
 }
 
 #[cfg(test)]

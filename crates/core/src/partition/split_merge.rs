@@ -16,9 +16,18 @@
 //!   using the cheap width proxy, which systematically misjudges where a
 //!   linear fit actually starts to degrade; refinement recovers most of the
 //!   gap to the DP optimum at a small extra cost.
+//!
+//! All exact evaluations go through one shared [`CostModel`] oracle: the
+//! cost of a span is the *serialized* record size (correction list
+//! included), fits are the O(n) hull minimax fit rather than the old
+//! ~130-pass ternary search, repeat spans are served from a memo, and the
+//! oracle's O(1) prefix-sum estimates pre-rank candidate cut points so the
+//! bisect phase can scan a 3× finer grid for the same exact-fit budget
+//! (see `docs/PARTITIONING.md`).
 
-use super::{exact_cost_bits, Partition};
+use super::Partition;
 use crate::model::RegressorKind;
+use crate::regressor::CostModel;
 
 /// Cap on the length a merged partition may reach; prevents the merge phase
 /// from degenerating to quadratic work on very long runs.
@@ -237,11 +246,7 @@ type PartsAndCosts = (Vec<Partition>, Vec<usize>);
 /// accumulator partition across a pass — re-fitting the whole chain on
 /// every admission — is O(chain²) and took minutes on million-value columns
 /// whose split phase emits many small partitions.)
-fn merge_phase(
-    values: &[u64],
-    regressor: RegressorKind,
-    (mut parts, mut costs): PartsAndCosts,
-) -> PartsAndCosts {
+fn merge_phase(oracle: &mut CostModel<'_>, (mut parts, mut costs): PartsAndCosts) -> PartsAndCosts {
     if parts.len() <= 1 {
         return (parts, costs);
     }
@@ -254,10 +259,8 @@ fn merge_phase(
             if k + 1 < parts.len() {
                 let merged_len = parts[k].len + parts[k + 1].len;
                 if merged_len <= MAX_MERGED_LEN {
-                    let merged_cost = exact_cost_bits(
-                        &values[parts[k].start..parts[k].start + merged_len],
-                        regressor,
-                    );
+                    let merged_cost =
+                        oracle.exact_bits(parts[k].start, parts[k].start + merged_len);
                     if merged_cost < costs[k] + costs[k + 1] {
                         new_parts.push(Partition::new(parts[k].start, merged_len));
                         new_costs.push(merged_cost);
@@ -280,9 +283,14 @@ fn merge_phase(
     (parts, costs)
 }
 
-/// Interior candidate split points evaluated per partition in the bisect
-/// phase.
+/// Interior candidate split points exactly evaluated per partition in the
+/// bisect phase.
 const BISECT_CANDIDATES: usize = 9;
+/// Finer grid scanned with the oracle's O(1) estimates; its best entries
+/// join the evenly spaced exact candidates.
+const BISECT_ESTIMATE_GRID: usize = 31;
+/// How many estimate-ranked grid points are promoted to exact evaluation.
+const BISECT_PROMOTED: usize = 6;
 /// Partitions shorter than this are never bisected.
 const MIN_BISECT_LEN: usize = 8;
 
@@ -295,63 +303,68 @@ const MIN_BISECT_LEN: usize = 8;
 /// one partition over data the DP optimum cuts several times. Working
 /// top-down with exact costs catches exactly those misses; the follow-up
 /// refine phase then fine-tunes the coarse cut positions.
-fn bisect_phase(
-    values: &[u64],
-    regressor: RegressorKind,
-    (parts, costs): PartsAndCosts,
-) -> PartsAndCosts {
+///
+/// Candidates are the classic evenly spaced grid, plus — when the oracle has
+/// prefix-sum estimates — the best few points of a 3× finer grid ranked by
+/// estimated pair cost, so jump positions that fall between coarse grid
+/// points are still found without extra exact fits.
+fn bisect_phase(oracle: &mut CostModel<'_>, (parts, costs): PartsAndCosts) -> PartsAndCosts {
     let mut out = (
         Vec::with_capacity(parts.len()),
         Vec::with_capacity(costs.len()),
     );
     for (p, cost) in parts.into_iter().zip(costs) {
-        bisect_rec(values, regressor, p, cost, &mut out);
+        bisect_rec(oracle, p, cost, &mut out);
     }
     out
 }
 
-fn bisect_rec(
-    values: &[u64],
-    regressor: RegressorKind,
-    p: Partition,
-    cost: usize,
-    out: &mut PartsAndCosts,
-) {
+/// Candidate cut points for bisecting `p`: the evenly spaced exact grid
+/// joined with the estimate-ranked picks, deduplicated and sorted.
+fn bisect_candidates(oracle: &mut CostModel<'_>, p: Partition) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (1..=BISECT_CANDIDATES)
+        .map(|k| p.start + p.len * k / (BISECT_CANDIDATES + 1))
+        .filter(|&b| b > p.start && b < p.end())
+        .collect();
+    if oracle.has_estimates() && p.len >= 4 * BISECT_ESTIMATE_GRID {
+        let mut ranked: Vec<(usize, usize)> = (1..=BISECT_ESTIMATE_GRID)
+            .map(|k| p.start + p.len * k / (BISECT_ESTIMATE_GRID + 1))
+            .filter(|&b| b > p.start && b < p.end())
+            .map(|b| {
+                (
+                    oracle.estimate_bits(p.start, b) + oracle.estimate_bits(b, p.end()),
+                    b,
+                )
+            })
+            .collect();
+        ranked.sort_unstable();
+        candidates.extend(ranked.iter().take(BISECT_PROMOTED).map(|&(_, b)| b));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+fn bisect_rec(oracle: &mut CostModel<'_>, p: Partition, cost: usize, out: &mut PartsAndCosts) {
     if p.len < MIN_BISECT_LEN {
         out.0.push(p);
         out.1.push(cost);
         return;
     }
-    // Evaluate evenly spaced interior cut points; keep the best one that
+    // Exactly evaluate the candidate cut points; keep the best one that
     // beats the unsplit cost.
     let mut best: Option<(usize, usize, usize)> = None;
-    for k in 1..=BISECT_CANDIDATES {
-        let b = p.start + p.len * k / (BISECT_CANDIDATES + 1);
-        if b <= p.start || b >= p.end() {
-            continue;
-        }
-        let left = exact_cost_bits(&values[p.start..b], regressor);
-        let right = exact_cost_bits(&values[b..p.end()], regressor);
+    for b in bisect_candidates(oracle, p) {
+        let left = oracle.exact_bits(p.start, b);
+        let right = oracle.exact_bits(b, p.end());
         if left + right < cost && best.is_none_or(|(_, l, r)| left + right < l + r) {
             best = Some((b, left, right));
         }
     }
     match best {
         Some((b, left, right)) => {
-            bisect_rec(
-                values,
-                regressor,
-                Partition::new(p.start, b - p.start),
-                left,
-                out,
-            );
-            bisect_rec(
-                values,
-                regressor,
-                Partition::new(b, p.end() - b),
-                right,
-                out,
-            );
+            bisect_rec(oracle, Partition::new(p.start, b - p.start), left, out);
+            bisect_rec(oracle, Partition::new(b, p.end() - b), right, out);
         }
         None => {
             out.0.push(p);
@@ -361,21 +374,25 @@ fn bisect_rec(
 }
 
 /// Offsets tried when hill-climbing a boundary during the refine phase.
-const REFINE_OFFSETS: [isize; 12] = [-32, -16, -8, -4, -2, -1, 1, 2, 4, 8, 16, 32];
+/// Memoised hull fits made exact evaluations ~50× cheaper than under the
+/// ternary-search fit, so the climb reaches ±128 instead of ±32.
+const REFINE_OFFSETS: [isize; 16] = [
+    -128, -64, -32, -16, -8, -4, -2, -1, 1, 2, 4, 8, 16, 32, 64, 128,
+];
 /// Maximum number of whole-cover refine passes.
 const MAX_REFINE_PASSES: usize = 3;
 /// Maximum hill-climb moves per boundary per pass.
 const MAX_REFINE_MOVES: usize = 8;
 /// Boundaries whose two partitions together span more than this many values
 /// are left alone: each candidate evaluation refits the whole pair, and
-/// moving a boundary by ≤32 positions inside a pair this long changes the
-/// total cost by a negligible fraction.
-const REFINE_SPAN_LIMIT: usize = 16_384;
+/// moving a boundary by ≤128 positions inside a pair this long changes the
+/// total cost by a negligible fraction.  (Raised from 16k when the fits got
+/// cheap; pairs this long mostly arise on very smooth data.)
+const REFINE_SPAN_LIMIT: usize = 65_536;
 
 /// The refine phase: hill-climb each interior boundary by exact cost.
 fn refine_phase(
-    values: &[u64],
-    regressor: RegressorKind,
+    oracle: &mut CostModel<'_>,
     (mut parts, mut costs): PartsAndCosts,
 ) -> PartsAndCosts {
     if parts.len() <= 1 {
@@ -399,8 +416,8 @@ fn refine_phase(
                     if b <= lo || b >= hi {
                         continue;
                     }
-                    let left = exact_cost_bits(&values[lo..b], regressor);
-                    let right = exact_cost_bits(&values[b..hi], regressor);
+                    let left = oracle.exact_bits(lo, b);
+                    let right = oracle.exact_bits(b, hi);
                     if left + right < best_pair.0 + best_pair.1 {
                         best_b = b;
                         best_pair = (left, right);
@@ -430,24 +447,25 @@ pub fn split_merge(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Pa
     if values.is_empty() {
         return Vec::new();
     }
+    let mut oracle = CostModel::new(values, regressor);
     let parts = split_phase(values, regressor, tau.clamp(0.0, 1.0));
     let costs = parts
         .iter()
-        .map(|p| exact_cost_bits(&values[p.start..p.end()], regressor))
+        .map(|p| oracle.exact_bits(p.start, p.end()))
         .collect();
-    let state = merge_phase(values, regressor, (parts, costs));
-    let state = bisect_phase(values, regressor, state);
-    let state = refine_phase(values, regressor, state);
+    let state = merge_phase(&mut oracle, (parts, costs));
+    let state = bisect_phase(&mut oracle, state);
+    let state = refine_phase(&mut oracle, state);
     // Bisection and refinement can leave adjacent partitions whose merge is
     // now profitable (e.g. a remnant shrunk by a moved boundary), so merge
     // once more to reach a local fixed point.
-    merge_phase(values, regressor, state).0
+    merge_phase(&mut oracle, state).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::is_valid_cover;
+    use crate::partition::{exact_cost_bits, is_valid_cover};
 
     #[test]
     fn diff_tracker_orders() {

@@ -1,0 +1,343 @@
+//! The partitioners' cost oracle: exact, correction-aware partition costs
+//! with memoised fits.
+//!
+//! Two layers, both keyed on half-open index ranges `[lo, hi)` of one shared
+//! column:
+//!
+//! * [`FitCache`] — prefix sums (Σy, Σxy exact in `i128`, Σy² in `f64`, all
+//!   relative to the column's first value; Σx and Σx² have closed forms) so
+//!   a least-squares linear fit and its RMS residual over any span is O(1).
+//!   The partitioner uses these as *estimates* to rank candidate boundaries
+//!   before spending an exact evaluation, never as the final price.
+//! * [`CostModel`] — the exact oracle: fits the configured regressor with
+//!   [`fit_checked`] (the same call the encoder makes),
+//!   evaluates the delta statistics, and charges the full serialized
+//!   per-partition record via
+//!   [`partition_cost_bits_exact`] —
+//!   including the θ₁-accumulation correction list.  Results are memoised
+//!   per span, so the split–merge phases and the DP partitioner never fit
+//!   the same range twice.
+
+use std::collections::HashMap;
+
+use super::{fit_checked, partition_cost_bits_exact, FitContext};
+use crate::model::RegressorKind;
+
+/// Spread ≈ `RMS_SPREAD_FACTOR · rms` when turning an O(1) RMS residual
+/// estimate into a bit-width estimate.  Residuals of a least-squares fit on
+/// serially correlated data are closer to a random walk than to white noise,
+/// so the max-to-RMS ratio is wide; 6 keeps the ranking honest on both.
+const RMS_SPREAD_FACTOR: f64 = 6.0;
+
+/// Prefix-sum regression cache: O(1) least-squares linear fits and residual
+/// bounds over any `[lo, hi)` span of one column.
+///
+/// All data-dependent sums are taken over `d_j = y_j − y_0` (the column's
+/// first value), which keeps the `i128` accumulators spread-scaled on
+/// real columns and the `f64` Σd² cancellation-safe.  The x sums need no
+/// storage: `Σx` and `Σx²` over a window are closed forms.
+#[derive(Debug, Clone)]
+pub struct FitCache {
+    /// `sd[k] = Σ_{j<k} d_j` (exact).
+    sd: Vec<i128>,
+    /// `sxd[k] = Σ_{j<k} j·d_j` (exact).
+    sxd: Vec<i128>,
+    /// `sdd[k] = Σ_{j<k} d_j²` (f64; estimate-grade).
+    sdd: Vec<f64>,
+}
+
+/// `y − base` as a signed 128-bit offset.
+#[inline]
+fn offset(v: u64, base: u64) -> i128 {
+    v as i128 - base as i128
+}
+
+impl FitCache {
+    /// Build the prefix sums for `values` (one pass).
+    pub fn new(values: &[u64]) -> Self {
+        let base = values.first().copied().unwrap_or(0);
+        let mut sd = Vec::with_capacity(values.len() + 1);
+        let mut sxd = Vec::with_capacity(values.len() + 1);
+        let mut sdd = Vec::with_capacity(values.len() + 1);
+        let (mut a, mut b, mut c) = (0i128, 0i128, 0f64);
+        sd.push(a);
+        sxd.push(b);
+        sdd.push(c);
+        for (j, &v) in values.iter().enumerate() {
+            let d = offset(v, base);
+            a += d;
+            b += j as i128 * d;
+            c += (d as f64) * (d as f64);
+            sd.push(a);
+            sxd.push(b);
+            sdd.push(c);
+        }
+        Self { sd, sxd, sdd }
+    }
+
+    /// Number of values covered by the cache.
+    pub fn len(&self) -> usize {
+        self.sd.len() - 1
+    }
+
+    /// True when the cache covers no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Least-squares linear fit over `[lo, hi)` in the partition-local
+    /// convention (x = 0 at `lo`, y relative to the span's first value):
+    /// returns `(theta0, theta1)`.  O(1).
+    pub fn ls_fit(&self, lo: usize, hi: usize) -> (f64, f64) {
+        assert!(lo < hi && hi <= self.len(), "invalid span {lo}..{hi}");
+        let n = (hi - lo) as i128;
+        if n == 1 {
+            return (0.0, 0.0);
+        }
+        // Centre at (lo, d_lo): exact i128 window sums of the local offsets.
+        let d_lo = self.sd[lo + 1] - self.sd[lo];
+        let sy = self.sd[hi] - self.sd[lo] - n * d_lo;
+        let sx = n * (n - 1) / 2;
+        let sxy =
+            self.sxd[hi] - self.sxd[lo] - lo as i128 * (self.sd[hi] - self.sd[lo]) - d_lo * sx;
+        let sxx = n * (n - 1) * (2 * n - 1) / 6;
+        // Combine in f64: the centred sums are spread-scaled, so the usual
+        // normal-equation cancellation is benign here.
+        let (nf, sxf, syf, sxyf, sxxf) = (n as f64, sx as f64, sy as f64, sxy as f64, sxx as f64);
+        let denom = nf * sxxf - sxf * sxf;
+        if denom <= 0.0 {
+            return (syf / nf, 0.0);
+        }
+        let theta1 = (nf * sxyf - sxf * syf) / denom;
+        let theta0 = (syf - theta1 * sxf) / nf;
+        (theta0, theta1)
+    }
+
+    /// RMS residual of the O(1) least-squares fit over `[lo, hi)`.
+    pub fn residual_rms(&self, lo: usize, hi: usize) -> f64 {
+        assert!(lo < hi && hi <= self.len(), "invalid span {lo}..{hi}");
+        let n = (hi - lo) as f64;
+        if n <= 2.0 {
+            return 0.0;
+        }
+        let d_lo = (self.sd[lo + 1] - self.sd[lo]) as f64;
+        // Centred second moments at (lo, d_lo); Σd² needs re-centring from
+        // the global base, which stays accurate because d is spread-scaled.
+        let sy = (self.sd[hi] - self.sd[lo]) as f64 - n * d_lo;
+        let sdd_w = self.sdd[hi] - self.sdd[lo];
+        let sd_w = (self.sd[hi] - self.sd[lo]) as f64;
+        let syy = sdd_w - 2.0 * d_lo * sd_w + n * d_lo * d_lo;
+        let sx = n * (n - 1.0) / 2.0;
+        let sxx = n * (n - 1.0) * (2.0 * n - 1.0) / 6.0;
+        let sxy = (self.sxd[hi] - self.sxd[lo]) as f64
+            - (lo as f64) * (self.sd[hi] - self.sd[lo]) as f64
+            - d_lo * sx;
+        let cxx = sxx - sx * sx / n;
+        let cxy = sxy - sx * sy / n;
+        let cyy = syy - sy * sy / n;
+        let sse = if cxx > 0.0 {
+            cyy - cxy * cxy / cxx
+        } else {
+            cyy
+        };
+        (sse.max(0.0) / n).sqrt()
+    }
+
+    /// O(1) cost *estimate* in bits for encoding `[lo, hi)` as one linear
+    /// partition: fixed header guess plus `n` deltas at a width derived from
+    /// the RMS residual.  Only good enough to rank candidate boundaries —
+    /// exact decisions go through [`CostModel::exact_bits`].
+    pub fn estimate_cost_bits(&self, lo: usize, hi: usize) -> usize {
+        let n = hi - lo;
+        let spread = (RMS_SPREAD_FACTOR * self.residual_rms(lo, hi)).min(u64::MAX as f64);
+        let width = leco_bitpack::bits_for(spread as u64) as usize;
+        // Nominal linear-partition header: len + model + bias + width bytes.
+        let header_bytes = crate::format::varint_len(n as u128) + 17 + 6 + 1;
+        header_bytes * 8 + n * width
+    }
+}
+
+/// The exact, memoised partition-cost oracle shared by the split–merge
+/// phases and the DP partitioner.
+///
+/// `exact_bits(lo, hi)` prices the span with the same fit the encoder will
+/// use ([`fit_checked`]) and the same byte accounting the serializer will
+/// produce ([`partition_cost_bits_exact`]), so minimising this oracle
+/// minimises real output bytes.  The [`FitCache`] provides O(1) estimates
+/// for candidate ranking when the regressor family is linear.
+pub struct CostModel<'a> {
+    values: &'a [u64],
+    kind: RegressorKind,
+    ctx: FitContext,
+    cache: Option<FitCache>,
+    memo: HashMap<(u32, u32), usize>,
+}
+
+/// Spans shorter than this are cheaper to fit directly than to memoise.
+const MEMO_MIN_LEN: usize = 8;
+
+impl<'a> CostModel<'a> {
+    /// Build an oracle for `values` under `kind`.  The prefix-sum cache is
+    /// only built for linear-family regressors (it prices a straight line).
+    pub fn new(values: &'a [u64], kind: RegressorKind) -> Self {
+        let cache = matches!(kind, RegressorKind::Linear | RegressorKind::Auto)
+            .then(|| FitCache::new(values));
+        Self {
+            values,
+            kind,
+            ctx: FitContext::default(),
+            cache,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The column this oracle prices.
+    pub fn values(&self) -> &'a [u64] {
+        self.values
+    }
+
+    /// True when O(1) estimates are available ([`Self::estimate_bits`]).
+    pub fn has_estimates(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// O(1) ranking estimate for `[lo, hi)`; falls back to the exact cost
+    /// when no cache is available (non-linear regressors).
+    pub fn estimate_bits(&mut self, lo: usize, hi: usize) -> usize {
+        match &self.cache {
+            Some(cache) => cache.estimate_cost_bits(lo, hi),
+            None => self.exact_bits(lo, hi),
+        }
+    }
+
+    /// Exact serialized cost in bits of `[lo, hi)` as one partition:
+    /// memoised `fit_checked` + delta stats + full record accounting
+    /// (model, bias, width, correction list, packed deltas).
+    pub fn exact_bits(&mut self, lo: usize, hi: usize) -> usize {
+        if hi - lo >= MEMO_MIN_LEN {
+            if let Some(&bits) = self.memo.get(&(lo as u32, hi as u32)) {
+                return bits;
+            }
+        }
+        let bits = self.exact_bits_uncached(lo, hi);
+        if hi - lo >= MEMO_MIN_LEN {
+            self.memo.insert((lo as u32, hi as u32), bits);
+        }
+        bits
+    }
+
+    /// [`Self::exact_bits`] without consulting or filling the memo — for
+    /// callers like the DP partitioner that never price a span twice and
+    /// would only bloat the map (O(n²) distinct spans).
+    pub fn exact_bits_uncached(&self, lo: usize, hi: usize) -> usize {
+        assert!(
+            lo < hi && hi <= self.values.len(),
+            "invalid span {lo}..{hi}"
+        );
+        let (model, stats) = fit_checked(self.kind, &self.values[lo..hi], &self.ctx);
+        partition_cost_bits_exact(&model, hi - lo, &stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::exact_cost_bits;
+    use crate::regressor::linear::{fit_least_squares, max_abs_error};
+
+    fn jittery(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| 1_000_000 + 37 * i + (i * 2654435761) % 97)
+            .collect()
+    }
+
+    #[test]
+    fn ls_fit_matches_direct_least_squares() {
+        let values = jittery(4_000);
+        let cache = FitCache::new(&values);
+        for (lo, hi) in [(0usize, 4_000usize), (13, 700), (2_000, 2_100), (5, 7)] {
+            let ys = crate::regressor::offsets_f64(&values[lo..hi]);
+            let direct = fit_least_squares(&ys);
+            let (t0, t1) = cache.ls_fit(lo, hi);
+            let crate::model::Model::Linear { theta1: dt1, .. } = direct else {
+                panic!("least squares returns linear");
+            };
+            assert!(
+                (t1 - dt1).abs() <= 1e-6 * (1.0 + dt1.abs()),
+                "span {lo}..{hi}: cached slope {t1} vs direct {dt1}"
+            );
+            // The cached fit must be a usable model: its max error should be
+            // within a small factor of the direct LS fit's.
+            let cached = crate::model::Model::Linear {
+                theta0: t0,
+                theta1: t1,
+            };
+            let e_cached = max_abs_error(&cached, &ys);
+            let e_direct = max_abs_error(&direct, &ys);
+            assert!(
+                e_cached <= 2.0 * e_direct + 1e-6,
+                "span {lo}..{hi}: {e_cached} vs {e_direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_rms_tracks_noise_scale() {
+        let clean: Vec<u64> = (0..2_000u64).map(|i| 50 + 3 * i).collect();
+        let noisy = jittery(2_000);
+        let c_clean = FitCache::new(&clean);
+        let c_noisy = FitCache::new(&noisy);
+        assert!(c_clean.residual_rms(0, 2_000) < 1e-6);
+        let rms = c_noisy.residual_rms(0, 2_000);
+        assert!(
+            (5.0..97.0).contains(&rms),
+            "noise ±48 should give rms ~28, got {rms}"
+        );
+    }
+
+    #[test]
+    fn estimates_rank_spans_like_exact_costs() {
+        // A slope change at 1000: spans straddling it must rank costlier
+        // than clean spans of the same length.
+        let values: Vec<u64> = (0..2_000u64)
+            .map(|i| {
+                if i < 1_000 {
+                    3 * i
+                } else {
+                    3_000 + 40 * (i - 1_000)
+                }
+            })
+            .collect();
+        let cache = FitCache::new(&values);
+        let clean = cache.estimate_cost_bits(0, 800);
+        let straddling = cache.estimate_cost_bits(600, 1_400);
+        assert!(
+            straddling > clean,
+            "straddling {straddling} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn exact_bits_matches_free_function_and_memoises() {
+        let values = jittery(600);
+        let mut oracle = CostModel::new(&values, RegressorKind::Linear);
+        for (lo, hi) in [(0usize, 600usize), (100, 400), (0, 600)] {
+            assert_eq!(
+                oracle.exact_bits(lo, hi),
+                exact_cost_bits(&values[lo..hi], RegressorKind::Linear),
+                "span {lo}..{hi}"
+            );
+        }
+        assert!(oracle.has_estimates());
+        assert_eq!(oracle.memo.len(), 2, "repeat span served from the memo");
+    }
+
+    #[test]
+    fn cache_handles_decreasing_and_extreme_values() {
+        let values = vec![u64::MAX, u64::MAX - 10, u64::MAX - 17, 5, 0, 3];
+        let cache = FitCache::new(&values);
+        let (t0, t1) = cache.ls_fit(0, 3);
+        assert!(t0.is_finite() && t1.is_finite() && t1 < 0.0);
+        assert!(cache.residual_rms(0, values.len()).is_finite());
+    }
+}

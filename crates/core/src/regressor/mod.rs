@@ -10,9 +10,12 @@
 //! by the encoder, so `f64` rounding never affects losslessness and rarely
 //! affects the delta width.
 
+pub mod cost;
 pub mod linear;
 pub mod poly;
 pub mod special;
+
+pub use cost::{CostModel, FitCache};
 
 use crate::model::{Model, RegressorKind};
 
@@ -128,12 +131,25 @@ pub fn fit_checked(kind: RegressorKind, values: &[u64], ctx: &FitContext) -> (Mo
     (fallback, stats)
 }
 
-/// Compressed size in bits of a partition under `model`:
-/// model parameters + bias/width header + `n` packed deltas.
-/// This is the objective of §3 that the partitioners minimise.
-pub fn partition_cost_bits(model: &Model, n: usize, width: u8) -> usize {
-    // bias is varint-coded; charge a typical 6 bytes, plus 1 width byte.
-    model.size_bits() + (6 + 1) * 8 + n * width as usize
+/// Exact compressed size in bits of a partition under `model`: the
+/// serialized metadata record — length varint, model parameters, bias
+/// zigzag varint, width byte, and the θ₁-accumulation **correction list**
+/// (count + delta-coded positions, when present) — plus `n` packed deltas.
+///
+/// This is the objective of §3 that the partitioners minimise, and it
+/// matches `format::serialized_size` byte for byte: summing it over a
+/// column's partitions and adding the file header and payload padding
+/// reproduces `CompressedColumn::size_bytes() · 8` exactly.  The previous
+/// cost model charged only `model + 7 bytes + n·width`, ignoring the
+/// correction list entirely — which let the variable-length partitioner
+/// grow partitions whose correction lists dwarfed their payload.
+pub fn partition_cost_bits_exact(model: &Model, n: usize, stats: &DeltaStats) -> usize {
+    let meta_bytes = crate::format::varint_len(n as u128)
+        + model.size_bytes()
+        + crate::format::varint_len(crate::format::zigzag_i128(stats.bias))
+        + 1 // width byte
+        + model.correction_cost_bytes(n);
+    meta_bytes * 8 + n * stats.width as usize
 }
 
 #[cfg(test)]
@@ -186,8 +202,42 @@ mod tests {
             theta0: 0.0,
             theta1: 0.0,
         };
-        assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 100, 8));
-        assert!(partition_cost_bits(&m, 100, 4) < partition_cost_bits(&m, 200, 4));
+        let stats = |width| DeltaStats { bias: 0, width };
+        assert!(
+            partition_cost_bits_exact(&m, 100, &stats(4))
+                < partition_cost_bits_exact(&m, 100, &stats(8))
+        );
+        assert!(
+            partition_cost_bits_exact(&m, 100, &stats(4))
+                < partition_cost_bits_exact(&m, 200, &stats(4))
+        );
+    }
+
+    #[test]
+    fn exact_cost_charges_the_correction_list() {
+        // A model in the i128 fallback regime: corrections are stored, so
+        // the exact cost must exceed the correction-free accounting.
+        let m = Model::Linear {
+            theta0: 4.2e18,
+            theta1: 0.37,
+        };
+        let n = 10_000;
+        assert!(m.needs_corrections(n));
+        let corr_bytes = m.correction_cost_bytes(n);
+        assert!(corr_bytes > 0, "drift must occur over 10k accumulations");
+        let stats = DeltaStats { bias: 0, width: 3 };
+        let without = crate::format::varint_len(n as u128) + m.size_bytes() + 1 + 1;
+        assert_eq!(
+            partition_cost_bits_exact(&m, n, &stats),
+            (without + corr_bytes) * 8 + n * 3
+        );
+        // And in the common direct-evaluation regime the list costs nothing.
+        let fast = Model::Linear {
+            theta0: 0.0,
+            theta1: 0.37,
+        };
+        assert!(!fast.needs_corrections(n));
+        assert_eq!(fast.correction_cost_bytes(n), 0);
     }
 
     #[test]

@@ -51,6 +51,19 @@ enum SpecModel {
 }
 
 impl SpecModel {
+    /// FORMAT.md §Partition table: the correction block is present iff the
+    /// model is Linear and the θ₁-accumulation fallback decode would be
+    /// taken — the predictions are not certain to stay inside ±4.0e18
+    /// (< 2^62) over the whole partition.
+    fn has_correction_block(&self, len: usize) -> bool {
+        let SpecModel::Linear(t0, t1) = self else {
+            return false;
+        };
+        const LIMIT: f64 = 4.0e18;
+        let last = t0 + t1 * (len as f64 - 1.0).max(0.0);
+        !(t0.is_finite() && last.is_finite() && t0.abs() < LIMIT && last.abs() < LIMIT)
+    }
+
     fn predict(&self, i: usize) -> f64 {
         let x = i as f64;
         match self {
@@ -126,7 +139,7 @@ fn read_model(bytes: &[u8], pos: &mut usize) -> SpecModel {
 fn decode_per_spec(bytes: &[u8]) -> Vec<u64> {
     // Header: fixed offsets documented in FORMAT.md §Header.
     assert_eq!(&bytes[0..4], b"LECO", "magic at offset 0");
-    assert_eq!(bytes[4], 1, "version at offset 4");
+    assert_eq!(bytes[4], 2, "version at offset 4");
     let flags = bytes[5];
     let _value_width = bytes[6];
     let mut pos = 7usize;
@@ -146,13 +159,18 @@ fn decode_per_spec(bytes: &[u8]) -> Vec<u64> {
         let width = bytes[pos];
         pos += 1;
         assert!(width <= 64, "width must be 0..=64");
-        let n_corr = read_varint(bytes, &mut pos) as usize;
-        assert!(n_corr <= plen, "corrections bounded by partition length");
-        let mut corrections = Vec::with_capacity(n_corr);
-        let mut prev = 0u32;
-        for _ in 0..n_corr {
-            prev += read_varint(bytes, &mut pos) as u32;
-            corrections.push(prev);
+        // v2: the correction block only exists when the accumulation
+        // fallback decoder would consult it.
+        let mut corrections = Vec::new();
+        if model.has_correction_block(plen) {
+            let n_corr = read_varint(bytes, &mut pos) as usize;
+            assert!(n_corr <= plen, "corrections bounded by partition length");
+            corrections.reserve(n_corr);
+            let mut prev = 0u32;
+            for _ in 0..n_corr {
+                prev += read_varint(bytes, &mut pos) as u32;
+                corrections.push(prev);
+            }
         }
         partitions.push(SpecPartition {
             len: plen,
@@ -257,7 +275,7 @@ fn worked_example_offsets_match_format_md() {
         .compress(&values)
         .to_bytes();
     assert_eq!(&bytes[0x00..0x04], b"LECO");
-    assert_eq!(bytes[0x04], 1, "version");
+    assert_eq!(bytes[0x04], 2, "version");
     assert_eq!(bytes[0x05], 1, "FIXED flag");
     assert_eq!(bytes[0x06], 8, "value_width");
     assert_eq!(&bytes[0x07..0x09], &[0xAC, 0x02], "len = 300 varint");
@@ -278,8 +296,10 @@ fn worked_example_offsets_match_format_md() {
         "bias = 1000 zigzag varint"
     );
     assert_eq!(bytes[0x21], 0, "width = 0: perfectly predicted");
-    assert_eq!(bytes[0x22], 0, "no corrections");
-    assert_eq!(bytes.len(), 0x51, "81 bytes total");
-    assert_eq!(bytes[0x50], 0, "payload_bits = 0, no words");
+    // No correction block: this model stays on the fast path, and v2 elides
+    // the block entirely (v1 spent a zero byte here).
+    assert_eq!(&bytes[0x22..0x24], &[0x80, 0x01], "partition 1 len = 128");
+    assert_eq!(bytes.len(), 0x4E, "78 bytes total");
+    assert_eq!(bytes[0x4D], 0, "payload_bits = 0, no words");
     assert_eq!(decode_per_spec(&bytes), values);
 }

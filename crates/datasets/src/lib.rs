@@ -96,6 +96,9 @@ pub enum IntDataset {
     Weight,
     /// mlcourse.ai `adult_train` column: sorted, stepped.
     Adult,
+    /// Sorted epoch-ms event timestamps: steady cadence with periodic burst
+    /// gaps (the quickstart column; stresses the partition cost model).
+    Timestamps,
 }
 
 impl IntDataset {
@@ -152,6 +155,7 @@ impl IntDataset {
             IntDataset::Site => "site",
             IntDataset::Weight => "weight",
             IntDataset::Adult => "adult",
+            IntDataset::Timestamps => "timestamps",
         }
     }
 
@@ -206,6 +210,7 @@ pub fn generate(dataset: IntDataset, n: usize, seed: u64) -> Vec<u64> {
         IntDataset::Site => realworld::site(n, &mut rng),
         IntDataset::Weight => realworld::weight(n, &mut rng),
         IntDataset::Adult => realworld::adult(n, &mut rng),
+        IntDataset::Timestamps => synthetic::bursty_timestamps(n, &mut rng),
     }
 }
 

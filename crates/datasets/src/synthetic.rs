@@ -135,6 +135,18 @@ pub fn poly_blocks(n: usize, rng: &mut StdRng) -> Vec<u64> {
     out
 }
 
+/// `timestamps`: 64-bit sorted epoch-millisecond event timestamps with a
+/// steady 40 ms cadence, a 5-second ingestion gap every 100k events and
+/// sub-tick jitter — the quickstart's "realistic columnar workload" column,
+/// promoted to a named data set because its long clean runs with periodic
+/// jumps are exactly the regime where the variable-length partitioner's cost
+/// model has to price partition growth honestly.
+pub fn bursty_timestamps(n: usize, _rng: &mut StdRng) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| 1_700_000_000_000 + i * 40 + (i / 100_000) * 5_000_000 + (i % 7))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,8 +7,17 @@
 //! sample is reported as ns/iter (plus derived throughput when declared).
 //! No statistical analysis, plots or HTML reports; output is one line per
 //! benchmark on stdout.
+//!
+//! In addition to the stdout lines, `criterion_main!` writes a
+//! machine-readable `BENCH_criterion_<target>.json` (into `LECO_BENCH_DIR`
+//! or the working directory) shaped like `leco_bench::report::BenchReport`
+//! output — `{"bench": .., "sections": [{"label": .., "data": [rows]}]}` —
+//! so Criterion results feed the same baseline tooling as the `repro_*`
+//! binaries.  (The schema is duplicated here because this vendored shim
+//! sits *below* `leco-bench` in the dependency graph.)
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -179,18 +188,110 @@ impl Bencher {
         }
         self.samples.sort_by(|a, b| a.total_cmp(b));
         let median = self.samples[self.samples.len() / 2];
-        let extra = match throughput {
+        let (extra, derived) = match throughput {
             Some(Throughput::Bytes(n)) => {
                 let gib_s = *n as f64 / median / 1.073_741_824;
-                format!("  {gib_s:8.3} GiB/s")
+                (format!("  {gib_s:8.3} GiB/s"), Some(("gib_per_s", gib_s)))
             }
             Some(Throughput::Elements(n)) => {
                 let melem_s = *n as f64 / median * 1_000.0;
-                format!("  {melem_s:8.1} Melem/s")
+                (
+                    format!("  {melem_s:8.1} Melem/s"),
+                    Some(("melem_per_s", melem_s)),
+                )
             }
-            None => String::new(),
+            None => (String::new(), None),
         };
         println!("{name:<60} {:>12} ns/iter{extra}", format_ns(median));
+        record_result(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: median,
+            derived,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+    name: String,
+    ns_per_iter: f64,
+    derived: Option<(&'static str, f64)>,
+}
+
+/// Results collected across all groups of the running bench target.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record_result(result: BenchResult) {
+    RESULTS.lock().unwrap().push(result);
+}
+
+/// Minimal JSON string escaping (the benchmark names are plain ASCII, but
+/// stay correct regardless).
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The bench-target name: the executable's file stem with cargo's trailing
+/// `-<16 hex digits>` disambiguator stripped.
+fn target_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(std::path::PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Write `BENCH_criterion_<target>.json` with every result recorded so far.
+/// Called by `criterion_main!` after all groups ran; a write failure is
+/// reported on stderr but never fails the bench run.  Does nothing when no
+/// benchmark executed (e.g. the command-line filter matched nothing).
+pub fn write_json_report() {
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\"bench\":");
+    escape_json(&format!("criterion_{}", target_name()), &mut out);
+    out.push_str(",\"sections\":[{\"label\":\"benchmarks\",\"data\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"benchmark\":");
+        escape_json(&r.name, &mut out);
+        out.push_str(&format!(",\"ns_per_iter\":{}", r.ns_per_iter));
+        if let Some((unit, v)) = &r.derived {
+            out.push_str(&format!(",\"{unit}\":{v}"));
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}\n");
+    let dir = std::env::var("LECO_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_criterion_{}.json", target_name()));
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 
@@ -215,12 +316,14 @@ macro_rules! criterion_group {
 }
 
 /// Mirror of `criterion::criterion_main!`: the `main` for a
-/// `harness = false` bench target.
+/// `harness = false` bench target.  After every group has run, the
+/// collected results are written as `BENCH_criterion_<target>.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -242,5 +345,35 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("leco", "books").0, "leco/books");
         assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+
+    #[test]
+    fn json_report_collects_results_and_writes_file() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // SAFETY: test processes are single-threaded at this point w.r.t.
+        // env access in this crate's tests.
+        std::env::set_var("LECO_BENCH_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+        write_json_report();
+        std::env::remove_var("LECO_BENCH_DIR");
+        let path = dir.join(format!("BENCH_criterion_{}.json", target_name()));
+        let text = std::fs::read_to_string(&path).expect("report written");
+        assert!(text.contains("\"benchmark\":\"json/sum\""));
+        assert!(text.contains("\"ns_per_iter\":"));
+        assert!(text.contains("\"melem_per_s\":"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
     }
 }
