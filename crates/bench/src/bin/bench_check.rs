@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! bench_check --baseline BENCH_baseline --current bench-current \
-//!             [--tolerance 0.5] [--benches fig10_micro,fig16_partitioners,scan]
+//!             [--tolerance 0.5]
+//!             [--benches fig10_micro,fig16_partitioners,scan,scan_selectivity]
 //! ```
 //!
 //! Compression ratios are compared exactly (they are deterministic given
@@ -19,7 +20,7 @@ use std::process::ExitCode;
 use leco_bench::check::compare_reports;
 use leco_bench::report::Json;
 
-const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan";
+const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan,scan_selectivity";
 
 struct Args {
     baseline: PathBuf,

@@ -8,6 +8,12 @@
 //! the scaling table and writes `BENCH_scan.json` (which it immediately
 //! re-parses with the report reader as a self-check).
 //!
+//! A second experiment sweeps predicate selectivity (1e-4 … 0.5) with
+//! compressed execution (model-inverse pushdown) on vs. off, asserting both
+//! paths select identical rows and that pushdown decodes strictly fewer rows
+//! at selectivities ≤ 1%.  Results land in `BENCH_scan_selectivity.json`
+//! (also re-parsed as a self-check) and are gated by `bench_check`.
+//!
 //! Defaults to 10M rows; override with `LECO_N`.
 
 use leco_bench::report::{BenchReport, Json, TextTable};
@@ -174,6 +180,140 @@ fn main() -> std::io::Result<()> {
         scaling.len()
     );
 
+    selectivity_sweep(&table, &t.ts)?;
+
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// Predicate selectivities swept by the compressed-execution experiment.
+const SELECTIVITIES: [f64; 5] = [1e-4, 1e-3, 1e-2, 0.1, 0.5];
+/// Worker threads used for every sweep measurement.
+const SWEEP_THREADS: usize = 4;
+
+/// Compressed execution vs. decode-then-filter across predicate
+/// selectivities: same unsorted filter over the (sorted but undeclared) `ts`
+/// column, pushdown on vs. off, measuring wall time and — via the new
+/// `QueryStats` row counters — how many rows each path actually decoded.
+fn selectivity_sweep(table: &TableFile, ts: &[u64]) -> std::io::Result<()> {
+    println!();
+    println!("# Selectivity sweep — model-inverse pushdown vs decode-then-filter");
+    println!();
+    let n = ts.len();
+    let lo_idx = n * 3 / 10; // anchor inside the range so zone maps stay honest
+    let mut text = TextTable::new(vec![
+        "selectivity",
+        "rows selected",
+        "pushdown decoded",
+        "baseline decoded",
+        "pushdown (ms)",
+        "baseline (ms)",
+    ]);
+    let mut json_rows = Vec::new();
+    for sel in SELECTIVITIES {
+        let hi_idx = (lo_idx + (n as f64 * sel) as usize).min(n - 1);
+        let (lo, hi) = (ts[lo_idx], ts[hi_idx]);
+        let measure = |pushdown: bool| {
+            let mut best = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let r = Scanner::new(table)
+                    .filter_col(0, lo, hi)
+                    .pushdown_filter(pushdown)
+                    .count()
+                    .run(SWEEP_THREADS)
+                    .expect("sweep scan should not fail");
+                best = best.min(start.elapsed().as_secs_f64());
+                result = Some(r);
+            }
+            (result.expect("three runs completed"), best)
+        };
+        let (pd, pd_secs) = measure(true);
+        let (base, base_secs) = measure(false);
+        // Acceptance: identical selections, and at selective predicates the
+        // pushdown kernels must decode strictly fewer rows.
+        assert_eq!(pd.rows_selected, base.rows_selected, "sel {sel}");
+        assert_eq!(pd.rows_scanned, base.rows_scanned, "sel {sel}");
+        let pd_decoded = pd.stats.boundary_rows_decoded + pd.stats.rows_decoded_full;
+        let base_decoded = base.stats.boundary_rows_decoded + base.stats.rows_decoded_full;
+        assert_eq!(
+            base_decoded, base.rows_scanned,
+            "baseline decodes every scanned row"
+        );
+        let accounted = pd.stats.rows_skipped_by_model
+            + pd.stats.boundary_rows_decoded
+            + pd.stats.rows_decoded_full;
+        assert_eq!(accounted, pd.rows_scanned, "pushdown row accounting");
+        if sel <= 1e-2 {
+            assert!(
+                pd_decoded < base_decoded,
+                "sel {sel}: pushdown decoded {pd_decoded} >= baseline {base_decoded}"
+            );
+        }
+        let decoded_fraction = if pd.rows_scanned == 0 {
+            0.0
+        } else {
+            pd_decoded as f64 / pd.rows_scanned as f64
+        };
+        text.row(vec![
+            format!("{sel}"),
+            format!("{}", pd.rows_selected),
+            format!("{pd_decoded}"),
+            format!("{base_decoded}"),
+            format!("{:.1}", pd_secs * 1_000.0),
+            format!("{:.1}", base_secs * 1_000.0),
+        ]);
+        json_rows.push(Json::Obj(vec![
+            ("selectivity".into(), Json::Num(sel)),
+            ("rows_selected".into(), Json::Num(pd.rows_selected as f64)),
+            ("rows_scanned".into(), Json::Num(pd.rows_scanned as f64)),
+            ("pushdown_rows_decoded".into(), Json::Num(pd_decoded as f64)),
+            (
+                "baseline_rows_decoded".into(),
+                Json::Num(base_decoded as f64),
+            ),
+            ("decoded_fraction".into(), Json::Num(decoded_fraction)),
+            ("pushdown_wall_seconds".into(), Json::Num(pd_secs)),
+            ("baseline_wall_seconds".into(), Json::Num(base_secs)),
+        ]));
+    }
+    text.print();
+    println!();
+    println!("Selections identical; pushdown decoded fewer rows at every selectivity <= 1%.");
+
+    let mut report = BenchReport::new("scan_selectivity");
+    report.add(
+        "config",
+        Json::Obj(vec![
+            ("rows".into(), Json::Num(n as f64)),
+            ("threads".into(), Json::Num(SWEEP_THREADS as f64)),
+            ("encoding".into(), Json::Str("LeCo".into())),
+        ]),
+    );
+    report.add("selectivity", Json::Arr(json_rows));
+    report.add_table("selectivity_table", &text);
+    let json_path = report.write()?;
+
+    // Self-check: re-parse the emission, one row per swept selectivity.
+    let text = std::fs::read_to_string(&json_path)?;
+    let parsed =
+        Json::parse(text.trim()).unwrap_or_else(|e| panic!("BENCH_scan_selectivity.json: {e}"));
+    assert_eq!(
+        parsed.get("bench").and_then(Json::as_str),
+        Some("scan_selectivity")
+    );
+    let sweep = parsed
+        .get("sections")
+        .and_then(Json::as_arr)
+        .expect("sections array")
+        .iter()
+        .find(|s| s.get("label").and_then(Json::as_str) == Some("selectivity"))
+        .and_then(|s| s.get("data"))
+        .and_then(Json::as_arr)
+        .expect("selectivity section")
+        .len();
+    assert_eq!(sweep, SELECTIVITIES.len());
+    println!("BENCH_scan_selectivity.json re-parsed OK ({sweep} sweep rows).");
     Ok(())
 }

@@ -91,6 +91,26 @@ pub fn rules_for(bench: &str) -> &'static [Rule] {
             skip_columns: &[],
             metric: Metric::HigherBetter,
         }],
+        "scan_selectivity" => &[
+            // The fraction of scanned rows the pushdown kernels had to
+            // decode is deterministic (fixed seed, fixed LECO_N): any
+            // increase means the model inverse lost coverage.
+            Rule {
+                section: "selectivity",
+                key_columns: &["selectivity"],
+                value_columns: &["decoded_fraction"],
+                skip_columns: &[],
+                metric: Metric::RatioExact,
+            },
+            // Wall-clock tripwire with the usual generous tolerance.
+            Rule {
+                section: "selectivity",
+                key_columns: &["selectivity"],
+                value_columns: &["pushdown_wall_seconds"],
+                skip_columns: &[],
+                metric: Metric::LowerBetter,
+            },
+        ],
         _ => &[],
     }
 }

@@ -1,0 +1,342 @@
+//! Word-parallel *packed-domain* predicate kernels.
+//!
+//! The decode kernels in [`crate::unpack`] materialise values; the kernels
+//! here answer an inclusive range predicate over the packed stream directly,
+//! emitting 64-row selection masks and never writing a decoded buffer.  They
+//! are the physical layer of predicate pushdown: codecs rebase the predicate
+//! constants into the packed domain (`c - frame_min` for FOR; see
+//! `docs/SCAN.md` §"Compressed execution") and the comparison happens right
+//! where the bits are extracted, one branch-free test per value fused onto
+//! the same 128-bit streaming bit buffer the decoders use.
+//!
+//! Both kernels are monomorphised per bit width like the unpack kernels, so
+//! shifts and the refill test constant-fold; the predicate itself is the
+//! unsigned range trick `v.wrapping_sub(lo) <= hi - lo` (one sub, one
+//! compare, no branches).
+
+use crate::unpack::low_mask;
+
+/// Emit masks for `len` packed `width`-bit values starting at `bit_pos`:
+/// for each block of up to 64 values, calls `emit(start, mask, n)` where
+/// `start` is the block's first value index (relative to the run), `n <= 64`
+/// its length, and bit `k` of `mask` is set iff `plo <= value[start+k] <=
+/// phi`.  Bits `n..64` of `mask` are zero.
+///
+/// `plo > phi` (empty predicate) emits all-zero masks; `width == 0` (all
+/// values zero) reads nothing and resolves the whole run from `plo == 0`.
+///
+/// # Panics
+/// Panics if `width > 64` or the bit range extends past the end of `words`.
+pub fn filter_packed_range(
+    words: &[u64],
+    bit_pos: usize,
+    width: u8,
+    len: usize,
+    plo: u64,
+    phi: u64,
+    mut emit: impl FnMut(usize, u64, usize),
+) {
+    assert!(width <= 64, "width must be <= 64, got {width}");
+    if len == 0 {
+        return;
+    }
+    if plo > phi {
+        emit_uniform(len, false, &mut emit);
+        return;
+    }
+    if width == 0 {
+        emit_uniform(len, plo == 0, &mut emit);
+        return;
+    }
+    assert!(
+        bit_pos + len * width as usize <= words.len() * 64,
+        "bit range {}..{} exceeds payload of {} bits",
+        bit_pos,
+        bit_pos + len * width as usize,
+        words.len() * 64
+    );
+    macro_rules! dispatch {
+        ($($w:literal)*) => {
+            match width as u32 {
+                $( $w => filter_stream::<$w>(words, bit_pos, len, plo, phi, &mut emit), )*
+                _ => unreachable!("width checked to be 1..=64"),
+            }
+        };
+    }
+    dispatch!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        33 34 35 36 37 38 39 40 41 42 43 44 45 46 47 48
+        49 50 51 52 53 54 55 56 57 58 59 60 61 62 63 64);
+}
+
+/// Delta twin of [`filter_packed_range`]: the packed stream holds `width`-bit
+/// ZigZag gaps and the predicate applies to the running reconstruction
+/// `anchor ⊕ gap₀ ⊕ … ⊕ gapᵢ` (the same values [`crate::unpack_deltas_into`]
+/// would materialise — here they only ever exist in a register).  Bit `k` of
+/// each emitted mask is set iff `lo <= value[start+k] <= hi`.
+///
+/// `width == 0` means every value equals `anchor` and resolves without
+/// touching the payload.
+///
+/// # Panics
+/// Panics if `width > 64` or the bit range extends past the end of `words`.
+#[allow(clippy::too_many_arguments)]
+pub fn filter_deltas_range(
+    words: &[u64],
+    bit_pos: usize,
+    width: u8,
+    anchor: u64,
+    len: usize,
+    lo: u64,
+    hi: u64,
+    mut emit: impl FnMut(usize, u64, usize),
+) {
+    assert!(width <= 64, "width must be <= 64, got {width}");
+    if len == 0 {
+        return;
+    }
+    if lo > hi {
+        emit_uniform(len, false, &mut emit);
+        return;
+    }
+    if width == 0 {
+        emit_uniform(len, (lo..=hi).contains(&anchor), &mut emit);
+        return;
+    }
+    assert!(
+        bit_pos + len * width as usize <= words.len() * 64,
+        "bit range {}..{} exceeds payload of {} bits",
+        bit_pos,
+        bit_pos + len * width as usize,
+        words.len() * 64
+    );
+    macro_rules! dispatch {
+        ($($w:literal)*) => {
+            match width as u32 {
+                $( $w => filter_delta_stream::<$w>(words, bit_pos, anchor, len, lo, hi, &mut emit), )*
+                _ => unreachable!("width checked to be 1..=64"),
+            }
+        };
+    }
+    dispatch!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        33 34 35 36 37 38 39 40 41 42 43 44 45 46 47 48
+        49 50 51 52 53 54 55 56 57 58 59 60 61 62 63 64);
+}
+
+/// Emit `len` identical selection bits as full blocks — the degenerate cases
+/// (empty predicate, zero width) where no payload read is needed.
+fn emit_uniform(len: usize, selected: bool, emit: &mut impl FnMut(usize, u64, usize)) {
+    let full = if selected { u64::MAX } else { 0 };
+    let mut idx = 0;
+    while idx < len {
+        let n = (len - idx).min(64);
+        let mask = if n == 64 {
+            full
+        } else {
+            full & ((1u64 << n) - 1)
+        };
+        emit(idx, mask, n);
+        idx += n;
+    }
+}
+
+/// Streaming extract-and-compare: the same 128-bit refill buffer as
+/// [`crate::unpack`]'s stream kernel, with the unsigned range test fused in
+/// place of the store.  Callers guarantee `plo <= phi` and `W >= 1`.
+#[inline(always)]
+fn filter_stream<const W: u32>(
+    words: &[u64],
+    bit_pos: usize,
+    len: usize,
+    plo: u64,
+    phi: u64,
+    emit: &mut impl FnMut(usize, u64, usize),
+) {
+    let m = low_mask(W);
+    let span = phi - plo;
+    let mut wi = bit_pos >> 6;
+    let off = (bit_pos & 63) as u32;
+    let mut buf = (words[wi] >> off) as u128;
+    let mut avail = 64 - off;
+    wi += 1;
+    let mut idx = 0;
+    while idx < len {
+        let n = (len - idx).min(64);
+        let mut mask = 0u64;
+        for k in 0..n {
+            if avail < W {
+                buf |= (words[wi] as u128) << avail;
+                wi += 1;
+                avail += 64;
+            }
+            let v = (buf as u64) & m;
+            buf >>= W;
+            avail -= W;
+            mask |= ((v.wrapping_sub(plo) <= span) as u64) << k;
+        }
+        emit(idx, mask, n);
+        idx += n;
+    }
+}
+
+/// Streaming ZigZag + prefix-sum + compare: the fused delta decode loop of
+/// [`crate::unpack`] with the range test replacing the store.  Callers
+/// guarantee `lo <= hi` and `W >= 1`.
+#[inline(always)]
+fn filter_delta_stream<const W: u32>(
+    words: &[u64],
+    bit_pos: usize,
+    anchor: u64,
+    len: usize,
+    lo: u64,
+    hi: u64,
+    emit: &mut impl FnMut(usize, u64, usize),
+) {
+    let m = low_mask(W);
+    let span = hi - lo;
+    let mut wi = bit_pos >> 6;
+    let off = (bit_pos & 63) as u32;
+    let mut buf = (words[wi] >> off) as u128;
+    let mut avail = 64 - off;
+    wi += 1;
+    let mut current = anchor;
+    let mut idx = 0;
+    while idx < len {
+        let n = (len - idx).min(64);
+        let mut mask = 0u64;
+        for k in 0..n {
+            if avail < W {
+                buf |= (words[wi] as u128) << avail;
+                wi += 1;
+                avail += 64;
+            }
+            let gap = (buf as u64) & m;
+            buf >>= W;
+            avail -= W;
+            current = current.wrapping_add(crate::zigzag_decode(gap) as u64);
+            mask |= ((current.wrapping_sub(lo) <= span) as u64) << k;
+        }
+        emit(idx, mask, n);
+        idx += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{unpack_bits_into, unpack_deltas_into};
+
+    fn pack_at(values: &[u64], width: u8, bit_pos: usize) -> Vec<u64> {
+        let total = bit_pos + values.len() * width as usize;
+        let mut words = vec![0u64; crate::div_ceil(total.max(1), 64)];
+        for (i, &v) in values.iter().enumerate() {
+            let pos = bit_pos + i * width as usize;
+            let (wi, off) = (pos / 64, pos % 64);
+            words[wi] |= v << off;
+            if (width as usize) > 64 - off {
+                words[wi + 1] |= v >> (64 - off);
+            }
+        }
+        words
+    }
+
+    fn sample_values(n: usize, width: u8) -> Vec<u64> {
+        let m = low_mask(width.max(1) as u32);
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) & m)
+            .collect()
+    }
+
+    /// Collect emitted masks into a per-value boolean vector, checking block
+    /// geometry along the way.
+    fn collect(len: usize, run: impl FnOnce(&mut dyn FnMut(usize, u64, usize))) -> Vec<bool> {
+        let mut sel = vec![false; len];
+        let mut expected_start = 0usize;
+        run(&mut |start, mask, n| {
+            assert_eq!(start, expected_start, "blocks must be contiguous");
+            assert!(n <= 64 && n > 0);
+            if n < 64 {
+                assert_eq!(mask >> n, 0, "bits past n must be clear");
+            }
+            for k in 0..n {
+                sel[start + k] = (mask >> k) & 1 == 1;
+            }
+            expected_start = start + n;
+        });
+        assert_eq!(expected_start, len, "blocks must cover the run");
+        sel
+    }
+
+    #[test]
+    fn packed_filter_matches_decode_then_compare() {
+        for width in 0u8..=64 {
+            for &n in &[0usize, 1, 63, 64, 65, 129, 200] {
+                for &phase in &[0usize, 13, 63] {
+                    let values = sample_values(n, width);
+                    let words = pack_at(&values, width.max(1), phase);
+                    let mut decoded = vec![0u64; n];
+                    unpack_bits_into(&words, phase, width, &mut decoded);
+                    let m = low_mask(width.max(1) as u32);
+                    for (plo, phi) in [(0u64, 0u64), (0, m), (m / 3, m / 2), (5, 4), (m, m)] {
+                        let sel = collect(n, |emit| {
+                            filter_packed_range(&words, phase, width, n, plo, phi, emit)
+                        });
+                        let want: Vec<bool> = decoded
+                            .iter()
+                            .map(|&v| plo <= phi && (plo..=phi).contains(&v))
+                            .collect();
+                        assert_eq!(sel, want, "w={width} n={n} phase={phase} [{plo},{phi}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_filter_matches_decode_then_compare() {
+        for width in 0u8..=64 {
+            for &n in &[0usize, 1, 64, 65, 200] {
+                for &phase in &[0usize, 13] {
+                    let gaps = sample_values(n, width);
+                    let words = pack_at(&gaps, width.max(1), phase);
+                    let anchor = 0x1234_5678_9ABC_DEF0u64;
+                    let mut decoded = vec![0u64; n];
+                    unpack_deltas_into(&words, phase, width, anchor, &mut decoded);
+                    let (lo, hi) = (
+                        anchor.wrapping_sub(1_000),
+                        anchor.wrapping_add(u64::MAX / 3),
+                    );
+                    let ranges = if lo <= hi {
+                        vec![(lo, hi), (0, u64::MAX), (anchor, anchor), (7, 3)]
+                    } else {
+                        vec![(0, u64::MAX), (anchor, anchor), (7, 3)]
+                    };
+                    for (lo, hi) in ranges {
+                        let sel = collect(n, |emit| {
+                            filter_deltas_range(&words, phase, width, anchor, n, lo, hi, emit)
+                        });
+                        let want: Vec<bool> = decoded
+                            .iter()
+                            .map(|&v| lo <= hi && (lo..=hi).contains(&v))
+                            .collect();
+                        assert_eq!(sel, want, "w={width} n={n} phase={phase} [{lo},{hi}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_resolves_without_payload() {
+        // No words at all: width 0 must never touch the slice.
+        let sel = collect(100, |emit| filter_packed_range(&[], 0, 0, 100, 0, 5, emit));
+        assert!(sel.iter().all(|&s| s));
+        let sel = collect(100, |emit| filter_packed_range(&[], 0, 0, 100, 1, 5, emit));
+        assert!(sel.iter().all(|&s| !s));
+        let sel = collect(70, |emit| {
+            filter_deltas_range(&[], 0, 0, 42, 70, 40, 44, emit)
+        });
+        assert!(sel.iter().all(|&s| s));
+    }
+}

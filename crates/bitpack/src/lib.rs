@@ -42,6 +42,7 @@
 //! ```
 
 pub mod bitvec;
+pub mod filter;
 pub mod packed;
 pub mod stream;
 pub mod unary;
@@ -49,6 +50,7 @@ pub mod unpack;
 pub mod zigzag;
 
 pub use bitvec::BitVec;
+pub use filter::{filter_deltas_range, filter_packed_range};
 pub use packed::PackedArray;
 pub use stream::{BitReader, BitWriter};
 pub use unpack::{unpack_bits_into, unpack_deltas_into};

@@ -22,7 +22,7 @@
 
 /// Mask selecting the low `W` bits (`W` in `1..=64`).
 #[inline(always)]
-const fn low_mask(width: u32) -> u64 {
+pub(crate) const fn low_mask(width: u32) -> u64 {
     if width == 64 {
         u64::MAX
     } else {

@@ -6,7 +6,7 @@
 //! Delta is an order of magnitude slower than FOR/LeCo on point accesses
 //! (§4.3.2) while often achieving an excellent compression ratio.
 
-use crate::IntColumn;
+use crate::{emit_all_set, IntColumn};
 use leco_bitpack::{bits_for, zigzag_decode, zigzag_encode};
 
 #[derive(Debug, Clone)]
@@ -72,6 +72,61 @@ impl DeltaCodec {
     /// Number of frames.
     pub fn num_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Evaluate the inclusive predicate `lo <= v <= hi` without materialising
+    /// the column — predicate pushdown for Delta.
+    ///
+    /// Each frame's anchor is compared straight from the 9-byte header;
+    /// the remaining rows ride [`leco_bitpack::filter_deltas_range`], which
+    /// fuses ZigZag decode, prefix summation and the range test into the
+    /// bit-extraction loop (the reconstructed values only ever exist in a
+    /// register).  Zero-width frames (constant runs) resolve entirely from
+    /// the header.
+    ///
+    /// `emit` receives `(row, mask, n)` triples as in
+    /// [`crate::ForCodec::filter_range_pushdown`].  Returns `(rows_skipped,
+    /// rows_examined)`: header-resolved rows vs. rows reconstructed in the
+    /// fused kernel.  Delta has no model inverse — every non-constant row is
+    /// examined — so the win over decode-then-filter is the fusion, not
+    /// skipping; the two counts still sum to the column length.
+    pub fn filter_range_pushdown(
+        &self,
+        lo: u64,
+        hi: u64,
+        mut emit: impl FnMut(usize, u64, usize),
+    ) -> (u64, u64) {
+        let (mut skipped, mut examined) = (0u64, 0u64);
+        let mut start = 0usize;
+        for f in &self.frames {
+            let n = (self.len - start).min(self.frame_len);
+            let anchor_sel = lo <= hi && (lo..=hi).contains(&f.first);
+            if f.width == 0 {
+                // Every row equals the anchor: resolved from the header.
+                skipped += n as u64;
+                if anchor_sel {
+                    emit_all_set(start, n, &mut emit);
+                }
+            } else {
+                skipped += 1;
+                emit(start, anchor_sel as u64, 1);
+                if n > 1 {
+                    examined += (n - 1) as u64;
+                    leco_bitpack::filter_deltas_range(
+                        &self.payload,
+                        f.bit_offset as usize,
+                        f.width,
+                        f.first,
+                        n - 1,
+                        lo,
+                        hi,
+                        |k, mask, nb| emit(start + 1 + k, mask, nb),
+                    );
+                }
+            }
+            start += n;
+        }
+        (skipped, examined)
     }
 
     /// Append the on-disk byte image of this column (frame anchors + widths
@@ -201,6 +256,49 @@ mod tests {
         }
     }
 
+    fn pushdown_selection(c: &DeltaCodec, lo: u64, hi: u64) -> (Vec<bool>, u64, u64) {
+        let mut sel = vec![false; c.len()];
+        let (skipped, examined) = c.filter_range_pushdown(lo, hi, |row, mask, n| {
+            for k in 0..n {
+                if (mask >> k) & 1 == 1 {
+                    assert!(!sel[row + k], "row {} double-emitted", row + k);
+                    sel[row + k] = true;
+                }
+            }
+        });
+        (sel, skipped, examined)
+    }
+
+    #[test]
+    fn pushdown_filter_matches_decode_then_compare() {
+        let values: Vec<u64> = (0..3_000u64).map(|i| 500 + i * 2 + (i % 11)).collect();
+        let c = DeltaCodec::encode(&values, 256);
+        for (lo, hi) in [
+            (0u64, u64::MAX),
+            (0, 499),
+            (values[70], values[70]),
+            (values[100], values[2_500]),
+            (9, 4),
+        ] {
+            let (sel, skipped, examined) = pushdown_selection(&c, lo, hi);
+            let want: Vec<bool> = values
+                .iter()
+                .map(|v| lo <= hi && (lo..=hi).contains(v))
+                .collect();
+            assert_eq!(sel, want, "[{lo},{hi}]");
+            assert_eq!(skipped + examined, values.len() as u64, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn pushdown_constant_frames_resolve_from_headers() {
+        let values = vec![9u64; 300];
+        let c = DeltaCodec::encode(&values, 100);
+        let (sel, skipped, examined) = pushdown_selection(&c, 9, 9);
+        assert!(sel.iter().all(|&s| s));
+        assert_eq!((skipped, examined), (300, 0));
+    }
+
     proptest! {
         #[test]
         fn prop_round_trip(values in proptest::collection::vec(any::<u64>(), 1..400),
@@ -210,6 +308,23 @@ mod tests {
             for (i, &v) in values.iter().enumerate() {
                 prop_assert_eq!(c.get(i), v);
             }
+        }
+
+        #[test]
+        fn prop_pushdown_matches_reference(values in proptest::collection::vec(any::<u64>(), 1..400),
+                                           frame_len in 1usize..128,
+                                           lo in any::<u64>(), hi in any::<u64>()) {
+            let c = DeltaCodec::encode(&values, frame_len);
+            let (lo, hi) = if lo.is_multiple_of(2) {
+                let anchor = values[lo as usize % values.len()];
+                (anchor.saturating_sub(lo % 13), anchor.saturating_add(hi % 1_000))
+            } else {
+                (lo.min(hi), lo.max(hi))
+            };
+            let (sel, skipped, examined) = pushdown_selection(&c, lo, hi);
+            let want: Vec<bool> = values.iter().map(|v| (lo..=hi).contains(v)).collect();
+            prop_assert_eq!(sel, want);
+            prop_assert_eq!(skipped + examined, values.len() as u64);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! From the LeCo point of view this is a constant (horizontal-line) regressor
 //! with fixed-length partitioning (§2 of the paper).
 
-use crate::IntColumn;
+use crate::{emit_all_set, IntColumn};
 use leco_bitpack::{bits_for, PackedArray};
 
 /// Metadata of a single FOR frame.
@@ -67,6 +67,66 @@ impl ForCodec {
     /// Number of frames.
     pub fn num_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Evaluate the inclusive predicate `lo <= v <= hi` directly on the
+    /// packed words — predicate pushdown for FOR.
+    ///
+    /// The predicate is rebased into each frame's packed domain
+    /// (`v ∈ [lo, hi] ⟺ packed ∈ [lo - min, hi - min]`), so the comparison
+    /// runs on the offsets as they are extracted
+    /// ([`leco_bitpack::filter_packed_range`]) and no decoded buffer is ever
+    /// written.  Frames whose `[min, min + 2^width - 1]` envelope misses or
+    /// is contained in the predicate are resolved from the 9-byte header
+    /// alone.
+    ///
+    /// `emit` receives `(row, mask, n)` triples: `n <= 64` selection bits
+    /// for rows `row..row + n`, LSB first (rows never covered by an emit are
+    /// unselected).  Returns `(rows_skipped, rows_compared)`: rows resolved
+    /// from frame headers without touching the payload, and rows compared in
+    /// the packed domain.  The two always sum to the column length.
+    pub fn filter_range_pushdown(
+        &self,
+        lo: u64,
+        hi: u64,
+        mut emit: impl FnMut(usize, u64, usize),
+    ) -> (u64, u64) {
+        let (mut skipped, mut compared) = (0u64, 0u64);
+        let mut start = 0usize;
+        for f in &self.frames {
+            let n = (self.len - start).min(self.frame_len);
+            let max_packed = if f.width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << f.width) - 1
+            };
+            let frame_max = f.min as u128 + max_packed as u128;
+            if lo > hi || (f.min as u128) > hi as u128 || frame_max < lo as u128 {
+                // Envelope disjoint from the predicate: nothing can match.
+                skipped += n as u64;
+            } else if lo <= f.min && frame_max <= hi as u128 {
+                // Envelope contained: every row matches.
+                skipped += n as u64;
+                emit_all_set(start, n, &mut emit);
+            } else {
+                // width >= 1 here: a zero-width frame's envelope is a single
+                // point and always lands in one of the branches above.
+                let plo = lo.saturating_sub(f.min);
+                let phi = (hi as u128 - f.min as u128).min(max_packed as u128) as u64;
+                compared += n as u64;
+                leco_bitpack::filter_packed_range(
+                    &self.payload,
+                    f.bit_offset as usize,
+                    f.width,
+                    n,
+                    plo,
+                    phi,
+                    |k, mask, nb| emit(start + k, mask, nb),
+                );
+            }
+            start += n;
+        }
+        (skipped, compared)
     }
 
     /// Append the on-disk byte image of this column (frame headers followed
@@ -192,6 +252,57 @@ mod tests {
         assert!(c.size_bytes() < values.len(), "expected < 1 byte per value");
     }
 
+    fn pushdown_selection(c: &ForCodec, lo: u64, hi: u64) -> (Vec<bool>, u64, u64) {
+        let mut sel = vec![false; c.len()];
+        let (skipped, compared) = c.filter_range_pushdown(lo, hi, |row, mask, n| {
+            for k in 0..n {
+                if (mask >> k) & 1 == 1 {
+                    assert!(!sel[row + k], "row {} double-emitted", row + k);
+                    sel[row + k] = true;
+                }
+            }
+        });
+        (sel, skipped, compared)
+    }
+
+    #[test]
+    fn pushdown_filter_matches_decode_then_compare() {
+        let values: Vec<u64> = (0..3_000u64)
+            .map(|i| 1_000 + (i % 700) * 3 + (i / 700) * 5_000)
+            .collect();
+        let c = ForCodec::encode(&values, 128);
+        for (lo, hi) in [
+            (0u64, u64::MAX),
+            (0, 999),
+            (1_000, 1_000),
+            (2_000, 9_000),
+            (5, 2),
+            (u64::MAX, u64::MAX),
+        ] {
+            let (sel, skipped, compared) = pushdown_selection(&c, lo, hi);
+            let want: Vec<bool> = values
+                .iter()
+                .map(|v| lo <= hi && (lo..=hi).contains(v))
+                .collect();
+            assert_eq!(sel, want, "[{lo},{hi}]");
+            assert_eq!(skipped + compared, values.len() as u64, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn pushdown_header_shortcuts_skip_whole_frames() {
+        // Constant frames: zero width, so every predicate resolves from the
+        // 9-byte headers without a single payload read.
+        let values = vec![42u64; 1_000];
+        let c = ForCodec::encode(&values, 100);
+        let (sel, skipped, compared) = pushdown_selection(&c, 40, 50);
+        assert!(sel.iter().all(|&s| s));
+        assert_eq!((skipped, compared), (1_000, 0));
+        let (sel, skipped, compared) = pushdown_selection(&c, 43, 50);
+        assert!(sel.iter().all(|&s| !s));
+        assert_eq!((skipped, compared), (1_000, 0));
+    }
+
     proptest! {
         #[test]
         fn prop_round_trip(values in proptest::collection::vec(any::<u64>(), 0..500),
@@ -201,6 +312,24 @@ mod tests {
             for (i, &v) in values.iter().enumerate() {
                 prop_assert_eq!(c.get(i), v);
             }
+        }
+
+        #[test]
+        fn prop_pushdown_matches_reference(values in proptest::collection::vec(any::<u64>(), 0..500),
+                                           frame_len in 1usize..200,
+                                           lo in any::<u64>(), hi in any::<u64>()) {
+            let c = ForCodec::encode(&values, frame_len);
+            // Half the cases: clamp the predicate near actual values so it
+            // is not almost always empty.
+            let (lo, hi) = if let (Some(&min), true) = (values.iter().min(), lo.is_multiple_of(2)) {
+                (min.saturating_add(lo % 97), min.saturating_add(lo % 97 + hi % 911))
+            } else {
+                (lo.min(hi), lo.max(hi))
+            };
+            let (sel, skipped, compared) = pushdown_selection(&c, lo, hi);
+            let want: Vec<bool> = values.iter().map(|v| (lo..=hi).contains(v)).collect();
+            prop_assert_eq!(sel, want);
+            prop_assert_eq!(skipped + compared, values.len() as u64);
         }
     }
 }

@@ -78,6 +78,22 @@ pub trait IntColumn {
     }
 }
 
+/// Emit `n` set selection bits for rows `start..start + n` in 64-bit blocks
+/// — the all-rows-match shortcut of the pushdown filters.
+pub(crate) fn emit_all_set(start: usize, n: usize, emit: &mut impl FnMut(usize, u64, usize)) {
+    let mut k = 0;
+    while k < n {
+        let take = (n - k).min(64);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
+        emit(start + k, mask, take);
+        k += take;
+    }
+}
+
 /// Compression ratio = compressed bytes / uncompressed bytes, where the
 /// uncompressed representation is `len * value_width_bytes`.
 pub fn compression_ratio(column: &dyn IntColumn, value_width_bytes: usize) -> f64 {

@@ -86,6 +86,30 @@ impl Bitmap {
         }
     }
 
+    /// OR `nbits` (at most 64) selection bits of `mask` into positions
+    /// `pos..pos + nbits` (bit `k` of `mask` lands at position `pos + k`).
+    ///
+    /// This is how the packed-domain filter kernels publish their per-block
+    /// masks: one or two word ORs per 64 rows, at arbitrary (unaligned) bit
+    /// positions.  Bits of `mask` at and above `nbits` are ignored.
+    #[inline]
+    pub fn or_mask_at(&mut self, pos: usize, mask: u64, nbits: usize) {
+        debug_assert!(nbits <= 64 && pos + nbits <= self.len);
+        if nbits == 0 {
+            return;
+        }
+        let mask = if nbits == 64 {
+            mask
+        } else {
+            mask & ((1u64 << nbits) - 1)
+        };
+        let (w, off) = (pos / 64, pos % 64);
+        self.words[w] |= mask << off;
+        if off != 0 && off + nbits > 64 {
+            self.words[w + 1] |= mask >> (64 - off);
+        }
+    }
+
     /// Number of set positions.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -226,6 +250,26 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_or_mask_matches_per_bit_loop(
+            len in 1usize..400,
+            pos in 0usize..336,
+            nbits in 0usize..65,
+            mask in any::<u64>(),
+        ) {
+            let pos = pos.min(len);
+            let nbits = nbits.min(len - pos);
+            let mut fast = Bitmap::new(len);
+            fast.or_mask_at(pos, mask, nbits);
+            let mut slow = Bitmap::new(len);
+            for k in 0..nbits {
+                if (mask >> k) & 1 == 1 {
+                    slow.set(pos + k);
+                }
+            }
+            prop_assert_eq!(fast, slow);
+        }
+
         #[test]
         fn prop_set_range_matches_per_bit_loop(
             len in 1usize..400,

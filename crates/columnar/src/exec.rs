@@ -40,6 +40,18 @@ pub struct QueryStats {
     /// Row groups skipped before any I/O because their zone map (or bitmap
     /// slice) proved no row could qualify.
     pub row_groups_pruned: u64,
+    /// Rows whose filter outcome was resolved without reconstructing the
+    /// value: inside a model-inverse definite/excluded band (LeCo), resolved
+    /// from a frame header envelope (FOR, constant Delta frames), or covered
+    /// by a sorted-column binary search.
+    pub rows_skipped_by_model: u64,
+    /// Rows reconstructed (or compared in the packed domain) only because
+    /// they fall in a correction-slack boundary band or a partially
+    /// overlapping frame — the residual work of the pushdown kernels.
+    pub boundary_rows_decoded: u64,
+    /// Rows that went through a full value reconstruction with no help from
+    /// the model or frame headers (decode-then-filter, fused Delta scans).
+    pub rows_decoded_full: u64,
 }
 
 impl QueryStats {
@@ -55,6 +67,9 @@ impl QueryStats {
         self.cpu_seconds += other.cpu_seconds;
         self.chunks_read += other.chunks_read;
         self.row_groups_pruned += other.row_groups_pruned;
+        self.rows_skipped_by_model += other.rows_skipped_by_model;
+        self.boundary_rows_decoded += other.boundary_rows_decoded;
+        self.rows_decoded_full += other.rows_decoded_full;
     }
 }
 
@@ -118,13 +133,24 @@ pub fn finalize_group_avgs(groups: &HashMap<u64, (u128, u64)>) -> Vec<(u64, f64)
     out
 }
 
-/// Evaluate `lo <= value <= hi` over one encoded chunk, setting qualifying
+/// Evaluate the range predicate over one encoded chunk, setting qualifying
 /// positions (offset by `base`) in `sel`.
+///
+/// **Bound convention** (shared by every filter kernel in this module): both
+/// bounds are *inclusive* — a row qualifies iff `lo <= value && value <= hi`.
+/// `hi == u64::MAX` therefore selects everything from `lo` up, including
+/// rows equal to `u64::MAX` itself, and an inverted predicate (`lo > hi`)
+/// selects nothing.  Exclusive bounds are expressed by the caller as
+/// `lo + 1` / `hi - 1`.
 ///
 /// Stateless per-morsel kernel: `base` is the chunk's first row inside `sel`
 /// (the row-group start for a table-global bitmap, 0 for a morsel-local one),
 /// and `decode` is a reusable scratch buffer for the unsorted path.  Does not
-/// touch `sel` outside `[base, base + chunk.len())`.
+/// touch `sel` outside `[base, base + chunk.len())`.  Row accounting: the
+/// sorted path resolves every row by binary search without a bulk decode
+/// (`rows_skipped_by_model`); the unsorted path reconstructs every row
+/// (`rows_decoded_full`).
+#[allow(clippy::too_many_arguments)]
 pub fn filter_chunk(
     chunk: &EncodedColumn,
     lo: u64,
@@ -133,12 +159,24 @@ pub fn filter_chunk(
     base: usize,
     sel: &mut Bitmap,
     decode: &mut Vec<u64>,
+    stats: &mut QueryStats,
 ) {
     if sorted {
+        stats.rows_skipped_by_model += chunk.len() as u64;
+        if lo > hi {
+            return;
+        }
         let from = chunk.lower_bound_sorted(lo);
-        let to = chunk.lower_bound_sorted(hi.saturating_add(1));
+        // `hi` is inclusive: the first position with value > hi ends the run.
+        // `hi + 1` would wrap at u64::MAX, where no value can exceed hi.
+        let to = if hi == u64::MAX {
+            chunk.len()
+        } else {
+            chunk.lower_bound_sorted(hi + 1)
+        };
         sel.set_range(base + from, base + to);
     } else {
+        stats.rows_decoded_full += chunk.len() as u64;
         decode.clear();
         chunk.decode_into(decode);
         for (local, &v) in decode.iter().enumerate() {
@@ -146,6 +184,65 @@ pub fn filter_chunk(
                 sel.set(base + local);
             }
         }
+    }
+}
+
+/// Compressed-execution variant of [`filter_chunk`] (same inclusive-bounds
+/// convention): evaluate the predicate *inside* the encoded domain instead of
+/// decode-then-filter.
+///
+/// Kernel per encoding:
+///
+/// * **LeCo** — model-inverse pushdown
+///   ([`leco_core::CompressedColumn::filter_range_pushdown`]): two binary
+///   searches over the monotone model per partition yield a definite band
+///   (set wholesale) and at most two correction-slack boundary bands (the
+///   only rows decoded),
+/// * **FOR** — packed-domain comparison: the predicate is rebased by the
+///   frame reference and evaluated on the packed words; fully
+///   covered/disjoint frames resolve from their 9-byte headers,
+/// * **Delta** — fused compare: ZigZag decode, prefix summation and range
+///   test ride one bit-extraction loop; constant (zero-width) frames resolve
+///   from headers,
+/// * **Plain / Dict** — no compressed domain to exploit
+///   ([`EncodedColumn::supports_pushdown`] is false): falls back to the
+///   unsorted [`filter_chunk`] path.
+///
+/// Row accounting per chunk is exhaustive:
+/// `rows_skipped_by_model + boundary_rows_decoded + rows_decoded_full`
+/// grows by exactly `chunk.len()`.
+pub fn filter_chunk_pushdown(
+    chunk: &EncodedColumn,
+    lo: u64,
+    hi: u64,
+    base: usize,
+    sel: &mut Bitmap,
+    decode: &mut Vec<u64>,
+    stats: &mut QueryStats,
+) {
+    match chunk {
+        EncodedColumn::Leco(c) => {
+            let counts =
+                c.filter_range_pushdown(lo, hi, decode, |a, b| sel.set_range(base + a, base + b));
+            stats.rows_skipped_by_model += counts.rows_skipped_by_model;
+            stats.boundary_rows_decoded += counts.boundary_rows_decoded;
+            stats.rows_decoded_full += counts.rows_decoded_full;
+        }
+        EncodedColumn::For(c) => {
+            let (skipped, compared) =
+                c.filter_range_pushdown(lo, hi, |row, mask, n| sel.or_mask_at(base + row, mask, n));
+            stats.rows_skipped_by_model += skipped;
+            stats.boundary_rows_decoded += compared;
+        }
+        EncodedColumn::Delta(c) => {
+            let (skipped, examined) =
+                c.filter_range_pushdown(lo, hi, |row, mask, n| sel.or_mask_at(base + row, mask, n));
+            stats.rows_skipped_by_model += skipped;
+            // The fused kernel reconstructs every examined value (prefix sums
+            // leave no shortcut), so these are full decodes, not boundary work.
+            stats.rows_decoded_full += examined;
+        }
+        other => filter_chunk(other, lo, hi, false, base, sel, decode, stats),
     }
 }
 
@@ -179,7 +276,49 @@ pub fn filter_range(
         let chunk = reader.read_chunk(rg, col, stats)?;
         let (row_start, _) = file.row_group_range(rg);
         let cpu = Instant::now();
-        filter_chunk(chunk, lo, hi, sorted, row_start, &mut bitmap, &mut scratch);
+        filter_chunk(
+            chunk,
+            lo,
+            hi,
+            sorted,
+            row_start,
+            &mut bitmap,
+            &mut scratch,
+            stats,
+        );
+        stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+    }
+    Ok(bitmap)
+}
+
+/// Compressed-execution driver: like the unsorted [`filter_range`] but each
+/// surviving row group rides [`filter_chunk_pushdown`], so the predicate is
+/// evaluated inside the encoded domain and only boundary rows are decoded.
+///
+/// Zone-map pruning is identical to [`filter_range`]; the new row counters
+/// (`rows_skipped_by_model` / `boundary_rows_decoded` / `rows_decoded_full`)
+/// cover exactly the rows of the chunks that reached the kernel — pruned row
+/// groups are accounted by `row_groups_pruned`, not by the row counters.
+pub fn filter_range_pushdown(
+    file: &TableFile,
+    col: usize,
+    lo: u64,
+    hi: u64,
+    stats: &mut QueryStats,
+) -> std::io::Result<Bitmap> {
+    let mut bitmap = Bitmap::new(file.num_rows());
+    let reader = file.chunk_reader()?;
+    let mut scratch: Vec<u64> = Vec::new();
+    for rg in 0..file.num_row_groups() {
+        let (zmin, zmax) = file.zone_map(rg, col);
+        if zmax < lo || zmin > hi {
+            stats.row_groups_pruned += 1;
+            continue;
+        }
+        let chunk = reader.read_chunk(rg, col, stats)?;
+        let (row_start, _) = file.row_group_range(rg);
+        let cpu = Instant::now();
+        filter_chunk_pushdown(chunk, lo, hi, row_start, &mut bitmap, &mut scratch, stats);
         stats.cpu_seconds += cpu.elapsed().as_secs_f64();
     }
     Ok(bitmap)
@@ -473,6 +612,7 @@ mod tests {
                 0,
                 &mut scratch.sel,
                 &mut scratch.decode,
+                &mut scratch.stats,
             );
             scratch.selected += scratch.sel.count_ones() as u64;
             let ids = reader.read_chunk(rg, 1, &mut scratch.stats).unwrap();
@@ -589,6 +729,9 @@ mod tests {
             cpu_seconds: 2.0,
             chunks_read: 3,
             row_groups_pruned: 1,
+            rows_skipped_by_model: 100,
+            boundary_rows_decoded: 10,
+            rows_decoded_full: 7,
         };
         let b = QueryStats {
             io_bytes: 5,
@@ -596,11 +739,185 @@ mod tests {
             cpu_seconds: 0.25,
             chunks_read: 2,
             row_groups_pruned: 4,
+            rows_skipped_by_model: 50,
+            boundary_rows_decoded: 4,
+            rows_decoded_full: 3,
         };
         a.merge(&b);
         assert_eq!(a.io_bytes, 15);
         assert_eq!(a.chunks_read, 5);
         assert_eq!(a.row_groups_pruned, 5);
+        assert_eq!(a.rows_skipped_by_model, 150);
+        assert_eq!(a.boundary_rows_decoded, 14);
+        assert_eq!(a.rows_decoded_full, 10);
         assert!((a.total_seconds() - 3.75).abs() < 1e-12);
+    }
+
+    /// Reference selection on raw values, the oracle for the kernel tests.
+    fn reference_bitmap(values: &[u64], lo: u64, hi: u64) -> Bitmap {
+        let mut b = Bitmap::new(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if lo <= hi && (lo..=hi).contains(v) {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn filter_chunk_bounds_are_inclusive_at_exact_edges() {
+        // ±1-off-boundary sweep: for a predicate [lo, hi] and values exactly
+        // at lo-1 / lo / hi / hi+1, both paths must keep the bounds inclusive.
+        let values: Vec<u64> = (0..2_000u64).map(|i| 10 + i * 3).collect(); // sorted
+        for enc in [Encoding::Plain, Encoding::For, Encoding::Leco] {
+            let chunk = EncodedColumn::encode(&values, enc);
+            for &edge in &[values[0], values[700], values[1_999]] {
+                for (lo, hi) in [
+                    (edge, edge),
+                    (edge.saturating_sub(1), edge),
+                    (edge, edge.saturating_add(1)),
+                    (edge.saturating_sub(1), edge.saturating_add(1)),
+                    (edge.saturating_add(1), edge.saturating_sub(1)), // inverted
+                ] {
+                    let want = reference_bitmap(&values, lo, hi);
+                    for sorted in [true, false] {
+                        let mut sel = Bitmap::new(values.len());
+                        let mut stats = QueryStats::default();
+                        let mut buf = Vec::new();
+                        filter_chunk(&chunk, lo, hi, sorted, 0, &mut sel, &mut buf, &mut stats);
+                        assert_eq!(sel, want, "{enc:?} sorted={sorted} [{lo},{hi}]");
+                        let accounted = stats.rows_skipped_by_model + stats.rows_decoded_full;
+                        assert_eq!(accounted, values.len() as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_filter_includes_u64_max_upper_bound() {
+        // Regression: the sorted path used `lower_bound_sorted(hi + 1)` with a
+        // saturating add, so `hi == u64::MAX` silently excluded rows equal to
+        // u64::MAX while the unsorted path included them.
+        let values: Vec<u64> = vec![5, 9, 100, u64::MAX - 1, u64::MAX, u64::MAX];
+        let chunk = EncodedColumn::encode(&values, Encoding::Plain);
+        for lo in [0u64, 100, u64::MAX] {
+            let want = reference_bitmap(&values, lo, u64::MAX);
+            for sorted in [true, false] {
+                let mut sel = Bitmap::new(values.len());
+                let mut stats = QueryStats::default();
+                let mut buf = Vec::new();
+                filter_chunk(
+                    &chunk,
+                    lo,
+                    u64::MAX,
+                    sorted,
+                    0,
+                    &mut sel,
+                    &mut buf,
+                    &mut stats,
+                );
+                assert_eq!(sel, want, "sorted={sorted} lo={lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_kernel_matches_filter_chunk_for_all_encodings() {
+        // Unsorted, correlated-but-noisy data: exercises partial frames and
+        // boundary bands.  Plain/Dict take the documented fallback.
+        let values: Vec<u64> = (0..25_000u64).map(|i| (i * 37) % 10_000).collect();
+        for enc in [
+            Encoding::Default,
+            Encoding::Plain,
+            Encoding::Delta,
+            Encoding::For,
+            Encoding::Leco,
+        ] {
+            let chunk = EncodedColumn::encode(&values, enc);
+            for (lo, hi) in [
+                (0u64, u64::MAX),
+                (0, 0),
+                (2_500, 2_500),
+                (2_000, 7_999),
+                (9_999, 9_999),
+                (10_000, u64::MAX), // nothing qualifies
+                (7, 3),             // inverted
+            ] {
+                let want = reference_bitmap(&values, lo, hi);
+                let mut sel = Bitmap::new(values.len());
+                let mut stats = QueryStats::default();
+                let mut buf = Vec::new();
+                filter_chunk_pushdown(&chunk, lo, hi, 0, &mut sel, &mut buf, &mut stats);
+                assert_eq!(sel, want, "{enc:?} [{lo},{hi}]");
+                let accounted = stats.rows_skipped_by_model
+                    + stats.boundary_rows_decoded
+                    + stats.rows_decoded_full;
+                assert_eq!(accounted, values.len() as u64, "{enc:?} [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_driver_matches_decode_then_filter() {
+        for (k, enc) in [
+            Encoding::Default,
+            Encoding::Delta,
+            Encoding::For,
+            Encoding::Leco,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (file, _, _, val, path) = build(30_000, *enc, &format!("pdrv{k}"));
+            for (lo, hi) in [(0u64, u64::MAX), (2_000, 2_100), (9_999, 9_999), (8, 2)] {
+                let mut s_ref = QueryStats::default();
+                let reference = filter_range(&file, 2, lo, hi, false, &mut s_ref).unwrap();
+                let mut s_pd = QueryStats::default();
+                let got = filter_range_pushdown(&file, 2, lo, hi, &mut s_pd).unwrap();
+                assert_eq!(got, reference, "{enc:?} [{lo},{hi}]");
+                // Row accounting covers exactly the chunks that were read.
+                let rows_read: u64 = (0..file.num_row_groups())
+                    .map(|rg| {
+                        let (zmin, zmax) = file.zone_map(rg, 2);
+                        if zmax < lo || zmin > hi {
+                            0
+                        } else {
+                            let (a, b) = file.row_group_range(rg);
+                            (b - a) as u64
+                        }
+                    })
+                    .sum();
+                let accounted = s_pd.rows_skipped_by_model
+                    + s_pd.boundary_rows_decoded
+                    + s_pd.rows_decoded_full;
+                assert_eq!(accounted, rows_read, "{enc:?} [{lo},{hi}]");
+            }
+            // Reference validation against the raw column.
+            let mut stats = QueryStats::default();
+            let got = filter_range_pushdown(&file, 2, 2_000, 7_999, &mut stats).unwrap();
+            assert_eq!(got, reference_bitmap(&val, 2_000, 7_999));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn pushdown_skips_decoding_on_selective_sorted_column() {
+        // The ts column is cleanly linear, so the model inverse resolves all
+        // but a slack band: on a selective predicate nearly every row must be
+        // skipped without decoding.
+        let (file, ts, _, _, path) = build(40_000, Encoding::Leco, "pdsel");
+        let (lo, hi) = (1_000u64, 1_080u64); // ~40 of 40_000 rows
+        let mut s_pd = QueryStats::default();
+        let got = filter_range_pushdown(&file, 0, lo, hi, &mut s_pd).unwrap();
+        assert_eq!(got, reference_bitmap(&ts, lo, hi));
+        assert_eq!(s_pd.rows_decoded_full, 0, "model inverse should cover Leco");
+        let touched = s_pd.boundary_rows_decoded;
+        let skipped = s_pd.rows_skipped_by_model;
+        assert!(
+            touched < 200 && skipped > 7_000,
+            "boundary {touched} skipped {skipped}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

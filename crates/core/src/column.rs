@@ -7,7 +7,7 @@
 //! θ₁-accumulation optimisation with an error-correction list (§3.3).
 
 use crate::advisor::RegressorSelector;
-use crate::model::{Model, RegressorKind};
+use crate::model::{Model, RegressorKind, SlackBands};
 use crate::partition::{self, PartitionerKind};
 use crate::regressor::{self, FitContext};
 use crate::value::LecoInt;
@@ -33,6 +33,54 @@ pub(crate) struct PartitionMeta {
     /// Local positions where the θ₁-accumulation floor differs from the exact
     /// model floor (only populated for linear models).
     pub corrections: Vec<u32>,
+}
+
+/// Row accounting for a pushdown filter over one column: every row lands in
+/// exactly one bucket, so `total()` always equals the column length.
+///
+/// This is the observable half of the tentpole claim — pushdown wins exactly
+/// when `rows_skipped_by_model` dominates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PushdownCounts {
+    /// Rows resolved (in *or* out) purely by model inversion, never decoded.
+    pub rows_skipped_by_model: u64,
+    /// Rows inside the correction-slack band that had to be decoded to
+    /// settle the predicate.
+    pub boundary_rows_decoded: u64,
+    /// Rows of partitions whose model is not invertible
+    /// ([`Model::monotone`] is `None`), decoded wholesale.
+    pub rows_decoded_full: u64,
+}
+
+impl PushdownCounts {
+    /// Sum of all buckets — always the number of rows filtered.
+    pub fn total(&self) -> u64 {
+        self.rows_skipped_by_model + self.boundary_rows_decoded + self.rows_decoded_full
+    }
+}
+
+/// Scan `decoded` (values of global positions starting at `global0`) and
+/// emit each maximal run of values satisfying `lo <= v <= hi` as a half-open
+/// global range.
+fn emit_matching_runs(
+    decoded: &[u64],
+    global0: usize,
+    lo: u64,
+    hi: u64,
+    emit: &mut impl FnMut(usize, usize),
+) {
+    let mut k = 0;
+    while k < decoded.len() {
+        if (lo..=hi).contains(&decoded[k]) {
+            let run0 = k;
+            while k < decoded.len() && (lo..=hi).contains(&decoded[k]) {
+                k += 1;
+            }
+            emit(global0 + run0, global0 + k);
+        } else {
+            k += 1;
+        }
+    }
 }
 
 /// The LeCo encoder: configuration plus (optionally) a trained Regressor
@@ -328,6 +376,70 @@ impl CompressedColumn {
         crate::format::from_bytes(bytes)
     }
 
+    /// Evaluate the inclusive predicate `lo <= v <= hi` over the whole
+    /// column *without decoding it*, wherever the models allow: compressed
+    /// execution via [`Model::invert_range`].
+    ///
+    /// Per partition, monotone models are inverted into a definite interval
+    /// (emitted without touching the payload) plus at most two boundary
+    /// spans inside the correction-slack band, which are bulk-decoded into
+    /// `scratch` and compared.  Partitions with non-invertible models fall
+    /// back to decode-then-filter.  `emit` receives disjoint half-open
+    /// global row ranges of matching rows (not necessarily in positional
+    /// order: a partition's definite interval is emitted before its
+    /// boundary spans).
+    ///
+    /// The returned [`PushdownCounts`] account for every row exactly once;
+    /// the selection is bit-for-bit identical to decode-then-filter (locked
+    /// by `tests/pushdown_differential.rs`).
+    pub fn filter_range_pushdown(
+        &self,
+        lo: u64,
+        hi: u64,
+        scratch: &mut Vec<u64>,
+        mut emit: impl FnMut(usize, usize),
+    ) -> PushdownCounts {
+        let mut counts = PushdownCounts::default();
+        if lo > hi {
+            // Empty predicate: every row is resolved without decoding.
+            counts.rows_skipped_by_model = self.len as u64;
+            return counts;
+        }
+        for p in &self.partitions {
+            let start = p.start as usize;
+            let len = p.len as usize;
+            match p.model.invert_range(len, p.bias, p.width, lo, hi) {
+                Some(SlackBands {
+                    candidate,
+                    definite,
+                }) => {
+                    if definite.start < definite.end {
+                        emit(start + definite.start, start + definite.end);
+                    }
+                    let boundary =
+                        (definite.start - candidate.start) + (candidate.end - definite.end);
+                    counts.rows_skipped_by_model += (len - boundary) as u64;
+                    counts.boundary_rows_decoded += boundary as u64;
+                    for span in [candidate.start..definite.start, definite.end..candidate.end] {
+                        if span.start >= span.end {
+                            continue;
+                        }
+                        scratch.clear();
+                        self.decode_range_into(start + span.start, start + span.end, scratch);
+                        emit_matching_runs(scratch, start + span.start, lo, hi, &mut emit);
+                    }
+                }
+                None => {
+                    counts.rows_decoded_full += len as u64;
+                    scratch.clear();
+                    self.decode_range_into(start, start + len, scratch);
+                    emit_matching_runs(scratch, start, lo, hi, &mut emit);
+                }
+            }
+        }
+        counts
+    }
+
     /// For a sorted column compressed with monotone non-decreasing models,
     /// return the smallest position whose value is `>= target`, or `len` if
     /// all values are smaller.  Uses the per-partition model bounds to skip
@@ -530,6 +642,73 @@ mod tests {
             let col = LecoCompressor::new(config).compress(&values);
             assert_eq!(col.decode_all(), values);
         }
+    }
+
+    /// Decode-then-filter reference for `filter_range_pushdown`.
+    fn reference_selection(values: &[u64], lo: u64, hi: u64) -> Vec<bool> {
+        values.iter().map(|v| (lo..=hi).contains(v)).collect()
+    }
+
+    fn pushdown_selection(col: &CompressedColumn, lo: u64, hi: u64) -> (Vec<bool>, PushdownCounts) {
+        let mut sel = vec![false; col.len()];
+        let mut scratch = Vec::new();
+        let counts = col.filter_range_pushdown(lo, hi, &mut scratch, |a, b| {
+            for s in sel[a..b].iter_mut() {
+                assert!(!*s, "range {a}..{b} double-emitted");
+                *s = true;
+            }
+        });
+        (sel, counts)
+    }
+
+    #[test]
+    fn pushdown_filter_matches_decode_then_filter() {
+        let values = movie_like(5_000);
+        let vmax = *values.iter().max().unwrap();
+        for config in [
+            LecoConfig::leco_fix_with_len(256),
+            LecoConfig::leco_var(),
+            LecoConfig::leco_poly_fix(),
+            LecoConfig::for_(),
+        ] {
+            let col = LecoCompressor::new(config.clone()).compress(&values);
+            for (lo, hi) in [
+                (0u64, u64::MAX),
+                (0, 0),
+                (values[100], values[100]),
+                (values[700], values[4_200]),
+                (vmax + 1, u64::MAX),
+                (10, 5),
+            ] {
+                let (sel, counts) = pushdown_selection(&col, lo, hi);
+                assert_eq!(
+                    sel,
+                    reference_selection(&values, lo, hi),
+                    "{config:?} [{lo},{hi}]"
+                );
+                assert_eq!(
+                    counts.total(),
+                    values.len() as u64,
+                    "{config:?} [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_skips_most_rows_on_selective_predicates() {
+        // Clean linear data, selective predicate: nearly everything should be
+        // resolved by the model inverse alone.
+        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000 + 13 * i).collect();
+        let col = LecoCompressor::new(LecoConfig::leco_fix()).compress(&values);
+        let (sel, counts) = pushdown_selection(&col, values[500], values[600]);
+        assert_eq!(sel.iter().filter(|&&s| s).count(), 101);
+        assert_eq!(counts.total(), values.len() as u64);
+        assert_eq!(counts.rows_decoded_full, 0);
+        assert!(
+            counts.rows_skipped_by_model > counts.total() * 99 / 100,
+            "{counts:?}"
+        );
     }
 
     proptest! {

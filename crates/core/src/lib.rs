@@ -56,8 +56,8 @@ pub mod regressor;
 pub mod string;
 pub mod value;
 
-pub use column::{CompressedColumn, LecoCompressor};
-pub use model::{Model, RegressorKind};
+pub use column::{CompressedColumn, LecoCompressor, PushdownCounts};
+pub use model::{Model, Monotone, RegressorKind, SlackBands};
 pub use partition::{Partition, PartitionerKind};
 pub use value::LecoInt;
 

@@ -38,6 +38,47 @@ pub enum RegressorKind {
     Auto,
 }
 
+/// Direction in which [`Model::predict_floor`] is monotone over local
+/// positions, as proven by [`Model::monotone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monotone {
+    /// `predict_floor(i) <= predict_floor(i + 1)` for every `i`.
+    NonDecreasing,
+    /// `predict_floor(i) >= predict_floor(i + 1)` for every `i`.
+    NonIncreasing,
+}
+
+/// The row-interval pair produced by [`Model::invert_range`]: half-open local
+/// ranges with `definite ⊆ candidate`.
+///
+/// Rows outside `candidate` certainly fail the predicate, rows inside
+/// `definite` certainly pass it, and only the slack band `candidate \
+/// definite` (at most two spans, one per side) depends on the packed delta —
+/// those are the *boundary rows* a pushdown filter must actually decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackBands {
+    /// Local positions that *may* satisfy the predicate.
+    pub candidate: std::ops::Range<usize>,
+    /// Local positions that *certainly* satisfy the predicate.
+    pub definite: std::ops::Range<usize>,
+}
+
+/// `partition_point` over `0..len`: the first index where `pred` turns false
+/// (callers guarantee `pred` is monotone true→false).
+#[inline]
+fn partition_point(len: usize, mut pred: impl FnMut(usize) -> bool) -> usize {
+    let (mut a, mut b) = (0usize, len);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if pred(mid) {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    a
+}
+
 /// One sine component of a [`Model::Sine`] model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SineTerm {
@@ -264,6 +305,113 @@ impl Model {
         }
     }
 
+    /// The direction in which [`Self::predict_floor`] is provably monotone
+    /// over local positions, or `None` when monotonicity cannot be
+    /// guaranteed for the family.
+    ///
+    /// Only `Constant` and `Linear` qualify.  For those, every step of the
+    /// evaluation pipeline is monotone in `i`: `i as f64` is monotone,
+    /// multiplying by a fixed sign-stable `θ₁` and rounding to nearest is
+    /// monotone (rounding of a monotone exact sequence is monotone), adding
+    /// `θ₀` and rounding is monotone, and `floor` plus the `i128` clamp are
+    /// monotone.  The transcendental families (`Exponential`, `Logarithm`)
+    /// are mathematically monotone but evaluated through libm, whose
+    /// implementations do not guarantee monotone rounding — so they are
+    /// conservatively excluded rather than risking a wrong binary search.
+    pub fn monotone(&self) -> Option<Monotone> {
+        match self {
+            Model::Constant { value } if value.is_finite() => Some(Monotone::NonDecreasing),
+            Model::Linear { theta0, theta1 } if theta0.is_finite() && theta1.is_finite() => {
+                if *theta1 >= 0.0 {
+                    Some(Monotone::NonDecreasing)
+                } else {
+                    Some(Monotone::NonIncreasing)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Invert an inclusive value predicate `lo <= v <= hi` into row
+    /// intervals, for a partition of `len` rows stored with this model,
+    /// `bias` and packed-delta `width` — the model-inverse half of predicate
+    /// pushdown (§5 of the paper: keeping the model explicit lets operators
+    /// *solve* it instead of decoding through it).
+    ///
+    /// Every stored value is exactly `v = predict_floor(i) + bias + packed_i`
+    /// in `i128`, with `packed_i ∈ [0, 2^width - 1]`.  The prediction
+    /// therefore pins each row's value to a *slack band* of width
+    /// `2^width - 1`, and for a monotone model the set of rows whose band
+    /// intersects (resp. is contained in) `[lo, hi]` is a contiguous
+    /// interval recoverable by binary search on `predict_floor` — O(log len)
+    /// model evaluations, no decoding:
+    ///
+    /// * `candidate`: rows with `predict_floor(i) ∈ [lo-bias-slack, hi-bias]`
+    ///   (the band intersects the predicate — the row *may* match);
+    /// * `definite`: rows with `predict_floor(i) ∈ [lo-bias, hi-bias-slack]`
+    ///   (the band is contained in the predicate — the row *must* match).
+    ///
+    /// Returns `None` when [`Self::monotone`] is `None`; callers then fall
+    /// back to decode-then-filter for the partition.  `lo > hi` yields empty
+    /// ranges.  The result is exact for any column produced by the encoder
+    /// (which computes `bias`/`width` from the same `predict_floor`).
+    pub fn invert_range(
+        &self,
+        len: usize,
+        bias: i128,
+        width: u8,
+        lo: u64,
+        hi: u64,
+    ) -> Option<SlackBands> {
+        let dir = self.monotone()?;
+        if len == 0 || lo > hi {
+            return Some(SlackBands {
+                candidate: 0..0,
+                definite: 0..0,
+            });
+        }
+        let slack: i128 = if width >= 64 {
+            u64::MAX as i128
+        } else {
+            ((1u64 << width) - 1) as i128
+        };
+        // Thresholds in prediction space.  Saturating arithmetic is pure
+        // belt-and-braces: a bias anywhere near i128's edges cannot come out
+        // of the encoder (the delta subtraction would have overflowed first).
+        let lo_t = (lo as i128).saturating_sub(bias);
+        let hi_t = (hi as i128).saturating_sub(bias);
+        let (candidate, definite) = match dir {
+            Monotone::NonDecreasing => {
+                // first_ge(t): first row with predict_floor >= t.
+                let first_ge = |t: i128| partition_point(len, |i| self.predict_floor(i) < t);
+                let candidate =
+                    first_ge(lo_t.saturating_sub(slack))..first_ge(hi_t.saturating_add(1));
+                let definite =
+                    first_ge(lo_t)..first_ge(hi_t.saturating_sub(slack).saturating_add(1));
+                (candidate, definite)
+            }
+            Monotone::NonIncreasing => {
+                // predict_floor is non-increasing: `{i : pf(i) <= t}` is a
+                // suffix and `{i : pf(i) >= t}` a prefix.
+                let first_le = |t: i128| partition_point(len, |i| self.predict_floor(i) > t);
+                let first_lt = |t: i128| partition_point(len, |i| self.predict_floor(i) >= t);
+                let candidate = first_le(hi_t)..first_lt(lo_t.saturating_sub(slack));
+                let definite = first_le(hi_t.saturating_sub(slack))..first_lt(lo_t);
+                (candidate, definite)
+            }
+        };
+        // Normalise: candidate is non-empty-ordered by construction; clamp
+        // definite inside it (an empty definite collapses to a point, leaving
+        // the whole candidate as boundary).
+        debug_assert!(candidate.start <= candidate.end);
+        let def_start = definite.start.clamp(candidate.start, candidate.end);
+        let def_end = definite.end.clamp(def_start, candidate.end);
+        Some(SlackBands {
+            candidate,
+            definite: def_start..def_end,
+        })
+    }
+
     /// True when the decoder's θ₁-accumulation fallback path is taken for a
     /// full-partition decode of `len` values under this model — the only
     /// situation in which the correction list is ever consulted.
@@ -462,6 +610,142 @@ mod tests {
             .kind(),
             RegressorKind::Poly3
         );
+    }
+
+    /// Reference implementation of the band predicate for `invert_range`
+    /// tests: classify every row by brute force from the model alone.
+    fn brute_bands(m: &Model, len: usize, bias: i128, width: u8, lo: u64, hi: u64) -> SlackBands {
+        let slack: i128 = if width >= 64 {
+            u64::MAX as i128
+        } else {
+            ((1u64 << width) - 1) as i128
+        };
+        let (mut c_lo, mut c_hi, mut d_lo, mut d_hi) = (len, 0usize, len, 0usize);
+        for i in 0..len {
+            let band_lo = m.predict_floor(i) + bias;
+            let band_hi = band_lo + slack;
+            if band_hi >= lo as i128 && band_lo <= hi as i128 {
+                c_lo = c_lo.min(i);
+                c_hi = c_hi.max(i + 1);
+            }
+            if band_lo >= lo as i128 && band_hi <= hi as i128 {
+                d_lo = d_lo.min(i);
+                d_hi = d_hi.max(i + 1);
+            }
+        }
+        let candidate = if c_lo < c_hi { c_lo..c_hi } else { 0..0 };
+        let definite = if d_lo < d_hi { d_lo..d_hi } else { 0..0 };
+        SlackBands {
+            candidate,
+            definite,
+        }
+    }
+
+    #[test]
+    fn invert_range_matches_brute_force() {
+        let models = [
+            Model::Constant { value: 1_000.0 },
+            Model::Linear {
+                theta0: 50.0,
+                theta1: 3.25,
+            },
+            Model::Linear {
+                theta0: 10_000.0,
+                theta1: -7.5,
+            },
+            Model::Linear {
+                theta0: 123.0,
+                theta1: 0.0,
+            },
+        ];
+        for m in &models {
+            for len in [0usize, 1, 2, 63, 100] {
+                for width in [0u8, 1, 4, 13] {
+                    for bias in [-37i128, 0, 12] {
+                        for (lo, hi) in [
+                            (0u64, u64::MAX),
+                            (0, 0),
+                            (900, 1_100),
+                            (1_000, 1_000),
+                            (40, 60),
+                            (9_000, 10_001),
+                        ] {
+                            let got = m.invert_range(len, bias, width, lo, hi).unwrap();
+                            let want = brute_bands(m, len, bias, width, lo, hi);
+                            // The brute-force candidate is exact; the search
+                            // result must agree exactly on both intervals
+                            // (modulo empty-range representation).
+                            let got_cand = if got.candidate.is_empty() {
+                                0..0
+                            } else {
+                                got.candidate.clone()
+                            };
+                            assert_eq!(
+                                got_cand, want.candidate,
+                                "candidate {m:?} len={len} w={width} bias={bias} [{lo},{hi}]"
+                            );
+                            let got_def = if got.definite.is_empty() {
+                                0..0
+                            } else {
+                                got.definite.clone()
+                            };
+                            assert_eq!(
+                                got_def, want.definite,
+                                "definite {m:?} len={len} w={width} bias={bias} [{lo},{hi}]"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invert_range_only_for_monotone_families() {
+        assert!(Model::Constant { value: 5.0 }.monotone().is_some());
+        assert_eq!(
+            Model::Linear {
+                theta0: 0.0,
+                theta1: -1.0
+            }
+            .monotone(),
+            Some(Monotone::NonIncreasing)
+        );
+        for m in [
+            Model::Poly {
+                coeffs: vec![1.0, 2.0, 3.0],
+            },
+            Model::Exponential { ln_a: 0.1, b: 0.2 },
+            Model::Logarithm {
+                theta0: 1.0,
+                theta1: 2.0,
+            },
+            Model::Sine {
+                theta0: 0.0,
+                theta1: 1.0,
+                terms: vec![],
+            },
+            Model::Linear {
+                theta0: f64::NAN,
+                theta1: 1.0,
+            },
+        ] {
+            assert!(m.monotone().is_none(), "{m:?}");
+            assert!(m.invert_range(10, 0, 4, 0, 100).is_none(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn invert_range_zero_width_has_no_boundary() {
+        // Perfectly predicted partition: candidate == definite, so pushdown
+        // decodes nothing at all.
+        let m = Model::Linear {
+            theta0: 0.0,
+            theta1: 2.0,
+        };
+        let bands = m.invert_range(100, 0, 0, 10, 21).unwrap();
+        assert_eq!(bands.candidate, bands.definite);
+        assert_eq!(bands.candidate, 5..11); // values 10,12,...,20
     }
 
     #[test]

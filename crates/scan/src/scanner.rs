@@ -3,7 +3,8 @@
 use crate::pool::{self, PoolError};
 use crate::prefetch::PrefetchBuffer;
 use leco_columnar::exec::{
-    filter_chunk, finalize_group_avgs, group_by_avg_chunk, sum_selected_chunk,
+    filter_chunk, filter_chunk_pushdown, finalize_group_avgs, group_by_avg_chunk,
+    sum_selected_chunk,
 };
 use leco_columnar::{ChunkReader, QueryStats, ScanScratch, TableFile};
 use std::time::Instant;
@@ -64,6 +65,11 @@ struct FilterSpec {
     lo: u64,
     hi: u64,
     sorted: bool,
+    /// Compressed execution: evaluate the predicate inside the encoded
+    /// domain (model inverse for LeCo, packed-domain compare for FOR, fused
+    /// compare for Delta) instead of decode-then-filter.  On by default;
+    /// [`Scanner::pushdown_filter`] turns it off for comparison runs.
+    pushdown: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +174,7 @@ impl<'a> Scanner<'a> {
             lo,
             hi,
             sorted: false,
+            pushdown: true,
         });
         self
     }
@@ -178,6 +185,22 @@ impl<'a> Scanner<'a> {
     pub fn sorted_filter(mut self, sorted: bool) -> Self {
         if let Some(f) = &mut self.filter {
             f.sorted = sorted;
+        }
+        self
+    }
+
+    /// Enable or disable compressed execution of the filter (on by default).
+    ///
+    /// With pushdown on, unsorted filters over LeCo / FOR / Delta chunks are
+    /// evaluated inside the encoded domain
+    /// ([`leco_columnar::exec::filter_chunk_pushdown`]) and only
+    /// correction-slack boundary rows are decoded; with it off the scan
+    /// bulk-decodes every chunk and compares row by row — the baseline the
+    /// selectivity benchmark measures against.  A sorted filter ignores this
+    /// toggle: the binary-search path already decodes nothing.
+    pub fn pushdown_filter(mut self, enabled: bool) -> Self {
+        if let Some(f) = &mut self.filter {
+            f.pushdown = enabled;
         }
         self
     }
@@ -430,15 +453,43 @@ impl<'a> Scanner<'a> {
         match &self.filter {
             Some(f) => {
                 let chunk = self.table.chunk_encoded(rg, f.col);
-                filter_chunk(
-                    chunk,
-                    f.lo,
-                    f.hi,
-                    f.sorted,
-                    0,
-                    &mut scratch.sel,
-                    &mut scratch.decode,
-                );
+                // Kernel selection: a sorted column is resolved by binary
+                // search; otherwise compressed execution handles the
+                // encodings with an exploitable domain and everything else
+                // (or pushdown off) takes the decode-then-filter path.
+                if f.sorted {
+                    filter_chunk(
+                        chunk,
+                        f.lo,
+                        f.hi,
+                        true,
+                        0,
+                        &mut scratch.sel,
+                        &mut scratch.decode,
+                        &mut scratch.stats,
+                    );
+                } else if f.pushdown && chunk.supports_pushdown() {
+                    filter_chunk_pushdown(
+                        chunk,
+                        f.lo,
+                        f.hi,
+                        0,
+                        &mut scratch.sel,
+                        &mut scratch.decode,
+                        &mut scratch.stats,
+                    );
+                } else {
+                    filter_chunk(
+                        chunk,
+                        f.lo,
+                        f.hi,
+                        false,
+                        0,
+                        &mut scratch.sel,
+                        &mut scratch.decode,
+                        &mut scratch.stats,
+                    );
+                }
             }
             None => scratch.sel.set_range(0, rows),
         }

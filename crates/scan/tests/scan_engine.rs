@@ -166,6 +166,86 @@ fn zipf_table_sum_and_groups_identical_across_thread_counts() {
 }
 
 #[test]
+fn pushdown_scans_bit_identical_across_thread_counts() {
+    // Compressed execution vs. decode-then-filter, across every encoding
+    // with a pushdown kernel and every thread count: same selection, same
+    // groups, and the pushdown row accounting covers every scanned row.
+    for (k, encoding) in [Encoding::Leco, Encoding::For, Encoding::Delta]
+        .iter()
+        .enumerate()
+    {
+        let (table, path) = write_sensor(
+            60_000,
+            SensorDistribution::Random,
+            *encoding,
+            &format!("pushdown-{k}"),
+        );
+        // Unsorted filter on the id column (uniform in 1..=10_000): the
+        // pushdown path by default.
+        let (lo, hi) = (2_000u64, 6_000u64);
+        let baseline = Scanner::new(&table)
+            .filter_col(1, lo, hi)
+            .pushdown_filter(false)
+            .group_by_avg_cols(1, 2)
+            .run(1)
+            .unwrap();
+        assert!(baseline.rows_selected > 0, "{encoding:?}");
+        for threads in THREAD_COUNTS {
+            let got = Scanner::new(&table)
+                .filter_col(1, lo, hi)
+                .group_by_avg_cols(1, 2)
+                .run(threads)
+                .unwrap();
+            let ctx = format!("{encoding:?} threads={threads}");
+            assert_groups_identical(&baseline.groups, &got.groups, &ctx);
+            assert_eq!(got.rows_selected, baseline.rows_selected, "{ctx}");
+            assert_eq!(got.rows_scanned, baseline.rows_scanned, "{ctx}");
+            // Exhaustive row accounting: every scanned row lands in exactly
+            // one bucket, at every thread count.
+            let accounted = got.stats.rows_skipped_by_model
+                + got.stats.boundary_rows_decoded
+                + got.stats.rows_decoded_full;
+            assert_eq!(accounted, got.rows_scanned, "{ctx}");
+            // The baseline decodes everything, and the counters say so.
+            assert_eq!(
+                baseline.stats.rows_decoded_full, baseline.rows_scanned,
+                "{ctx}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn pushdown_decodes_less_than_full_scan_on_selective_predicate() {
+    // The zipf table's ts column is exactly linear and stored as LeCo: the
+    // model inverse should resolve nearly every row of a selective unsorted
+    // filter without decoding it.
+    let (table, path) = write_zipf(50_000, "pushdown-sel");
+    let (zlo, _) = table.zone_map(0, 0);
+    let (lo, hi) = (zlo, zlo + 150); // ~50 of 50_000 rows
+    let pushdown = Scanner::new(&table)
+        .filter_col(0, lo, hi)
+        .count()
+        .run(4)
+        .unwrap();
+    let baseline = Scanner::new(&table)
+        .filter_col(0, lo, hi)
+        .pushdown_filter(false)
+        .count()
+        .run(4)
+        .unwrap();
+    assert_eq!(pushdown.rows_selected, baseline.rows_selected);
+    let pushdown_decoded = pushdown.stats.boundary_rows_decoded + pushdown.stats.rows_decoded_full;
+    assert!(
+        pushdown_decoded < baseline.stats.rows_decoded_full / 10,
+        "pushdown decoded {pushdown_decoded} vs baseline {}",
+        baseline.stats.rows_decoded_full
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn worker_panic_poisons_scan_with_clean_error() {
     let (table, path) = write_sensor(
         40_000,
