@@ -4,28 +4,31 @@
 //!
 //! ```text
 //! bench_check --baseline BENCH_baseline --current bench-current \
-//!             [--tolerance 0.5]
-//!             [--benches fig10_micro,fig16_partitioners,scan,scan_selectivity]
+//!             [--tolerance 0.5] [--max-obs-overhead 0.05]
+//!             [--benches fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs]
 //! ```
 //!
 //! Compression ratios are compared exactly (they are deterministic given
 //! the pinned `LECO_N` and seeds); throughput and latency metrics fail only
 //! beyond `--tolerance` (relative), a tripwire for order-of-magnitude
-//! slowdowns that survives CI-runner variance.  See
-//! `leco_bench::check` for the per-benchmark rules.
+//! slowdowns that survives CI-runner variance.  With `--max-obs-overhead`
+//! the `scan_obs` report's obs-on vs. obs-off ratio is additionally gated
+//! against an absolute budget (the observability layer must stay close to
+//! free).  See `leco_bench::check` for the per-benchmark rules.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use leco_bench::check::compare_reports;
+use leco_bench::check::{check_overhead, compare_reports};
 use leco_bench::report::Json;
 
-const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan,scan_selectivity";
+const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs";
 
 struct Args {
     baseline: PathBuf,
     current: PathBuf,
     tolerance: f64,
+    max_obs_overhead: Option<f64>,
     benches: Vec<String>,
 }
 
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut baseline = PathBuf::from("BENCH_baseline");
     let mut current = PathBuf::from(".");
     let mut tolerance = 0.5f64;
+    let mut max_obs_overhead = None;
     let mut benches = DEFAULT_BENCHES.to_string();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -48,11 +52,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?
             }
+            "--max-obs-overhead" => {
+                max_obs_overhead = Some(
+                    value("--max-obs-overhead")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-obs-overhead: {e}"))?,
+                )
+            }
             "--benches" => benches = value("--benches")?,
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: bench_check --baseline DIR --current DIR \
-                     [--tolerance 0.5] [--benches {DEFAULT_BENCHES}]"
+                     [--tolerance 0.5] [--max-obs-overhead 0.05] \
+                     [--benches {DEFAULT_BENCHES}]"
                 ))
             }
             other => return Err(format!("unknown flag {other}")),
@@ -62,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         baseline,
         current,
         tolerance,
+        max_obs_overhead,
         benches: benches.split(',').map(|s| s.trim().to_string()).collect(),
     })
 }
@@ -93,7 +106,10 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let found = compare_reports(&baseline, &current, args.tolerance);
+        let mut found = compare_reports(&baseline, &current, args.tolerance);
+        if let (Some(budget), "scan_obs") = (args.max_obs_overhead, bench.as_str()) {
+            found.extend(check_overhead(&current, budget));
+        }
         if found.is_empty() {
             println!("ok    {bench}");
         } else {

@@ -9,6 +9,7 @@
 //! hold the dictionary, each code→value translation may fault a 4 KB page in
 //! from disk.  Throughput is reported as raw probe-side bytes per second.
 
+use leco_bench::measure::timed;
 use leco_bench::report::{write_bench_json, TextTable};
 use leco_codecs::{ForCodec, IntColumn, OpDict};
 use leco_core::{LecoCompressor, LecoConfig};
@@ -17,7 +18,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::time::Instant;
 
 const PAGE: usize = 4096;
 
@@ -153,17 +153,19 @@ fn main() {
             let resident = budget
                 .saturating_sub(hash_table_bytes)
                 .min(dictionary.bytes);
-            let start = Instant::now();
-            let mut matches = 0u64;
-            for &row in &selected {
-                let code = dict.code(row) as usize;
-                let value = dictionary.translate(code, resident);
-                if build.contains(&value) {
-                    matches += 1;
+            let (matches, secs) = timed("bench.hash_probe_ns", || {
+                let mut matches = 0u64;
+                for &row in &selected {
+                    let code = dict.code(row) as usize;
+                    let value = dictionary.translate(code, resident);
+                    if build.contains(&value) {
+                        matches += 1;
+                    }
                 }
-            }
+                matches
+            });
             std::hint::black_box(matches);
-            tputs.push(raw_probe_bytes / start.elapsed().as_secs_f64() / 1.0e9);
+            tputs.push(raw_probe_bytes / secs / 1.0e9);
         }
         let speedup = if tputs[1] > 0.0 {
             format!("{:.1}x", tputs[2] / tputs[1])

@@ -2,23 +2,25 @@
 //! 0/20/40/60/80/100 strings) versus LeCo's string extension (reduced and
 //! full-byte character sets) on `email`, `hex` and `word`.
 
+use leco_bench::measure::timed;
 use leco_bench::report::{pct, write_bench_json, TextTable};
 use leco_codecs::FsstLike;
 use leco_core::string::{CompressedStrings, StringConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 fn random_access_ns(len: usize, mut get: impl FnMut(usize) -> usize) -> f64 {
     let mut rng = StdRng::seed_from_u64(0x57);
     let accesses = 50_000.min(len);
-    let start = Instant::now();
-    let mut sink = 0usize;
-    for _ in 0..accesses {
-        sink = sink.wrapping_add(get(rng.gen_range(0..len)));
-    }
+    let (sink, secs) = timed("bench.random_access_ns", || {
+        let mut sink = 0usize;
+        for _ in 0..accesses {
+            sink = sink.wrapping_add(get(rng.gen_range(0..len)));
+        }
+        sink
+    });
     std::hint::black_box(sink);
-    start.elapsed().as_secs_f64() * 1.0e9 / accesses as f64
+    secs * 1.0e9 / accesses as f64
 }
 
 fn main() {

@@ -14,18 +14,30 @@
 //! at selectivities ≤ 1%.  Results land in `BENCH_scan_selectivity.json`
 //! (also re-parsed as a self-check) and are gated by `bench_check`.
 //!
-//! Defaults to 10M rows; override with `LECO_N`.
+//! A third experiment exercises the observability layer itself: registry
+//! snapshot deltas around a deterministic scan (morsel/row/prefetch
+//! accounting must balance exactly), a deterministic LRU-cache workload
+//! (hit rates and evictions are exact), and an interleaved obs-on vs.
+//! obs-off A/B of the same group-by scan whose overhead ratio `bench_check
+//! --max-obs-overhead` gates in CI.  Results land in `BENCH_scan_obs.json`.
+//!
+//! Defaults to 10M rows; override with `LECO_N`.  Pass `--trace <path>` to
+//! dump the span rings as a Chrome `chrome://tracing` / Perfetto-loadable
+//! trace after the scaling experiment.
 
-use leco_bench::report::{BenchReport, Json, TextTable};
+use leco_bench::measure::{best_of, timed};
+use leco_bench::report::{self, BenchReport, Json, TextTable};
 use leco_columnar::{Encoding, TableFile, TableFileOptions};
 use leco_datasets::tables::{sensor_table, SensorDistribution};
+use leco_kvstore::cache::BlockCache;
 use leco_scan::Scanner;
-use std::time::Instant;
+use std::sync::Arc;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const ROW_GROUP_SIZE: usize = 100_000;
 
 fn main() -> std::io::Result<()> {
+    let trace_path = parse_trace_arg();
     let rows = std::env::var("LECO_N")
         .ok()
         .and_then(|n| n.parse::<usize>().ok())
@@ -36,22 +48,23 @@ fn main() -> std::io::Result<()> {
     let t = sensor_table(rows, SensorDistribution::Correlated, 42);
     let mut path = std::env::temp_dir();
     path.push(format!("leco-repro-scan-{}.tbl", std::process::id()));
-    let build_start = Instant::now();
-    let table = TableFile::write(
-        &path,
-        &["ts", "id", "val"],
-        &[t.ts.clone(), t.id, t.val],
-        TableFileOptions {
-            encoding: Encoding::Leco,
-            row_group_size: ROW_GROUP_SIZE,
-            ..Default::default()
-        },
-    )?;
+    let (table, build_secs) = timed("bench.table_build_ns", || {
+        TableFile::write(
+            &path,
+            &["ts", "id", "val"],
+            &[t.ts.clone(), t.id, t.val],
+            TableFileOptions {
+                encoding: Encoding::Leco,
+                row_group_size: ROW_GROUP_SIZE,
+                ..Default::default()
+            },
+        )
+    });
+    let table = table?;
     eprintln!(
-        "encoded {} row groups ({:.1} MB on disk) in {:.1}s",
+        "encoded {} row groups ({:.1} MB on disk) in {build_secs:.1}s",
         table.num_row_groups(),
         table.file_size_bytes() as f64 / 1.0e6,
-        build_start.elapsed().as_secs_f64()
     );
 
     // Middle ~40% of the timestamp range: selective enough for zone maps to
@@ -74,20 +87,14 @@ fn main() -> std::io::Result<()> {
     for threads in THREADS {
         // Best of three runs: the engine re-reads chunk bytes every run, so
         // repetition steadies the OS page-cache contribution.
-        let mut best = f64::INFINITY;
-        let mut result = None;
-        for _ in 0..3 {
-            let start = Instant::now();
-            let r = Scanner::new(&table)
+        let (result, best) = best_of(3, "bench.scan_ns", || {
+            Scanner::new(&table)
                 .filter_col(0, lo, hi)
                 .sorted_filter(true)
                 .group_by_avg_cols(1, 2)
                 .run(threads)
-                .expect("scan should not fail");
-            best = best.min(start.elapsed().as_secs_f64());
-            result = Some(r);
-        }
-        let result = result.expect("three runs completed");
+                .expect("scan should not fail")
+        });
         match &reference {
             None => {
                 base_seconds = best;
@@ -180,9 +187,53 @@ fn main() -> std::io::Result<()> {
         scaling.len()
     );
 
+    if let Some(trace_path) = &trace_path {
+        dump_trace(trace_path)?;
+    }
+
+    obs_experiment(&table, rows, lo, hi)?;
+
     selectivity_sweep(&table, &t.ts)?;
 
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// Parse the optional `--trace <path>` flag (the only flag this binary
+/// takes; everything else is configured through `LECO_N`).
+fn parse_trace_arg() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--trace" => Some(std::path::PathBuf::from(path)),
+        _ => {
+            eprintln!("usage: repro_scan [--trace PATH]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Export the span rings accumulated by the scaling runs as a Chrome
+/// `trace_event` JSON file, then re-parse it as a self-check.
+fn dump_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let n_spans = report::write_chrome_trace(path)?;
+    let text = std::fs::read_to_string(path)?;
+    let parsed = Json::parse(text.trim())
+        .unwrap_or_else(|e| panic!("{}: emitted trace does not parse: {e}", path.display()));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), n_spans);
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+    }
+    println!(
+        "wrote {} span(s) to {} (Chrome trace re-parsed OK)",
+        n_spans,
+        path.display()
+    );
     Ok(())
 }
 
@@ -190,6 +241,223 @@ fn main() -> std::io::Result<()> {
 const SELECTIVITIES: [f64; 5] = [1e-4, 1e-3, 1e-2, 0.1, 0.5];
 /// Worker threads used for every sweep measurement.
 const SWEEP_THREADS: usize = 4;
+
+/// Observability-layer experiment behind `BENCH_scan_obs.json`.
+///
+/// Three sections:
+///
+/// * `deterministic` — registry snapshot deltas around a read-ahead-free
+///   scan plus a seeded LRU-cache workload.  Every value is exact given
+///   `LECO_N` and the data-set seed, so `bench_check` compares them with
+///   `Metric::Exact` (any drift, either direction, is a counting bug).
+/// * `overhead` — interleaved obs-on vs. obs-off best-of-5 of the same
+///   group-by scan; `overhead_ratio` is gated absolutely by
+///   `bench_check --max-obs-overhead`.
+/// * `informational` — timing-dependent counters (steals, prefetch hits /
+///   stalls) from a read-ahead scan: reported, never gated.
+fn obs_experiment(table: &TableFile, rows: usize, lo: u64, hi: u64) -> std::io::Result<()> {
+    println!();
+    println!("# Observability — exact accounting, cache workloads, overhead A/B");
+    println!();
+    leco_obs::set_enabled(true);
+    let registry = leco_obs::Registry::global();
+
+    // ── Deterministic accounting: read-ahead off so every morsel's I/O is
+    // performed (and counted) exactly once by the worker that claims it.
+    let before = registry.snapshot();
+    let r = Scanner::new(table)
+        .filter_col(0, lo, hi)
+        .sorted_filter(true)
+        .group_by_avg_cols(1, 2)
+        .read_ahead(false)
+        .run(SWEEP_THREADS)
+        .expect("deterministic scan should not fail");
+    let after = registry.snapshot();
+
+    let morsels = after.counter_delta(&before, "scan.morsels");
+    let morsel_rows = after.counter_delta(&before, "scan.morsel_rows");
+    let rows_selected = after.counter_delta(&before, "scan.rows_selected");
+    let prefetch_claims = after.counter_delta(&before, "scan.prefetch.hits")
+        + after.counter_delta(&before, "scan.prefetch.misses");
+    let chunk_reads = after.hist_count_delta(&before, "columnar.chunk_io_ns");
+    // The registry must agree with the engine's own result struct exactly.
+    assert_eq!(morsels, r.morsels as u64, "morsel counter vs ScanResult");
+    assert_eq!(morsel_rows, r.rows_scanned, "row counter vs ScanResult");
+    assert_eq!(rows_selected, r.rows_selected, "selected counter");
+    assert_eq!(prefetch_claims, morsels, "claim() runs once per morsel");
+    // filter col + two aggregate cols = 3 chunk reads per morsel.
+    assert_eq!(chunk_reads, 3 * morsels, "chunk reads per morsel");
+    assert_eq!(
+        after.gauge("scan.pool.queue_depth"),
+        0,
+        "queue-depth gauge returns to zero after every scan"
+    );
+
+    // ── Deterministic LRU-cache workloads (single-threaded, fixed pattern):
+    // a working set that fits (75% hit rate after the cold pass) and a 2x
+    // sweep that thrashes (0% hits, working-set-minus-capacity evictions).
+    let kv_before = registry.snapshot();
+    let fits = BlockCache::new(16 * 128);
+    for _ in 0..4u64 {
+        for i in 0..16u64 {
+            if fits.get(&(0, i)).is_none() {
+                fits.insert((0, i), Arc::new(vec![0u8; 128]));
+            }
+        }
+    }
+    let thrash = BlockCache::new(16 * 128);
+    for _ in 0..4u64 {
+        for i in 0..32u64 {
+            if thrash.get(&(0, i)).is_none() {
+                thrash.insert((0, i), Arc::new(vec![0u8; 128]));
+            }
+        }
+    }
+    let kv_after = registry.snapshot();
+    let (fits_hits, fits_misses) = fits.stats();
+    let (thrash_hits, thrash_misses) = thrash.stats();
+    let fits_hit_rate = fits_hits as f64 / (fits_hits + fits_misses) as f64;
+    // Per-instance counters and the global registry must tell one story.
+    assert_eq!(
+        kv_after.counter_delta(&kv_before, "kv.cache.hits"),
+        fits_hits + thrash_hits
+    );
+    assert_eq!(
+        kv_after.counter_delta(&kv_before, "kv.cache.misses"),
+        fits_misses + thrash_misses
+    );
+    assert_eq!(
+        kv_after.counter_delta(&kv_before, "kv.cache.evictions"),
+        fits.eviction_count() + thrash.eviction_count()
+    );
+    assert_eq!(thrash_hits, 0, "sequential sweep over 2x capacity");
+
+    let det_row = |metric: &str, value: f64| {
+        Json::Obj(vec![
+            ("metric".into(), Json::Str(metric.into())),
+            ("value".into(), Json::Num(value)),
+        ])
+    };
+    let deterministic = vec![
+        det_row("scan.morsels", morsels as f64),
+        det_row("scan.morsel_rows", morsel_rows as f64),
+        det_row("scan.rows_selected", rows_selected as f64),
+        det_row("scan.prefetch.claims", prefetch_claims as f64),
+        det_row("columnar.chunk_reads", chunk_reads as f64),
+        det_row("kv.cache.fits.hit_rate", fits_hit_rate),
+        det_row("kv.cache.fits.evictions", fits.eviction_count() as f64),
+        det_row("kv.cache.thrash.hit_rate", 0.0),
+        det_row("kv.cache.thrash.evictions", thrash.eviction_count() as f64),
+    ];
+
+    // ── Overhead A/B: the same group-by scan the scaling experiment runs,
+    // obs enabled vs. disabled, interleaved so cache warmth and
+    // CPU-frequency drift hit both arms.  The group-by arm runs for
+    // milliseconds, long enough that thread-spawn jitter (which dominates a
+    // sub-millisecond count scan) cannot masquerade as instrumentation
+    // cost.  `timed` always reads the clock (the Stopwatch is deliberately
+    // not gated), so the measurement harness is identical in both arms;
+    // only the counters/histograms/spans inside the scan toggle.
+    let group_scan = || {
+        Scanner::new(table)
+            .filter_col(0, lo, hi)
+            .sorted_filter(true)
+            .group_by_avg_cols(1, 2)
+            .run(SWEEP_THREADS)
+            .expect("overhead scan should not fail")
+    };
+    group_scan(); // warm the page cache before either arm is timed
+    let mut on_best = f64::INFINITY;
+    let mut off_best = f64::INFINITY;
+    for _ in 0..5 {
+        leco_obs::set_enabled(true);
+        let (_, secs) = timed("bench.scan_ns", group_scan);
+        on_best = on_best.min(secs);
+        leco_obs::set_enabled(false);
+        let (_, secs) = timed("bench.scan_ns", group_scan);
+        off_best = off_best.min(secs);
+    }
+    leco_obs::set_enabled(true);
+    let overhead_ratio = on_best / off_best - 1.0;
+    println!(
+        "obs overhead: enabled {:.1} ms vs disabled {:.1} ms ({:+.2}%)",
+        on_best * 1e3,
+        off_best * 1e3,
+        overhead_ratio * 100.0
+    );
+
+    // ── Informational: a read-ahead scan's timing-dependent counters.
+    let ra_before = registry.snapshot();
+    Scanner::new(table)
+        .filter_col(0, lo, hi)
+        .sorted_filter(true)
+        .group_by_avg_cols(1, 2)
+        .run(SWEEP_THREADS)
+        .expect("read-ahead scan should not fail");
+    let ra_after = registry.snapshot();
+    let informational = vec![
+        det_row(
+            "scan.pool.steals",
+            ra_after.counter_delta(&ra_before, "scan.pool.steals") as f64,
+        ),
+        det_row(
+            "scan.prefetch.hits",
+            ra_after.counter_delta(&ra_before, "scan.prefetch.hits") as f64,
+        ),
+        det_row(
+            "scan.prefetch.misses",
+            ra_after.counter_delta(&ra_before, "scan.prefetch.misses") as f64,
+        ),
+        det_row(
+            "scan.prefetch.stalls",
+            ra_after.counter_delta(&ra_before, "scan.prefetch.stalls") as f64,
+        ),
+    ];
+
+    let mut report = BenchReport::new("scan_obs");
+    report.add(
+        "config",
+        Json::Obj(vec![
+            ("rows".into(), Json::Num(rows as f64)),
+            ("threads".into(), Json::Num(SWEEP_THREADS as f64)),
+            (
+                "row_groups".into(),
+                Json::Num(table.num_row_groups() as f64),
+            ),
+        ]),
+    );
+    report.add("deterministic", Json::Arr(deterministic));
+    report.add(
+        "overhead",
+        Json::Arr(vec![Json::Obj(vec![
+            ("experiment".into(), Json::Str("group_scan".into())),
+            ("enabled_seconds".into(), Json::Num(on_best)),
+            ("disabled_seconds".into(), Json::Num(off_best)),
+            ("overhead_ratio".into(), Json::Num(overhead_ratio)),
+        ])]),
+    );
+    report.add("informational", Json::Arr(informational));
+    let json_path = report.write()?;
+
+    // Self-check: re-parse, and the deterministic section must carry every
+    // exact metric the CI gate keys on.
+    let text = std::fs::read_to_string(&json_path)?;
+    let parsed = Json::parse(text.trim()).unwrap_or_else(|e| panic!("BENCH_scan_obs.json: {e}"));
+    assert_eq!(parsed.get("bench").and_then(Json::as_str), Some("scan_obs"));
+    let det = parsed
+        .get("sections")
+        .and_then(Json::as_arr)
+        .expect("sections array")
+        .iter()
+        .find(|s| s.get("label").and_then(Json::as_str) == Some("deterministic"))
+        .and_then(|s| s.get("data"))
+        .and_then(Json::as_arr)
+        .expect("deterministic section")
+        .len();
+    assert_eq!(det, 9);
+    println!("BENCH_scan_obs.json re-parsed OK ({det} deterministic rows).");
+    Ok(())
+}
 
 /// Compressed execution vs. decode-then-filter across predicate
 /// selectivities: same unsorted filter over the (sorted but undeclared) `ts`
@@ -214,20 +482,14 @@ fn selectivity_sweep(table: &TableFile, ts: &[u64]) -> std::io::Result<()> {
         let hi_idx = (lo_idx + (n as f64 * sel) as usize).min(n - 1);
         let (lo, hi) = (ts[lo_idx], ts[hi_idx]);
         let measure = |pushdown: bool| {
-            let mut best = f64::INFINITY;
-            let mut result = None;
-            for _ in 0..3 {
-                let start = Instant::now();
-                let r = Scanner::new(table)
+            best_of(3, "bench.scan_ns", || {
+                Scanner::new(table)
                     .filter_col(0, lo, hi)
                     .pushdown_filter(pushdown)
                     .count()
                     .run(SWEEP_THREADS)
-                    .expect("sweep scan should not fail");
-                best = best.min(start.elapsed().as_secs_f64());
-                result = Some(r);
-            }
-            (result.expect("three runs completed"), best)
+                    .expect("sweep scan should not fail")
+            })
         };
         let (pd, pd_secs) = measure(true);
         let (base, base_secs) = measure(false);

@@ -29,6 +29,9 @@ pub enum Metric {
     HigherBetter,
     /// Lower is better (latency): fail when current > baseline·(1+tol).
     LowerBetter,
+    /// Deterministic count: any drift, in either direction, is a counting
+    /// bug (used for the obs registry's exact accounting metrics).
+    Exact,
 }
 
 /// One comparison rule: which columns of which section to check, and how.
@@ -111,8 +114,69 @@ pub fn rules_for(bench: &str) -> &'static [Rule] {
                 metric: Metric::LowerBetter,
             },
         ],
+        // Registry snapshot deltas around a read-ahead-free scan and a
+        // seeded cache workload: deterministic given `LECO_N` and the
+        // data-set seed, so they are held exactly in both directions.  The
+        // `overhead` and `informational` sections are machine-dependent and
+        // gated separately (`check_overhead`) or not at all.
+        "scan_obs" => &[Rule {
+            section: "deterministic",
+            key_columns: &["metric"],
+            value_columns: &["value"],
+            skip_columns: &[],
+            metric: Metric::Exact,
+        }],
         _ => &[],
     }
+}
+
+/// Absolute gate on the observability layer's cost: fail when any
+/// `overhead_ratio` in the report's `overhead` section exceeds `max_ratio`.
+/// Unlike [`compare_reports`] this checks the *current* report against a
+/// fixed budget, not against a baseline — the acceptable overhead does not
+/// drift with the machine that recorded the baseline.
+pub fn check_overhead(current: &Json, max_ratio: f64) -> Vec<Violation> {
+    let bench = current
+        .get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string();
+    let mut violations = Vec::new();
+    let Some(rows) = section(current, "overhead").and_then(Json::as_arr) else {
+        violations.push(Violation {
+            bench,
+            section: "overhead".into(),
+            row: "-".into(),
+            column: "-".into(),
+            message: "overhead section missing from current report".into(),
+        });
+        return violations;
+    };
+    for row in rows {
+        let key = row_key(row, &["experiment"]).unwrap_or_else(|| "-".into());
+        match row.get("overhead_ratio").and_then(parse_metric) {
+            Some(ratio) if ratio <= max_ratio => {}
+            Some(ratio) => violations.push(Violation {
+                bench: bench.clone(),
+                section: "overhead".into(),
+                row: key,
+                column: "overhead_ratio".into(),
+                message: format!(
+                    "obs overhead {:.2}% exceeds the {:.2}% budget",
+                    ratio * 100.0,
+                    max_ratio * 100.0
+                ),
+            }),
+            None => violations.push(Violation {
+                bench: bench.clone(),
+                section: "overhead".into(),
+                row: key,
+                column: "overhead_ratio".into(),
+                message: "overhead_ratio missing or non-numeric".into(),
+            }),
+        }
+    }
+    violations
 }
 
 /// One detected regression (or structural mismatch).
@@ -264,6 +328,16 @@ pub fn compare_reports(baseline: &Json, current: &Json, tolerance: f64) -> Vec<V
                     continue;
                 };
                 match rule.metric {
+                    Metric::Exact => {
+                        if (cur_v - base_v).abs() > 1e-9 {
+                            fail(
+                                rule.section,
+                                &key,
+                                column,
+                                format!("deterministic metric drifted: {base_v} -> {cur_v}"),
+                            );
+                        }
+                    }
                     Metric::RatioExact => {
                         if cur_v > base_v + 1e-9 {
                             fail(
@@ -465,6 +539,48 @@ mod tests {
         let beyond = report("scan", "scaling", vec![row(0.9e7)]);
         assert!(compare_reports(&base, &within, 3.0).is_empty());
         assert_eq!(compare_reports(&base, &beyond, 3.0).len(), 1);
+    }
+
+    #[test]
+    fn exact_metric_fails_in_both_directions() {
+        let row = |v: f64| {
+            Json::Obj(vec![
+                ("metric".into(), Json::Str("scan.morsels".into())),
+                ("value".into(), Json::Num(v)),
+            ])
+        };
+        let base = report("scan_obs", "deterministic", vec![row(40.0)]);
+        let same = report("scan_obs", "deterministic", vec![row(40.0)]);
+        let more = report("scan_obs", "deterministic", vec![row(41.0)]);
+        let fewer = report("scan_obs", "deterministic", vec![row(39.0)]);
+        assert!(compare_reports(&base, &same, 0.5).is_empty());
+        // Unlike RatioExact, *any* drift is a violation — an undercount is
+        // as much a counting bug as an overcount.
+        assert_eq!(compare_reports(&base, &more, 0.5).len(), 1);
+        assert_eq!(compare_reports(&base, &fewer, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn overhead_gate_is_absolute() {
+        let with_ratio = |ratio: f64| {
+            report(
+                "scan_obs",
+                "overhead",
+                vec![Json::Obj(vec![
+                    ("experiment".into(), Json::Str("count_scan".into())),
+                    ("overhead_ratio".into(), Json::Num(ratio)),
+                ])],
+            )
+        };
+        assert!(check_overhead(&with_ratio(0.02), 0.05).is_empty());
+        // Negative overhead (obs-on happened to be faster) passes.
+        assert!(check_overhead(&with_ratio(-0.01), 0.05).is_empty());
+        let over = check_overhead(&with_ratio(0.09), 0.05);
+        assert_eq!(over.len(), 1);
+        assert!(over[0].message.contains("exceeds"));
+        // A report without the section cannot silently pass the gate.
+        let missing = report("scan_obs", "deterministic", vec![]);
+        assert_eq!(check_overhead(&missing, 0.05).len(), 1);
     }
 
     #[test]

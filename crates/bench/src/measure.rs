@@ -4,9 +4,38 @@
 //! data set.
 
 use crate::scheme::{encode, EncodedInts, Scheme};
+use leco_obs::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+
+/// Time `f`, returning `(result, seconds)`.
+///
+/// The one sanctioned wall-clock loop for the reproduction binaries: the
+/// same duration is recorded into the `metric` histogram of the obs
+/// registry, so the printed numbers and the exported telemetry cannot
+/// drift apart.
+pub fn timed<T>(metric: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let out = f();
+    let secs = sw.elapsed_secs();
+    leco_obs::histogram(metric).record_secs(secs);
+    (out, secs)
+}
+
+/// Run `f` `runs` times (at least once), recording every run into `metric`,
+/// and return the last result together with the best (minimum) seconds —
+/// the best-of-N discipline the scan benchmarks use against scheduler noise.
+pub fn best_of<T>(runs: usize, metric: &'static str, mut f: impl FnMut() -> T) -> (T, f64) {
+    let runs = runs.max(1);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let (out, secs) = timed(metric, &mut f);
+        best = best.min(secs);
+        last = Some(out);
+    }
+    (last.expect("runs >= 1"), best)
+}
 
 /// Results of measuring one scheme on one data set.
 #[derive(Debug, Clone, Copy)]
@@ -35,9 +64,8 @@ fn num_accesses(n: usize) -> usize {
 /// `value_width` bytes.  Returns `None` when the scheme does not apply.
 pub fn measure_scheme(scheme: Scheme, values: &[u64], value_width: usize) -> Option<Measurement> {
     let raw_bytes = values.len() * value_width;
-    let start = Instant::now();
-    let encoded = encode(scheme, values)?;
-    let compress_secs = start.elapsed().as_secs_f64();
+    let (encoded, compress_secs) = timed("bench.compress_ns", || encode(scheme, values));
+    let encoded = encoded?;
     Some(finish_measurement(
         &encoded,
         values,
@@ -56,22 +84,21 @@ pub fn finish_measurement(
 ) -> Measurement {
     let mut rng = StdRng::seed_from_u64(0xACCE55);
     let accesses = num_accesses(values.len());
-    let mut checksum = 0u64;
-    let start = Instant::now();
-    for _ in 0..accesses {
-        let i = rng.gen_range(0..values.len());
-        checksum = checksum.wrapping_add(encoded.get(i));
-    }
-    let ra_secs = start.elapsed().as_secs_f64();
+    let (checksum, ra_secs) = timed("bench.random_access_ns", || {
+        let mut checksum = 0u64;
+        for _ in 0..accesses {
+            let i = rng.gen_range(0..values.len());
+            checksum = checksum.wrapping_add(encoded.get(i));
+        }
+        checksum
+    });
     std::hint::black_box(checksum);
 
     // Full decode goes through the word-parallel bulk path into a
     // pre-allocated buffer, so the throughput number measures decoding, not
     // the allocator.
     let mut decoded: Vec<u64> = Vec::with_capacity(values.len());
-    let start = Instant::now();
-    encoded.decode_into(&mut decoded);
-    let decode_secs = start.elapsed().as_secs_f64();
+    let (_, decode_secs) = timed("bench.decode_ns", || encoded.decode_into(&mut decoded));
     std::hint::black_box(decoded.len());
 
     Measurement {

@@ -511,6 +511,42 @@ pub fn write_bench_json(name: &str, sections: &[(&str, &TextTable)]) {
     }
 }
 
+/// Convert recorded spans into the Chrome `trace_event` JSON format
+/// (`chrome://tracing` / Perfetto's legacy loader): one complete event
+/// (`"ph": "X"`) per span, timestamps and durations in microseconds, the
+/// span-name prefix before the first `.` as the category.
+pub fn chrome_trace(spans: &[leco_obs::SpanRecord]) -> Json {
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            let cat = s.name.split('.').next().unwrap_or(s.name);
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.to_string())),
+                ("cat".into(), Json::Str(cat.to_string())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Num(s.start_ns as f64 / 1_000.0)),
+                ("dur".into(), Json::Num(s.dur_ns as f64 / 1_000.0)),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(s.tid as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+/// Drain the span rings ([`leco_obs::take_spans`]) and write them to `path`
+/// as a Chrome trace. Returns the number of spans exported.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = leco_obs::take_spans();
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace(&spans).render().as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(spans.len())
+}
+
 /// Format a ratio as a percentage with one decimal, e.g. `12.3%`.
 pub fn pct(ratio: f64) -> String {
     format!("{:.1}%", ratio * 100.0)
@@ -617,6 +653,37 @@ mod tests {
         assert_eq!(rows[0].get("scheme"), Some(&Json::Str("LeCo".into())));
         assert_eq!(rows[0].get("ratio"), Some(&Json::Str("12.3%".into())));
         assert_eq!(rows[0].get("ms"), Some(&Json::Num(4.25)));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let spans = vec![
+            leco_obs::SpanRecord {
+                name: "scan.morsel",
+                tid: 0,
+                start_ns: 1_500,
+                dur_ns: 10_000,
+            },
+            leco_obs::SpanRecord {
+                name: "scan.morsel.filter",
+                tid: 1,
+                start_ns: 2_000,
+                dur_ns: 3_000,
+            },
+        ];
+        let json = chrome_trace(&spans);
+        let back = Json::parse(&json.render()).unwrap();
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").and_then(Json::as_str),
+            Some("scan.morsel")
+        );
+        assert_eq!(events[0].get("cat").and_then(Json::as_str), Some("scan"));
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(events[1].get("tid").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

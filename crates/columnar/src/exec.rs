@@ -23,8 +23,8 @@
 use crate::bitmap::Bitmap;
 use crate::encoding::EncodedColumn;
 use crate::file::TableFile;
+use leco_obs::Stopwatch;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Per-query accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -58,6 +58,24 @@ impl QueryStats {
     /// Total elapsed seconds attributed to the query.
     pub fn total_seconds(&self) -> f64 {
         self.io_seconds + self.cpu_seconds
+    }
+
+    /// Charge one chunk read: `seconds` of I/O time for `bytes` stored
+    /// bytes. The wall-clock lands in `io_seconds` unconditionally; the same
+    /// duration is mirrored into the shared `columnar.chunk_io_ns` histogram
+    /// so per-chunk latency percentiles exist without a second clock read.
+    pub fn charge_io(&mut self, seconds: f64, bytes: u64) {
+        self.io_seconds += seconds;
+        self.io_bytes += bytes;
+        self.chunks_read += 1;
+        leco_obs::histogram!("columnar.chunk_io_ns").record_secs(seconds);
+    }
+
+    /// Charge `seconds` of decode/compute time, mirrored into the shared
+    /// `columnar.chunk_cpu_ns` histogram (one sample per kernel invocation).
+    pub fn charge_cpu(&mut self, seconds: f64) {
+        self.cpu_seconds += seconds;
+        leco_obs::histogram!("columnar.chunk_cpu_ns").record_secs(seconds);
     }
 
     /// Merge another stats record into this one.
@@ -275,7 +293,7 @@ pub fn filter_range(
         }
         let chunk = reader.read_chunk(rg, col, stats)?;
         let (row_start, _) = file.row_group_range(rg);
-        let cpu = Instant::now();
+        let cpu = Stopwatch::start();
         filter_chunk(
             chunk,
             lo,
@@ -286,7 +304,7 @@ pub fn filter_range(
             &mut scratch,
             stats,
         );
-        stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        stats.charge_cpu(cpu.elapsed_secs());
     }
     Ok(bitmap)
 }
@@ -317,9 +335,9 @@ pub fn filter_range_pushdown(
         }
         let chunk = reader.read_chunk(rg, col, stats)?;
         let (row_start, _) = file.row_group_range(rg);
-        let cpu = Instant::now();
+        let cpu = Stopwatch::start();
         filter_chunk_pushdown(chunk, lo, hi, row_start, &mut bitmap, &mut scratch, stats);
-        stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        stats.charge_cpu(cpu.elapsed_secs());
     }
     Ok(bitmap)
 }
@@ -353,7 +371,7 @@ pub fn group_by_avg(
         }
         let ids = reader.read_chunk(rg, id_col, stats)?;
         let vals = reader.read_chunk(rg, val_col, stats)?;
-        let cpu = Instant::now();
+        let cpu = Stopwatch::start();
         group_by_avg_chunk(
             ids,
             vals,
@@ -363,7 +381,7 @@ pub fn group_by_avg(
             &mut scratch.decode2,
             &mut scratch.groups,
         );
-        stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        stats.charge_cpu(cpu.elapsed_secs());
     }
     Ok(finalize_group_avgs(&scratch.groups))
 }
@@ -428,9 +446,9 @@ pub fn sum_selected(
             continue;
         }
         let chunk = reader.read_chunk(rg, col, stats)?;
-        let cpu = Instant::now();
+        let cpu = Stopwatch::start();
         total += sum_selected_chunk(chunk, bitmap, row_start, &mut buf);
-        stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        stats.charge_cpu(cpu.elapsed_secs());
     }
     Ok(total)
 }

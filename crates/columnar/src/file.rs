@@ -14,7 +14,6 @@ use std::io::Write;
 #[cfg(not(unix))]
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Optional general-purpose block compression layered on top of the
 /// lightweight encodings (§5.1.3).
@@ -292,13 +291,11 @@ impl<'a> ChunkReader<'a> {
         stats: &mut QueryStats,
     ) -> std::io::Result<u64> {
         let meta = &self.table.row_groups[rg].chunks[col];
-        let io_start = Instant::now();
+        let io_start = leco_obs::Stopwatch::start();
         buf.clear();
         buf.resize(meta.stored_len as usize, 0);
         self.file.read_exact_at(buf, meta.offset)?;
-        stats.io_seconds += io_start.elapsed().as_secs_f64();
-        stats.io_bytes += meta.stored_len;
-        stats.chunks_read += 1;
+        stats.charge_io(io_start.elapsed_secs(), meta.stored_len);
         Ok(meta.stored_len)
     }
 
@@ -323,9 +320,9 @@ impl<'a> ChunkReader<'a> {
     /// critical path.
     pub fn decompress_chunk(&self, rg: usize, col: usize, stored: &[u8], stats: &mut QueryStats) {
         if self.table.options.block_compression == BlockCompression::Lzb {
-            let cpu_start = Instant::now();
+            let cpu_start = leco_obs::Stopwatch::start();
             let decompressed = leco_codecs::lzb::decompress(stored);
-            stats.cpu_seconds += cpu_start.elapsed().as_secs_f64();
+            stats.charge_cpu(cpu_start.elapsed_secs());
             // The decode path uses the in-memory column; assert the stored
             // image still matches its size so corruption cannot go unnoticed.
             debug_assert_eq!(

@@ -29,6 +29,7 @@ pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Parti
     if n > MAX_DP_LEN {
         return super::split_merge::split_merge(values, regressor, 0.1);
     }
+    let _span = leco_obs::span("core.partition.dp");
     // The DP prices every span through the same exact oracle the greedy
     // partitioner (and the encoder's serializer) uses, so its optimum is an
     // optimum in real output bytes, correction lists included.
@@ -37,6 +38,7 @@ pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Parti
     let mut best = vec![usize::MAX; n + 1];
     let mut cut = vec![0usize; n + 1];
     best[0] = 0;
+    let dp_clock = leco_obs::Stopwatch::start();
     for j in 1..=n {
         for i in 0..j {
             if best[i] == usize::MAX {
@@ -50,6 +52,7 @@ pub fn optimal_partitions(values: &[u64], regressor: RegressorKind) -> Vec<Parti
             }
         }
     }
+    leco_obs::histogram!("core.partition.dp_ns").record_secs(dp_clock.elapsed_secs());
     let mut parts = Vec::new();
     let mut j = n;
     while j > 0 {

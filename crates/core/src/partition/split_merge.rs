@@ -443,23 +443,34 @@ fn refine_phase(
 }
 
 /// Run the full init/split/merge/bisect/refine pipeline.
+///
+/// Each phase's wall-clock lands in its own `core.partition.*_ns` histogram
+/// (one sample per column encoded), so encode-path regressions show up per
+/// phase rather than as one opaque total.
 pub fn split_merge(values: &[u64], regressor: RegressorKind, tau: f64) -> Vec<Partition> {
     if values.is_empty() {
         return Vec::new();
     }
+    let _span = leco_obs::span("core.partition.split_merge");
     let mut oracle = CostModel::new(values, regressor);
-    let parts = split_phase(values, regressor, tau.clamp(0.0, 1.0));
-    let costs = parts
-        .iter()
-        .map(|p| oracle.exact_bits(p.start, p.end()))
-        .collect();
-    let state = merge_phase(&mut oracle, (parts, costs));
-    let state = bisect_phase(&mut oracle, state);
-    let state = refine_phase(&mut oracle, state);
+    let state = leco_obs::histogram!("core.partition.split_ns").time(|| {
+        let parts = split_phase(values, regressor, tau.clamp(0.0, 1.0));
+        let costs: Vec<usize> = parts
+            .iter()
+            .map(|p| oracle.exact_bits(p.start, p.end()))
+            .collect();
+        (parts, costs)
+    });
+    let state =
+        leco_obs::histogram!("core.partition.merge_ns").time(|| merge_phase(&mut oracle, state));
+    let state =
+        leco_obs::histogram!("core.partition.bisect_ns").time(|| bisect_phase(&mut oracle, state));
+    let state =
+        leco_obs::histogram!("core.partition.refine_ns").time(|| refine_phase(&mut oracle, state));
     // Bisection and refinement can leave adjacent partitions whose merge is
     // now profitable (e.g. a remnant shrunk by a moved boundary), so merge
     // once more to reach a local fixed point.
-    merge_phase(&mut oracle, state).0
+    leco_obs::histogram!("core.partition.merge_ns").time(|| merge_phase(&mut oracle, state).0)
 }
 
 #[cfg(test)]

@@ -234,7 +234,10 @@ impl<'a> CostModel<'a> {
             lo < hi && hi <= self.values.len(),
             "invalid span {lo}..{hi}"
         );
-        let (model, stats) = fit_checked(self.kind, &self.values[lo..hi], &self.ctx);
+        // One `core.fit_ns` sample per exact hull fit: the dominant unit of
+        // encode-path work, and the denominator for the phase histograms.
+        let (model, stats) = leco_obs::histogram!("core.fit_ns")
+            .time(|| fit_checked(self.kind, &self.values[lo..hi], &self.ctx));
         partition_cost_bits_exact(&model, hi - lo, &stats)
     }
 }

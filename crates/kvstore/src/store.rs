@@ -157,7 +157,12 @@ impl Store {
     ///
     /// Like RocksDB's `Seek`, the search may need to consult the following
     /// data block when the target falls past the end of the candidate block.
+    /// Per-call latency is recorded in the `kv.get_ns` histogram.
     pub fn seek(&self, key: &[u8]) -> std::io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+        leco_obs::histogram!("kv.get_ns").time(|| self.seek_inner(key))
+    }
+
+    fn seek_inner(&self, key: &[u8]) -> std::io::Result<Option<(Vec<u8>, Vec<u8>)>> {
         if self.num_records == 0 {
             return Ok(None);
         }
@@ -208,9 +213,13 @@ impl Store {
         keys: &[Vec<u8>],
         threads: usize,
     ) -> std::io::Result<Vec<Option<KvPair>>> {
-        let results = leco_scan::parallel_map(threads, keys, |key| self.seek(key))
-            .map_err(std::io::Error::other)?;
-        results.into_iter().collect()
+        // Whole-batch latency in `kv.multi_get_ns`; the constituent seeks
+        // also land individually in `kv.get_ns`.
+        leco_obs::histogram!("kv.multi_get_ns").time(|| {
+            let results = leco_scan::parallel_map(threads, keys, |key| self.seek(key))
+                .map_err(std::io::Error::other)?;
+            results.into_iter().collect()
+        })
     }
 }
 
@@ -218,7 +227,7 @@ impl Store {
 /// the aggregate throughput in operations per second.
 pub fn run_seek_workload(store: &Arc<Store>, queries: &[Vec<u8>], threads: usize) -> f64 {
     let threads = threads.max(1);
-    let start = std::time::Instant::now();
+    let start = leco_obs::Stopwatch::start();
     std::thread::scope(|scope| {
         let chunk = queries.len().div_ceil(threads);
         for part in queries.chunks(chunk.max(1)) {
@@ -230,7 +239,7 @@ pub fn run_seek_workload(store: &Arc<Store>, queries: &[Vec<u8>], threads: usize
             });
         }
     });
-    queries.len() as f64 / start.elapsed().as_secs_f64()
+    queries.len() as f64 / start.elapsed_secs()
 }
 
 #[cfg(test)]

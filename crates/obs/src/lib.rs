@@ -1,0 +1,229 @@
+//! `leco-obs`: a zero-overhead metrics registry and span tracer.
+//!
+//! Every crate in the workspace that does real work — the scan engine, the
+//! KV store, the columnar executor, the encode-path partitioners — records
+//! into one process-global [`Registry`] of monotonic [`Counter`]s,
+//! [`Gauge`]s and log-bucketed latency [`Histogram`]s, and can open scoped
+//! [`span`]s that land in per-thread ring buffers for Chrome `trace_event`
+//! export.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot paths never contend.** Counters and histograms are sharded over
+//!    cache-line-padded `u64` atomics; each thread hashes to a fixed shard,
+//!    so concurrent increments from the scan pool's workers touch disjoint
+//!    cache lines. Aggregation (summing shards) happens only on read.
+//! 2. **Off means off.** Telemetry is gated twice: a runtime switch
+//!    ([`set_enabled`], initialised from the `LECO_OBS` environment
+//!    variable, default on) for A/B overhead measurement inside one binary,
+//!    and a `noop` cargo feature that makes [`active`] a compile-time
+//!    `false` so every recording call folds to nothing.
+//! 3. **No dependencies.** This crate sits below `leco-core`, so it is
+//!    std-only; JSON/trace serialization lives in `leco_bench::report`.
+//!
+//! Handle lookup by name takes a registry mutex, so hot code caches the
+//! returned `&'static` handle — the [`counter!`], [`gauge!`] and
+//! [`histogram!`] macros do this in a function-local `OnceLock`, costing one
+//! atomic load at steady state.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot, Registry, BUCKETS};
+pub use trace::{span, take_spans, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicI8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Compile-time master switch: `false` when built with the `noop` feature.
+///
+/// Recording methods check `active() && enabled()`; with `noop` on, the
+/// whole expression is constant-folded to `false` and the method body
+/// disappears.
+#[inline(always)]
+pub const fn active() -> bool {
+    !cfg!(feature = "noop")
+}
+
+/// Runtime override: -1 = unset (fall back to env default), 0 = off, 1 = on.
+static ENABLED_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+
+fn env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("LECO_OBS").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// Is telemetry currently recording?
+///
+/// `false` when built with the `noop` feature, when [`set_enabled`]`(false)`
+/// was called, or when the `LECO_OBS` environment variable is `0`/`off`/
+/// `false` and no override is set.
+#[inline]
+pub fn enabled() -> bool {
+    if !active() {
+        return false;
+    }
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => env_default(),
+    }
+}
+
+/// Turn telemetry on or off at runtime, overriding the `LECO_OBS` default.
+///
+/// Used by `repro_scan` to measure obs-on vs obs-off throughput inside a
+/// single process (same build, same page cache).
+pub fn set_enabled(on: bool) {
+    ENABLED_OVERRIDE.store(on as i8, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+///
+/// All span timestamps share this epoch so traces from different threads
+/// line up on one Chrome timeline.
+#[inline]
+pub fn epoch_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A started wall-clock timer; the one sanctioned way to measure elapsed
+/// time in the wired crates (a CI lint forbids raw `Instant::now()` there).
+///
+/// `Stopwatch` is deliberately *not* gated by [`enabled`]: callers such as
+/// `QueryStats` need wall-clock totals even when telemetry is off. To feed a
+/// duration into the registry as well, pass the elapsed time to
+/// [`Histogram::record_secs`] (which *is* gated).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (≈584 years).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        let n = self.0.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+}
+
+/// Look up (or create) a counter in the global registry. Prefer the caching
+/// [`counter!`] macro in hot paths.
+pub fn counter(name: &'static str) -> &'static Counter {
+    Registry::global().counter(name)
+}
+
+/// Look up (or create) a gauge in the global registry. Prefer [`gauge!`] in
+/// hot paths.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    Registry::global().gauge(name)
+}
+
+/// Look up (or create) a histogram in the global registry. Prefer
+/// [`histogram!`] in hot paths.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    Registry::global().histogram(name)
+}
+
+/// `counter!("name")` — a [`Counter`] handle cached in a local `OnceLock`,
+/// so repeated executions skip the registry mutex.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// `gauge!("name")` — a [`Gauge`] handle cached in a local `OnceLock`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// `histogram!("name")` — a [`Histogram`] handle cached in a local
+/// `OnceLock`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Unit tests that record into the global registry or flip the runtime
+    /// enable flag serialize on this lock so they can assert exact values.
+    pub fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_secs() >= 0.002);
+        assert!(sw.elapsed_ns() >= 2_000_000);
+    }
+
+    #[test]
+    fn runtime_toggle_gates_recording() {
+        let _serial = testutil::serial();
+        let c = counter("lib_test.toggle");
+        set_enabled(false);
+        c.inc();
+        let off = c.value();
+        set_enabled(true);
+        c.inc();
+        let on = c.value();
+        set_enabled(true); // leave enabled for other tests
+        if active() {
+            assert_eq!(off, 0);
+            assert_eq!(on, 1);
+        } else {
+            assert_eq!(on, 0);
+        }
+    }
+
+    #[test]
+    fn macro_handles_are_cached_and_identical() {
+        let a = counter!("lib_test.macro") as *const Counter;
+        let b = counter!("lib_test.macro") as *const Counter;
+        // Two *different* macro expansion sites have distinct OnceLocks but
+        // must resolve to the same underlying metric.
+        assert_eq!(a, b);
+        let c = counter("lib_test.macro") as *const Counter;
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,650 @@
+//! Lock-free metric primitives and the process-global registry.
+//!
+//! All three metric kinds share one implementation idea: writes go to
+//! cache-line-padded atomic shards indexed by a per-thread slot, reads sum
+//! the shards. Nothing blocks on the hot path; the only mutex in this module
+//! guards name→handle resolution inside [`Registry`], which callers amortise
+//! away with the `counter!`/`gauge!`/`histogram!` macros.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of atomic shards per counter/histogram. Threads map onto shards
+/// round-robin; 16 covers the scan pool's worker counts (≤ CPU cores on the
+/// bench machines) with few collisions, and summing 16 relaxed loads on read
+/// is negligible.
+const SHARDS: usize = 16;
+
+/// Histogram bucket count: one bucket per possible bit-width of a `u64`
+/// sample (1..=64) plus a dedicated bucket for zero.
+pub const BUCKETS: usize = 65;
+
+/// A `u64` atomic padded to its own cache line so shards never false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+/// The shard this thread writes to. Assigned round-robin on first use and
+/// cached in TLS, so steady-state cost is one TLS read.
+#[inline]
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut s = slot.get();
+        if s == usize::MAX {
+            s = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(s);
+        }
+        s
+    })
+}
+
+/// Is recording live right now? (Compile-time `noop` and the runtime flag.)
+#[inline(always)]
+fn live() -> bool {
+    crate::active() && crate::enabled()
+}
+
+/// A monotonic counter, sharded over padded atomics.
+///
+/// `inc`/`add` are wait-free and touch only this thread's shard;
+/// [`Counter::value`] sums the shards with relaxed loads, so a value read
+/// concurrently with writers is a valid snapshot of some interleaving.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A standalone counter (not registered anywhere). Most callers want
+    /// [`crate::counter()`] / [`counter!`](crate::counter!) instead.
+    pub const fn new() -> Self {
+        Counter {
+            shards: [const { PaddedU64::new() }; SHARDS],
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if live() {
+            self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A signed instantaneous value (queue depths, buffer occupancy).
+///
+/// Unlike counters, gauges are a single atomic: they are read as often as
+/// they are written in the intended uses, and `add`/`sub` must act on one
+/// consistent cell for the value to mean anything.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A standalone gauge (not registered anywhere).
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if live() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (e.g. tasks enqueued).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if live() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n` (e.g. a task dequeued).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        if live() {
+            self.value.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, otherwise the sample's bit width.
+/// Bucket `i ≥ 1` therefore covers `[2^(i-1), 2^i - 1]` — log₂ buckets with
+/// exact, data-independent boundaries.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i`.
+pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Each sample lands in the bucket matching its bit width, so quantile
+/// queries are exact to within one power-of-two bucket: for any `q`, the
+/// true q-quantile of the recorded samples is guaranteed to lie inside the
+/// bucket returned by [`Histogram::quantile_bounds`]. Counts are sharded
+/// like [`Counter`]; the running sum keeps mean latency cheap.
+pub struct Histogram {
+    counts: [[PaddedU64; BUCKETS]; SHARDS],
+    sum: [PaddedU64; SHARDS],
+}
+
+impl Histogram {
+    /// A standalone histogram (not registered anywhere).
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [const { [const { PaddedU64::new() }; BUCKETS] }; SHARDS],
+            sum: [const { PaddedU64::new() }; SHARDS],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if live() {
+            let s = shard_index();
+            self.counts[s][bucket_of(v)]
+                .0
+                .fetch_add(1, Ordering::Relaxed);
+            self.sum[s].0.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a duration in seconds as integer nanoseconds.
+    #[inline]
+    pub fn record_secs(&self, secs: f64) {
+        if live() {
+            self.record((secs * 1e9) as u64);
+        }
+    }
+
+    /// Time `f` and record its duration in nanoseconds. When recording is
+    /// off this is exactly `f()` — no clock reads.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if live() {
+            let sw = crate::Stopwatch::start();
+            let out = f();
+            self.record(sw.elapsed_ns());
+            out
+        } else {
+            f()
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.merged_counts().iter().sum()
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+            .iter()
+            .fold(0u64, |a, s| a.wrapping_add(s.0.load(Ordering::Relaxed)))
+    }
+
+    /// Per-bucket counts aggregated across shards.
+    pub fn merged_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for shard in &self.counts {
+            for (o, c) in out.iter_mut().zip(shard.iter()) {
+                *o += c.0.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Inclusive `[lo, hi]` bounds of the bucket containing the q-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` if the histogram is empty.
+    ///
+    /// The rank is `floor(q · (n − 1))` — the q-quantile is the value at
+    /// that rank in the sorted sample sequence — and because buckets are
+    /// value-ordered, that value provably lies within the returned range.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let counts = self.merged_counts();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((n - 1) as f64 * q.clamp(0.0, 1.0)) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(bucket_bounds(i));
+            }
+        }
+        Some(bucket_bounds(BUCKETS - 1))
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (a conservative
+    /// quantile estimate), or 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).map(|(_, hi)| hi).unwrap_or(0)
+    }
+
+    /// Conservative (p50, p95, p99) in one pass over the merged buckets.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time copy of one histogram's aggregate state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Conservative p50/p95/p99 (bucket upper bounds).
+    pub p50: u64,
+    /// 95th percentile bound.
+    pub p95: u64,
+    /// 99th percentile bound.
+    pub p99: u64,
+}
+
+/// Point-in-time copy of every metric in a [`Registry`], keyed by name.
+///
+/// Snapshots taken before and after a workload subtract cleanly via
+/// [`MetricsSnapshot::counter_delta`] / [`MetricsSnapshot::hist_count_delta`],
+/// which is how the exactness tests and `BENCH_scan_obs.json` isolate one
+/// run's activity from the process-global totals.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram sample count, 0 if absent.
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.histograms.get(name).map(|h| h.count).unwrap_or(0)
+    }
+
+    /// How much `name` grew since `earlier`.
+    pub fn counter_delta(&self, earlier: &MetricsSnapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+
+    /// How many samples `name` gained since `earlier`.
+    pub fn hist_count_delta(&self, earlier: &MetricsSnapshot, name: &str) -> u64 {
+        self.hist_count(name)
+            .saturating_sub(earlier.hist_count(name))
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Name → handle table for every metric in the process.
+///
+/// Handles are allocated once and leaked, so they are `&'static` and cheap
+/// to cache at call sites; the interior mutex is only taken on
+/// lookup/snapshot/render, never on record.
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// The process-global registry every wired crate records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(|| Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut m = self.lock();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut m = self.lock();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut m = self.lock();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Copy every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert((*name).to_string(), c.value());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert((*name).to_string(), g.value());
+                }
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99) = h.percentiles();
+                    snap.histograms.insert(
+                        (*name).to_string(),
+                        HistSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            p50,
+                            p95,
+                            p99,
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4) — the payload a future `leco-server` `/metrics`
+    /// endpoint serves verbatim.
+    ///
+    /// Metric names have `.` and `-` mapped to `_`; histograms emit
+    /// cumulative `_bucket{le="…"}` series over the log₂ bucket uppers plus
+    /// `_sum`/`_count`, skipping empty buckets to keep the output short.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let m = self.lock();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            let pname: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter");
+                    let _ = writeln!(out, "{pname} {}", c.value());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = writeln!(out, "{pname} {}", g.value());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {pname} histogram");
+                    let counts = h.merged_counts();
+                    let mut cum = 0u64;
+                    for (i, &c) in counts.iter().enumerate() {
+                        cum += c;
+                        if c != 0 {
+                            let (_, hi) = bucket_bounds(i);
+                            let _ = writeln!(out, "{pname}_bucket{{le=\"{hi}\"}} {cum}");
+                        }
+                    }
+                    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {cum}");
+                    let _ = writeln!(out, "{pname}_sum {}", h.sum());
+                    let _ = writeln!(out, "{pname}_count {cum}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        let c = crate::counter("metrics_test.threads");
+        let before = c.value();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        if crate::active() {
+            assert_eq!(c.value() - before, 80_000);
+        } else {
+            assert_eq!(c.value(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_add_sub_set() {
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        let g = crate::gauge("metrics_test.gauge");
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        if crate::active() {
+            assert_eq!(g.value(), 12);
+        } else {
+            assert_eq!(g.value(), 0);
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_exact() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+            if i + 1 < BUCKETS {
+                let (next_lo, _) = bucket_bounds(i + 1);
+                assert_eq!(next_lo, hi + 1, "buckets must tile the u64 range");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_known_data() {
+        if !crate::active() {
+            return;
+        }
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        // 100 samples of 10, one of 1000: p50 must sit in 10's bucket,
+        // p99+ can be in 1000's bucket.
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record(1000);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.sum(), 2000);
+        let (lo, hi) = h.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 10 && 10 <= hi);
+        let (lo, hi) = h.quantile_bounds(1.0).unwrap();
+        assert!(lo <= 1000 && 1000 <= hi);
+        assert_eq!(
+            h.quantile_bounds(0.0).unwrap(),
+            bucket_bounds(bucket_of(10))
+        );
+    }
+
+    #[test]
+    fn histogram_time_records_once() {
+        if !crate::active() {
+            return;
+        }
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        let out = h.time(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_deltas() {
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        let c = crate::counter("metrics_test.snap");
+        let h = crate::histogram("metrics_test.snap_hist");
+        let before = Registry::global().snapshot();
+        c.add(7);
+        h.record(100);
+        let after = Registry::global().snapshot();
+        if crate::active() {
+            assert_eq!(after.counter_delta(&before, "metrics_test.snap"), 7);
+            assert_eq!(after.hist_count_delta(&before, "metrics_test.snap_hist"), 1);
+        } else {
+            assert_eq!(after.counter_delta(&before, "metrics_test.snap"), 0);
+        }
+        assert_eq!(after.counter_delta(&before, "metrics_test.absent"), 0);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let _serial = testutil::serial();
+        crate::set_enabled(true);
+        crate::counter("metrics_test.render-me").inc();
+        crate::histogram("metrics_test.render_hist").record(5);
+        let text = Registry::global().render_text();
+        assert!(text.contains("# TYPE metrics_test_render_me counter"));
+        assert!(text.contains("# TYPE metrics_test_render_hist histogram"));
+        assert!(text.contains("_bucket{le=\"+Inf\"}"));
+        if crate::active() {
+            assert!(text.contains("metrics_test_render_me 1"));
+            // Bucket for 5 is [4,7].
+            assert!(text.contains("metrics_test_render_hist_bucket{le=\"7\"} 1"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _serial = testutil::serial();
+        crate::counter("metrics_test.kind_clash");
+        crate::gauge("metrics_test.kind_clash");
+    }
+}

@@ -1,0 +1,201 @@
+//! Scoped spans recorded into per-thread ring buffers.
+//!
+//! A span is opened with [`span("name")`](span) and closed when the returned
+//! [`SpanGuard`] drops; the completed [`SpanRecord`] is pushed into the
+//! current thread's ring. Rings are bounded (oldest records evicted), so
+//! tracing a long run costs fixed memory. [`take_spans`] drains every ring
+//! for export — `leco_bench::report` turns the records into Chrome
+//! `trace_event` JSON.
+//!
+//! Span names must be `&'static str`: the hot path stores a pointer, never
+//! formats or allocates. Per-thread rings use a `Mutex<VecDeque>` but the
+//! lock is uncontended by construction (only the owning thread pushes;
+//! [`take_spans`] is a cold path), so `lock()` is a single uncontended CAS.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-thread ring capacity. At scan granularity (a handful of spans per
+/// 100k-row morsel) this holds minutes of activity; beyond it the oldest
+/// spans are dropped, keeping memory bounded.
+const RING_CAPACITY: usize = 1 << 14;
+
+/// A completed span: `[start_ns, start_ns + dur_ns)` on thread `tid`,
+/// relative to the process trace epoch ([`crate::epoch_ns`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"scan.morsel.filter"`.
+    pub name: &'static str,
+    /// Small dense id of the recording thread (assigned on first span).
+    pub tid: u64,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    tid: u64,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+fn all_rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn thread_ring() -> Arc<Ring> {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    }
+    RING.with(|cell| {
+        cell.get_or_init(|| {
+            let ring = Arc::new(Ring {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                spans: Mutex::new(VecDeque::new()),
+            });
+            all_rings()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ring.clone());
+            ring
+        })
+        .clone()
+    })
+}
+
+/// An open span; records itself into the thread's ring when dropped.
+///
+/// Inactive when telemetry is off at open time: the guard is then inert and
+/// drop does nothing (no clock reads either).
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    open: Option<(&'static str, u64)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start_ns)) = self.open {
+            let end_ns = crate::epoch_ns();
+            let ring = thread_ring();
+            let mut spans = ring.spans.lock().unwrap_or_else(|e| e.into_inner());
+            if spans.len() == RING_CAPACITY {
+                spans.pop_front();
+            }
+            spans.push_back(SpanRecord {
+                name,
+                tid: ring.tid,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+            });
+        }
+    }
+}
+
+/// Open a span covering the scope of the returned guard:
+///
+/// ```
+/// let _span = leco_obs::span("scan.morsel.filter");
+/// // ... work measured by the span ...
+/// ```
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        open: (crate::active() && crate::enabled()).then(|| (name, crate::epoch_ns())),
+    }
+}
+
+/// Drain every thread's ring, returning all recorded spans sorted by start
+/// time. Spans recorded after the drain begins land in the next call.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let rings = all_rings().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        let mut spans = ring.spans.lock().unwrap_or_else(|e| e.into_inner());
+        out.extend(spans.drain(..));
+    }
+    out.sort_by_key(|s| (s.start_ns, s.tid));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_scope_and_drain() {
+        if !crate::active() {
+            assert!(take_spans().is_empty());
+            return;
+        }
+        let _serial = crate::testutil::serial();
+        crate::set_enabled(true);
+        let _ = take_spans(); // drop anything earlier tests left behind
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Sorted by start: outer opened first.
+        assert_eq!(spans[0].name, "test.outer");
+        assert_eq!(spans[1].name, "test.inner");
+        assert!(spans[0].dur_ns >= 1_000_000);
+        // Inner is nested within outer.
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        assert!(spans[1].start_ns + spans[1].dur_ns <= spans[0].start_ns + spans[0].dur_ns);
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn spans_from_many_threads_carry_distinct_tids() {
+        if !crate::active() {
+            return;
+        }
+        let _serial = crate::testutil::serial();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _sp = span("test.worker");
+                });
+            }
+        });
+        let spans = take_spans();
+        let worker_spans: Vec<_> = spans.iter().filter(|s| s.name == "test.worker").collect();
+        assert_eq!(worker_spans.len(), 4);
+        let tids: std::collections::BTreeSet<u64> = worker_spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 4, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = crate::testutil::serial();
+        let _ = take_spans();
+        crate::set_enabled(false);
+        {
+            let _sp = span("test.disabled");
+        }
+        crate::set_enabled(true);
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        if !crate::active() {
+            return;
+        }
+        let _serial = crate::testutil::serial();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        for _ in 0..(RING_CAPACITY + 10) {
+            let _sp = span("test.flood");
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), RING_CAPACITY);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property test: for any sample set and any quantile, the histogram's
+//! bucket bounds contain the true quantile — "exact to within one bucket".
+
+use leco_obs::Histogram;
+use proptest::prelude::*;
+
+/// The value at rank `floor(q · (n−1))` of the sorted samples: the same
+/// rank convention `Histogram::quantile_bounds` documents.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() - 1) as f64 * q) as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #[test]
+    fn quantile_bounds_contain_true_quantile(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..512),
+        q in 0.0f64..=1.0,
+    ) {
+        // In the noop build nothing records, so there is nothing to check.
+        if leco_obs::active() {
+            leco_obs::set_enabled(true);
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let truth = true_quantile(&samples, q);
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+            prop_assert!(lo <= truth && truth <= hi,
+                "true quantile {truth} outside bucket [{lo}, {hi}] for q={q}");
+            // The conservative point estimate is the bucket upper bound.
+            prop_assert_eq!(h.quantile(q), hi);
+            // And the bucket is tight: one power-of-two wide (or the zero bucket).
+            prop_assert!(hi - lo < lo.max(1), "bucket wider than one octave");
+        }
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        if leco_obs::active() {
+            leco_obs::set_enabled(true);
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s as u64);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            prop_assert_eq!(h.sum(), samples.iter().map(|&s| s as u64).sum::<u64>());
+        }
+    }
+}

@@ -59,6 +59,8 @@ impl WorkQueues {
         for t in 0..n_tasks {
             queues[t % n_workers].push_back(t);
         }
+        leco_obs::gauge!("scan.pool.queue_depth").add(n_tasks as i64);
+        leco_obs::counter!("scan.pool.tasks").add(n_tasks as u64);
         Self {
             queues: queues.into_iter().map(Mutex::new).collect(),
             poisoned: AtomicBool::new(false),
@@ -79,11 +81,14 @@ impl WorkQueues {
             return None;
         }
         if let Some(t) = self.queues[worker].lock().pop_front() {
+            leco_obs::gauge!("scan.pool.queue_depth").sub(1);
             return Some(t);
         }
         for k in 1..self.queues.len() {
             let victim = (worker + k) % self.queues.len();
             if let Some(t) = self.queues[victim].lock().pop_back() {
+                leco_obs::gauge!("scan.pool.queue_depth").sub(1);
+                leco_obs::counter!("scan.pool.steals").inc();
                 return Some(t);
             }
         }
@@ -108,6 +113,17 @@ impl WorkQueues {
             .lock()
             .take()
             .map(|(worker, message)| PoolError::WorkerPanicked { worker, message })
+    }
+}
+
+impl Drop for WorkQueues {
+    /// A poisoned pool abandons queued tasks; release their contribution to
+    /// the depth gauge so it returns to zero between scans.
+    fn drop(&mut self) {
+        let abandoned: usize = self.queues.iter().map(|q| q.lock().len()).sum();
+        if abandoned > 0 {
+            leco_obs::gauge!("scan.pool.queue_depth").sub(abandoned as i64);
+        }
     }
 }
 

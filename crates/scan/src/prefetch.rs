@@ -68,8 +68,11 @@ impl PrefetchBuffer {
         let hit = state.ready.remove(&m);
         drop(state);
         if hit.is_some() {
+            leco_obs::counter!("scan.prefetch.hits").inc();
             // Space freed: the prefetcher may move on.
             self.space.notify_all();
+        } else {
+            leco_obs::counter!("scan.prefetch.misses").inc();
         }
         hit
     }
@@ -86,6 +89,12 @@ impl PrefetchBuffer {
         let mut state = self.state.lock();
         if !state.claimed.contains(&m) {
             state.ready.insert(m, stats);
+        }
+        if state.ready.len() >= self.budget && !self.stopped() {
+            // The prefetcher ran a full buffer ahead and must idle until a
+            // worker consumes something: the workers, not the I/O, are the
+            // bottleneck right now.
+            leco_obs::counter!("scan.prefetch.stalls").inc();
         }
         while state.ready.len() >= self.budget && !self.stopped() {
             let (next, _timeout) = self

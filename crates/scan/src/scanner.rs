@@ -7,7 +7,7 @@ use leco_columnar::exec::{
     sum_selected_chunk,
 };
 use leco_columnar::{ChunkReader, QueryStats, ScanScratch, TableFile};
-use std::time::Instant;
+use leco_obs::Stopwatch;
 
 /// Errors surfaced by [`Scanner::run`].
 #[derive(Debug)]
@@ -427,28 +427,36 @@ impl<'a> Scanner<'a> {
         columns: &[usize],
         scratch: &mut ScanScratch,
     ) -> std::io::Result<()> {
+        let _morsel_span = leco_obs::span("scan.morsel");
+        leco_obs::counter!("scan.morsels").inc();
+
         // I/O: prefetched charge, or read the chunk bytes ourselves.
-        match prefetch.claim(m) {
-            Some(prefetched) => scratch.stats.merge(&prefetched),
-            None => {
-                let mut buf = std::mem::take(&mut scratch.io_buf);
-                for &col in columns {
-                    let read = reader.read_chunk_bytes(rg, col, &mut buf, &mut scratch.stats);
-                    if let Err(e) = read {
-                        scratch.io_buf = buf;
-                        return Err(e);
+        {
+            let _decode_span = leco_obs::span("scan.morsel.decode");
+            match prefetch.claim(m) {
+                Some(prefetched) => scratch.stats.merge(&prefetched),
+                None => {
+                    let mut buf = std::mem::take(&mut scratch.io_buf);
+                    for &col in columns {
+                        let read = reader.read_chunk_bytes(rg, col, &mut buf, &mut scratch.stats);
+                        if let Err(e) = read {
+                            scratch.io_buf = buf;
+                            return Err(e);
+                        }
+                        reader.decompress_chunk(rg, col, &buf, &mut scratch.stats);
                     }
-                    reader.decompress_chunk(rg, col, &buf, &mut scratch.stats);
+                    scratch.io_buf = buf;
                 }
-                scratch.io_buf = buf;
             }
         }
 
         let (row_start, row_end) = self.table.row_group_range(rg);
         let rows = row_end - row_start;
-        let cpu = Instant::now();
+        leco_obs::counter!("scan.morsel_rows").add(rows as u64);
+        let cpu = Stopwatch::start();
 
         // Selection: morsel-local bitmap, reset in place (no allocation).
+        let filter_span = leco_obs::span("scan.morsel.filter");
         scratch.sel.reset(rows);
         match &self.filter {
             Some(f) => {
@@ -493,9 +501,13 @@ impl<'a> Scanner<'a> {
             }
             None => scratch.sel.set_range(0, rows),
         }
-        scratch.selected += scratch.sel.count_ones() as u64;
+        drop(filter_span);
+        let morsel_selected = scratch.sel.count_ones() as u64;
+        scratch.selected += morsel_selected;
+        leco_obs::counter!("scan.rows_selected").add(morsel_selected);
 
         // Aggregate over the selection.
+        let _agg_span = leco_obs::span("scan.morsel.aggregate");
         match self.agg {
             Aggregate::Count => {}
             Aggregate::Sum { col } => {
@@ -516,7 +528,7 @@ impl<'a> Scanner<'a> {
                 );
             }
         }
-        scratch.stats.cpu_seconds += cpu.elapsed().as_secs_f64();
+        scratch.stats.charge_cpu(cpu.elapsed_secs());
         Ok(())
     }
 }

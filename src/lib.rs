@@ -14,6 +14,8 @@
 //! * [`scan`] (`leco-scan`) — a morsel-driven parallel scan engine over
 //!   columnar table files.
 //! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
+//! * [`obs`] (`leco-obs`) — zero-overhead metrics registry and span
+//!   tracing wired through the engines (see `docs/OBSERVABILITY.md`).
 //!
 //! The serialized column layout is specified byte-by-byte in
 //! `docs/FORMAT.md`; sequential decodes everywhere go through the
@@ -36,6 +38,7 @@ pub use leco_columnar as columnar;
 pub use leco_core as core;
 pub use leco_datasets as datasets;
 pub use leco_kvstore as kvstore;
+pub use leco_obs as obs;
 pub use leco_scan as scan;
 
 /// The most commonly used types, importable with `use leco::prelude::*`.
