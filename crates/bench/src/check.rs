@@ -126,6 +126,35 @@ pub fn rules_for(bench: &str) -> &'static [Rule] {
             skip_columns: &[],
             metric: Metric::Exact,
         }],
+        // The served-database load test (`repro_serve`).  Every sweep point
+        // must stay error-free — the load generator verifies reply
+        // *contents*, so a single error means a correctness bug, not noise —
+        // while throughput and median latency get the usual machine-noise
+        // tripwire.  p95/p99 are informational: tail latencies on shared CI
+        // runners are too jittery to gate.
+        "serve" => &[
+            Rule {
+                section: "sweep",
+                key_columns: &["connections", "target_qps"],
+                value_columns: &["errors"],
+                skip_columns: &[],
+                metric: Metric::Exact,
+            },
+            Rule {
+                section: "sweep",
+                key_columns: &["connections", "target_qps"],
+                value_columns: &["qps"],
+                skip_columns: &[],
+                metric: Metric::HigherBetter,
+            },
+            Rule {
+                section: "sweep",
+                key_columns: &["connections", "target_qps"],
+                value_columns: &["p50_us"],
+                skip_columns: &[],
+                metric: Metric::LowerBetter,
+            },
+        ],
         _ => &[],
     }
 }
@@ -558,6 +587,34 @@ mod tests {
         // as much a counting bug as an overcount.
         assert_eq!(compare_reports(&base, &more, 0.5).len(), 1);
         assert_eq!(compare_reports(&base, &fewer, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn serve_gate_holds_errors_exactly_and_tripwires_performance() {
+        let row = |qps: f64, p50: f64, errors: f64| {
+            Json::Obj(vec![
+                ("connections".into(), Json::Num(8.0)),
+                ("target_qps".into(), Json::Num(0.0)),
+                ("requests".into(), Json::Num(3200.0)),
+                ("qps".into(), Json::Num(qps)),
+                ("p50_us".into(), Json::Num(p50)),
+                ("p95_us".into(), Json::Num(900.0)),
+                ("p99_us".into(), Json::Num(2000.0)),
+                ("errors".into(), Json::Num(errors)),
+            ])
+        };
+        let base = report("serve", "sweep", vec![row(10_000.0, 100.0, 0.0)]);
+        // Jitter within the factor-of-4 band passes; tails never gate.
+        let jitter = report("serve", "sweep", vec![row(4_000.0, 350.0, 0.0)]);
+        assert!(compare_reports(&base, &jitter, 3.0).is_empty());
+        // A single verification error fails regardless of tolerance.
+        let one_error = report("serve", "sweep", vec![row(10_000.0, 100.0, 1.0)]);
+        let violations = compare_reports(&base, &one_error, 3.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].column, "errors");
+        // Order-of-magnitude performance loss trips both directions' wires.
+        let collapsed = report("serve", "sweep", vec![row(1_000.0, 2_000.0, 0.0)]);
+        assert_eq!(compare_reports(&base, &collapsed, 3.0).len(), 2);
     }
 
     #[test]

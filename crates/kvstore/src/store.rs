@@ -174,23 +174,81 @@ impl Store {
         // The key is greater than everything in the candidate block: the
         // answer (if any) is the very first entry of the next block.  That
         // block's exact extent is unknown without another index probe, so we
-        // over-read up to one block size directly from the file (bypassing
-        // the cache so the over-read never shadows a correctly-sized entry)
-        // and only look at its first record.
+        // over-read directly from the file (bypassing the cache so the
+        // over-read never shadows a correctly-sized entry) and only look at
+        // its first record.
         let next_offset = handle.offset + handle.size as u64;
         if next_offset >= self.data_bytes {
             return Ok(None);
         }
-        let size = (self.data_bytes - next_offset).min(crate::block::BLOCK_SIZE as u64) as usize;
+        self.read_first_record_at(next_offset)
+    }
+
+    /// First `(key, value)` record of the block starting at `offset`.
+    ///
+    /// Most blocks fit `BLOCK_SIZE`, but a single record bigger than the
+    /// block budget produces an oversized block: a fixed-size over-read
+    /// would truncate it mid-record, and parsing the truncated image used
+    /// to slice out of bounds (a panic that poisoned a whole `multi_get`
+    /// batch).  The read is therefore extended, header-first, until the
+    /// record is complete.
+    fn read_first_record_at(&self, offset: u64) -> std::io::Result<Option<KvPair>> {
+        let avail = (self.data_bytes - offset) as usize;
         let mut file = File::open(&self.path)?;
-        file.seek(SeekFrom::Start(next_offset))?;
-        let mut buf = vec![0u8; size];
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; avail.min(crate::block::BLOCK_SIZE)];
         file.read_exact(&mut buf)?;
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
-        let first = crate::block::iter_block(&buf)
-            .next()
-            .map(|(k, v)| (k.to_vec(), v.to_vec()));
-        Ok(first)
+        // Grow `buf` to at least `needed` bytes of the file tail starting at
+        // `offset`; false when the file ends before `needed` (a record can
+        // never straddle the end of the data region).
+        let mut ensure = |buf: &mut Vec<u8>, needed: usize| -> std::io::Result<bool> {
+            if buf.len() >= needed {
+                return Ok(true);
+            }
+            if needed > avail {
+                return Ok(false);
+            }
+            let old = buf.len();
+            buf.resize(needed, 0);
+            file.seek(SeekFrom::Start(offset + old as u64))?;
+            file.read_exact(&mut buf[old..])?;
+            self.disk_reads.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        };
+        if !ensure(&mut buf, 2)? {
+            return Ok(None);
+        }
+        let key_len = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        if !ensure(&mut buf, 2 + key_len + 4)? {
+            return Ok(None);
+        }
+        let value_len = u32::from_le_bytes([
+            buf[2 + key_len],
+            buf[2 + key_len + 1],
+            buf[2 + key_len + 2],
+            buf[2 + key_len + 3],
+        ]) as usize;
+        if !ensure(&mut buf, 2 + key_len + 4 + value_len)? {
+            return Ok(None);
+        }
+        let key = buf[2..2 + key_len].to_vec();
+        let value = buf[2 + key_len + 4..2 + key_len + 4 + value_len].to_vec();
+        Ok(Some((key, value)))
+    }
+}
+
+impl Store {
+    /// Exact-match point lookup: the value stored under `key`, or `None`.
+    ///
+    /// Built on [`Self::seek`] (lower-bound search) plus a key-equality
+    /// check — the semantic a network `GET` needs, where a missing key must
+    /// return "not found" rather than its successor's value.
+    pub fn get(&self, key: &[u8]) -> std::io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .seek(key)?
+            .filter(|(k, _)| k.as_slice() == key)
+            .map(|(_, v)| v))
     }
 }
 
@@ -406,6 +464,101 @@ mod tests {
             let got = store.multi_get(&keys, threads).unwrap();
             assert_eq!(got, expected, "threads={threads}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A store whose middle block is oversized: one record's value is
+    /// several times `BLOCK_SIZE`, so the block holding it cannot be
+    /// over-read with a fixed-size window.
+    fn records_with_oversized_block() -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut recs: Vec<(Vec<u8>, Vec<u8>)> = (0..200usize)
+            .map(|i| {
+                (
+                    format!("a{i:04}").into_bytes(),
+                    format!("small-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        recs.push((b"b-big".to_vec(), vec![0xAB; 4 * crate::block::BLOCK_SIZE]));
+        recs.extend((0..50usize).map(|i| (format!("c{i:04}").into_bytes(), b"tail".to_vec())));
+        recs
+    }
+
+    /// Regression: seeking a key that falls past the end of a block used to
+    /// over-read the *next* block with a fixed 4 KB window; when that
+    /// block's first record was larger than the window, parsing the
+    /// truncated image sliced out of bounds and panicked.
+    #[test]
+    fn seek_past_block_end_with_oversized_successor_record() {
+        let recs = records_with_oversized_block();
+        let path = tmp("oversized");
+        let store = Store::load(
+            &path,
+            &recs,
+            StoreOptions {
+                index_format: IndexBlockFormat::Leco,
+                block_cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        // Greater than every "a…" key, smaller than "b-big": the candidate
+        // block is exhausted and the answer is the first record of the
+        // oversized successor block.
+        let got = store.seek(b"azzz").unwrap();
+        assert_eq!(
+            got,
+            Some((b"b-big".to_vec(), vec![0xAB; 4 * crate::block::BLOCK_SIZE]))
+        );
+        // Same through the exact-match path: a miss, not the successor.
+        assert_eq!(store.get(b"azzz").unwrap(), None);
+        assert_eq!(
+            store.get(b"b-big").unwrap(),
+            Some(vec![0xAB; 4 * crate::block::BLOCK_SIZE])
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression for the server workload: concurrent `multi_get` batches
+    /// sharing one store, with duplicate keys, missing keys (including ones
+    /// that land past a block end, the over-read path above) and past-the-end
+    /// probes.  Every batch must match sequential seeks — a panic inside one
+    /// worker used to poison the pool and fail the whole batch.
+    #[test]
+    fn multi_get_concurrent_duplicate_and_missing_keys() {
+        let recs = records_with_oversized_block();
+        let path = tmp("concurrent-multiget");
+        let store = Store::load(
+            &path,
+            &recs,
+            StoreOptions {
+                index_format: IndexBlockFormat::Leco,
+                block_cache_bytes: 256 << 10,
+            },
+        )
+        .unwrap();
+        let keys: Vec<Vec<u8>> = vec![
+            b"a0007".to_vec(),
+            b"a0007".to_vec(), // duplicate of an exact hit
+            b"azzz".to_vec(),  // missing: past the a-block, oversized successor
+            b"azzz".to_vec(),  // duplicate of a missing key
+            b"a0100".to_vec(),
+            b"b-big".to_vec(),
+            b"c0049".to_vec(),
+            b"zzzz".to_vec(), // past the end of the store
+            b"a000".to_vec(), // missing: before its successor within a block
+        ];
+        let expected: Vec<_> = keys.iter().map(|k| store.seek(k).unwrap()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (store, keys, expected) = (&store, &keys, &expected);
+                scope.spawn(move || {
+                    for threads in [1, 2, 4] {
+                        let got = store.multi_get(keys, threads).unwrap();
+                        assert_eq!(&got, expected, "threads={threads}");
+                    }
+                });
+            }
+        });
         std::fs::remove_file(&path).ok();
     }
 

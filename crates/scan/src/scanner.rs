@@ -91,6 +91,11 @@ enum Aggregate {
 pub struct ScanResult {
     /// `(id, avg)` pairs sorted by id — empty unless group-by was requested.
     pub groups: Vec<(u64, f64)>,
+    /// The integer `(id, sum, count)` partials behind [`Self::groups`],
+    /// sorted by id.  Distributed callers (the `leco-server` shard merge)
+    /// fold these across partitions with exact arithmetic and divide once,
+    /// which keeps a sharded group-by bit-identical to a single scan.
+    pub group_partials: Vec<(u64, u128, u64)>,
     /// Sum aggregate — 0 unless a sum was requested.
     pub sum: u128,
     /// Rows passing the filter (all scanned rows when there is no filter).
@@ -405,8 +410,15 @@ impl<'a> Scanner<'a> {
                 (e - s) as u64
             })
             .sum();
+        let mut group_partials: Vec<(u64, u128, u64)> = merged
+            .groups
+            .iter()
+            .map(|(&id, &(sum, count))| (id, sum, count))
+            .collect();
+        group_partials.sort_unstable_by_key(|&(id, _, _)| id);
         Ok(ScanResult {
             groups: finalize_group_avgs(&merged.groups),
+            group_partials,
             sum: merged.sum,
             rows_selected: merged.selected,
             rows_scanned,

@@ -1,0 +1,346 @@
+//! `repro_serve` — load generator for the `leco-server` TCP frontend.
+//!
+//! Builds a sharded fixture (a LeCo-encoded sensor table split across the
+//! shards plus a hash-partitioned key-value store), starts the server on a
+//! loopback port, and sweeps `connections × target-qps` points.  Each
+//! connection issues a deterministic closed-loop mix of `GET`, `MGET` and
+//! `SCAN` requests (optionally paced to a per-connection qps target),
+//! records every request's latency client-side, and *verifies* every
+//! reply: non-2xx codes, wrong `GET` values and wrong `SCAN` row counts
+//! all count as errors.  The run fails (non-zero exit) if any error is
+//! seen, so a CI smoke run doubles as an end-to-end correctness check.
+//!
+//! Emits `BENCH_serve.json` (re-parsed as a self-check) with exact
+//! nearest-rank p50/p95/p99 latencies and achieved throughput per sweep
+//! point; CI's `bench-gate` holds `errors` exactly at 0 and applies the
+//! factor-of-4 cross-machine tripwire to throughput and p50 latency.
+//!
+//! Environment knobs (defaults tuned for a CI-sized run):
+//! `LECO_SERVE_SHARDS` (2), `LECO_SERVE_ROWS` (200000), `LECO_SERVE_KEYS`
+//! (20000), `LECO_SERVE_CONNS` ("1,2,8"), `LECO_SERVE_QPS` ("500,0" —
+//! per-connection targets, 0 = unthrottled), `LECO_SERVE_REQS` (400,
+//! requests per connection per point), `LECO_SERVE_SCAN_THREADS` (2).
+
+use leco_bench::report::{BenchReport, Json, TextTable};
+use leco_columnar::{Encoding, TableFileOptions};
+use leco_datasets::tables::{sensor_table, SensorDistribution};
+use leco_obs::Stopwatch;
+use leco_server::{Client, Server, ServerConfig, ShardSetBuilder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &str) -> Vec<usize> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect()
+}
+
+struct Workload {
+    keys: Vec<String>,
+    values: Vec<String>,
+    ts_min: u64,
+    ts_max: u64,
+    /// Expected `rows_selected` for the fixed verification window.
+    verify_window: (u64, u64, u64),
+}
+
+fn key_of(i: usize) -> String {
+    format!("user{:012}", i as u64 * 37)
+}
+
+fn value_of(i: usize) -> String {
+    format!("value-{i:06}")
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample, in microseconds.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> std::io::Result<()> {
+    let shards = env_usize("LECO_SERVE_SHARDS", 2).max(1);
+    let rows = env_usize("LECO_SERVE_ROWS", 200_000).max(10_000);
+    let n_keys = env_usize("LECO_SERVE_KEYS", 20_000).max(100);
+    let conns_sweep = env_list("LECO_SERVE_CONNS", "1,2,8");
+    let qps_sweep = env_list("LECO_SERVE_QPS", "500,0");
+    let reqs_per_conn = env_usize("LECO_SERVE_REQS", 400).max(10);
+    let scan_threads = env_usize("LECO_SERVE_SCAN_THREADS", 2).max(1);
+
+    println!("# leco-server load test — {shards} shards, {rows} table rows, {n_keys} kv records\n");
+
+    // ── Fixture: sensor table sliced across shards + hash-partitioned kv.
+    let t = sensor_table(rows, SensorDistribution::Correlated, 42);
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..n_keys)
+        .map(|i| (key_of(i).into_bytes(), value_of(i).into_bytes()))
+        .collect();
+    let (ts_min, ts_max) = (t.ts[0], *t.ts.last().expect("rows > 0"));
+    // Fixed ~2% window used to verify SCAN row counts end-to-end.
+    let v_lo = ts_min + (ts_max - ts_min) * 49 / 100;
+    let v_hi = ts_min + (ts_max - ts_min) * 51 / 100;
+    let v_expected = t.ts.iter().filter(|&&v| v_lo <= v && v <= v_hi).count() as u64;
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("leco-repro-serve-{}", std::process::id()));
+    let build = Stopwatch::start();
+    let set = ShardSetBuilder::new(&dir, shards)
+        .table_options(TableFileOptions {
+            encoding: Encoding::Leco,
+            row_group_size: 20_000,
+            ..Default::default()
+        })
+        .table(
+            "sensors",
+            &["ts", "id", "val"],
+            vec![t.ts.clone(), t.id, t.val],
+        )
+        .records(records)
+        .build()?;
+    eprintln!(
+        "built {} shard(s) under {} in {:.2}s",
+        shards,
+        dir.display(),
+        build.elapsed_secs()
+    );
+
+    let server = Server::start(
+        set,
+        ServerConfig {
+            scan_threads,
+            ..Default::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    eprintln!("serving on {addr}");
+
+    let workload = Workload {
+        keys: (0..n_keys).map(key_of).collect(),
+        values: (0..n_keys).map(value_of).collect(),
+        ts_min,
+        ts_max,
+        verify_window: (v_lo, v_hi, v_expected),
+    };
+
+    // ── Sweep connections × per-connection qps targets.
+    let mut sweep = TextTable::new(vec![
+        "connections",
+        "target_qps",
+        "requests",
+        "qps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "errors",
+    ]);
+    let mut total_errors = 0u64;
+    for &conns in &conns_sweep {
+        for &target_qps in &qps_sweep {
+            let errors = AtomicU64::new(0);
+            let wall = Stopwatch::start();
+            let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..conns.max(1))
+                    .map(|c| {
+                        let (errors, workload) = (&errors, &workload);
+                        scope.spawn(move || {
+                            run_connection(addr, c, reqs_per_conn, target_qps, workload, errors)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load connection does not panic"))
+                    .collect()
+            });
+            let wall_secs = wall.elapsed_secs();
+            let mut merged: Vec<u64> = latencies.into_iter().flatten().collect();
+            merged.sort_unstable();
+            let requests = merged.len() as u64;
+            let errs = errors.load(Ordering::Relaxed);
+            total_errors += errs;
+            sweep.row(vec![
+                conns.to_string(),
+                target_qps.to_string(),
+                requests.to_string(),
+                format!("{:.0}", requests as f64 / wall_secs),
+                percentile(&merged, 0.50).to_string(),
+                percentile(&merged, 0.95).to_string(),
+                percentile(&merged, 0.99).to_string(),
+                errs.to_string(),
+            ]);
+        }
+    }
+    sweep.print();
+
+    let mut config = TextTable::new(vec!["shards", "rows", "kv_records", "reqs_per_conn"]);
+    config.row(vec![
+        shards.to_string(),
+        rows.to_string(),
+        n_keys.to_string(),
+        reqs_per_conn.to_string(),
+    ]);
+
+    // ── STATS self-check: the registry must have seen every request.
+    let mut client = Client::connect(addr)?;
+    let stats = client.request("STATS")?;
+    if leco_server::protocol::response_code(&stats) != 200 {
+        eprintln!("STATS failed: {}", stats.render());
+        total_errors += 1;
+    }
+    drop(client);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut report = BenchReport::new("serve");
+    report.add_table("config", &config);
+    report.add_table("sweep", &sweep);
+    let path = report.write()?;
+
+    // Self-check: re-parse our own emission and re-verify the error column.
+    let parsed = Json::parse(std::fs::read_to_string(&path)?.trim())
+        .expect("BENCH_serve.json must re-parse");
+    let rows_ok = parsed
+        .get("sections")
+        .and_then(Json::as_arr)
+        .and_then(|sections| {
+            sections
+                .iter()
+                .find(|s| s.get("label").and_then(Json::as_str) == Some("sweep"))
+        })
+        .and_then(|s| s.get("data").and_then(Json::as_arr))
+        .is_some_and(|rows| {
+            !rows.is_empty()
+                && rows
+                    .iter()
+                    .all(|r| r.get("errors").and_then(Json::as_f64) == Some(0.0))
+        });
+
+    if total_errors > 0 || !rows_ok {
+        eprintln!("FAIL: {total_errors} error(s) during the sweep");
+        std::process::exit(1);
+    }
+    println!("\nall sweep points error-free; report self-check passed");
+    Ok(())
+}
+
+/// One closed-loop connection: `reqs` requests of a deterministic mix,
+/// optionally paced to `target_qps`.  Returns per-request latencies in µs;
+/// verification failures bump `errors`.
+fn run_connection(
+    addr: std::net::SocketAddr,
+    conn_id: usize,
+    reqs: usize,
+    target_qps: usize,
+    w: &Workload,
+    errors: &AtomicU64,
+) -> Vec<u64> {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(_) => {
+            errors.fetch_add(reqs as u64, Ordering::Relaxed);
+            return Vec::new();
+        }
+    };
+    let mut latencies = Vec::with_capacity(reqs);
+    let pace = (target_qps > 0).then(|| Duration::from_secs_f64(1.0 / target_qps as f64));
+    let span = Stopwatch::start();
+    for i in 0..reqs {
+        // Deterministic per-connection stream so runs are comparable.
+        let x = (conn_id * 1_000_003 + i) * 9973;
+        let sw = Stopwatch::start();
+        let ok = match i % 8 {
+            // 5/8 GETs: mostly hits, every fourth a definite miss.
+            0..=4 => {
+                let miss = i % 4 == 3;
+                let (cmd, want) = if miss {
+                    (format!("GET missing{x:012}"), None)
+                } else {
+                    let k = x % w.keys.len();
+                    (format!("GET {}", w.keys[k]), Some(w.values[k].as_str()))
+                };
+                verify_get(client.request(&cmd), want)
+            }
+            // 2/8 MGETs of 8 keys with one guaranteed miss.
+            5 | 6 => {
+                let ks: Vec<&str> = (0..7)
+                    .map(|j| w.keys[(x + j * 131) % w.keys.len()].as_str())
+                    .collect();
+                let cmd = format!("MGET {} missing{x}", ks.join(" "));
+                verify_code(client.request(&cmd))
+            }
+            // 1/8 SCANs over a ~2% window; the fixed window verifies counts.
+            _ => {
+                if i % 16 == 7 {
+                    let (lo, hi, expected) = w.verify_window;
+                    verify_scan(
+                        client.request(&format!("SCAN sensors FILTER ts {lo} {hi}")),
+                        Some(expected),
+                    )
+                } else {
+                    let width = (w.ts_max - w.ts_min) / 50;
+                    let lo = w.ts_min + (x as u64 * 7919) % (w.ts_max - w.ts_min - width);
+                    verify_scan(
+                        client.request(&format!(
+                            "SCAN sensors FILTER ts {lo} {} GROUPBY id AGG avg val",
+                            lo + width
+                        )),
+                        None,
+                    )
+                }
+            }
+        };
+        latencies.push(sw.elapsed_ns() / 1_000);
+        if !ok {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(interval) = pace {
+            let scheduled = interval * (i as u32 + 1);
+            let elapsed = Duration::from_secs_f64(span.elapsed_secs());
+            if let Some(wait) = scheduled.checked_sub(elapsed) {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+    latencies
+}
+
+fn verify_code(reply: std::io::Result<Json>) -> bool {
+    matches!(reply, Ok(json) if leco_server::protocol::response_code(&json) == 200)
+}
+
+fn verify_get(reply: std::io::Result<Json>, want: Option<&str>) -> bool {
+    let Ok(json) = reply else { return false };
+    if leco_server::protocol::response_code(&json) != 200 {
+        return false;
+    }
+    let found = json
+        .get("found")
+        .map(|f| *f == Json::Bool(true))
+        .unwrap_or(false);
+    match want {
+        Some(value) => found && json.get("value").and_then(Json::as_str) == Some(value),
+        None => !found,
+    }
+}
+
+fn verify_scan(reply: std::io::Result<Json>, expected_rows: Option<u64>) -> bool {
+    let Ok(json) = reply else { return false };
+    if leco_server::protocol::response_code(&json) != 200 {
+        return false;
+    }
+    match expected_rows {
+        Some(expected) => json.get("rows_selected").and_then(Json::as_f64) == Some(expected as f64),
+        None => json.get("rows_selected").is_some(),
+    }
+}

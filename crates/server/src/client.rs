@@ -1,0 +1,87 @@
+//! A small blocking client for the wire protocol, used by the loopback
+//! tests and the `repro_serve` load generator.
+//!
+//! [`Client::request`] is the simple call-response path;
+//! [`Client::send`] + [`Client::recv`] expose pipelining — queue many
+//! requests before reading any reply, and the server answers them in order.
+
+use crate::protocol::{frame_into, FrameCursor, FrameError};
+use leco_bench::report::Json;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    cursor: FrameCursor,
+    chunk: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            cursor: FrameCursor::new(),
+            chunk: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Queue one command without waiting for its reply (pipelining).
+    pub fn send(&mut self, command: &str) -> std::io::Result<()> {
+        self.send_payload(command.as_bytes())
+    }
+
+    /// Queue a raw payload frame — lets tests send malformed bytes.
+    pub fn send_payload(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut wire = Vec::with_capacity(4 + payload.len());
+        frame_into(&mut wire, payload);
+        self.stream.write_all(&wire)
+    }
+
+    /// Send raw bytes with no framing — for corrupt-stream tests.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Read the next reply frame and parse it as JSON.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        loop {
+            match self.cursor.next_frame() {
+                Ok(Some(payload)) => {
+                    let text = String::from_utf8_lossy(&payload);
+                    return Json::parse(&text).map_err(|e| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("bad reply JSON: {e}"),
+                        )
+                    });
+                }
+                Ok(None) => {}
+                Err(FrameError::Oversized(len)) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("oversized reply frame ({len} bytes)"),
+                    ))
+                }
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                ));
+            }
+            let (chunk, cursor) = (&self.chunk[..n], &mut self.cursor);
+            cursor.push(chunk);
+        }
+    }
+
+    /// Send one command and wait for its reply.
+    pub fn request(&mut self, command: &str) -> std::io::Result<Json> {
+        self.send(command)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,551 @@
+//! The threaded TCP frontend: accept loop → per-connection handler →
+//! shard dispatch → ordered replies.
+//!
+//! One thread per connection reads length-prefixed frames, parses commands,
+//! and dispatches them to the shard workers over channels.  Reads drain the
+//! socket buffer into a [`FrameCursor`], so a pipelining client's burst of
+//! requests is dispatched as one *batch* — every shard involved works in
+//! parallel — and the replies are written back in request order.
+//!
+//! Failure isolation: a malformed request earns a `400` reply and the
+//! connection lives on; a shard-side failure earns a `500`; only a corrupt
+//! frame length (oversized prefix) closes the connection, because a
+//! length-prefixed stream cannot be resynchronised.  Shutdown is clean:
+//! [`Server::shutdown`] wakes the accept loop, lets every connection finish
+//! its current batch, drains the shard workers and joins every thread.
+
+use crate::protocol::{
+    error_response, frame_into, ok_response, parse_request, response_code, FrameCursor, FrameError,
+    Request,
+};
+use crate::shard::{
+    run_shard_worker, shard_for_key, Manifest, ShardCmd, ShardJob, ShardReply, ShardScanPartial,
+};
+use crate::ShardSet;
+use leco_bench::report::Json;
+use leco_obs::Stopwatch;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests, benchmarks).
+    pub addr: String,
+    /// Work-stealing threads each shard uses for one scan / multi-get.
+    pub scan_threads: usize,
+    /// Most requests dispatched as one pipelined batch.
+    pub max_batch: usize,
+    /// How often blocked reads wake up to check for shutdown.
+    pub poll_interval: Duration,
+    /// How long a connection waits for a shard reply before answering `500`.
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            scan_threads: 2,
+            max_batch: 64,
+            poll_interval: Duration::from_millis(25),
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server.  Dropping it without calling [`Self::shutdown`] leaks
+/// the listener thread for the process lifetime; call `shutdown` for a
+/// clean stop.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    shard_txs: Vec<mpsc::Sender<ShardJob>>,
+}
+
+struct ConnContext {
+    txs: Vec<mpsc::Sender<ShardJob>>,
+    manifest: Arc<Manifest>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Start serving `set` according to `config`: one worker thread per
+    /// shard, one accept thread, one thread per accepted connection.
+    pub fn start(set: ShardSet, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let manifest = Arc::new(set.manifest);
+
+        let mut shard_txs = Vec::with_capacity(set.shards.len());
+        let mut shard_handles = Vec::with_capacity(set.shards.len());
+        for data in set.shards {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let scan_threads = config.scan_threads;
+            shard_handles.push(std::thread::spawn(move || {
+                run_shard_worker(&data, rx, scan_threads);
+            }));
+            shard_txs.push(tx);
+        }
+
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let conn_handles = Arc::clone(&conn_handles);
+            let txs = shard_txs.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let ctx = ConnContext {
+                        txs: txs.clone(),
+                        manifest: Arc::clone(&manifest),
+                        shutdown: Arc::clone(&shutdown),
+                        config: config.clone(),
+                    };
+                    let handle = std::thread::spawn(move || handle_connection(stream, ctx));
+                    conn_handles.lock().expect("conn list lock").push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            conn_handles,
+            shard_handles,
+            shard_txs,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, let in-flight batches finish, drain the shard
+    /// workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Connections notice the flag at their next poll tick and exit.
+        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("conn list lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // With every connection gone, dropping our senders starves the
+        // shard workers' `recv` and they exit.
+        self.shard_txs.clear();
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// RAII guard for the connection gauge.
+struct ConnGauge;
+
+impl ConnGauge {
+    fn new() -> Self {
+        leco_obs::counter!("srv.connections_total").inc();
+        leco_obs::gauge!("srv.connections").add(1);
+        ConnGauge
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        leco_obs::gauge!("srv.connections").sub(1);
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: ConnContext) {
+    let _gauge = ConnGauge::new();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.config.poll_interval));
+    let mut stream = stream;
+    let mut cursor = FrameCursor::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut out = Vec::new();
+
+    'conn: loop {
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => cursor.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+
+        // Drain complete frames into a batch and dispatch them all before
+        // waiting on any reply: that is what turns a pipelining client into
+        // parallel work across the shards.
+        loop {
+            let mut batch: Vec<Pending> = Vec::new();
+            loop {
+                if batch.len() >= ctx.config.max_batch {
+                    break;
+                }
+                match cursor.next_frame() {
+                    Ok(Some(payload)) => batch.push(dispatch(&payload, &ctx)),
+                    Ok(None) => break,
+                    Err(FrameError::Oversized(len)) => {
+                        // The stream cannot be resynchronised: answer every
+                        // dispatched request, send the error, close.
+                        for pending in batch {
+                            write_reply(&mut out, pending.resolve(&ctx));
+                        }
+                        write_reply(
+                            &mut out,
+                            error_response(400, &FrameError::Oversized(len).to_string()),
+                        );
+                        let _ = stream.write_all(&out);
+                        return;
+                    }
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            out.clear();
+            for pending in batch {
+                write_reply(&mut out, pending.resolve(&ctx));
+            }
+            if stream.write_all(&out).is_err() {
+                break 'conn;
+            }
+        }
+    }
+}
+
+fn write_reply(out: &mut Vec<u8>, reply: Json) {
+    if response_code(&reply) != 200 {
+        leco_obs::counter!("srv.errors").inc();
+    }
+    frame_into(out, reply.render().as_bytes());
+}
+
+/// A dispatched request: either already answerable or waiting on shards.
+enum Pending {
+    Ready {
+        reply: Json,
+        latency: &'static str,
+        started: Stopwatch,
+    },
+    Waiting {
+        rx: mpsc::Receiver<(usize, ShardReply)>,
+        expect: usize,
+        kind: WaitKind,
+        latency: &'static str,
+        started: Stopwatch,
+    },
+}
+
+enum WaitKind {
+    Get,
+    MGet { n_keys: usize },
+    Scan,
+}
+
+impl Pending {
+    /// Wait for the outstanding shard replies (if any) and build the
+    /// response, recording the per-command latency histogram.
+    fn resolve(self, ctx: &ConnContext) -> Json {
+        match self {
+            Pending::Ready {
+                reply,
+                latency,
+                started,
+            } => {
+                leco_obs::histogram(latency).record(started.elapsed_ns());
+                reply
+            }
+            Pending::Waiting {
+                rx,
+                expect,
+                kind,
+                latency,
+                started,
+            } => {
+                let mut replies = Vec::with_capacity(expect);
+                while replies.len() < expect {
+                    match rx.recv_timeout(ctx.config.reply_timeout) {
+                        Ok(reply) => replies.push(reply),
+                        Err(_) => {
+                            leco_obs::histogram(latency).record(started.elapsed_ns());
+                            return error_response(500, "shard reply timed out");
+                        }
+                    }
+                }
+                let reply = assemble(kind, replies);
+                leco_obs::histogram(latency).record(started.elapsed_ns());
+                reply
+            }
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], ctx: &ConnContext) -> Pending {
+    leco_obs::counter!("srv.requests").inc();
+    let started = Stopwatch::start();
+    let request = match parse_request(payload) {
+        Ok(request) => request,
+        Err(message) => {
+            return Pending::Ready {
+                reply: error_response(400, &message),
+                latency: "srv.latency.error_ns",
+                started,
+            }
+        }
+    };
+    let shards = ctx.txs.len();
+    match request {
+        Request::Get { key } => {
+            leco_obs::counter!("srv.cmd.get").inc();
+            let (reply_tx, rx) = mpsc::channel();
+            let target = shard_for_key(&key, shards);
+            send_job(
+                ctx,
+                target,
+                ShardJob {
+                    cmd: ShardCmd::Get { key },
+                    tag: target,
+                    reply: reply_tx,
+                },
+            );
+            Pending::Waiting {
+                rx,
+                expect: 1,
+                kind: WaitKind::Get,
+                latency: "srv.latency.get_ns",
+                started,
+            }
+        }
+        Request::MGet { keys } => {
+            leco_obs::counter!("srv.cmd.mget").inc();
+            let n_keys = keys.len();
+            let mut per_shard: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); shards];
+            for (pos, key) in keys.into_iter().enumerate() {
+                let target = shard_for_key(&key, shards);
+                per_shard[target].push((pos, key));
+            }
+            let (reply_tx, rx) = mpsc::channel();
+            let mut expect = 0usize;
+            for (target, sub) in per_shard.into_iter().enumerate() {
+                if sub.is_empty() {
+                    continue;
+                }
+                expect += 1;
+                send_job(
+                    ctx,
+                    target,
+                    ShardJob {
+                        cmd: ShardCmd::MGet { keys: sub },
+                        tag: target,
+                        reply: reply_tx.clone(),
+                    },
+                );
+            }
+            Pending::Waiting {
+                rx,
+                expect,
+                kind: WaitKind::MGet { n_keys },
+                latency: "srv.latency.mget_ns",
+                started,
+            }
+        }
+        Request::Scan { table, filter, agg } => {
+            leco_obs::counter!("srv.cmd.scan").inc();
+            if !ctx.manifest.tables.iter().any(|(name, _)| *name == table) {
+                return Pending::Ready {
+                    reply: error_response(400, &format!("unknown table {table:?}")),
+                    latency: "srv.latency.scan_ns",
+                    started,
+                };
+            }
+            let (reply_tx, rx) = mpsc::channel();
+            for target in 0..shards {
+                send_job(
+                    ctx,
+                    target,
+                    ShardJob {
+                        cmd: ShardCmd::Scan {
+                            table: table.clone(),
+                            filter: filter.clone(),
+                            agg: agg.clone(),
+                        },
+                        tag: target,
+                        reply: reply_tx.clone(),
+                    },
+                );
+            }
+            Pending::Waiting {
+                rx,
+                expect: shards,
+                kind: WaitKind::Scan,
+                latency: "srv.latency.scan_ns",
+                started,
+            }
+        }
+        Request::Stats => {
+            leco_obs::counter!("srv.cmd.stats").inc();
+            Pending::Ready {
+                reply: stats_response(ctx),
+                latency: "srv.latency.stats_ns",
+                started,
+            }
+        }
+    }
+}
+
+fn send_job(ctx: &ConnContext, target: usize, job: ShardJob) {
+    leco_obs::gauge!("srv.shard.queue_depth").add(1);
+    if ctx.txs[target].send(job).is_err() {
+        // Worker gone (shutdown race): the reply channel was moved into the
+        // failed send, so the waiter times out and answers 500.
+        leco_obs::gauge!("srv.shard.queue_depth").sub(1);
+    }
+}
+
+fn assemble(kind: WaitKind, mut replies: Vec<(usize, ShardReply)>) -> Json {
+    // Deterministic merge order regardless of shard completion order.
+    replies.sort_by_key(|&(tag, _)| tag);
+    // Any failure dominates: 400 before 500 so the client sees its own
+    // mistake rather than a cascade.
+    for (_, reply) in &replies {
+        if let ShardReply::BadRequest(message) = reply {
+            return error_response(400, message);
+        }
+    }
+    for (_, reply) in &replies {
+        if let ShardReply::Error(message) = reply {
+            return error_response(500, message);
+        }
+    }
+    match kind {
+        WaitKind::Get => match replies.pop() {
+            Some((_, ShardReply::Value(value))) => ok_response(vec![
+                ("found".into(), Json::Bool(value.is_some())),
+                (
+                    "value".into(),
+                    value.map_or(Json::Null, |v| {
+                        Json::Str(String::from_utf8_lossy(&v).into_owned())
+                    }),
+                ),
+            ]),
+            _ => error_response(500, "shard returned a mismatched reply"),
+        },
+        WaitKind::MGet { n_keys } => {
+            let mut values: Vec<Json> = vec![Json::Null; n_keys];
+            for (_, reply) in replies {
+                let ShardReply::Values(part) = reply else {
+                    return error_response(500, "shard returned a mismatched reply");
+                };
+                for (pos, value) in part {
+                    values[pos] = Json::Obj(vec![
+                        ("found".into(), Json::Bool(value.is_some())),
+                        (
+                            "value".into(),
+                            value.map_or(Json::Null, |v| {
+                                Json::Str(String::from_utf8_lossy(&v).into_owned())
+                            }),
+                        ),
+                    ]);
+                }
+            }
+            ok_response(vec![("values".into(), Json::Arr(values))])
+        }
+        WaitKind::Scan => {
+            let mut merged = ShardScanPartial::default();
+            let n_shards = replies.len();
+            for (_, reply) in replies {
+                let ShardReply::Scan(partial) = reply else {
+                    return error_response(500, "shard returned a mismatched reply");
+                };
+                merged.merge(&partial);
+            }
+            let groups = merged.finalize_groups();
+            ok_response(vec![
+                (
+                    "rows_selected".into(),
+                    Json::Num(merged.rows_selected as f64),
+                ),
+                ("rows_scanned".into(), Json::Num(merged.rows_scanned as f64)),
+                ("morsels".into(), Json::Num(merged.morsels as f64)),
+                ("shards".into(), Json::Num(n_shards as f64)),
+                // u128 sums survive JSON as strings (f64 would round).
+                ("sum".into(), Json::Str(merged.sum.to_string())),
+                (
+                    "groups".into(),
+                    Json::Arr(
+                        groups
+                            .iter()
+                            .map(|&(id, avg)| Json::Arr(vec![Json::Num(id as f64), Json::Num(avg)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    }
+}
+
+fn stats_response(ctx: &ConnContext) -> Json {
+    let counter = |name: &'static str| Json::Num(leco_obs::counter(name).value() as f64);
+    let gauge = |name: &'static str| Json::Num(leco_obs::gauge(name).value() as f64);
+    ok_response(vec![
+        ("shards".into(), Json::Num(ctx.txs.len() as f64)),
+        (
+            "tables".into(),
+            Json::Arr(
+                ctx.manifest
+                    .tables
+                    .iter()
+                    .map(|(name, _)| Json::Str(name.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "kv_records".into(),
+            Json::Num(ctx.manifest.kv_records.iter().sum::<u64>() as f64),
+        ),
+        (
+            "metrics".into(),
+            Json::Obj(vec![
+                ("connections".into(), gauge("srv.connections")),
+                ("connections_total".into(), counter("srv.connections_total")),
+                ("requests".into(), counter("srv.requests")),
+                ("errors".into(), counter("srv.errors")),
+                ("cmd_get".into(), counter("srv.cmd.get")),
+                ("cmd_mget".into(), counter("srv.cmd.mget")),
+                ("cmd_scan".into(), counter("srv.cmd.scan")),
+                ("cmd_stats".into(), counter("srv.cmd.stats")),
+                ("shard_jobs".into(), counter("srv.shard.jobs")),
+                ("shard_queue_depth".into(), gauge("srv.shard.queue_depth")),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,363 @@
+//! Shards: routing, the per-shard worker loop, and the manifest.
+//!
+//! Each shard worker is one thread owning its slice of the data — a set of
+//! row-group table files plus a [`Store`] — and a receiver of
+//! [`ShardJob`]s.  Point lookups route to exactly one shard by key hash
+//! ([`shard_for_key`]); scans fan out to every shard holding a slice of the
+//! table and come back as *integer partials* ([`ShardScanPartial`]) that
+//! the connection merges with exact arithmetic, so a sharded result is
+//! bit-identical to a single in-process scan.
+//!
+//! A bad request (unknown table or column) and an internal failure both
+//! come back as replies, never as a dead worker: the worker loop only exits
+//! when every job sender is gone.
+
+use crate::protocol::ScanAgg;
+use leco_bench::report::Json;
+use leco_columnar::TableFile;
+use leco_kvstore::Store;
+use leco_scan::Scanner;
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+/// FNV-1a over the key bytes — the stable, dependency-free routing hash the
+/// manifest records.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The shard owning `key` under `shards`-way hash routing.
+pub fn shard_for_key(key: &[u8], shards: usize) -> usize {
+    (fnv1a64(key) % shards.max(1) as u64) as usize
+}
+
+/// One shard's slice of every table plus its key-value store.
+pub struct ShardData {
+    /// Shard index in `0..shards`.
+    pub id: usize,
+    /// Table name → this shard's row-group file for that table.
+    pub tables: HashMap<String, TableFile>,
+    /// This shard's slice of the key space.
+    pub store: Store,
+}
+
+/// What a shard is asked to do.  `MGet` carries the keys' positions in the
+/// original request so the connection can scatter the answers back in
+/// request order.
+pub enum ShardCmd {
+    /// Exact-match point lookup.
+    Get {
+        /// Key to look up.
+        key: Vec<u8>,
+    },
+    /// Batched exact-match lookups for the subset of an `MGET` routed here.
+    MGet {
+        /// `(position in the client's key list, key)` pairs.
+        keys: Vec<(usize, Vec<u8>)>,
+    },
+    /// One shard's share of a `SCAN`.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Optional `lo <= col <= hi` predicate.
+        filter: Option<(String, u64, u64)>,
+        /// Aggregate to compute.
+        agg: ScanAgg,
+    },
+}
+
+/// Exact partial aggregates of one shard's scan, merged by the connection.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ShardScanPartial {
+    /// Rows passing the filter on this shard.
+    pub rows_selected: u64,
+    /// Rows scanned after zone-map pruning on this shard.
+    pub rows_scanned: u64,
+    /// Morsels executed on this shard.
+    pub morsels: usize,
+    /// `SUM` partial.
+    pub sum: u128,
+    /// `(id, sum, count)` group-by partials, sorted by id.
+    pub groups: Vec<(u64, u128, u64)>,
+}
+
+impl ShardScanPartial {
+    /// Fold `other` into `self` with exact integer arithmetic.
+    pub fn merge(&mut self, other: &ShardScanPartial) {
+        self.rows_selected += other.rows_selected;
+        self.rows_scanned += other.rows_scanned;
+        self.morsels += other.morsels;
+        self.sum += other.sum;
+        // Merge two id-sorted partial lists.
+        let mut merged = Vec::with_capacity(self.groups.len() + other.groups.len());
+        let (mut a, mut b) = (
+            self.groups.iter().peekable(),
+            other.groups.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, sa, ca)), Some(&&(ib, sb, cb))) => {
+                    if ia == ib {
+                        merged.push((ia, sa + sb, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, sa, ca));
+                        a.next();
+                    } else {
+                        merged.push((ib, sb, cb));
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().copied());
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().copied());
+                }
+                (None, None) => break,
+            }
+        }
+        self.groups = merged;
+    }
+
+    /// Finalise the group partials into `(id, avg)` rows — one division per
+    /// group, performed exactly once across the whole distributed scan.
+    pub fn finalize_groups(&self) -> Vec<(u64, f64)> {
+        let map: HashMap<u64, (u128, u64)> = self
+            .groups
+            .iter()
+            .map(|&(id, sum, count)| (id, (sum, count)))
+            .collect();
+        leco_columnar::exec::finalize_group_avgs(&map)
+    }
+}
+
+/// A shard's answer to one [`ShardCmd`].
+pub enum ShardReply {
+    /// `Get`: the value, if the key exists.
+    Value(Option<Vec<u8>>),
+    /// `MGet`: `(position, value)` for every key routed to this shard.
+    Values(Vec<(usize, Option<Vec<u8>>)>),
+    /// `Scan`: this shard's exact partials.
+    Scan(Box<ShardScanPartial>),
+    /// The request named a table/column this shard does not have → `400`.
+    BadRequest(String),
+    /// The shard failed to execute a well-formed request → `500`.
+    Error(String),
+}
+
+/// One unit of work sent to a shard: the command plus the reply route.
+pub struct ShardJob {
+    /// What to execute.
+    pub cmd: ShardCmd,
+    /// Identifies this shard's contribution when a request fans out.
+    pub tag: usize,
+    /// Where the reply goes; a dropped receiver (dead connection) is fine.
+    pub reply: mpsc::Sender<(usize, ShardReply)>,
+}
+
+/// The shard worker loop: drain jobs until every sender is gone.
+///
+/// `scan_threads` is the work-stealing parallelism each shard-local
+/// [`Scanner`] run uses.  Errors are turned into replies — a bad request
+/// never kills the worker.
+pub fn run_shard_worker(data: &ShardData, jobs: mpsc::Receiver<ShardJob>, scan_threads: usize) {
+    while let Ok(job) = jobs.recv() {
+        leco_obs::gauge!("srv.shard.queue_depth").sub(1);
+        leco_obs::counter!("srv.shard.jobs").inc();
+        let reply = execute(data, &job.cmd, scan_threads);
+        // A send error means the connection died mid-request; the shard
+        // just moves on.
+        let _ = job.reply.send((job.tag, reply));
+    }
+}
+
+fn execute(data: &ShardData, cmd: &ShardCmd, scan_threads: usize) -> ShardReply {
+    match cmd {
+        ShardCmd::Get { key } => match data.store.get(key) {
+            Ok(value) => ShardReply::Value(value),
+            Err(e) => ShardReply::Error(format!("shard {}: get failed: {e}", data.id)),
+        },
+        ShardCmd::MGet { keys } => {
+            let flat: Vec<Vec<u8>> = keys.iter().map(|(_, k)| k.clone()).collect();
+            match data.store.multi_get(&flat, scan_threads) {
+                Ok(found) => ShardReply::Values(
+                    keys.iter()
+                        .zip(found)
+                        .map(|(&(pos, ref key), hit)| {
+                            // multi_get seeks (lower bound); keep only exact
+                            // matches, the point-lookup semantic.
+                            let value = hit.filter(|(k, _)| k == key).map(|(_, v)| v);
+                            (pos, value)
+                        })
+                        .collect(),
+                ),
+                Err(e) => ShardReply::Error(format!("shard {}: multi_get failed: {e}", data.id)),
+            }
+        }
+        ShardCmd::Scan { table, filter, agg } => {
+            execute_scan(data, table, filter, agg, scan_threads)
+        }
+    }
+}
+
+fn execute_scan(
+    data: &ShardData,
+    table: &str,
+    filter: &Option<(String, u64, u64)>,
+    agg: &ScanAgg,
+    scan_threads: usize,
+) -> ShardReply {
+    let Some(file) = data.tables.get(table) else {
+        return ShardReply::BadRequest(format!("unknown table {table:?}"));
+    };
+    let mut scan = Scanner::new(file);
+    if let Some((col, lo, hi)) = filter {
+        scan = match scan.try_filter(col, *lo, *hi) {
+            Ok(scan) => scan,
+            Err(e) => return ShardReply::BadRequest(e.to_string()),
+        };
+    }
+    scan = match agg {
+        ScanAgg::Count => scan,
+        ScanAgg::Sum(col) => match scan.try_sum(col) {
+            Ok(scan) => scan,
+            Err(e) => return ShardReply::BadRequest(e.to_string()),
+        },
+        ScanAgg::GroupByAvg(id, val) => match scan.try_group_by_avg(id, val) {
+            Ok(scan) => scan,
+            Err(e) => return ShardReply::BadRequest(e.to_string()),
+        },
+    };
+    match scan.run(scan_threads) {
+        Ok(result) => ShardReply::Scan(Box::new(ShardScanPartial {
+            rows_selected: result.rows_selected,
+            rows_scanned: result.rows_scanned,
+            morsels: result.morsels,
+            sum: result.sum,
+            groups: result.group_partials,
+        })),
+        Err(e) => ShardReply::Error(format!("shard {}: scan failed: {e}", data.id)),
+    }
+}
+
+/// The manifest: which shard holds which rows of which table, and how keys
+/// route.  Written next to the shard files as `manifest.json` so an
+/// operator (or a future reload path) can see the layout.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Number of shards.
+    pub shards: usize,
+    /// Key routing scheme (always FNV-1a modulo shards today).
+    pub kv_routing: String,
+    /// Records per shard store, indexed by shard.
+    pub kv_records: Vec<u64>,
+    /// Per table: `(name, per-shard (row_start, rows))` — contiguous row
+    /// ranges, shard `k` holding the `k`-th slice.
+    pub tables: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+impl Manifest {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards".into(), Json::Num(self.shards as f64)),
+            ("kv_routing".into(), Json::Str(self.kv_routing.clone())),
+            (
+                "kv_records".into(),
+                Json::Arr(
+                    self.kv_records
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "tables".into(),
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|(name, slices)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(name.clone())),
+                                (
+                                    "slices".into(),
+                                    Json::Arr(
+                                        slices
+                                            .iter()
+                                            .map(|&(start, rows)| {
+                                                Json::Obj(vec![
+                                                    ("row_start".into(), Json::Num(start as f64)),
+                                                    ("rows".into(), Json::Num(rows as f64)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for i in 0..1000u64 {
+                let key = format!("user{i:08}");
+                let s = shard_for_key(key.as_bytes(), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for_key(key.as_bytes(), shards), "stable");
+            }
+        }
+        // All shards get some keys (FNV spreads this keyspace).
+        let mut seen = [false; 4];
+        for i in 0..1000u64 {
+            seen[shard_for_key(format!("user{i:08}").as_bytes(), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partial_merge_is_exact_and_order_independent() {
+        let a = ShardScanPartial {
+            rows_selected: 10,
+            rows_scanned: 100,
+            morsels: 2,
+            sum: 1 << 90,
+            groups: vec![(1, 10, 2), (3, 30, 3)],
+        };
+        let b = ShardScanPartial {
+            rows_selected: 5,
+            rows_scanned: 50,
+            morsels: 1,
+            sum: 1,
+            groups: vec![(1, 5, 1), (2, 20, 2), (4, 40, 4)],
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.sum, (1u128 << 90) + 1);
+        assert_eq!(
+            ab.groups,
+            vec![(1, 15, 3), (2, 20, 2), (3, 30, 3), (4, 40, 4)]
+        );
+        let avgs = ab.finalize_groups();
+        assert_eq!(avgs[0], (1, 5.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Loopback integration tests: a real [`Server`] on an OS-assigned port,
+//! real [`Client`] connections, and the full frame → parse → shard →
+//! merge → reply path.
+//!
+//! The heavyweight check is [`scan_over_tcp_bit_identical_across_shard_counts`]:
+//! the same queries answered by a 1-, 2- and 4-shard server and by an
+//! in-process [`leco_scan::Scanner`] over the unsharded table must agree
+//! on every result bit, including the f64 group averages.
+
+use leco_bench::report::Json;
+use leco_columnar::{Encoding, TableFile, TableFileOptions};
+use leco_scan::Scanner;
+use leco_server::protocol::response_code;
+use leco_server::{shard_for_key, Client, Server, ServerConfig, ShardSetBuilder};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leco-loopback-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn table_options() -> TableFileOptions {
+    TableFileOptions {
+        encoding: Encoding::Leco,
+        row_group_size: 4096,
+        ..Default::default()
+    }
+}
+
+/// `rows`-row test table: a sorted-ish `ts`, a small-cardinality `id`, and
+/// a correlated `val` — enough structure for LeCo encoding and group-by.
+fn test_columns(rows: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let ts: Vec<u64> = (0..rows).map(|i| 1_000 + i * 3 + (i * i) % 7).collect();
+    let id: Vec<u64> = (0..rows).map(|i| (i * 2_654_435_761) % 13).collect();
+    let val: Vec<u64> = (0..rows).map(|i| 500 + (i * 37) % 10_000).collect();
+    (ts, id, val)
+}
+
+fn test_records(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("key{i:06}").into_bytes(),
+                format!("value-{i}").into_bytes(),
+            )
+        })
+        .collect()
+}
+
+fn start_server(dir: &PathBuf, shards: usize, rows: u64, records: usize) -> Server {
+    let (ts, id, val) = test_columns(rows);
+    let set = ShardSetBuilder::new(dir, shards)
+        .table_options(table_options())
+        .table("sensors", &["ts", "id", "val"], vec![ts, id, val])
+        .records(test_records(records))
+        .build()
+        .expect("fixture builds");
+    Server::start(set, ServerConfig::default()).expect("server starts")
+}
+
+fn get_value(reply: &Json) -> Option<String> {
+    assert_eq!(response_code(reply), 200, "GET failed: {}", reply.render());
+    if reply.get("found") == Some(&Json::Bool(true)) {
+        reply
+            .get("value")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    } else {
+        None
+    }
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_connection() {
+    let dir = tmp_dir("pipeline");
+    let server = start_server(&dir, 2, 5_000, 500);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Queue a burst of requests — more than one batch — before reading
+    // anything.  Replies must come back in request order even though the
+    // keys route to different shards.
+    let n = 200usize;
+    for i in 0..n {
+        match i % 3 {
+            0 => client.send(&format!("GET key{:06}", i % 500)).unwrap(),
+            1 => client.send(&format!("GET nosuchkey{i}")).unwrap(),
+            _ => client
+                .send(&format!("MGET key{:06} key{:06}", i % 500, (i + 1) % 500))
+                .unwrap(),
+        }
+    }
+    for i in 0..n {
+        let reply = client.recv().unwrap();
+        match i % 3 {
+            0 => assert_eq!(
+                get_value(&reply).as_deref(),
+                Some(format!("value-{}", i % 500).as_str()),
+                "request {i}"
+            ),
+            1 => assert_eq!(get_value(&reply), None, "request {i}"),
+            _ => {
+                assert_eq!(response_code(&reply), 200, "request {i}");
+                let values = reply.get("values").and_then(Json::as_arr).unwrap();
+                assert_eq!(values.len(), 2);
+                assert_eq!(
+                    values[0].get("value").and_then(Json::as_str),
+                    Some(format!("value-{}", i % 500).as_str()),
+                    "request {i}"
+                );
+            }
+        }
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_connections_hit_different_shards() {
+    let dir = tmp_dir("concurrent");
+    let shards = 4;
+    let server = start_server(&dir, shards, 20_000, 2_000);
+    let addr = server.local_addr();
+
+    // Each worker thread pins its GETs to one shard's keys, so all four
+    // shards serve point lookups while the scans fan out over everything.
+    std::thread::scope(|scope| {
+        for worker in 0..8usize {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let my_shard = worker % shards;
+                let my_keys: Vec<usize> = (0..2_000)
+                    .filter(|i| shard_for_key(format!("key{i:06}").as_bytes(), shards) == my_shard)
+                    .collect();
+                assert!(!my_keys.is_empty(), "shard {my_shard} owns no keys");
+                for (j, &i) in my_keys.iter().enumerate().take(100) {
+                    let reply = client.request(&format!("GET key{i:06}")).unwrap();
+                    assert_eq!(
+                        get_value(&reply).as_deref(),
+                        Some(format!("value-{i}").as_str())
+                    );
+                    if j % 25 == 0 {
+                        let scan = client.request("SCAN sensors FILTER ts 1000 20000").unwrap();
+                        assert_eq!(response_code(&scan), 200);
+                        assert_eq!(scan.get("shards").and_then(Json::as_f64), Some(4.0));
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_get_errors_and_the_connection_survives() {
+    let dir = tmp_dir("malformed");
+    let server = start_server(&dir, 2, 5_000, 100);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Every malformed payload answers 400 — and the connection keeps
+    // working afterwards.
+    for bad in [
+        &b""[..],                                  // empty frame
+        b"FROBNICATE now",                         // unknown command
+        b"GET",                                    // missing key
+        b"MGET",                                   // no keys
+        b"SCAN",                                   // no table
+        b"SCAN sensors FILTER ts 9 x",             // non-numeric bound
+        b"SCAN sensors GROUPBY id AGG median val", // unsupported aggregate
+        b"\xff\xfe\x00garbage",                    // invalid UTF-8
+    ] {
+        client.send_payload(bad).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(response_code(&reply), 400, "payload {bad:?}");
+    }
+    // Well-formed frame, bad semantics: unknown table is 400 from the
+    // manifest check; unknown column is 400 from the shard.
+    for bad in ["SCAN nosuchtable", "SCAN sensors FILTER nosuchcol 1 2"] {
+        let reply = client.request(bad).unwrap();
+        assert_eq!(response_code(&reply), 400, "{bad}");
+    }
+    // The same connection still answers real requests.
+    let reply = client.request("GET key000042").unwrap();
+    assert_eq!(get_value(&reply).as_deref(), Some("value-42"));
+
+    // A corrupt frame *length* is the one unrecoverable case: the server
+    // answers 400 and closes, because the stream cannot be resynchronised.
+    let mut corrupt = Client::connect(server.local_addr()).unwrap();
+    corrupt.send_raw(&(u32::MAX).to_le_bytes()).unwrap();
+    let reply = corrupt.recv().unwrap();
+    assert_eq!(response_code(&reply), 400);
+    assert!(corrupt.recv().is_err(), "connection should be closed");
+
+    // ... and the first connection is still unaffected.
+    let reply = client.request("GET key000007").unwrap();
+    assert_eq!(get_value(&reply).as_deref(), Some("value-7"));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scan_over_tcp_bit_identical_across_shard_counts() {
+    let rows = 30_000u64;
+    let (ts, id, val) = test_columns(rows);
+
+    // Ground truth: one unsharded table file scanned in-process.
+    let truth_dir = tmp_dir("scan-truth");
+    std::fs::create_dir_all(&truth_dir).unwrap();
+    let truth_file = TableFile::write(
+        truth_dir.join("sensors.tbl"),
+        &["ts", "id", "val"],
+        &[ts.clone(), id.clone(), val.clone()],
+        table_options(),
+    )
+    .unwrap();
+
+    // (filter, aggregate) matrix: count, sum and group-by-avg, filtered
+    // and unfiltered, including an empty-result window.
+    let filters: [Option<(u64, u64)>; 3] = [None, Some((20_000, 55_000)), Some((2, 7))];
+    for shards in [1usize, 2, 4] {
+        let dir = tmp_dir(&format!("scan-{shards}"));
+        let set = ShardSetBuilder::new(&dir, shards)
+            .table_options(table_options())
+            .table(
+                "sensors",
+                &["ts", "id", "val"],
+                vec![ts.clone(), id.clone(), val.clone()],
+            )
+            .records(test_records(10))
+            .build()
+            .unwrap();
+        let server = Server::start(set, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        for filter in filters {
+            let clause = filter
+                .map(|(lo, hi)| format!(" FILTER ts {lo} {hi}"))
+                .unwrap_or_default();
+
+            // COUNT: selected-row cardinality must match exactly.
+            let expect = || {
+                let scan = Scanner::new(&truth_file);
+                match filter {
+                    Some((lo, hi)) => scan.filter("ts", lo, hi),
+                    None => scan,
+                }
+            };
+            let truth = expect().run(2).unwrap();
+            let reply = client.request(&format!("SCAN sensors{clause}")).unwrap();
+            assert_eq!(response_code(&reply), 200, "{}", reply.render());
+            assert_eq!(
+                reply.get("rows_selected").and_then(Json::as_f64),
+                Some(truth.rows_selected as f64),
+                "count, {shards} shard(s), filter {filter:?}"
+            );
+
+            // SUM: the u128 travels as a decimal string, compared textually.
+            let truth = expect().sum("val").run(2).unwrap();
+            let reply = client
+                .request(&format!("SCAN sensors{clause} SUM val"))
+                .unwrap();
+            assert_eq!(
+                reply.get("sum").and_then(Json::as_str),
+                Some(truth.sum.to_string().as_str()),
+                "sum, {shards} shard(s), filter {filter:?}"
+            );
+
+            // GROUP BY … AVG: every f64 average must be bit-identical to
+            // the single-scan result after its JSON round-trip.
+            let truth = expect().group_by_avg("id", "val").run(2).unwrap();
+            let reply = client
+                .request(&format!("SCAN sensors{clause} GROUPBY id AGG avg val"))
+                .unwrap();
+            let groups = reply.get("groups").and_then(Json::as_arr).unwrap();
+            assert_eq!(
+                groups.len(),
+                truth.groups.len(),
+                "groups, {shards} shard(s), filter {filter:?}"
+            );
+            for (got, &(want_id, want_avg)) in groups.iter().zip(&truth.groups) {
+                let pair = got.as_arr().unwrap();
+                assert_eq!(pair[0].as_f64(), Some(want_id as f64));
+                let got_avg = pair[1].as_f64().unwrap();
+                assert_eq!(
+                    got_avg.to_bits(),
+                    want_avg.to_bits(),
+                    "group {want_id}: sharded avg {got_avg} != in-process {want_avg}, \
+                     {shards} shard(s), filter {filter:?}"
+                );
+            }
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&truth_dir).ok();
+}

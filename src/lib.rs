@@ -16,6 +16,9 @@
 //! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
 //! * [`obs`] (`leco-obs`) — zero-overhead metrics registry and span
 //!   tracing wired through the engines (see `docs/OBSERVABILITY.md`).
+//! * [`server`] (`leco-server`) — a threaded TCP query frontend over
+//!   sharded stores: `GET`/`MGET`/`SCAN`/`STATS` over a length-prefixed
+//!   protocol (see `docs/SERVING.md`).
 //!
 //! The serialized column layout is specified byte-by-byte in
 //! `docs/FORMAT.md`; sequential decodes everywhere go through the
@@ -40,6 +43,7 @@ pub use leco_datasets as datasets;
 pub use leco_kvstore as kvstore;
 pub use leco_obs as obs;
 pub use leco_scan as scan;
+pub use leco_server as server;
 
 /// The most commonly used types, importable with `use leco::prelude::*`.
 pub mod prelude {
