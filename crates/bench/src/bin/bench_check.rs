@@ -5,7 +5,7 @@
 //! ```text
 //! bench_check --baseline BENCH_baseline --current bench-current \
 //!             [--tolerance 0.5] [--max-obs-overhead 0.05]
-//!             [--benches fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs,serve]
+//!             [--benches fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs,serve,ingest]
 //! ```
 //!
 //! Compression ratios are compared exactly (they are deterministic given
@@ -22,7 +22,8 @@ use std::process::ExitCode;
 use leco_bench::check::{check_overhead, compare_reports};
 use leco_bench::report::Json;
 
-const DEFAULT_BENCHES: &str = "fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs,serve";
+const DEFAULT_BENCHES: &str =
+    "fig10_micro,fig16_partitioners,scan,scan_selectivity,scan_obs,serve,ingest";
 
 struct Args {
     baseline: PathBuf,

@@ -155,6 +155,43 @@ pub fn rules_for(bench: &str) -> &'static [Rule] {
                 metric: Metric::LowerBetter,
             },
         ],
+        // The write path (`repro_ingest`).  Recovery counts are
+        // deterministic given `LECO_N` (replay of a fixed WAL) and held
+        // exactly in both directions: `rows_recovered` must equal the rows
+        // written and `replay_divergence` — the scan-visible difference
+        // between the pre-kill and post-replay table — must stay zero.
+        // Ingest / replay / compaction throughputs get the factor-of-4
+        // machine-noise tripwire.
+        "ingest" => &[
+            Rule {
+                section: "recovery",
+                key_columns: &["phase"],
+                value_columns: &["rows_recovered", "replay_divergence"],
+                skip_columns: &[],
+                metric: Metric::Exact,
+            },
+            Rule {
+                section: "recovery",
+                key_columns: &["phase"],
+                value_columns: &["rows_per_second"],
+                skip_columns: &[],
+                metric: Metric::HigherBetter,
+            },
+            Rule {
+                section: "ingest",
+                key_columns: &["phase"],
+                value_columns: &["rows_per_second"],
+                skip_columns: &[],
+                metric: Metric::HigherBetter,
+            },
+            Rule {
+                section: "compaction",
+                key_columns: &["phase"],
+                value_columns: &["rows_per_second"],
+                skip_columns: &[],
+                metric: Metric::HigherBetter,
+            },
+        ],
         _ => &[],
     }
 }
@@ -615,6 +652,35 @@ mod tests {
         // Order-of-magnitude performance loss trips both directions' wires.
         let collapsed = report("serve", "sweep", vec![row(1_000.0, 2_000.0, 0.0)]);
         assert_eq!(compare_reports(&base, &collapsed, 3.0).len(), 2);
+    }
+
+    #[test]
+    fn ingest_gate_holds_recovery_counts_exactly_and_tripwires_throughput() {
+        let recovery_row = |recovered: f64, divergence: f64, rps: f64| {
+            Json::Obj(vec![
+                ("phase".into(), Json::Str("replay".into())),
+                ("rows_recovered".into(), Json::Num(recovered)),
+                ("replay_divergence".into(), Json::Num(divergence)),
+                ("rows_per_second".into(), Json::Num(rps)),
+            ])
+        };
+        let base = report("ingest", "recovery", vec![recovery_row(5000.0, 0.0, 1e6)]);
+        // Throughput jitter within the factor-of-4 band passes.
+        let jitter = report("ingest", "recovery", vec![recovery_row(5000.0, 0.0, 3e5)]);
+        assert!(compare_reports(&base, &jitter, 3.0).is_empty());
+        // A lost row fails regardless of tolerance — in either direction.
+        let lost = report("ingest", "recovery", vec![recovery_row(4999.0, 0.0, 1e6)]);
+        assert_eq!(compare_reports(&base, &lost, 3.0).len(), 1);
+        let phantom = report("ingest", "recovery", vec![recovery_row(5001.0, 0.0, 1e6)]);
+        assert_eq!(compare_reports(&base, &phantom, 3.0).len(), 1);
+        // Any scan-visible divergence after replay is a correctness bug.
+        let diverged = report("ingest", "recovery", vec![recovery_row(5000.0, 1.0, 1e6)]);
+        let violations = compare_reports(&base, &diverged, 3.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].column, "replay_divergence");
+        // An order-of-magnitude replay slowdown trips the wire.
+        let slow = report("ingest", "recovery", vec![recovery_row(5000.0, 0.0, 2e5)]);
+        assert_eq!(compare_reports(&base, &slow, 3.0).len(), 1);
     }
 
     #[test]

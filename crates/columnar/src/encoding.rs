@@ -23,6 +23,11 @@ pub enum Encoding {
     For,
     /// LeCo with linear regressor and fixed-length partitions.
     Leco,
+    /// LeCo with linear regressor and *variable-length* partitions: the
+    /// split–merge partitioner priced by the exact `CostModel`.  Slower to
+    /// encode than [`Encoding::Leco`], smaller on drifting data — the
+    /// encoding the ingest compactor uses for cold data.
+    LecoVar,
 }
 
 impl Encoding {
@@ -34,7 +39,33 @@ impl Encoding {
             Encoding::Delta => "Delta",
             Encoding::For => "FOR",
             Encoding::Leco => "LeCo",
+            Encoding::LecoVar => "LeCoVar",
         }
+    }
+
+    /// Stable one-byte tag persisted in the table-file footer.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Encoding::Default => 0,
+            Encoding::Plain => 1,
+            Encoding::Delta => 2,
+            Encoding::For => 3,
+            Encoding::Leco => 4,
+            Encoding::LecoVar => 5,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<Encoding> {
+        Some(match tag {
+            0 => Encoding::Default,
+            1 => Encoding::Plain,
+            2 => Encoding::Delta,
+            3 => Encoding::For,
+            4 => Encoding::Leco,
+            5 => Encoding::LecoVar,
+            _ => return None,
+        })
     }
 }
 
@@ -78,6 +109,52 @@ impl EncodedColumn {
                 LecoCompressor::new(LecoConfig::leco_fix_with_len(CHUNK_PARTITION))
                     .compress(values),
             ),
+            Encoding::LecoVar => {
+                EncodedColumn::Leco(LecoCompressor::new(LecoConfig::leco_var()).compress(values))
+            }
+        }
+    }
+
+    /// Rebuild an encoded column from the byte image persisted by the file
+    /// layer ([`Self::byte_image`]).
+    ///
+    /// Only the self-describing images can be reopened today: `Plain` (raw
+    /// little-endian `u64`s) and the LeCo formats (the `docs/FORMAT.md` v2
+    /// layout parsed by [`leco_core::CompressedColumn::from_bytes`]).  The
+    /// `Default`/`Delta`/`For` images carry no header, so a table written
+    /// with those encodings reports `Unsupported` — write-path consumers
+    /// that need reopenability (the ingest compactor) use Plain or LeCo.
+    pub fn from_byte_image(bytes: &[u8], encoding: Encoding) -> std::io::Result<Self> {
+        match encoding {
+            Encoding::Plain => {
+                if !bytes.len().is_multiple_of(8) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "plain chunk image of {} bytes is not a u64 array",
+                            bytes.len()
+                        ),
+                    ));
+                }
+                Ok(EncodedColumn::Plain(
+                    bytes
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                        .collect(),
+                ))
+            }
+            Encoding::Leco | Encoding::LecoVar => CompressedColumn::from_bytes(bytes)
+                .map(EncodedColumn::Leco)
+                .map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("corrupt LeCo chunk image: {e:?}"),
+                    )
+                }),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("{} chunk images cannot be reopened", other.name()),
+            )),
         }
     }
 

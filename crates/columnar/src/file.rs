@@ -10,9 +10,7 @@
 use crate::encoding::{EncodedColumn, Encoding};
 use crate::exec::QueryStats;
 use std::fs::File;
-use std::io::Write;
-#[cfg(not(unix))]
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Optional general-purpose block compression layered on top of the
@@ -54,6 +52,48 @@ struct ChunkMeta {
     stored_len: u64,
     min: u64,
     max: u64,
+}
+
+/// Magic that terminates a reopenable table file.
+const FOOTER_MAGIC: &[u8; 8] = b"LECOTBL1";
+/// Version byte of the footer block.
+const FOOTER_VERSION: u8 = 1;
+
+fn bad_data(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Incremental little-endian reader over the footer block.
+struct FooterReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FooterReader<'a> {
+    fn take(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(bad_data("table footer truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> std::io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> std::io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> std::io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> std::io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
 }
 
 /// One row group: per-column chunk metadata plus the in-memory encodings.
@@ -133,14 +173,182 @@ impl TableFile {
                 break;
             }
         }
-        file.flush()?;
-        Ok(Self {
+        let table = Self {
             path: path.as_ref().to_path_buf(),
             column_names: column_names.iter().map(|s| s.to_string()).collect(),
             options,
             row_groups,
             num_rows,
             file_bytes: offset,
+        };
+        // Footer after the data region: lets `TableFile::open` reload the
+        // metadata without touching chunk offsets (they are all relative to
+        // the file start, before the footer).
+        let footer = table.serialize_footer();
+        file.write_all(&footer)?;
+        file.write_all(&(footer.len() as u64).to_le_bytes())?;
+        file.write_all(FOOTER_MAGIC)?;
+        file.flush()?;
+        Ok(table)
+    }
+
+    fn serialize_footer(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(FOOTER_VERSION);
+        out.push(self.options.encoding.tag());
+        out.push(match self.options.block_compression {
+            BlockCompression::None => 0u8,
+            BlockCompression::Lzb => 1u8,
+        });
+        out.extend_from_slice(&(self.options.row_group_size as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.column_names.len() as u32).to_le_bytes());
+        for name in &self.column_names {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&(self.row_groups.len() as u32).to_le_bytes());
+        for rg in &self.row_groups {
+            out.extend_from_slice(&(rg.row_start as u64).to_le_bytes());
+            out.extend_from_slice(&(rg.rows as u64).to_le_bytes());
+            for chunk in &rg.chunks {
+                out.extend_from_slice(&chunk.offset.to_le_bytes());
+                out.extend_from_slice(&chunk.stored_len.to_le_bytes());
+                out.extend_from_slice(&chunk.min.to_le_bytes());
+                out.extend_from_slice(&chunk.max.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reopen a table file written by [`Self::write`]: parse the footer,
+    /// read every chunk back and rebuild the in-memory encoded columns.
+    ///
+    /// Only files whose encoding has a self-describing byte image can be
+    /// reopened (`Plain`, `Leco`, `LecoVar` —
+    /// see [`EncodedColumn::from_byte_image`]); other encodings return
+    /// `ErrorKind::Unsupported`.  A truncated or corrupt footer returns
+    /// `ErrorKind::InvalidData`.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let mut file = File::open(path.as_ref())?;
+        let total = file.metadata()?.len();
+        if total < 16 {
+            return Err(bad_data(format!(
+                "{}: too short to hold a table footer",
+                path.as_ref().display()
+            )));
+        }
+        let mut tail = [0u8; 16];
+        file.seek(SeekFrom::End(-16))?;
+        file.read_exact(&mut tail)?;
+        if &tail[8..] != FOOTER_MAGIC {
+            return Err(bad_data(format!(
+                "{}: missing table footer magic",
+                path.as_ref().display()
+            )));
+        }
+        let footer_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        if footer_len.checked_add(16).is_none_or(|end| end > total) {
+            return Err(bad_data("table footer length exceeds the file".into()));
+        }
+        let mut footer = vec![0u8; footer_len as usize];
+        file.seek(SeekFrom::End(-16 - footer_len as i64))?;
+        file.read_exact(&mut footer)?;
+
+        let mut r = FooterReader {
+            bytes: &footer,
+            pos: 0,
+        };
+        let version = r.u8()?;
+        if version != FOOTER_VERSION {
+            return Err(bad_data(format!("unknown table footer version {version}")));
+        }
+        let encoding_tag = r.u8()?;
+        let encoding = Encoding::from_tag(encoding_tag)
+            .ok_or_else(|| bad_data(format!("unknown encoding tag {encoding_tag}")))?;
+        let block_compression = match r.u8()? {
+            0 => BlockCompression::None,
+            1 => BlockCompression::Lzb,
+            other => return Err(bad_data(format!("unknown block-compression tag {other}"))),
+        };
+        let row_group_size = r.u64()? as usize;
+        let num_rows = r.u64()? as usize;
+        let ncols = r.u32()? as usize;
+        let mut column_names = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| bad_data("column name is not UTF-8".into()))?;
+            column_names.push(name.to_string());
+        }
+        let n_row_groups = r.u32()? as usize;
+        let options = TableFileOptions {
+            encoding,
+            row_group_size,
+            block_compression,
+        };
+
+        let mut row_groups = Vec::with_capacity(n_row_groups);
+        let mut file_bytes = 0u64;
+        let mut stored = Vec::new();
+        for _ in 0..n_row_groups {
+            let row_start = r.u64()? as usize;
+            let rows = r.u64()? as usize;
+            let mut chunks = Vec::with_capacity(ncols);
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let meta = ChunkMeta {
+                    offset: r.u64()?,
+                    stored_len: r.u64()?,
+                    min: r.u64()?,
+                    max: r.u64()?,
+                };
+                if meta
+                    .offset
+                    .checked_add(meta.stored_len)
+                    .is_none_or(|end| end > total - 16 - footer_len)
+                {
+                    return Err(bad_data("chunk extends past the data region".into()));
+                }
+                stored.clear();
+                stored.resize(meta.stored_len as usize, 0);
+                file.seek(SeekFrom::Start(meta.offset))?;
+                file.read_exact(&mut stored)?;
+                let image = match block_compression {
+                    BlockCompression::None => std::mem::take(&mut stored),
+                    BlockCompression::Lzb => leco_codecs::lzb::decompress(&stored),
+                };
+                let column = EncodedColumn::from_byte_image(&image, encoding)?;
+                if column.len() != rows {
+                    return Err(bad_data(format!(
+                        "chunk decodes to {} values, row group holds {rows}",
+                        column.len()
+                    )));
+                }
+                file_bytes = file_bytes.max(meta.offset + meta.stored_len);
+                chunks.push(meta);
+                columns.push(column);
+            }
+            row_groups.push(RowGroup {
+                row_start,
+                rows,
+                chunks,
+                columns,
+            });
+        }
+        let reopened: usize = row_groups.iter().map(|g| g.rows).sum();
+        if reopened != num_rows {
+            return Err(bad_data(format!(
+                "row groups hold {reopened} rows, footer claims {num_rows}"
+            )));
+        }
+        Ok(Self {
+            path: path.as_ref().to_path_buf(),
+            column_names,
+            options,
+            row_groups,
+            num_rows,
+            file_bytes,
         })
     }
 
@@ -483,6 +691,85 @@ mod tests {
         assert!(stats.cpu_seconds >= 0.0 && stats.io_bytes > 0);
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn reopen_round_trips_data_and_metadata() {
+        let (names, cols) = sample_columns(25_000);
+        for (encoding, compression, tag) in [
+            (Encoding::Leco, BlockCompression::None, "leco"),
+            (Encoding::LecoVar, BlockCompression::None, "lecovar"),
+            (Encoding::Plain, BlockCompression::Lzb, "plain-lzb"),
+        ] {
+            let path = tmp(&format!("reopen-{tag}"));
+            let written = TableFile::write(
+                &path,
+                &names,
+                &cols,
+                TableFileOptions {
+                    encoding,
+                    row_group_size: 7_000,
+                    block_compression: compression,
+                },
+            )
+            .unwrap();
+            let reopened = TableFile::open(&path).unwrap();
+            assert_eq!(reopened.num_rows(), written.num_rows(), "{tag}");
+            assert_eq!(reopened.num_row_groups(), written.num_row_groups(), "{tag}");
+            assert_eq!(reopened.column_index("val"), Some(2), "{tag}");
+            assert_eq!(reopened.options().encoding, encoding, "{tag}");
+            for rg in 0..reopened.num_row_groups() {
+                assert_eq!(
+                    reopened.row_group_range(rg),
+                    written.row_group_range(rg),
+                    "{tag}"
+                );
+                for (col, col_values) in cols.iter().enumerate() {
+                    assert_eq!(
+                        reopened.zone_map(rg, col),
+                        written.zone_map(rg, col),
+                        "{tag} rg {rg} col {col}"
+                    );
+                    let (start, end) = reopened.row_group_range(rg);
+                    let chunk = reopened.chunk_encoded(rg, col);
+                    for probe in [0usize, (end - start) / 2, end - start - 1] {
+                        assert_eq!(
+                            chunk.get(probe),
+                            col_values[start + probe],
+                            "{tag} rg {rg} col {col} row {probe}"
+                        );
+                    }
+                }
+            }
+            // The reopened file still serves positioned chunk reads.
+            let mut stats = QueryStats::default();
+            let chunk = reopened.read_chunk(1, 2, &mut stats).unwrap();
+            let (start, _) = reopened.row_group_range(1);
+            assert_eq!(chunk.get(3), cols[2][start + 3], "{tag}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn reopen_rejects_corrupt_footers() {
+        let (names, cols) = sample_columns(2_000);
+        let path = tmp("reopen-corrupt");
+        TableFile::write(&path, &names, &cols, TableFileOptions::default()).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated to lose the footer tail.
+        std::fs::write(&path, &good[..good.len() - 8]).unwrap();
+        assert!(TableFile::open(&path).is_err());
+        // Magic intact but footer length lies.
+        let mut lying = good.clone();
+        let at = lying.len() - 16;
+        lying[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &lying).unwrap();
+        assert!(TableFile::open(&path).is_err());
+        // Entirely too short.
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(TableFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

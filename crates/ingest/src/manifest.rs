@@ -1,0 +1,194 @@
+//! Table manifest: the single commit point of the write path.
+//!
+//! The manifest is a tiny line-based text file naming the current WAL and
+//! every live compacted table file. It is replaced atomically (write to
+//! `MANIFEST.tmp`, fsync, rename over `MANIFEST`, fsync the directory), so a
+//! crash at any instant leaves either the old or the new manifest — never a
+//! torn one. Files on disk that the manifest does not reference are orphans
+//! from an interrupted compaction and are deleted on open.
+//!
+//! Format (one directive per line, `#` comments ignored):
+//!
+//! ```text
+//! leco-ingest-manifest v1
+//! gen 3
+//! key_col 0
+//! columns ts,id,val
+//! wal wal-000003.log
+//! file file-000001.tbl
+//! file file-000004.tbl
+//! ```
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the manifest inside a table directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const HEADER: &str = "leco-ingest-manifest v1";
+
+fn bad_data(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint generation; increments on every compaction commit.
+    pub gen: u64,
+    /// Index of the key column deletes address.
+    pub key_col: usize,
+    /// Column names, in storage order.
+    pub columns: Vec<String>,
+    /// Current WAL file name (relative to the table directory).
+    pub wal: String,
+    /// Live compacted table files, oldest first (relative names).
+    pub files: Vec<String>,
+}
+
+impl Manifest {
+    /// Read and parse `dir/MANIFEST`; `Ok(None)` if it does not exist.
+    pub fn read(dir: &Path) -> std::io::Result<Option<Manifest>> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('#'));
+        if lines.next() != Some(HEADER) {
+            return Err(bad_data(format!("{}: bad manifest header", path.display())));
+        }
+        let mut gen = None;
+        let mut key_col = None;
+        let mut columns = None;
+        let mut wal = None;
+        let mut files = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (directive, arg) = line
+                .split_once(' ')
+                .ok_or_else(|| bad_data(format!("manifest line without argument: {line:?}")))?;
+            match directive {
+                "gen" => {
+                    gen = Some(
+                        arg.parse()
+                            .map_err(|_| bad_data(format!("bad gen {arg:?}")))?,
+                    )
+                }
+                "key_col" => {
+                    key_col = Some(
+                        arg.parse()
+                            .map_err(|_| bad_data(format!("bad key_col {arg:?}")))?,
+                    )
+                }
+                "columns" => columns = Some(arg.split(',').map(str::to_string).collect()),
+                "wal" => wal = Some(arg.to_string()),
+                "file" => files.push(arg.to_string()),
+                other => return Err(bad_data(format!("unknown manifest directive {other:?}"))),
+            }
+        }
+        Ok(Some(Manifest {
+            gen: gen.ok_or_else(|| bad_data("manifest missing gen".into()))?,
+            key_col: key_col.ok_or_else(|| bad_data("manifest missing key_col".into()))?,
+            columns: columns.ok_or_else(|| bad_data("manifest missing columns".into()))?,
+            wal: wal.ok_or_else(|| bad_data("manifest missing wal".into()))?,
+            files,
+        }))
+    }
+
+    /// Atomically install this manifest as `dir/MANIFEST`: tmp + fsync +
+    /// rename + directory fsync. This rename is the durability commit point
+    /// for a compaction — everything the manifest references must already be
+    /// synced before calling.
+    pub fn write_atomic(&self, dir: &Path) -> std::io::Result<()> {
+        let mut text = String::new();
+        text.push_str(HEADER);
+        text.push('\n');
+        text.push_str(&format!("gen {}\n", self.gen));
+        text.push_str(&format!("key_col {}\n", self.key_col));
+        text.push_str(&format!("columns {}\n", self.columns.join(",")));
+        text.push_str(&format!("wal {}\n", self.wal));
+        for f in &self.files {
+            text.push_str(&format!("file {f}\n"));
+        }
+        let tmp = dir.join(MANIFEST_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        sync_dir(dir)
+    }
+}
+
+/// fsync a directory so a rename inside it is durable. Windows cannot open
+/// directories as files; renames there are best-effort.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("leco-manifest-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn round_trips_and_overwrites_atomically() {
+        let dir = tmp_dir("roundtrip");
+        assert_eq!(Manifest::read(&dir).unwrap(), None);
+        let m = Manifest {
+            gen: 2,
+            key_col: 1,
+            columns: vec!["ts".into(), "id".into()],
+            wal: "wal-000002.log".into(),
+            files: vec!["file-000000.tbl".into(), "file-000001.tbl".into()],
+        };
+        m.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m.clone()));
+        let m2 = Manifest {
+            gen: 3,
+            files: vec!["file-000002.tbl".into()],
+            ..m
+        };
+        m2.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m2));
+        assert!(!dir.join(MANIFEST_TMP).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = tmp_dir("garbage");
+        std::fs::write(dir.join(MANIFEST_NAME), "not a manifest\n").unwrap();
+        assert!(Manifest::read(&dir).is_err());
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            format!("{HEADER}\ngen x\nkey_col 0\ncolumns a\nwal w\n"),
+        )
+        .unwrap();
+        assert!(Manifest::read(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

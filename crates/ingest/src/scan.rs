@@ -1,0 +1,340 @@
+//! Snapshot scans over a live table: memtable + frozen segments + compacted
+//! row groups, merged with exact integer partials.
+//!
+//! Bit-identity contract: every partial aggregate is an exact integer — row
+//! counts in `u64`, sums in `u128`, group-by partials as `(sum: u128,
+//! count: u64)` — and the one lossy operation (the f64 division of a group
+//! average) happens exactly once, on the fully merged partials, via
+//! [`leco_columnar::exec::finalize_group_avgs`]. That is the same discipline
+//! `leco-scan` uses to merge morsels and `leco-server` uses to merge shards,
+//! so a live-table scan, a one-shot `Scanner`, and a sharded server scan all
+//! produce bit-identical answers over the same rows, regardless of how the
+//! rows happen to be spread across memtable, frozen segments and files.
+
+use crate::segment::FrozenSegment;
+use leco_columnar::exec::{
+    filter_chunk, finalize_group_avgs, group_by_avg_chunk, sum_selected_chunk, QueryStats,
+};
+use leco_columnar::{Bitmap, TableFile};
+use leco_scan::Scanner;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate requested by a [`ScanSpec`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Agg {
+    /// Count the selected rows (always reported anyway).
+    #[default]
+    Count,
+    /// Exact `u128` sum of one column over the selected rows.
+    Sum(String),
+    /// `GROUP BY id_col` → average of `val_col`, f64-finalized once.
+    GroupAvg {
+        /// Grouping column.
+        id_col: String,
+        /// Averaged column.
+        val_col: String,
+    },
+}
+
+/// A declarative scan over a live table, mirroring the `leco-scan` builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanSpec {
+    /// Optional inclusive range predicate `(column, lo, hi)`.
+    pub filter: Option<(String, u64, u64)>,
+    /// Aggregate to compute.
+    pub agg: Agg,
+}
+
+impl ScanSpec {
+    /// Count-only scan of everything.
+    pub fn count() -> Self {
+        Self::default()
+    }
+
+    /// Add an inclusive range filter on `col`.
+    pub fn filter(mut self, col: &str, lo: u64, hi: u64) -> Self {
+        self.filter = Some((col.to_string(), lo, hi));
+        self
+    }
+
+    /// Sum `col` over the selected rows.
+    pub fn sum(mut self, col: &str) -> Self {
+        self.agg = Agg::Sum(col.to_string());
+        self
+    }
+
+    /// Group by `id_col`, averaging `val_col`.
+    pub fn group_by_avg(mut self, id_col: &str, val_col: &str) -> Self {
+        self.agg = Agg::GroupAvg {
+            id_col: id_col.to_string(),
+            val_col: val_col.to_string(),
+        };
+        self
+    }
+}
+
+/// Result of a live-table scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanOutput {
+    /// Live rows in the scanned snapshot.
+    pub rows_scanned: u64,
+    /// Rows passing the filter.
+    pub rows_selected: u64,
+    /// Exact sum (for [`Agg::Sum`]).
+    pub sum: u128,
+    /// `(id, avg)` pairs sorted by id (for [`Agg::GroupAvg`]).
+    pub groups: Vec<(u64, f64)>,
+    /// The exact integer partials behind `groups`, sorted by id — what a
+    /// sharded merge combines before finalizing.
+    pub group_partials: Vec<(u64, u128, u64)>,
+}
+
+/// Resolved column indices for a spec (names checked once, up front).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResolvedSpec {
+    pub filter: Option<(usize, u64, u64)>,
+    pub agg: ResolvedAgg,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResolvedAgg {
+    Count,
+    Sum(usize),
+    GroupAvg { id_col: usize, val_col: usize },
+}
+
+pub(crate) fn resolve(spec: &ScanSpec, columns: &[String]) -> std::io::Result<ResolvedSpec> {
+    let idx = |name: &str| {
+        columns.iter().position(|c| c == name).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown column {name:?}"),
+            )
+        })
+    };
+    let filter = match &spec.filter {
+        Some((col, lo, hi)) => Some((idx(col)?, *lo, *hi)),
+        None => None,
+    };
+    let agg = match &spec.agg {
+        Agg::Count => ResolvedAgg::Count,
+        Agg::Sum(col) => ResolvedAgg::Sum(idx(col)?),
+        Agg::GroupAvg { id_col, val_col } => ResolvedAgg::GroupAvg {
+            id_col: idx(id_col)?,
+            val_col: idx(val_col)?,
+        },
+    };
+    Ok(ResolvedSpec { filter, agg })
+}
+
+/// Exact integer partial accumulator, merged across every data source.
+#[derive(Debug, Default)]
+pub(crate) struct Partials {
+    pub rows_scanned: u64,
+    pub rows_selected: u64,
+    pub sum: u128,
+    pub groups: HashMap<u64, (u128, u64)>,
+}
+
+impl Partials {
+    pub fn finish(self) -> ScanOutput {
+        let groups = finalize_group_avgs(&self.groups);
+        let mut group_partials: Vec<(u64, u128, u64)> = self
+            .groups
+            .into_iter()
+            .map(|(id, (sum, count))| (id, sum, count))
+            .collect();
+        group_partials.sort_unstable_by_key(|&(id, _, _)| id);
+        ScanOutput {
+            rows_scanned: self.rows_scanned,
+            rows_selected: self.rows_selected,
+            sum: self.sum,
+            groups,
+            group_partials,
+        }
+    }
+}
+
+/// Accumulate over in-memory row data (`columns` vectors), with an optional
+/// per-row alive test. Used for the memtable (`alive` = `None`) and frozen
+/// segments (`alive` = the segment's mask).
+pub(crate) fn scan_rows(
+    columns: &[Vec<u64>],
+    alive: Option<&FrozenSegment>,
+    spec: &ResolvedSpec,
+    acc: &mut Partials,
+) {
+    let rows = columns.first().map_or(0, Vec::len);
+    // One index walks several parallel column vectors; an iterator would
+    // only cover one of them.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..rows {
+        if let Some(seg) = alive {
+            if !seg.is_alive(i) {
+                continue;
+            }
+        }
+        acc.rows_scanned += 1;
+        if let Some((col, lo, hi)) = spec.filter {
+            let v = columns[col][i];
+            if v < lo || v > hi {
+                continue;
+            }
+        }
+        acc.rows_selected += 1;
+        match spec.agg {
+            ResolvedAgg::Count => {}
+            ResolvedAgg::Sum(col) => acc.sum += columns[col][i] as u128,
+            ResolvedAgg::GroupAvg { id_col, val_col } => {
+                let entry = acc.groups.entry(columns[id_col][i]).or_insert((0, 0));
+                entry.0 += columns[val_col][i] as u128;
+                entry.1 += 1;
+            }
+        }
+    }
+}
+
+/// Whether any tombstoned key could live in `file`, judged by the key
+/// column's zone maps. False positives only cost a masked scan / rewrite.
+pub(crate) fn file_may_contain(file: &TableFile, key_col: usize, keys: &HashSet<u64>) -> bool {
+    if keys.is_empty() {
+        return false;
+    }
+    (0..file.num_row_groups()).any(|rg| {
+        let (min, max) = file.zone_map(rg, key_col);
+        keys.iter().any(|&k| (min..=max).contains(&k))
+    })
+}
+
+/// Scan one compacted file with no tombstones touching it: delegate to the
+/// existing morsel-driven [`Scanner`] at the requested thread count and fold
+/// its exact partials in.
+pub(crate) fn scan_file_clean(
+    file: &TableFile,
+    spec: &ResolvedSpec,
+    threads: usize,
+    acc: &mut Partials,
+) -> std::io::Result<()> {
+    let mut scanner = Scanner::new(file);
+    if let Some((col, lo, hi)) = spec.filter {
+        scanner = scanner.filter_col(col, lo, hi);
+    }
+    match spec.agg {
+        ResolvedAgg::Count => scanner = scanner.count(),
+        ResolvedAgg::Sum(col) => scanner = scanner.sum_col(col),
+        ResolvedAgg::GroupAvg { id_col, val_col } => {
+            scanner = scanner.group_by_avg_cols(id_col, val_col)
+        }
+    }
+    let result = scanner
+        .run(threads.max(1))
+        .map_err(|e| std::io::Error::other(format!("scan failed: {e:?}")))?;
+    acc.rows_scanned += file.num_rows() as u64;
+    acc.rows_selected += result.rows_selected;
+    acc.sum += result.sum;
+    for (id, sum, count) in result.group_partials {
+        let entry = acc.groups.entry(id).or_insert((0, 0));
+        entry.0 += sum;
+        entry.1 += count;
+    }
+    Ok(())
+}
+
+/// Scan one compacted file that tombstones may touch: build an alive bitmap
+/// from the key column (`key ∉ tombstones`), intersect it with the filter
+/// selection, and aggregate with the shared chunk kernels. Single-threaded —
+/// masked files exist only in the window between a delete and the next
+/// compaction.
+pub(crate) fn scan_file_masked(
+    file: &TableFile,
+    key_col: usize,
+    tombstones: &HashSet<u64>,
+    spec: &ResolvedSpec,
+    acc: &mut Partials,
+) -> std::io::Result<()> {
+    let n = file.num_rows();
+    let reader = file.chunk_reader()?;
+    let mut stats = QueryStats::default();
+    let mut decode: Vec<u64> = Vec::new();
+
+    // Alive bitmap: one pass over the key column.
+    let mut alive = Bitmap::new(n);
+    let mut live_rows = 0u64;
+    for rg in 0..file.num_row_groups() {
+        let chunk = reader.read_chunk(rg, key_col, &mut stats)?;
+        let (row_start, _) = file.row_group_range(rg);
+        decode.clear();
+        chunk.decode_into(&mut decode);
+        for (local, key) in decode.iter().enumerate() {
+            if !tombstones.contains(key) {
+                alive.set(row_start + local);
+                live_rows += 1;
+            }
+        }
+    }
+    acc.rows_scanned += live_rows;
+
+    // Selection: filter ∧ alive (or alive alone when unfiltered).
+    let sel = match spec.filter {
+        Some((col, lo, hi)) => {
+            let mut sel = Bitmap::new(n);
+            for rg in 0..file.num_row_groups() {
+                let (zmin, zmax) = file.zone_map(rg, col);
+                if zmax < lo || zmin > hi {
+                    continue;
+                }
+                let chunk = reader.read_chunk(rg, col, &mut stats)?;
+                let (row_start, _) = file.row_group_range(rg);
+                filter_chunk(
+                    chunk,
+                    lo,
+                    hi,
+                    false,
+                    row_start,
+                    &mut sel,
+                    &mut decode,
+                    &mut stats,
+                );
+            }
+            sel.and(&alive);
+            sel
+        }
+        None => alive,
+    };
+    acc.rows_selected += sel.count_ones() as u64;
+
+    match spec.agg {
+        ResolvedAgg::Count => {}
+        ResolvedAgg::Sum(col) => {
+            for rg in 0..file.num_row_groups() {
+                let (row_start, row_end) = file.row_group_range(rg);
+                if sel.count_ones_in(row_start, row_end) == 0 {
+                    continue;
+                }
+                let chunk = reader.read_chunk(rg, col, &mut stats)?;
+                acc.sum += sum_selected_chunk(chunk, &sel, row_start, &mut decode);
+            }
+        }
+        ResolvedAgg::GroupAvg { id_col, val_col } => {
+            let mut decode2: Vec<u64> = Vec::new();
+            for rg in 0..file.num_row_groups() {
+                let (row_start, row_end) = file.row_group_range(rg);
+                if sel.count_ones_in(row_start, row_end) == 0 {
+                    continue;
+                }
+                let ids = reader.read_chunk(rg, id_col, &mut stats)?;
+                let vals = reader.read_chunk(rg, val_col, &mut stats)?;
+                group_by_avg_chunk(
+                    ids,
+                    vals,
+                    &sel,
+                    row_start,
+                    &mut decode,
+                    &mut decode2,
+                    &mut acc.groups,
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,302 @@
+//! Differential testing: a live table's scans must be **bit-identical** to a
+//! one-shot [`Scanner`] over the same logical rows, no matter how those rows
+//! are spread across memtable / frozen segments / compacted files, how many
+//! threads the scan uses, or how compaction interleaves with the scan.
+//!
+//! The schedules are proptest-driven: a random mix of puts, deletes and
+//! flushes, checked mid-schedule (so every layer mixture gets exercised) and
+//! again while a background thread hammers `compact_once` during the scans.
+//! f64 group averages are compared with `to_bits` — "close" is a bug.
+
+use leco_columnar::{TableFile, TableFileOptions};
+use leco_ingest::{IngestConfig, LiveTable, ScanOutput, ScanSpec};
+use leco_scan::Scanner;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "leco-diff-{}-{tag}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+const COLS: [&str; 3] = ["key", "id", "val"];
+
+/// Reference model: the exact set of live rows, in insertion order.
+#[derive(Default)]
+struct Model {
+    rows: Vec<[u64; 3]>,
+}
+
+impl Model {
+    fn put(&mut self, row: [u64; 3]) {
+        self.rows.push(row);
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.rows.retain(|r| r[0] != key);
+    }
+}
+
+/// One scheduled operation, decoded from a raw u64 (so a plain
+/// `vec(any::<u64>(), ..)` strategy drives arbitrary schedules).
+enum Op {
+    Put([u64; 3]),
+    Delete(u64),
+    Flush,
+}
+
+fn decode_op(x: u64, seq: u64) -> Op {
+    match x % 16 {
+        0..=11 => {
+            // Keys collide on purpose (mod 32) so deletes hit many rows and
+            // files; ids collide (mod 5) so group-by has real groups.
+            let key = (x >> 8) % 32;
+            let id = (x >> 16) % 5;
+            let val = (x >> 24) % 10_000 + seq;
+            Op::Put([key, id, val])
+        }
+        12 | 13 => Op::Delete((x >> 8) % 32),
+        _ => Op::Flush,
+    }
+}
+
+/// The scan specs every comparison runs: unfiltered count, filtered sum,
+/// filtered group-average. The filter range straddles the key-collision
+/// modulus so it selects a strict subset.
+fn specs() -> Vec<ScanSpec> {
+    vec![
+        ScanSpec::count(),
+        ScanSpec::count().filter("key", 5, 20).sum("val"),
+        ScanSpec::count()
+            .filter("val", 0, 6_000)
+            .group_by_avg("id", "val"),
+        ScanSpec::count().group_by_avg("id", "val"),
+    ]
+}
+
+/// Ground truth: write the model's rows to a fresh table file and run the
+/// existing one-shot scanner over it at `threads`.
+fn reference_scan(model: &Model, spec: &ScanSpec, threads: usize, dir: &PathBuf) -> ScanOutput {
+    if model.rows.is_empty() {
+        return ScanOutput::default();
+    }
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for r in &model.rows {
+        for c in 0..3 {
+            cols[c].push(r[c]);
+        }
+    }
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("reference.tbl");
+    // Small row groups force multi-morsel scans even for short schedules.
+    let options = TableFileOptions {
+        row_group_size: 64,
+        ..TableFileOptions::default()
+    };
+    let file = TableFile::write(&path, &COLS, &cols, options).unwrap();
+    let mut scanner = Scanner::new(&file);
+    if let Some((col, lo, hi)) = &spec.filter {
+        let idx = COLS.iter().position(|c| c == col).unwrap();
+        scanner = scanner.filter_col(idx, *lo, *hi);
+    }
+    match &spec.agg {
+        leco_ingest::Agg::Count => scanner = scanner.count(),
+        leco_ingest::Agg::Sum(col) => {
+            let idx = COLS.iter().position(|c| c == col).unwrap();
+            scanner = scanner.sum_col(idx);
+        }
+        leco_ingest::Agg::GroupAvg { id_col, val_col } => {
+            let id = COLS.iter().position(|c| c == id_col).unwrap();
+            let val = COLS.iter().position(|c| c == val_col).unwrap();
+            scanner = scanner.group_by_avg_cols(id, val);
+        }
+    }
+    let result = scanner.run(threads).unwrap();
+    std::fs::remove_file(&path).ok();
+    ScanOutput {
+        rows_scanned: model.rows.len() as u64,
+        rows_selected: result.rows_selected,
+        sum: result.sum,
+        groups: result.groups,
+        group_partials: result.group_partials,
+    }
+}
+
+/// Bit-exact comparison, f64 averages included.
+fn assert_outputs_identical(live: &ScanOutput, reference: &ScanOutput, context: &str) {
+    assert_eq!(
+        live.rows_scanned, reference.rows_scanned,
+        "{context}: rows_scanned"
+    );
+    assert_eq!(
+        live.rows_selected, reference.rows_selected,
+        "{context}: rows_selected"
+    );
+    assert_eq!(live.sum, reference.sum, "{context}: sum");
+    assert_eq!(
+        live.group_partials, reference.group_partials,
+        "{context}: group partials"
+    );
+    assert_eq!(
+        live.groups.len(),
+        reference.groups.len(),
+        "{context}: group count"
+    );
+    for ((lid, lavg), (rid, ravg)) in live.groups.iter().zip(&reference.groups) {
+        assert_eq!(lid, rid, "{context}: group id");
+        assert_eq!(
+            lavg.to_bits(),
+            ravg.to_bits(),
+            "{context}: avg for id {lid} differs: {lavg} vs {ravg}"
+        );
+    }
+}
+
+fn check_all(table: &LiveTable, model: &Model, ref_dir: &PathBuf, context: &str) {
+    for (si, spec) in specs().iter().enumerate() {
+        for threads in [1usize, 2, 4] {
+            let live = table.scan(spec, threads).unwrap();
+            let reference = reference_scan(model, spec, threads, ref_dir);
+            assert_outputs_identical(
+                &live,
+                &reference,
+                &format!("{context}, spec {si}, {threads} threads"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random put/delete/flush schedules: the live table must stay
+    /// bit-identical to the model mid-schedule (layers in flux) and at the
+    /// end, at 1/2/4 threads.
+    #[test]
+    fn live_scans_match_one_shot_scanner(raw in proptest::collection::vec(any::<u64>(), 20..120)) {
+        let dir = tmp_dir("sched");
+        let ref_dir = tmp_dir("sched-ref");
+        let config = IngestConfig {
+            segment_rows: 16,          // tiny segments → many freezes per schedule
+            compact_min_segments: 2,
+            row_group_size: 64,        // match the reference file's row groups
+            auto_compact: false,       // compaction driven explicitly below
+            ..IngestConfig::default()
+        };
+        let table = LiveTable::open(&dir, &COLS, config).unwrap();
+        let mut model = Model::default();
+
+        let checkpoints = [raw.len() / 3, 2 * raw.len() / 3];
+        for (seq, &x) in raw.iter().enumerate() {
+            match decode_op(x, seq as u64) {
+                Op::Put(row) => {
+                    table.put(&row).unwrap();
+                    model.put(row);
+                }
+                Op::Delete(key) => {
+                    table.delete(key).unwrap();
+                    model.delete(key);
+                }
+                Op::Flush => {
+                    table.flush().unwrap();
+                }
+            }
+            if checkpoints.contains(&seq) {
+                check_all(&table, &model, &ref_dir, &format!("mid-schedule op {seq}"));
+            }
+        }
+        check_all(&table, &model, &ref_dir, "end of schedule");
+
+        // Reopen: everything above must survive a WAL replay round trip.
+        drop(table);
+        let table = LiveTable::open(&dir, &COLS, config).unwrap();
+        check_all(&table, &model, &ref_dir, "after reopen");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+
+    /// Scans racing live compaction: a background thread flushes and
+    /// compacts in a loop while the foreground scans at 1/2/4 threads; every
+    /// answer must still be bit-identical to the reference.
+    #[test]
+    fn scans_stay_identical_under_concurrent_compaction(raw in proptest::collection::vec(any::<u64>(), 40..100)) {
+        let dir = tmp_dir("race");
+        let ref_dir = tmp_dir("race-ref");
+        let config = IngestConfig {
+            segment_rows: 8,
+            compact_min_segments: 1,
+            row_group_size: 64,
+            auto_compact: false,
+            ..IngestConfig::default()
+        };
+        let table = Arc::new(LiveTable::open(&dir, &COLS, config).unwrap());
+        let mut model = Model::default();
+        for (seq, &x) in raw.iter().enumerate() {
+            match decode_op(x, seq as u64) {
+                Op::Put(row) => {
+                    table.put(&row).unwrap();
+                    model.put(row);
+                }
+                Op::Delete(key) => {
+                    table.delete(key).unwrap();
+                    model.delete(key);
+                }
+                // No flushes here: leave a deep stack of frozen segments for
+                // the racing compactor to chew through mid-scan.
+                Op::Flush => {}
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let hammer = {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    table.flush().unwrap();
+                    table.compact_once().unwrap();
+                }
+            })
+        };
+
+        // Precompute references once (the logical rows never change while the
+        // hammer runs), then scan repeatedly as compaction shifts rows
+        // between layers underneath us.
+        let mut references = Vec::new();
+        for spec in specs() {
+            for threads in [1usize, 2, 4] {
+                references.push((spec.clone(), threads, reference_scan(&model, &spec, threads, &ref_dir)));
+            }
+        }
+        for round in 0..6 {
+            for (spec, threads, reference) in &references {
+                let live = table.scan(spec, *threads).unwrap();
+                assert_outputs_identical(
+                    &live,
+                    reference,
+                    &format!("round {round}, {threads} threads, racing compaction"),
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        hammer.join().unwrap();
+
+        // After the dust settles everything should be compacted and still
+        // identical.
+        check_all(&table, &model, &ref_dir, "post-race");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! Crash-recovery fault injection for the WAL.
+//!
+//! The contract under test: replay recovers *exactly the durable prefix* —
+//! every record whose full frame survived, none of a record whose frame was
+//! torn or corrupted, and nothing after the first bad frame. No panics, no
+//! phantom rows, at **every** byte-truncation point of the log, and under
+//! single-bit checksum corruption at every frame.
+
+use leco_ingest::wal::{crc32, replay, Wal, WalRecord};
+use leco_ingest::{IngestConfig, LiveTable, ScanSpec};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leco-walrec-{}-{name}", std::process::id()));
+    std::fs::remove_file(&p).ok();
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// A mixed record workload: rows of different widths, deletes, freezes.
+fn workload() -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    for i in 0..10u64 {
+        records.push(WalRecord::Row(vec![i, i * 7 % 13, 1_000 + i]));
+        if i % 4 == 3 {
+            records.push(WalRecord::Freeze);
+        }
+        if i % 5 == 4 {
+            records.push(WalRecord::Del(i % 3));
+        }
+    }
+    records.push(WalRecord::Row(vec![u64::MAX, 0, u64::MAX]));
+    records
+}
+
+/// Byte offset where each record's frame ends (= the durable prefix if the
+/// file is cut anywhere inside the *next* frame).
+fn frame_ends(records: &[WalRecord]) -> Vec<u64> {
+    // Reconstruct frame sizes from the encoding: 8-byte header + payload.
+    records
+        .iter()
+        .scan(0u64, |pos, r| {
+            let payload = match r {
+                WalRecord::Row(v) => 3 + 8 * v.len(),
+                WalRecord::Del(_) => 9,
+                WalRecord::Freeze => 1,
+            } as u64;
+            *pos += 8 + payload;
+            Some(*pos)
+        })
+        .collect()
+}
+
+#[test]
+fn every_truncation_point_recovers_the_durable_prefix() {
+    let path = tmp("trunc-src.log");
+    let records = workload();
+    {
+        let mut wal = Wal::create(&path).unwrap();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        wal.commit().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let ends = frame_ends(&records);
+    assert_eq!(
+        *ends.last().unwrap(),
+        bytes.len() as u64,
+        "frame map drifted"
+    );
+
+    let cut_path = tmp("trunc-cut.log");
+    for cut in 0..=bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let mut seen = Vec::new();
+        let report = replay(&cut_path, |r| seen.push(r)).unwrap();
+
+        // The durable prefix is every record whose frame fits in `cut`.
+        let durable = ends.iter().take_while(|&&e| e <= cut as u64).count();
+        assert_eq!(
+            seen.len(),
+            durable,
+            "cut at byte {cut}: got {} records, want {durable}",
+            seen.len()
+        );
+        assert_eq!(seen, records[..durable], "cut at byte {cut}: wrong records");
+        assert_eq!(report.records, durable as u64);
+        assert_eq!(
+            report.durable_bytes,
+            ends.get(durable.wrapping_sub(1)).copied().unwrap_or(0)
+        );
+        // Replay must also have truncated the file back to the prefix, so a
+        // subsequent append continues from a clean tail.
+        assert_eq!(
+            std::fs::metadata(&cut_path).unwrap().len(),
+            report.durable_bytes,
+            "cut at byte {cut}: file not truncated to the durable prefix"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&cut_path).ok();
+}
+
+#[test]
+fn flipped_checksum_ends_the_log_at_that_frame() {
+    let path = tmp("crc-src.log");
+    let records = workload();
+    {
+        let mut wal = Wal::create(&path).unwrap();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        wal.commit().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let ends = frame_ends(&records);
+    let flip_path = tmp("crc-flip.log");
+
+    for (i, &end) in ends.iter().enumerate() {
+        let frame_start = if i == 0 { 0 } else { ends[i - 1] } as usize;
+        // Flip one bit of the stored CRC of frame i.
+        let mut corrupt = bytes.clone();
+        corrupt[frame_start + 4] ^= 0x01;
+        std::fs::write(&flip_path, &corrupt).unwrap();
+        let mut seen = Vec::new();
+        replay(&flip_path, |r| seen.push(r)).unwrap();
+        assert_eq!(seen, records[..i], "bad crc in frame {i}");
+        assert_eq!(
+            std::fs::metadata(&flip_path).unwrap().len(),
+            frame_start as u64
+        );
+
+        // Flip one payload bit instead: the checksum must catch it too.
+        let mut corrupt = bytes.clone();
+        corrupt[frame_start + 8] ^= 0x80;
+        std::fs::write(&flip_path, &corrupt).unwrap();
+        let mut seen = Vec::new();
+        replay(&flip_path, |r| seen.push(r)).unwrap();
+        assert_eq!(seen, records[..i], "bad payload in frame {i}");
+        let _ = end;
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&flip_path).ok();
+}
+
+#[test]
+fn random_garbage_never_panics_and_never_yields_records() {
+    // Deterministic pseudo-random garbage: none of it carries a valid CRC,
+    // so replay must recover nothing and truncate to zero.
+    let path = tmp("garbage.log");
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    for len in [1usize, 7, 8, 64, 513] {
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bytes.push((x >> 33) as u8);
+        }
+        // Guard against the astronomically unlikely valid frame: recompute
+        // what a frame at offset 0 would need and break it.
+        if bytes.len() >= 8 {
+            let flen = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            if bytes.len() >= 8 + flen {
+                let want = crc32(&bytes[8..8 + flen]);
+                if bytes[4..8] == want.to_le_bytes() {
+                    bytes[4] ^= 0xFF;
+                }
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let report = replay(&path, |r| panic!("decoded {r:?} from garbage")).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// End-to-end: a LiveTable whose WAL is cut mid-file reopens to exactly the
+/// rows of the durable prefix — acknowledged-but-truncated rows disappear
+/// (that is what the fault injected), unacknowledged garbage never appears.
+#[test]
+fn live_table_recovers_prefix_at_every_truncation_point() {
+    let dir = tmp("table-trunc");
+    let config = IngestConfig {
+        segment_rows: 8,
+        auto_compact: false,
+        ..IngestConfig::default()
+    };
+    let rows: Vec<Vec<u64>> = (0..20u64).map(|i| vec![i, i % 3, 100 + i]).collect();
+    {
+        let table = LiveTable::open(&dir, &["key", "id", "val"], config).unwrap();
+        for r in &rows {
+            table.put(&[r[0], r[1], r[2]]).unwrap();
+        }
+    }
+    let wal_path = {
+        let table = LiveTable::open(&dir, &["key", "id", "val"], config).unwrap();
+        table.wal_path()
+    };
+    let bytes = std::fs::read(&wal_path).unwrap();
+
+    for cut in 0..=bytes.len() {
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+        let table = LiveTable::open(&dir, &["key", "id", "val"], config).unwrap();
+        let out = table.scan(&ScanSpec::count().sum("key"), 1).unwrap();
+        // Count how many full ROW/FREEZE frames fit: recompute expected rows
+        // by replaying the prefix independently.
+        let mut expect_rows = 0u64;
+        let mut expect_sum = 0u128;
+        replay(&wal_path, |r| {
+            if let WalRecord::Row(v) = r {
+                expect_rows += 1;
+                expect_sum += v[0] as u128;
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            (out.rows_selected, out.sum),
+            (expect_rows, expect_sum),
+            "cut at byte {cut}"
+        );
+        drop(table);
+        // Restore the full log for the next iteration.
+        std::fs::write(&wal_path, &bytes).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,6 +10,7 @@
 
 use crate::shard::{shard_for_key, Manifest, ShardData};
 use leco_columnar::{TableFile, TableFileOptions};
+use leco_ingest::{IngestConfig, LiveTable};
 use leco_kvstore::{Store, StoreOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -24,6 +25,16 @@ pub struct TableSpec {
     pub columns: Vec<Vec<u64>>,
 }
 
+/// A live (writable) table to open on every shard.
+pub struct LiveTableSpec {
+    /// Table name, as addressed by `PUT`/`DEL`/`SCAN`.
+    pub name: String,
+    /// Column names (the schema every `PUT` row must match).
+    pub column_names: Vec<String>,
+    /// Per-shard ingest tuning (segment size, compaction policy, key column).
+    pub config: IngestConfig,
+}
+
 /// Builder for a sharded dataset directory.
 pub struct ShardSetBuilder {
     dir: PathBuf,
@@ -31,6 +42,7 @@ pub struct ShardSetBuilder {
     table_options: TableFileOptions,
     store_options: StoreOptions,
     tables: Vec<TableSpec>,
+    live_tables: Vec<LiveTableSpec>,
     records: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
@@ -52,6 +64,7 @@ impl ShardSetBuilder {
             table_options: TableFileOptions::default(),
             store_options: StoreOptions::default(),
             tables: Vec::new(),
+            live_tables: Vec::new(),
             records: Vec::new(),
         }
     }
@@ -75,6 +88,19 @@ impl ShardSetBuilder {
             name: name.to_string(),
             column_names: column_names.iter().map(|s| s.to_string()).collect(),
             columns,
+        });
+        self
+    }
+
+    /// Add a live (writable) table: every shard opens — or, on restart,
+    /// recovers — its own WAL-backed [`LiveTable`] under
+    /// `live-<name>-s<k>/`, so acknowledged `PUT`s survive a rebuild of the
+    /// same directory.
+    pub fn live_table(mut self, name: &str, column_names: &[&str], config: IngestConfig) -> Self {
+        self.live_tables.push(LiveTableSpec {
+            name: name.to_string(),
+            column_names: column_names.iter().map(|s| s.to_string()).collect(),
+            config,
         });
         self
     }
@@ -103,6 +129,7 @@ impl ShardSetBuilder {
             kv_routing: "fnv1a64(key) % shards".to_string(),
             kv_records: per_shard_records.iter().map(|r| r.len() as u64).collect(),
             tables: Vec::new(),
+            live_tables: Vec::new(),
         };
 
         let mut shards = Vec::with_capacity(n);
@@ -112,8 +139,21 @@ impl ShardSetBuilder {
             shards.push(ShardData {
                 id: k,
                 tables: HashMap::new(),
+                live_tables: HashMap::new(),
                 store,
             });
+        }
+
+        for spec in &self.live_tables {
+            let names: Vec<&str> = spec.column_names.iter().map(String::as_str).collect();
+            for (k, shard) in shards.iter_mut().enumerate() {
+                let live_dir = self.dir.join(format!("live-{}-s{k}", spec.name));
+                let live = LiveTable::open(&live_dir, &names, spec.config)?;
+                shard.live_tables.insert(spec.name.clone(), live);
+            }
+            manifest
+                .live_tables
+                .push((spec.name.clone(), spec.config.key_col));
         }
 
         for spec in &self.tables {

@@ -1,12 +1,14 @@
 //! `leco-server` — a threaded TCP query frontend over sharded LeCo stores.
 //!
 //! This crate turns the library stack into a *served* database: a
-//! length-prefixed line protocol (`GET`, `MGET`, `SCAN`, `STATS`) accepted
-//! by a thread-per-connection frontend, dispatched to `N` shard workers —
-//! each owning a slice of every row-group table file plus a
-//! [`leco_kvstore::Store`] — with the `leco-scan` work-stealing pool
+//! length-prefixed line protocol (`GET`, `MGET`, `SCAN`, `PUT`, `DEL`,
+//! `FLUSH`, `STATS`) accepted by a thread-per-connection frontend,
+//! dispatched to `N` shard workers — each owning a slice of every row-group
+//! table file, an optional WAL-backed [`leco_ingest::LiveTable`] slice, and
+//! a [`leco_kvstore::Store`] — with the `leco-scan` work-stealing pool
 //! underneath every shard-local scan and multi-get.  See `docs/SERVING.md`
-//! for the frame layout, routing rules and lifecycle.
+//! for the frame layout, routing rules and lifecycle, and `docs/INGEST.md`
+//! for the write path behind `PUT`/`DEL`/`FLUSH`.
 //!
 //! * **Routing.**  Point lookups go to `fnv1a64(key) % shards`
 //!   ([`shard::shard_for_key`]); scans fan out to all shards and merge
@@ -48,7 +50,7 @@ pub mod server;
 pub mod shard;
 
 pub use client::Client;
-pub use fixture::{ShardSet, ShardSetBuilder, TableSpec};
+pub use fixture::{LiveTableSpec, ShardSet, ShardSetBuilder, TableSpec};
 pub use protocol::{Request, ScanAgg, MAX_FRAME};
 pub use server::{Server, ServerConfig};
 pub use shard::{shard_for_key, Manifest, ShardData};

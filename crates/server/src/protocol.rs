@@ -3,7 +3,8 @@
 //!
 //! A frame is a 4-byte little-endian payload length followed by that many
 //! payload bytes.  Requests are UTF-8 command lines (`GET`, `MGET`, `SCAN`,
-//! `STATS`); responses are JSON objects rendered with the hand-rolled
+//! `PUT`, `DEL`, `FLUSH`, `STATS`); responses are JSON objects rendered
+//! with the hand-rolled
 //! [`leco_bench::report::Json`] machinery.  Every response carries a
 //! `code` field using HTTP-flavoured numbers: `200` success, `400` the
 //! request was malformed (the connection survives), `500` the server failed
@@ -45,6 +46,25 @@ pub enum Request {
         /// Aggregate to compute over the selected rows.
         agg: ScanAgg,
     },
+    /// `PUT <table> <v0> <v1> …` — ingest one row into a live table.  The
+    /// `200` reply is sent only after the row's WAL batch is fsync'd.
+    Put {
+        /// Live table name from the manifest.
+        table: String,
+        /// One `u64` per column, in schema order.
+        row: Vec<u64>,
+    },
+    /// `DEL <table> <key>` — delete every live row whose key column equals
+    /// `key`.  Durable before the reply, like `PUT`.
+    Del {
+        /// Live table name from the manifest.
+        table: String,
+        /// Key-column value to delete.
+        key: u64,
+    },
+    /// `FLUSH` — freeze and compact every live table on every shard; the
+    /// reply reports how many rows moved into immutable table files.
+    Flush,
     /// `STATS` — server/shard/registry counters.
     Stats,
 }
@@ -86,6 +106,39 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
             Ok(Request::MGet { keys })
         }
         "SCAN" => parse_scan(&mut tokens),
+        "PUT" => {
+            let table = tokens
+                .next()
+                .ok_or_else(|| "PUT needs a table name".to_string())?
+                .to_string();
+            let row = tokens
+                .map(|t| {
+                    t.parse::<u64>()
+                        .map_err(|e| format!("PUT value {t:?} is not a u64: {e}"))
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            if row.is_empty() {
+                return Err("PUT needs at least one column value".into());
+            }
+            Ok(Request::Put { table, row })
+        }
+        "DEL" => {
+            let table = tokens
+                .next()
+                .ok_or_else(|| "DEL needs a table name".to_string())?
+                .to_string();
+            let key = parse_u64(tokens.next(), "DEL key")?;
+            if tokens.next().is_some() {
+                return Err("DEL takes exactly one key".into());
+            }
+            Ok(Request::Del { table, key })
+        }
+        "FLUSH" => {
+            if tokens.next().is_some() {
+                return Err("FLUSH takes no arguments".into());
+            }
+            Ok(Request::Flush)
+        }
         "STATS" => {
             if tokens.next().is_some() {
                 return Err("STATS takes no arguments".into());
@@ -296,6 +349,21 @@ mod tests {
             }
         );
         assert_eq!(parse_request(b"STATS").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(b"PUT sensors 17 3 9000").unwrap(),
+            Request::Put {
+                table: "sensors".into(),
+                row: vec![17, 3, 9000],
+            }
+        );
+        assert_eq!(
+            parse_request(b"DEL sensors 17").unwrap(),
+            Request::Del {
+                table: "sensors".into(),
+                key: 17,
+            }
+        );
+        assert_eq!(parse_request(b"FLUSH").unwrap(), Request::Flush);
     }
 
     #[test]
@@ -312,6 +380,14 @@ mod tests {
             b"SCAN t GROUPBY id AGG min val",
             b"SCAN t BOGUS",
             b"STATS now",
+            b"PUT",
+            b"PUT t",
+            b"PUT t 1 nope 3",
+            b"PUT t -4",
+            b"DEL t",
+            b"DEL t x",
+            b"DEL t 1 2",
+            b"FLUSH now",
             b"\xff\xfe",
         ] {
             assert!(parse_request(bad).is_err(), "{:?}", bad);

@@ -269,6 +269,8 @@ enum WaitKind {
     Get,
     MGet { n_keys: usize },
     Scan,
+    Write,
+    Flush,
 }
 
 impl Pending {
@@ -378,9 +380,116 @@ fn dispatch(payload: &[u8], ctx: &ConnContext) -> Pending {
                 started,
             }
         }
+        Request::Put { table, row } => {
+            leco_obs::counter!("srv.cmd.put").inc();
+            let Some(&(_, key_col)) = ctx
+                .manifest
+                .live_tables
+                .iter()
+                .find(|(name, _)| *name == table)
+            else {
+                return Pending::Ready {
+                    reply: error_response(400, &format!("unknown live table {table:?}")),
+                    latency: "srv.latency.put_ns",
+                    started,
+                };
+            };
+            if key_col >= row.len() {
+                return Pending::Ready {
+                    reply: error_response(
+                        400,
+                        &format!(
+                            "PUT row has {} values but the key column is #{key_col}",
+                            row.len()
+                        ),
+                    ),
+                    latency: "srv.latency.put_ns",
+                    started,
+                };
+            }
+            let (reply_tx, rx) = mpsc::channel();
+            let target = shard_for_key(&row[key_col].to_le_bytes(), shards);
+            send_job(
+                ctx,
+                target,
+                ShardJob {
+                    cmd: ShardCmd::Put { table, row },
+                    tag: target,
+                    reply: reply_tx,
+                },
+            );
+            Pending::Waiting {
+                rx,
+                expect: 1,
+                kind: WaitKind::Write,
+                latency: "srv.latency.put_ns",
+                started,
+            }
+        }
+        Request::Del { table, key } => {
+            leco_obs::counter!("srv.cmd.del").inc();
+            if !ctx
+                .manifest
+                .live_tables
+                .iter()
+                .any(|(name, _)| *name == table)
+            {
+                return Pending::Ready {
+                    reply: error_response(400, &format!("unknown live table {table:?}")),
+                    latency: "srv.latency.del_ns",
+                    started,
+                };
+            }
+            let (reply_tx, rx) = mpsc::channel();
+            let target = shard_for_key(&key.to_le_bytes(), shards);
+            send_job(
+                ctx,
+                target,
+                ShardJob {
+                    cmd: ShardCmd::Del { table, key },
+                    tag: target,
+                    reply: reply_tx,
+                },
+            );
+            Pending::Waiting {
+                rx,
+                expect: 1,
+                kind: WaitKind::Write,
+                latency: "srv.latency.del_ns",
+                started,
+            }
+        }
+        Request::Flush => {
+            leco_obs::counter!("srv.cmd.flush").inc();
+            let (reply_tx, rx) = mpsc::channel();
+            for target in 0..shards {
+                send_job(
+                    ctx,
+                    target,
+                    ShardJob {
+                        cmd: ShardCmd::Flush,
+                        tag: target,
+                        reply: reply_tx.clone(),
+                    },
+                );
+            }
+            Pending::Waiting {
+                rx,
+                expect: shards,
+                kind: WaitKind::Flush,
+                latency: "srv.latency.flush_ns",
+                started,
+            }
+        }
         Request::Scan { table, filter, agg } => {
             leco_obs::counter!("srv.cmd.scan").inc();
-            if !ctx.manifest.tables.iter().any(|(name, _)| *name == table) {
+            let known = ctx.manifest.tables.iter().any(|(name, _)| *name == table)
+                || ctx
+                    .manifest
+                    .live_tables
+                    .iter()
+                    .any(|(name, _)| *name == table);
+            if !known {
                 return Pending::Ready {
                     reply: error_response(400, &format!("unknown table {table:?}")),
                     latency: "srv.latency.scan_ns",
@@ -479,6 +588,31 @@ fn assemble(kind: WaitKind, mut replies: Vec<(usize, ShardReply)>) -> Json {
             }
             ok_response(vec![("values".into(), Json::Arr(values))])
         }
+        WaitKind::Write => match replies.pop() {
+            // The shard replies only after its WAL commit, so reaching here
+            // means the write is on stable storage.
+            Some((_, ShardReply::Acked)) => ok_response(vec![("durable".into(), Json::Bool(true))]),
+            _ => error_response(500, "shard returned a mismatched reply"),
+        },
+        WaitKind::Flush => {
+            let mut rows_flushed = 0u64;
+            let mut files_written = 0u64;
+            for (_, reply) in replies {
+                let ShardReply::Flushed {
+                    rows_flushed: rows,
+                    files_written: files,
+                } = reply
+                else {
+                    return error_response(500, "shard returned a mismatched reply");
+                };
+                rows_flushed += rows;
+                files_written += files;
+            }
+            ok_response(vec![
+                ("rows_flushed".into(), Json::Num(rows_flushed as f64)),
+                ("files_written".into(), Json::Num(files_written as f64)),
+            ])
+        }
         WaitKind::Scan => {
             let mut merged = ShardScanPartial::default();
             let n_shards = replies.len();
@@ -529,6 +663,16 @@ fn stats_response(ctx: &ConnContext) -> Json {
             ),
         ),
         (
+            "live_tables".into(),
+            Json::Arr(
+                ctx.manifest
+                    .live_tables
+                    .iter()
+                    .map(|(name, _)| Json::Str(name.clone()))
+                    .collect(),
+            ),
+        ),
+        (
             "kv_records".into(),
             Json::Num(ctx.manifest.kv_records.iter().sum::<u64>() as f64),
         ),
@@ -542,6 +686,9 @@ fn stats_response(ctx: &ConnContext) -> Json {
                 ("cmd_get".into(), counter("srv.cmd.get")),
                 ("cmd_mget".into(), counter("srv.cmd.mget")),
                 ("cmd_scan".into(), counter("srv.cmd.scan")),
+                ("cmd_put".into(), counter("srv.cmd.put")),
+                ("cmd_del".into(), counter("srv.cmd.del")),
+                ("cmd_flush".into(), counter("srv.cmd.flush")),
                 ("cmd_stats".into(), counter("srv.cmd.stats")),
                 ("shard_jobs".into(), counter("srv.shard.jobs")),
                 ("shard_queue_depth".into(), gauge("srv.shard.queue_depth")),

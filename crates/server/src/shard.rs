@@ -15,6 +15,7 @@
 use crate::protocol::ScanAgg;
 use leco_bench::report::Json;
 use leco_columnar::TableFile;
+use leco_ingest::{Agg as IngestAgg, LiveTable, ScanSpec};
 use leco_kvstore::Store;
 use leco_scan::Scanner;
 use std::collections::HashMap;
@@ -42,6 +43,10 @@ pub struct ShardData {
     pub id: usize,
     /// Table name → this shard's row-group file for that table.
     pub tables: HashMap<String, TableFile>,
+    /// Live table name → this shard's WAL-backed ingestible slice.  Rows
+    /// route here by the key column's hash, so one key's rows all live on
+    /// one shard.
+    pub live_tables: HashMap<String, LiveTable>,
     /// This shard's slice of the key space.
     pub store: Store,
 }
@@ -69,6 +74,22 @@ pub enum ShardCmd {
         /// Aggregate to compute.
         agg: ScanAgg,
     },
+    /// Ingest one row into a live table (the row's key routed it here).
+    Put {
+        /// Live table name.
+        table: String,
+        /// One value per column, schema order.
+        row: Vec<u64>,
+    },
+    /// Delete every live row with this key from a live table.
+    Del {
+        /// Live table name.
+        table: String,
+        /// Key-column value.
+        key: u64,
+    },
+    /// Freeze and compact every live table on this shard.
+    Flush,
 }
 
 /// Exact partial aggregates of one shard's scan, merged by the connection.
@@ -146,6 +167,15 @@ pub enum ShardReply {
     Values(Vec<(usize, Option<Vec<u8>>)>),
     /// `Scan`: this shard's exact partials.
     Scan(Box<ShardScanPartial>),
+    /// `Put` / `Del`: the write is durable (WAL fsync'd) on this shard.
+    Acked,
+    /// `Flush`: rows this shard moved into immutable table files.
+    Flushed {
+        /// Live rows flushed out of frozen segments.
+        rows_flushed: u64,
+        /// New table files written.
+        files_written: u64,
+    },
     /// The request named a table/column this shard does not have → `400`.
     BadRequest(String),
     /// The shard failed to execute a well-formed request → `500`.
@@ -204,6 +234,51 @@ fn execute(data: &ShardData, cmd: &ShardCmd, scan_threads: usize) -> ShardReply 
         ShardCmd::Scan { table, filter, agg } => {
             execute_scan(data, table, filter, agg, scan_threads)
         }
+        ShardCmd::Put { table, row } => {
+            let Some(live) = data.live_tables.get(table) else {
+                return ShardReply::BadRequest(format!("unknown live table {table:?}"));
+            };
+            // `put` returns only after the WAL batch is fsync'd, so this
+            // reply is the durability acknowledgement.
+            match live.put(row) {
+                Ok(()) => ShardReply::Acked,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                    ShardReply::BadRequest(e.to_string())
+                }
+                Err(e) => ShardReply::Error(format!("shard {}: put failed: {e}", data.id)),
+            }
+        }
+        ShardCmd::Del { table, key } => {
+            let Some(live) = data.live_tables.get(table) else {
+                return ShardReply::BadRequest(format!("unknown live table {table:?}"));
+            };
+            match live.delete(*key) {
+                Ok(()) => ShardReply::Acked,
+                Err(e) => ShardReply::Error(format!("shard {}: del failed: {e}", data.id)),
+            }
+        }
+        ShardCmd::Flush => {
+            let mut rows_flushed = 0u64;
+            let mut files_written = 0u64;
+            for (name, live) in &data.live_tables {
+                match live.flush() {
+                    Ok(report) => {
+                        rows_flushed += report.rows_flushed;
+                        files_written += report.files_written as u64;
+                    }
+                    Err(e) => {
+                        return ShardReply::Error(format!(
+                            "shard {}: flush of {name:?} failed: {e}",
+                            data.id
+                        ))
+                    }
+                }
+            }
+            ShardReply::Flushed {
+                rows_flushed,
+                files_written,
+            }
+        }
     }
 }
 
@@ -214,6 +289,9 @@ fn execute_scan(
     agg: &ScanAgg,
     scan_threads: usize,
 ) -> ShardReply {
+    if let Some(live) = data.live_tables.get(table) {
+        return execute_live_scan(data.id, live, filter, agg, scan_threads);
+    }
     let Some(file) = data.tables.get(table) else {
         return ShardReply::BadRequest(format!("unknown table {table:?}"));
     };
@@ -247,6 +325,44 @@ fn execute_scan(
     }
 }
 
+/// A shard-local scan over a live table: snapshot-consistent across
+/// memtable, frozen segments and compacted files, returning the same exact
+/// integer partials as a [`Scanner`] run — so a sharded scan of a live
+/// table merges bit-identically too.
+fn execute_live_scan(
+    shard_id: usize,
+    live: &LiveTable,
+    filter: &Option<(String, u64, u64)>,
+    agg: &ScanAgg,
+    scan_threads: usize,
+) -> ShardReply {
+    let mut spec = ScanSpec::count();
+    if let Some((col, lo, hi)) = filter {
+        spec = spec.filter(col, *lo, *hi);
+    }
+    spec.agg = match agg {
+        ScanAgg::Count => IngestAgg::Count,
+        ScanAgg::Sum(col) => IngestAgg::Sum(col.clone()),
+        ScanAgg::GroupByAvg(id, val) => IngestAgg::GroupAvg {
+            id_col: id.clone(),
+            val_col: val.clone(),
+        },
+    };
+    match live.scan(&spec, scan_threads) {
+        Ok(out) => ShardReply::Scan(Box::new(ShardScanPartial {
+            rows_selected: out.rows_selected,
+            rows_scanned: out.rows_scanned,
+            morsels: 0,
+            sum: out.sum,
+            groups: out.group_partials,
+        })),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+            ShardReply::BadRequest(e.to_string())
+        }
+        Err(e) => ShardReply::Error(format!("shard {shard_id}: live scan failed: {e}")),
+    }
+}
+
 /// The manifest: which shard holds which rows of which table, and how keys
 /// route.  Written next to the shard files as `manifest.json` so an
 /// operator (or a future reload path) can see the layout.
@@ -261,6 +377,9 @@ pub struct Manifest {
     /// Per table: `(name, per-shard (row_start, rows))` — contiguous row
     /// ranges, shard `k` holding the `k`-th slice.
     pub tables: Vec<(String, Vec<(u64, u64)>)>,
+    /// Live (writable) tables: `(name, key_col)`.  A `PUT`/`DEL` routes to
+    /// `fnv1a64(row[key_col]) % shards`; scans fan out like static tables.
+    pub live_tables: Vec<(String, usize)>,
 }
 
 impl Manifest {
@@ -300,6 +419,20 @@ impl Manifest {
                                             .collect(),
                                     ),
                                 ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "live_tables".into(),
+                Json::Arr(
+                    self.live_tables
+                        .iter()
+                        .map(|(name, key_col)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(name.clone())),
+                                ("key_col".into(), Json::Num(*key_col as f64)),
                             ])
                         })
                         .collect(),

@@ -9,6 +9,7 @@
 
 use leco_bench::report::Json;
 use leco_columnar::{Encoding, TableFile, TableFileOptions};
+use leco_ingest::IngestConfig;
 use leco_scan::Scanner;
 use leco_server::protocol::response_code;
 use leco_server::{shard_for_key, Client, Server, ServerConfig, ShardSetBuilder};
@@ -295,4 +296,217 @@ fn scan_over_tcp_bit_identical_across_shard_counts() {
         std::fs::remove_dir_all(&dir).ok();
     }
     std::fs::remove_dir_all(&truth_dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Write path: PUT / DEL / FLUSH against live tables.
+// ---------------------------------------------------------------------------
+
+/// Ingest tuning for the tests: tiny segments so a few hundred PUTs cross
+/// several freeze boundaries, no background compactor so FLUSH timing is
+/// deterministic and recovery really exercises the WAL.
+fn live_config() -> IngestConfig {
+    IngestConfig {
+        segment_rows: 32,
+        compact_min_segments: 2,
+        row_group_size: 64,
+        auto_compact: false,
+        key_col: 0,
+    }
+}
+
+fn start_live_server(dir: &PathBuf, shards: usize) -> Server {
+    let (ts, id, val) = test_columns(64);
+    let set = ShardSetBuilder::new(dir, shards)
+        .table_options(table_options())
+        .table("sensors", &["ts", "id", "val"], vec![ts, id, val])
+        .live_table("events", &["key", "id", "val"], live_config())
+        .records(test_records(10))
+        .build()
+        .expect("fixture builds");
+    Server::start(set, ServerConfig::default()).expect("server starts")
+}
+
+fn live_row(i: u64) -> (u64, u64, u64) {
+    (i, i % 5, 100 + i * 7)
+}
+
+/// The three probes every live-table check runs, as protocol strings.
+const LIVE_PROBES: [&str; 4] = [
+    "SCAN events",
+    "SCAN events FILTER key 20 90 SUM val",
+    "SCAN events SUM val",
+    "SCAN events GROUPBY id AGG avg val",
+];
+
+/// Snapshot the probe replies as rendered JSON (minus the morsel counter,
+/// which legitimately differs between memtable and file scans).
+fn probe_replies(client: &mut Client) -> Vec<String> {
+    LIVE_PROBES
+        .iter()
+        .map(|probe| {
+            let reply = client.request(probe).unwrap();
+            assert_eq!(response_code(&reply), 200, "{probe}: {}", reply.render());
+            let mut obj: Vec<(String, Json)> = ["rows_selected", "sum", "groups"]
+                .iter()
+                .map(|k| (k.to_string(), reply.get(k).cloned().unwrap()))
+                .collect();
+            obj.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(obj).render()
+        })
+        .collect()
+}
+
+#[test]
+fn put_is_visible_before_and_after_flush_at_every_shard_count() {
+    let n = 150u64;
+    let mut baseline: Option<(Vec<String>, Vec<String>)> = None;
+    for shards in [1usize, 2, 4] {
+        let dir = tmp_dir(&format!("put-vis-{shards}"));
+        let server = start_live_server(&dir, shards);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        for i in 0..n {
+            let (key, id, val) = live_row(i);
+            let reply = client
+                .request(&format!("PUT events {key} {id} {val}"))
+                .unwrap();
+            assert_eq!(response_code(&reply), 200, "{}", reply.render());
+            assert_eq!(reply.get("durable"), Some(&Json::Bool(true)));
+        }
+
+        // Unflushed rows are served straight from the memtables.
+        let before = probe_replies(&mut client);
+        let count = client.request("SCAN events").unwrap();
+        assert_eq!(
+            count.get("rows_selected").and_then(Json::as_f64),
+            Some(n as f64),
+            "{shards} shard(s): every PUT visible before FLUSH"
+        );
+
+        // FLUSH moves every row into immutable table files...
+        let reply = client.request("FLUSH").unwrap();
+        assert_eq!(response_code(&reply), 200, "{}", reply.render());
+        assert_eq!(
+            reply.get("rows_flushed").and_then(Json::as_f64),
+            Some(n as f64),
+            "{shards} shard(s): FLUSH reports the flushed rows"
+        );
+
+        // ... without changing a single answer bit.
+        let after = probe_replies(&mut client);
+        assert_eq!(
+            before, after,
+            "{shards} shard(s): FLUSH changed scan results"
+        );
+
+        // And every shard count answers identically (the JSON includes the
+        // f64 group averages, so this is a bit-level comparison).
+        match &baseline {
+            None => baseline = Some((before, after)),
+            Some((b_before, b_after)) => {
+                assert_eq!(&before, b_before, "{shards} shard(s) vs 1 shard, pre-FLUSH");
+                assert_eq!(&after, b_after, "{shards} shard(s) vs 1 shard, post-FLUSH");
+            }
+        }
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn restart_recovers_every_acknowledged_put_and_del() {
+    let dir = tmp_dir("restart");
+    let n = 120u64;
+    let expected_sum: u128 = (0..n)
+        .filter(|&i| i % 11 != 3)
+        .map(|i| live_row(i).2 as u128)
+        .sum();
+    let expected_rows: u64 = (0..n).filter(|&i| i % 11 != 3).count() as u64;
+
+    // Session 1: acknowledge writes, never FLUSH, then tear the server down
+    // — with auto-compaction off, everything acknowledged lives only in the
+    // WALs, so recovery below is real replay, not file reopening.
+    {
+        let server = start_live_server(&dir, 3);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..n {
+            let (key, id, val) = live_row(i);
+            let reply = client
+                .request(&format!("PUT events {key} {id} {val}"))
+                .unwrap();
+            assert_eq!(response_code(&reply), 200);
+        }
+        // Delete a stripe of keys; the acks make these durable too.
+        for i in (0..n).filter(|&i| i % 11 == 3) {
+            let reply = client.request(&format!("DEL events {i}")).unwrap();
+            assert_eq!(response_code(&reply), 200);
+            assert_eq!(reply.get("durable"), Some(&Json::Bool(true)));
+        }
+        server.shutdown();
+    }
+
+    // Session 2: rebuild over the same directory. Every acknowledged PUT
+    // minus every acknowledged DEL must be back, exactly.
+    let server = start_live_server(&dir, 3);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client.request("SCAN events SUM val").unwrap();
+    assert_eq!(response_code(&reply), 200, "{}", reply.render());
+    assert_eq!(
+        reply.get("rows_selected").and_then(Json::as_f64),
+        Some(expected_rows as f64),
+        "acknowledged rows after restart"
+    );
+    assert_eq!(
+        reply.get("sum").and_then(Json::as_str),
+        Some(expected_sum.to_string().as_str()),
+        "acknowledged bytes after restart"
+    );
+
+    // The recovered table keeps working: new writes land on top.
+    let reply = client.request("PUT events 9999 1 77").unwrap();
+    assert_eq!(response_code(&reply), 200);
+    let reply = client.request("SCAN events FILTER key 9999 9999").unwrap();
+    assert_eq!(reply.get("rows_selected").and_then(Json::as_f64), Some(1.0));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_writes_get_400_and_the_connection_survives() {
+    let dir = tmp_dir("bad-writes");
+    let server = start_live_server(&dir, 2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for bad in [
+        "PUT",                   // no table
+        "PUT events",            // no values
+        "PUT events 1 x 3",      // non-numeric value
+        "PUT events -1 2 3",     // negative value
+        "PUT nosuchtable 1 2 3", // unknown live table (manifest check)
+        "PUT sensors 1 2 3",     // static tables don't take writes
+        "PUT events 1 2",        // arity mismatch (shard-side check)
+        "PUT events 1 2 3 4",    // arity mismatch the other way
+        "DEL events",            // no key
+        "DEL events x",          // non-numeric key
+        "DEL nosuchtable 5",     // unknown live table
+        "FLUSH please",          // FLUSH takes no arguments
+    ] {
+        let reply = client.request(bad).unwrap();
+        assert_eq!(response_code(&reply), 400, "{bad}: {}", reply.render());
+    }
+
+    // No phantom rows appeared, and the same connection still ingests.
+    let reply = client.request("SCAN events").unwrap();
+    assert_eq!(reply.get("rows_selected").and_then(Json::as_f64), Some(0.0));
+    let reply = client.request("PUT events 5 1 500").unwrap();
+    assert_eq!(response_code(&reply), 200);
+    let reply = client.request("SCAN events SUM val").unwrap();
+    assert_eq!(reply.get("rows_selected").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(reply.get("sum").and_then(Json::as_str), Some("500"));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

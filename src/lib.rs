@@ -14,6 +14,9 @@
 //! * [`scan`] (`leco-scan`) — a morsel-driven parallel scan engine over
 //!   columnar table files.
 //! * [`kvstore`] (`leco-kvstore`) — a mini LSM key-value store.
+//! * [`ingest`] (`leco-ingest`) — the write path: WAL-backed ingestion,
+//!   background compaction into table files, snapshot-consistent live
+//!   scans (see `docs/INGEST.md`).
 //! * [`obs`] (`leco-obs`) — zero-overhead metrics registry and span
 //!   tracing wired through the engines (see `docs/OBSERVABILITY.md`).
 //! * [`server`] (`leco-server`) — a threaded TCP query frontend over
@@ -40,6 +43,7 @@ pub use leco_codecs as codecs;
 pub use leco_columnar as columnar;
 pub use leco_core as core;
 pub use leco_datasets as datasets;
+pub use leco_ingest as ingest;
 pub use leco_kvstore as kvstore;
 pub use leco_obs as obs;
 pub use leco_scan as scan;
